@@ -1,0 +1,109 @@
+// Shared benchmark harness utilities.
+//
+// Every bench prints a paper-style table with three kinds of columns:
+//   * paper:    the value reported in the OSDI '94 paper (where given)
+//   * simulated: our measurement in simulated microseconds (25 MHz cycle
+//                clock driven by the cost model in src/sim/cost.h)
+//   * host:     wall-clock nanoseconds of the implementation itself, for
+//                reference (not comparable to the paper)
+// The claim being reproduced is the SHAPE of each result -- orderings,
+// ratios, crossovers -- not absolute microseconds; see EXPERIMENTS.md.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/base/histogram.h"
+#include "src/ck/cache_kernel.h"
+#include "src/sim/machine.h"
+#include "src/srm/srm.h"
+
+namespace ckbench {
+
+// One MPM world (machine + Cache Kernel + SRM), same shape as the tests use.
+class World {
+ public:
+  explicit World(const ck::CacheKernelConfig& ck_config = ck::CacheKernelConfig(),
+                 uint32_t memory_bytes = 16u << 20, uint32_t cpus = 4) {
+    cksim::MachineConfig machine_config;
+    machine_config.cpu_count = cpus;
+    machine_config.memory_bytes = memory_bytes;
+    machine_ = std::make_unique<cksim::Machine>(machine_config);
+    ck_ = std::make_unique<ck::CacheKernel>(*machine_, ck_config);
+    srm_ = std::make_unique<cksrm::Srm>(*ck_);
+    srm_->Boot();
+  }
+
+  cksim::Machine& machine() { return *machine_; }
+  ck::CacheKernel& ck() { return *ck_; }
+  cksrm::Srm& srm() { return *srm_; }
+
+  ck::KernelId Launch(ckapp::AppKernelBase& app, uint32_t page_groups = 4,
+                      uint8_t max_priority = 30) {
+    cksrm::LaunchParams params;
+    params.page_groups = page_groups;
+    params.max_priority = max_priority;
+    auto result = srm_->Launch(app, params);
+    return result.ok() ? result.value() : ck::KernelId{};
+  }
+
+  ck::CkApi ApiFor(ckapp::AppKernelBase& app, uint32_t cpu = 0) {
+    return ck::CkApi(*ck_, app.self(), machine_->cpu(cpu));
+  }
+
+  bool RunUntil(const std::function<bool()>& done, uint64_t max_turns = 5000000) {
+    for (uint64_t i = 0; i < max_turns; ++i) {
+      if (done()) {
+        return true;
+      }
+      machine_->Step();
+    }
+    return done();
+  }
+
+ private:
+  std::unique_ptr<cksim::Machine> machine_;
+  std::unique_ptr<ck::CacheKernel> ck_;
+  std::unique_ptr<cksrm::Srm> srm_;
+};
+
+// Measure the simulated cycles one operation takes on `cpu`.
+template <typename Fn>
+cksim::Cycles MeasureCycles(cksim::Cpu& cpu, Fn&& fn) {
+  cksim::Cycles before = cpu.clock();
+  fn();
+  return cpu.clock() - before;
+}
+
+// Measure host nanoseconds.
+template <typename Fn>
+double MeasureHostNs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count();
+}
+
+inline double ToUs(cksim::Cycles cycles) { return cksim::CostModel::ToMicroseconds(cycles); }
+
+// --- table printing ---
+
+inline void Title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void Rule() {
+  std::printf("------------------------------------------------------------------------------\n");
+}
+
+}  // namespace ckbench
+
+#endif  // BENCH_BENCH_UTIL_H_

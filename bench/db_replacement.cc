@@ -1,0 +1,92 @@
+// A4: application-controlled page replacement in the database kernel
+// (sections 1 and 3). "The standard page-replacement policies of UNIX-like
+// operating systems perform poorly for applications with random or
+// sequential access [Kearns & DeFazio]." Because the buffer-pool policy is
+// the application kernel's own code, the database picks MRU for sequential
+// scans and LRU for skewed point lookups -- this bench shows both workloads
+// under all three policies.
+
+#include "bench/bench_util.h"
+#include "src/db/db_kernel.h"
+
+namespace {
+
+struct Row {
+  const char* policy;
+  double scan_us;
+  double scan_hit_rate;
+  double point_us;
+  double point_hit_rate;
+};
+
+Row Run(ckdb::Replacement policy, const char* name) {
+  ckbench::World world;
+  ckdb::DbConfig config;
+  config.table_pages = 96;
+  config.buffer_pages = 64;
+  config.policy = policy;
+  ckdb::DbKernel db(world.ck(), config);
+  world.Launch(db, /*page_groups=*/4);
+  ck::CkApi api = world.ApiFor(db);
+  db.Setup(api);
+  while (db.frames().free_count() > config.buffer_pages) {
+    db.frames().Allocate();  // trim the pool to the buffer size
+  }
+
+  // Sequential scans: one cold + three measured.
+  db.RunScan();
+  uint64_t hits0 = db.query_stats().buffer_hits;
+  uint64_t miss0 = db.query_stats().buffer_misses;
+  cksim::Cycles start = world.machine().Now();
+  for (int i = 0; i < 3; ++i) {
+    db.RunScan();
+  }
+  cksim::Cycles scan_cycles = world.machine().Now() - start;
+  uint64_t scan_hits = db.query_stats().buffer_hits - hits0;
+  uint64_t scan_misses = db.query_stats().buffer_misses - miss0;
+
+  // Point lookups (uniform random rows).
+  hits0 = db.query_stats().buffer_hits;
+  miss0 = db.query_stats().buffer_misses;
+  start = world.machine().Now();
+  db.RunPointLookups(512);
+  cksim::Cycles point_cycles = world.machine().Now() - start;
+  uint64_t point_hits = db.query_stats().buffer_hits - hits0;
+  uint64_t point_misses = db.query_stats().buffer_misses - miss0;
+
+  Row row;
+  row.policy = name;
+  row.scan_us = ckbench::ToUs(scan_cycles) / 3.0;
+  row.scan_hit_rate =
+      100.0 * static_cast<double>(scan_hits) / static_cast<double>(scan_hits + scan_misses);
+  row.point_us = ckbench::ToUs(point_cycles);
+  row.point_hit_rate = 100.0 * static_cast<double>(point_hits) /
+                       static_cast<double>(point_hits + point_misses);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  ckbench::Title("A4: database buffer replacement (96-page table, 64-page pool)");
+  std::printf("%-8s | %16s %12s | %18s %12s\n", "policy", "us/warm scan", "scan hit %",
+              "us/512 lookups", "lookup hit %");
+  ckbench::Rule();
+  Row rows[] = {
+      Run(ckdb::Replacement::kLru, "LRU"),
+      Run(ckdb::Replacement::kMru, "MRU"),
+      Run(ckdb::Replacement::kFifo, "FIFO"),
+  };
+  for (const Row& row : rows) {
+    std::printf("%-8s | %16.0f %12.1f | %18.0f %12.1f\n", row.policy, row.scan_us,
+                row.scan_hit_rate, row.point_us, row.point_hit_rate);
+  }
+  ckbench::Rule();
+  std::printf("MRU vs LRU warm-scan speedup: %.2fx\n", rows[0].scan_us / rows[1].scan_us);
+  ckbench::Note("shape checks: LRU floods on repeated sequential scans (~0% warm hits: every");
+  ckbench::Note("page is evicted just before its reuse); MRU keeps a stable prefix resident");
+  ckbench::Note("and wins by the buffer/table ratio. For uniform point lookups the policies");
+  ckbench::Note("converge -- policy choice is workload-specific, which is exactly why it");
+  ckbench::Note("belongs to the application kernel (sections 1, 3).");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 2 reproduction: the six-step page-fault walk, instrumented per step.
+//
+//   1. hardware traps to the Cache Kernel access error handler
+//   2. thread redirected into the application kernel's page fault handler
+//   3. handler navigates its virtual memory data structures, finds a frame
+//   4. handler loads the new mapping descriptor into the Cache Kernel
+//   5. faulting thread informs the Cache Kernel processing is complete
+//      (folded into 4 by the optimized combined call)
+//   6. the Cache Kernel restores state and resumes the thread
+//
+// One instrumented fault is reported step by step; a population of faults
+// gives the distribution.
+
+#include "bench/bench_util.h"
+#include "src/isa/assembler.h"
+
+namespace {
+
+class BenchKernel : public ckapp::AppKernelBase {
+ public:
+  BenchKernel() : ckapp::AppKernelBase("fig2", 256) {}
+};
+
+}  // namespace
+
+int main() {
+  ckbench::World world;
+  BenchKernel app;
+  world.Launch(app);
+  ck::CkApi api = world.ApiFor(app);
+  uint32_t space = app.CreateSpace(api);
+
+  constexpr uint32_t kPages = 64;
+  app.DefineZeroRegion(space, 0x00400000, kPages, /*writable=*/true);
+  for (uint32_t i = 0; i < kPages; ++i) {
+    cksim::VirtAddr vaddr = 0x00400000 + i * cksim::kPageSize;
+    ckapp::PageRecord* page = app.space(space).FindPage(vaddr);
+    app.MaterializePage(api, app.space(space), *page, vaddr);
+  }
+
+  ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+      li   t0, 0x00400000
+      li   t1, 64
+      li   t3, 4096
+    loop:
+      lw   t2, 0(t0)
+      add  t0, t0, t3
+      addi t1, t1, -1
+      bne  t1, r0, loop
+      halt
+  )", 0x10000);
+  app.LoadProgramImage(space, assembled.program, /*writable=*/false);
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  params.cpu_hint = 0;
+  uint32_t guest = app.CreateGuestThread(api, params);
+
+  ckbase::Stats transfer, handler_to_load, load_to_resume, total;
+  uint64_t seen = 0;
+  ck::FaultTrace last{};
+  world.RunUntil([&] {
+    const ck::FaultTrace& trace = world.ck().last_fault_trace();
+    if (trace.trap_entry != last.trap_entry && trace.resumed != 0 && trace.mapping_loaded != 0) {
+      last = trace;
+      ++seen;
+      if (seen <= 3) {
+        return app.thread(guest).finished;  // skip text/stack warmup faults
+      }
+      transfer.Add(ckbench::ToUs(trace.handler_start - trace.trap_entry));
+      handler_to_load.Add(ckbench::ToUs(trace.mapping_loaded - trace.handler_start));
+      load_to_resume.Add(ckbench::ToUs(trace.resumed - trace.mapping_loaded));
+      total.Add(ckbench::ToUs(trace.resumed - trace.trap_entry));
+    }
+    return app.thread(guest).finished;
+  });
+
+  ckbench::Title("Figure 2: page fault walk, per-step simulated microseconds");
+  std::printf("%-58s %8s %8s\n", "step", "mean us", "p95 us");
+  ckbench::Rule();
+  std::printf("%-58s %8.1f %8.1f\n",
+              "1-2: trap, save state, redirect into app kernel handler", transfer.Mean(),
+              transfer.Percentile(95));
+  std::printf("%-58s %8.1f %8.1f\n",
+              "3-4: handler navigates records, loads mapping descriptor",
+              handler_to_load.Mean(), handler_to_load.Percentile(95));
+  std::printf("%-58s %8.1f %8.1f\n", "5-6: exception complete, restore state, resume thread",
+              load_to_resume.Mean(), load_to_resume.Percentile(95));
+  ckbench::Rule();
+  std::printf("%-58s %8.1f %8.1f   (%llu faults)\n", "total (paper: 99 us)", total.Mean(),
+              total.Percentile(95), static_cast<unsigned long long>(seen));
+  ckbench::Note("\nshape checks: steps 3-4 (application-kernel policy + combined load call)");
+  ckbench::Note("dominate; steps 1-2 are the fixed hardware/redirect cost the paper prices at");
+  ckbench::Note("32 us; step 5 is folded into 4 by the optimized call, leaving resume cheap.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 3 reproduction: one-to-many memory-based messaging.
+//
+// The figure shows one sender's message region mapped into several
+// receivers' address spaces, each receiving the address-valued signal. We
+// sweep the receiver count and report per-message delivery cost at the
+// sender plus the fan-out latency to the last receiver -- the Cache Kernel
+// is only involved in signal delivery, so cost grows with the signal
+// registrations, not with message size (data moves through memory).
+
+#include "bench/bench_util.h"
+
+namespace {
+
+class BenchKernel : public ckapp::AppKernelBase {
+ public:
+  BenchKernel() : ckapp::AppKernelBase("fig3", 128) {}
+};
+
+class CountingReceiver : public ck::NativeProgram {
+ public:
+  ck::NativeOutcome Step(ck::NativeCtx&) override {
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+  void OnSignal(cksim::VirtAddr, ck::NativeCtx& ctx) override {
+    ctx.Charge(50);  // read the message header
+    ++received;
+  }
+  uint64_t received = 0;
+};
+
+struct SweepPoint {
+  uint32_t receivers;
+  double sender_us;   // sender-side cost of one Signal call
+  double fanout_us;   // until the last receiver's handler ran
+  uint64_t fast, slow;
+};
+
+SweepPoint RunFanOut(uint32_t receivers, uint32_t messages) {
+  ckbench::World world;
+  BenchKernel app;
+  world.Launch(app);
+  ck::CkApi api = world.ApiFor(app);
+  uint32_t space = app.CreateSpace(api);
+  cksim::PhysAddr frame = app.frames().Allocate();
+
+  app.DefineFrameRegion(space, 0x00800000, 1, frame, /*writable=*/true, /*message=*/true);
+  app.EnsureMappingLoaded(api, space, 0x00800000);
+
+  std::vector<std::unique_ptr<CountingReceiver>> programs;
+  for (uint32_t r = 0; r < receivers; ++r) {
+    programs.push_back(std::make_unique<CountingReceiver>());
+    uint32_t thread = app.CreateNativeThread(api, space, programs.back().get(), 15, false,
+                                             static_cast<uint8_t>(1 + r % 3));
+    cksim::VirtAddr view = 0x00900000 + r * 0x10000;
+    app.DefineFrameRegion(space, view, 1, frame, /*writable=*/false, /*message=*/true, thread);
+    app.EnsureMappingLoaded(api, space, view);
+  }
+
+  ckbase::Stats sender_cost, fanout;
+  uint64_t target = 0;
+  for (uint32_t m = 0; m < messages; ++m) {
+    target += receivers;
+    cksim::Cycles sent_at = world.machine().Now();
+    sender_cost.Add(ckbench::ToUs(ckbench::MeasureCycles(
+        world.machine().cpu(0), [&] { api.Signal(app.space(space).ck_id, 0x00800000); })));
+    world.RunUntil([&] {
+      uint64_t got = 0;
+      for (auto& p : programs) {
+        got += p->received;
+      }
+      return got >= target;
+    });
+    fanout.Add(ckbench::ToUs(world.machine().Now() - sent_at));
+  }
+
+  SweepPoint point;
+  point.receivers = receivers;
+  point.sender_us = sender_cost.Mean();
+  point.fanout_us = fanout.Mean();
+  point.fast = world.ck().stats().signals_delivered_fast;
+  point.slow = world.ck().stats().signals_delivered_slow;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  ckbench::Title("Figure 3: one-to-many memory-based messaging (receiver sweep)");
+  std::printf("%10s %16s %18s %10s %10s\n", "receivers", "sender us/msg", "fan-out us (last)",
+              "rTLB fast", "slow");
+  ckbench::Rule();
+  for (uint32_t receivers : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    SweepPoint point = RunFanOut(receivers, 20);
+    std::printf("%10u %16.1f %18.1f %10llu %10llu\n", point.receivers, point.sender_us,
+                point.fanout_us, static_cast<unsigned long long>(point.fast),
+                static_cast<unsigned long long>(point.slow));
+  }
+  ckbench::Rule();
+  ckbench::Note("shape checks: sender cost grows mildly with registrations (one pmap walk, one");
+  ckbench::Note("IPI per remote receiver); data transfer itself costs nothing here because the");
+  ckbench::Note("message already lives in the shared physical page -- 'communication");
+  ckbench::Note("performance is limited primarily by the raw performance of the memory");
+  ckbench::Note("system' (section 2.2).");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Section 5.2 companion: the thread-descriptor cache under timesharing
+// pressure. "A system that is actively switching among more than 256 threads
+// is incurring a context switching overhead that would dominate the cost of
+// loading and unloading thread descriptors from the Cache Kernel."
+//
+// We sweep the process count across a fixed (scaled-down) thread cache under
+// the UNIX emulator: below capacity, descriptor reclamation is zero and
+// throughput is flat; above it, every scheduling round trips through
+// writeback/reload, and the added cost per process stays bounded by the
+// load/unload pair (Table 2), not by anything catastrophic -- the paper's
+// claim that the caching model degrades gracefully.
+
+#include "bench/bench_util.h"
+#include "src/isa/assembler.h"
+#include "src/unixemu/unix_emulator.h"
+
+namespace {
+
+struct Point {
+  uint32_t processes;
+  double ms_to_finish;
+  double ms_per_process;
+  uint64_t thread_reclaims;
+  uint64_t thread_loads;
+};
+
+Point Run(uint32_t processes, uint32_t thread_slots) {
+  ck::CacheKernelConfig ck_config;
+  ck_config.thread_slots = thread_slots;
+  ckbench::World world(ck_config);
+
+  ckunix::UnixConfig config;
+  config.sched_interval = 250000;  // 10 ms: prompt reload of reclaimed threads
+  ckunix::UnixEmulator emulator(world.ck(), config);
+  cksrm::LaunchParams params;
+  params.page_groups = 8;
+  params.max_priority = 31;
+  params.locked_kernel_object = true;
+  world.srm().Launch(emulator, params);
+  ck::CkApi api = world.ApiFor(emulator);
+  emulator.Start(api);
+
+  ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+      addi t0, r0, 0
+      addi t1, r0, 1
+      li   t2, 3000
+    loop:
+      add  t0, t0, t1
+      addi t1, t1, 1
+      bge  t2, t1, loop
+      mv   a0, t0
+      trap 17
+  )", 0x10000);
+
+  for (uint32_t i = 0; i < processes; ++i) {
+    emulator.Exec(api, assembled.program);
+  }
+  cksim::Cycles start = world.machine().Now();
+  world.RunUntil([&] { return emulator.AllExited(); }, 80000000);
+  cksim::Cycles elapsed = world.machine().Now() - start;
+
+  Point point;
+  point.processes = processes;
+  point.ms_to_finish = ckbench::ToUs(elapsed) / 1000.0;
+  point.ms_per_process = point.ms_to_finish / processes;
+  point.thread_reclaims =
+      world.ck().stats().reclamations[static_cast<int>(ck::ObjectType::kThread)];
+  point.thread_loads = world.ck().stats().loads[static_cast<int>(ck::ObjectType::kThread)];
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kSlots = 12;  // 4 scheduler threads + 8 guest slots
+  ckbench::Title("Section 5.2 companion: thread-descriptor cache under timesharing");
+  ckbench::Note("thread cache: 12 slots (4 pinned scheduler threads + 8 for processes)\n");
+  std::printf("%10s %14s %16s %14s %12s\n", "processes", "total ms", "ms/process",
+              "thread reloads", "reclaims");
+  ckbench::Rule();
+  for (uint32_t processes : {2u, 4u, 8u, 12u, 16u, 24u}) {
+    Point point = Run(processes, kSlots);
+    std::printf("%10u %14.1f %16.2f %14llu %12llu\n", point.processes, point.ms_to_finish,
+                point.ms_per_process, static_cast<unsigned long long>(point.thread_loads),
+                static_cast<unsigned long long>(point.thread_reclaims));
+  }
+  ckbench::Rule();
+  ckbench::Note("shape checks: below the 8 free slots, zero reclamation and flat ms/process;");
+  ckbench::Note("above, each process pays bounded descriptor load/writeback trips (Table 2's");
+  ckbench::Note("thread rows) amortized across its run -- graceful degradation, never a hard");
+  ckbench::Note("'out of descriptors' failure (section 7).");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Section 5.3 reproduction: memory-based-messaging signal delivery.
+//
+// Paper: "The time to deliver a signal from one thread to another running on
+// a separate processor is 71 microseconds, composed of 44 microseconds for
+// signal delivery and 27 microseconds for the return from signal handler."
+//
+// We measure: (a) cross-processor delivery latency -- from the sender's
+// Signal call to the receiving thread's handler observing the message, and
+// (b) the return-from-signal-handler path, using a guest receiver running a
+// real signal function. The reverse-TLB fast path and the slow two-stage
+// lookup are reported separately (section 4.1).
+
+#include "bench/bench_util.h"
+#include "src/isa/assembler.h"
+
+namespace {
+
+class BenchKernel : public ckapp::AppKernelBase {
+ public:
+  BenchKernel() : ckapp::AppKernelBase("sigbench", 128) {}
+};
+
+}  // namespace
+
+int main() {
+  ckbench::World world;
+  BenchKernel app;
+  world.Launch(app);
+  ck::CkApi api = world.ApiFor(app);
+  uint32_t space = app.CreateSpace(api);
+  cksim::PhysAddr frame = app.frames().Allocate();
+
+  // Guest receiver on cpu 1: handler increments a counter page and returns.
+  ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+      li   t0, 0x00a00000
+    wait:
+      trap 3              ; await signal
+      j    wait
+    handler:
+      li   t2, 0x00a00000
+      lw   t3, 0(t2)
+      addi t3, t3, 1
+      sw   t3, 0(t2)
+      trap 1              ; return from signal handler
+  )", 0x10000);
+  if (!assembled.ok) {
+    std::printf("asm: %s\n", assembled.error.c_str());
+    return 1;
+  }
+  app.LoadProgramImage(space, assembled.program, /*writable=*/false);
+  app.DefineZeroRegion(space, 0x00a00000, 1, /*writable=*/true);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  params.cpu_hint = 1;  // separate processor from the sender (cpu 0)
+  params.priority = 20;
+  params.signal_handler = assembled.program.labels.at("handler");
+  uint32_t receiver = app.CreateGuestThread(api, params);
+
+  app.DefineFrameRegion(space, 0x00800000, 1, frame, /*writable=*/true, /*message=*/true);
+  app.DefineFrameRegion(space, 0x00900000, 1, frame, /*writable=*/false, /*message=*/true,
+                        receiver);
+  app.EnsureMappingLoaded(api, space, 0x00800000);
+  app.EnsureMappingLoaded(api, space, 0x00900000);
+
+  // Counter page lives at a fixed frame so we can read it cheaply.
+  auto count = [&]() -> uint32_t {
+    ckapp::PageRecord* page = app.space(space).FindPage(0x00a00000);
+    if (page == nullptr || page->where != ckapp::PageRecord::Where::kResident) {
+      return 0;
+    }
+    uint32_t value = 0;
+    api.ReadPhys(page->frame, &value, 4);
+    return value;
+  };
+
+  // Let the receiver reach its await.
+  world.RunUntil([&] {
+    auto state = world.ck().GetThreadState(app.thread(receiver).ck_id);
+    return state.ok() && state.value() == ck::ThreadState::kBlocked;
+  });
+
+  constexpr int kSignals = 100;
+  ckbase::Stats latency;
+  for (int i = 0; i < kSignals; ++i) {
+    uint32_t before = count();
+    cksim::Cycles sent_at = world.machine().cpu(0).clock();
+    api.Signal(app.space(space).ck_id, 0x00800000);
+    world.RunUntil([&] { return count() > before; });
+    // Delivery latency as seen end-to-end: sender's call to the handler's
+    // visible effect, on the receiver's clock.
+    cksim::Cycles handled_at = world.machine().cpu(1).clock();
+    latency.Add(ckbench::ToUs(handled_at - sent_at));
+    // Let the handler finish its return and re-block.
+    world.RunUntil([&] {
+      auto state = world.ck().GetThreadState(app.thread(receiver).ck_id);
+      return state.ok() && state.value() == ck::ThreadState::kBlocked;
+    });
+  }
+
+  const ck::CkStats& stats = world.ck().stats();
+  const cksim::CostModel& cost = world.machine().cost();
+
+  ckbench::Title("Section 5.3: cross-processor signal delivery");
+  std::printf("%-52s %10s\n", "", "us");
+  ckbench::Rule();
+  std::printf("%-52s %10.0f\n", "paper: total (deliver + return from handler)", 71.0);
+  std::printf("%-52s %10.0f\n", "paper:   signal delivery component", 44.0);
+  std::printf("%-52s %10.0f\n", "paper:   return-from-handler component", 27.0);
+  std::printf("%-52s %10.1f\n", "simulated: end-to-end (call -> handler ran), mean",
+              latency.Mean());
+  std::printf("%-52s %10.1f\n", "simulated:   p95", latency.Percentile(95));
+  std::printf("%-52s %10.1f\n", "simulated:   charged return-from-handler path",
+              ckbench::ToUs(cost.signal_return));
+  ckbench::Rule();
+  std::printf("deliveries: fast (reverse-TLB hit) %llu, slow (two-stage pmap lookup) %llu\n",
+              static_cast<unsigned long long>(stats.signals_delivered_fast),
+              static_cast<unsigned long long>(stats.signals_delivered_slow));
+  std::printf("fast-path cost %0.f us vs slow-path %0.f us (charged)\n",
+              ckbench::ToUs(cost.signal_deliver_fast), ckbench::ToUs(cost.signal_deliver_slow));
+  ckbench::Note("shape checks: tens of microseconds end-to-end; delivery dominated by the");
+  ckbench::Note("IPI + rescheduling of the receiving thread; reverse-TLB hits make repeat");
+  ckbench::Note("deliveries cheaper than the first (sections 4.1, 5.3).");
+  return 0;
+}

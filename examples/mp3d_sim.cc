@@ -1,0 +1,96 @@
+// MP3D example: the paper's motivating "sophisticated application" -- a
+// particle-in-cell wind tunnel running as its own application kernel with
+// application-specific memory management (section 3, section 5.2).
+//
+//   $ ./mp3d_sim
+//
+// Runs the same simulation twice: once with particles scattered across
+// storage (poor page locality) and once with the application kernel copying
+// particles into cell order after each step (the paper's fix). Reports
+// steps/second in simulated time plus TLB behavior.
+
+#include <cstdio>
+
+#include "src/mp3d/mp3d_kernel.h"
+#include "src/sim/machine.h"
+#include "src/srm/srm.h"
+
+namespace {
+
+struct RunResult {
+  double sim_ms = 0;
+  double updates_per_ms = 0;
+  uint64_t tlb_misses = 0;
+  double tlb_miss_rate = 0;
+};
+
+RunResult RunMode(ckmp3d::Placement placement, uint32_t steps) {
+  cksim::Machine machine{cksim::MachineConfig()};
+  ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
+  cksrm::Srm srm(cache_kernel);
+  srm.Boot();
+
+  ckmp3d::Mp3dConfig config;
+  config.particles = 16384;  // 512 KiB of particles = 128 pages
+  config.cells = 64;
+  config.workers = 4;        // one per processor
+  config.placement = placement;
+  ckmp3d::Mp3dKernel mp3d(cache_kernel, config);
+  cksrm::LaunchParams params;
+  params.page_groups = 4;
+  if (!srm.Launch(mp3d, params).ok()) {
+    std::printf("launch failed\n");
+    std::exit(1);
+  }
+  ck::CkApi api(cache_kernel, mp3d.self(), machine.cpu(0));
+  mp3d.Setup(api);
+
+  // Warm up (fault everything in, let particles mix), then measure.
+  mp3d.RunSteps(2);
+  for (uint32_t c = 0; c < machine.cpu_count(); ++c) {
+    machine.cpu(c).mmu().tlb().ResetStats();
+  }
+  cksim::Cycles elapsed = mp3d.RunSteps(steps);
+
+  uint64_t hits = 0, misses = 0;
+  for (uint32_t c = 0; c < machine.cpu_count(); ++c) {
+    hits += machine.cpu(c).mmu().tlb().hits();
+    misses += machine.cpu(c).mmu().tlb().misses();
+  }
+
+  RunResult result;
+  result.sim_ms = cksim::CostModel::ToMicroseconds(elapsed) / 1000.0;
+  result.updates_per_ms =
+      static_cast<double>(config.particles) * steps / result.sim_ms;
+  result.tlb_misses = misses;
+  result.tlb_miss_rate = misses + hits > 0
+                             ? 100.0 * static_cast<double>(misses) /
+                                   static_cast<double>(misses + hits)
+                             : 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kSteps = 6;
+  std::printf("mini-MP3D: 16384 particles, 64 cells, 4 workers, %u measured steps\n\n", kSteps);
+
+  RunResult scattered = RunMode(ckmp3d::Placement::kScattered, kSteps);
+  RunResult local = RunMode(ckmp3d::Placement::kLocalityAware, kSteps);
+
+  std::printf("%-22s %14s %16s %12s %10s\n", "placement", "sim time (ms)", "updates/ms",
+              "TLB misses", "miss %");
+  std::printf("%-22s %14.2f %16.0f %12llu %9.2f%%\n", "scattered", scattered.sim_ms,
+              scattered.updates_per_ms, static_cast<unsigned long long>(scattered.tlb_misses),
+              scattered.tlb_miss_rate);
+  std::printf("%-22s %14.2f %16.0f %12llu %9.2f%%\n", "locality-enforced", local.sim_ms,
+              local.updates_per_ms, static_cast<unsigned long long>(local.tlb_misses),
+              local.tlb_miss_rate);
+
+  double degradation = 100.0 * (scattered.sim_ms - local.sim_ms) / local.sim_ms;
+  std::printf("\nscattered placement degrades step time by %.1f%%\n", degradation);
+  std::printf("(the paper reported up to 25%% degradation from particles scattered across\n"
+              " too many pages, fixed by copying particles to enforce page locality)\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Diskless workstation example: PROM network boot + remote debugging
+// (section 4: the PROM monitor, network boot program, and the protocol
+// suite that made up 40% of the original Cache Kernel's code).
+//
+//   $ ./netboot_workstation
+//
+// Node 1 is a boot server holding a program image. Node 2 is a diskless
+// workstation: its PROM client broadcasts a RARP-style "who serves me?",
+// discovers the server, pulls the image block-by-block over the TFTP-style
+// protocol, and executes it as a demand-paged guest. Afterwards the server
+// peeks and pokes the workstation's physical memory through the remote
+// debug port.
+
+#include <cstdio>
+
+#include "src/isa/assembler.h"
+#include "src/prom/netboot.h"
+#include "src/sim/machine.h"
+#include "src/srm/srm.h"
+
+namespace {
+
+struct Node {
+  Node() : machine(cksim::MachineConfig()), ck(machine, ck::CacheKernelConfig()), srm(ck) {
+    srm.Boot();
+  }
+  cksim::Machine machine;
+  ck::CacheKernel ck;
+  cksrm::Srm srm;
+};
+
+}  // namespace
+
+int main() {
+  Node server_node, client_node;
+
+  // One Ethernet station per node, hub-connected.
+  uint32_t server_group = server_node.srm.ReserveGroups(1).value();
+  uint32_t client_group = client_node.srm.ReserveGroups(1).value();
+  cksim::EthernetDevice server_eth(server_node.machine.memory(), &server_node.ck,
+                                   server_group * cksim::kPageGroupBytes, 4, 4, 1000, 1);
+  cksim::EthernetDevice client_eth(client_node.machine.memory(), &client_node.ck,
+                                   client_group * cksim::kPageGroupBytes, 4, 4, 1000, 2);
+  cksim::EthernetHub hub;
+  hub.Attach(&server_eth);
+  hub.Attach(&client_eth);
+  server_node.machine.AttachDevice(&server_eth);
+  client_node.machine.AttachDevice(&client_eth);
+
+  ckapp::AppKernelBase server_app("boot-server", 64), client_app("workstation", 256);
+  cksrm::LaunchParams params;
+  params.page_groups = 2;
+  server_node.srm.Launch(server_app, params);
+  client_node.srm.Launch(client_app, params);
+  server_node.srm.GrantSharedGroups(server_app, server_group, 1, ck::GroupAccess::kReadWrite);
+  client_node.srm.GrantSharedGroups(client_app, client_group, 1, ck::GroupAccess::kReadWrite);
+
+  ck::CkApi server_api(server_node.ck, server_app.self(), server_node.machine.cpu(0));
+  ck::CkApi client_api(client_node.ck, client_app.self(), client_node.machine.cpu(0));
+  uint32_t server_space = server_app.CreateSpace(server_api);
+  uint32_t client_space = client_app.CreateSpace(client_api);
+
+  // The boot image: computes fib(20) and halts.
+  ckisa::AssembleResult fib = ckisa::Assemble(R"(
+      addi t0, r0, 0      ; fib(0)
+      addi t1, r0, 1      ; fib(1)
+      addi t2, r0, 20
+    loop:
+      add  t3, t0, t1
+      mv   t0, t1
+      mv   t1, t3
+      addi t2, t2, -1
+      bne  t2, r0, loop
+      mv   s0, t0
+      halt
+  )", 0x10000);
+  if (!fib.ok) {
+    std::printf("asm: %s\n", fib.error.c_str());
+    return 1;
+  }
+
+  ckprom::BootServer server(
+      ckprom::Station(server_app, server_space, server_eth, 0x00800000, 0x00900000));
+  server.AddImage("fib20", ckprom::SerializeProgram(fib.program));
+  ckprom::PromClient prom(
+      ckprom::Station(client_app, client_space, client_eth, 0x00800000, 0x00900000));
+
+  uint32_t server_thread =
+      server_app.CreateNativeThread(server_api, server_space, &server, 20);
+  uint32_t client_thread = client_app.CreateNativeThread(client_api, client_space, &prom, 20);
+  ckprom::Station(server_app, server_space, server_eth, 0x00800000, 0x00900000)
+      .Attach(server_api, server_thread);
+  ckprom::Station(client_app, client_space, client_eth, 0x00800000, 0x00900000)
+      .Attach(client_api, client_thread);
+
+  auto run_both = [&](const std::function<bool()>& done, uint64_t max_turns = 3000000) {
+    for (uint64_t i = 0; i < max_turns && !done(); ++i) {
+      server_node.machine.Step();
+      client_node.machine.Step();
+    }
+    return done();
+  };
+
+  std::printf("workstation: broadcasting RARP, requesting image 'fib20'...\n");
+  std::vector<uint8_t> image;
+  prom.Boot(client_api, "fib20",
+            [&](const std::vector<uint8_t>& bytes, ck::CkApi&) { image = bytes; });
+  if (!run_both([&] { return prom.boot_complete(); })) {
+    std::printf("netboot timed out\n");
+    return 1;
+  }
+  std::printf("netboot complete: server=station %u, image %zu bytes, %llu TFTP blocks\n",
+              prom.discovered_server(), image.size(),
+              static_cast<unsigned long long>(server.blocks_sent()));
+
+  // Execute the fetched image on the workstation.
+  ckisa::Program program;
+  ckprom::DeserializeProgram(image, &program);
+  client_app.LoadProgramImage(client_space, program, /*writable=*/false);
+  ckapp::GuestThreadParams guest_params;
+  guest_params.space_index = client_space;
+  guest_params.entry = program.base;
+  uint32_t guest = client_app.CreateGuestThread(client_api, guest_params);
+  run_both([&] { return client_app.thread(guest).finished; });
+  std::printf("netbooted program ran: fib(20) = %u (expected 6765)\n",
+              client_app.thread(guest).saved.regs[ckisa::kRegS0]);
+
+  // Remote debugging: the server peeks a word of the workstation's memory.
+  ckprom::DebugPort port(
+      ckprom::Station(client_app, client_space, client_eth, 0x00a00000, 0x00900000),
+      client_node.machine.memory());
+  uint32_t port_thread = client_app.CreateNativeThread(client_api, client_space, &port, 21);
+  ckprom::Station(client_app, client_space, client_eth, 0x00a00000, 0x00900000)
+      .Attach(client_api, port_thread);
+  ckprom::PromClient debugger(
+      ckprom::Station(server_app, server_space, server_eth, 0x00b00000, 0x00900000));
+  uint32_t dbg_thread = server_app.CreateNativeThread(server_api, server_space, &debugger, 21);
+  ckprom::Station(server_app, server_space, server_eth, 0x00b00000, 0x00900000)
+      .Attach(server_api, dbg_thread);
+
+  cksim::PhysAddr probe = client_app.frames().Allocate();
+  uint32_t marker = 0x0ddba115;
+  client_api.WritePhys(probe, &marker, 4);
+  uint32_t observed = 0;
+  debugger.Peek(server_api, /*server=*/2, probe, [&](uint32_t value) { observed = value; });
+  run_both([&] { return observed != 0; });
+  std::printf("remote debug: peeked %#x from the workstation's physical %#x\n", observed, probe);
+  std::printf("netboot workstation OK\n");
+  return observed == marker ? 0 : 1;
+}

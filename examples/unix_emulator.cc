@@ -1,0 +1,139 @@
+// UNIX emulator example: multi-process timesharing on the Cache Kernel.
+//
+//   $ ./unix_emulator
+//
+// Runs a small "shell session" under the emulator application kernel:
+//   * a hello-world writing to its console,
+//   * a compute-bound job (aged down to batch priority by the emulator's
+//     per-processor scheduling threads),
+//   * an interactive job that sleeps and wakes (its thread descriptor is
+//     unloaded from the Cache Kernel during long sleeps),
+//   * a buggy program that takes a SEGV (handled by a registered handler).
+
+#include <cstdio>
+
+#include "src/isa/assembler.h"
+#include "src/sim/machine.h"
+#include "src/srm/srm.h"
+#include "src/unixemu/unix_emulator.h"
+
+namespace {
+
+ckisa::Program Assemble(const char* source) {
+  ckisa::AssembleResult result = ckisa::Assemble(source, 0x10000);
+  if (!result.ok) {
+    std::printf("assembler error: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  return result.program;
+}
+
+}  // namespace
+
+int main() {
+  cksim::Machine machine{cksim::MachineConfig()};
+  ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
+  cksrm::Srm srm(cache_kernel);
+  srm.Boot();
+
+  ckunix::UnixEmulator unix_emulator(cache_kernel, ckunix::UnixConfig());
+  cksrm::LaunchParams params;
+  params.page_groups = 8;
+  params.max_priority = 31;
+  if (!srm.Launch(unix_emulator, params).ok()) {
+    std::printf("launch failed\n");
+    return 1;
+  }
+  ck::CkApi api(cache_kernel, unix_emulator.self(), machine.cpu(0));
+  unix_emulator.Start(api);
+  std::printf("unix emulator started (%u scheduler threads)\n", machine.cpu_count());
+
+  // Process 1: hello world.
+  int hello = unix_emulator.Exec(api, Assemble(R"(
+      trap 16              ; getpid
+      mv   s0, a0
+      la   a0, msg
+      addi a1, r0, 20
+      trap 18              ; write(msg, 20)
+      addi a0, r0, 0
+      trap 17              ; exit(0)
+    msg:
+      .word 0x6c6c6568     ; "hell"
+      .word 0x7266206f     ; "o fr"
+      .word 0x70206d6f     ; "om p"
+      .word 0x65636f72     ; "roce"
+      .word 0x0a317373     ; "ss1\n"
+  )"));
+
+  // Process 2: compute-bound (watch it get niced down by the scheduler).
+  int cruncher = unix_emulator.Exec(api, Assemble(R"(
+      li   t2, 1500000
+      addi t0, r0, 0
+      addi t1, r0, 1
+    loop:
+      add  t0, t0, t1
+      blt  t0, t2, loop
+      addi a0, r0, 0
+      trap 17
+  )"));
+
+  // Process 3: interactive -- sleeps 20ms (thread descriptor unloaded), then
+  // reports how long it actually slept.
+  int sleeper = unix_emulator.Exec(api, Assemble(R"(
+      trap 23              ; gettime -> us
+      mv   s0, a0
+      li   a0, 20000
+      trap 20              ; sleep(20ms)
+      trap 23
+      sub  s1, a0, s0      ; elapsed
+      addi a0, r0, 0
+      trap 17
+  )"));
+
+  // Process 4: dereferences a wild pointer, recovers in a SEGV handler.
+  int crasher = unix_emulator.Exec(api, Assemble(R"(
+      la   a0, onsegv
+      trap 22              ; sigsegv(handler)
+      li   t0, 0x0dead000
+      lw   t1, 0(t0)       ; SEGV
+      addi a0, r0, 1
+      trap 17
+    onsegv:
+      addi a0, r0, 99      ; "recovered" exit code
+      trap 17
+  )"));
+
+  uint64_t turns = 0;
+  while (!unix_emulator.AllExited() && turns < 20000000) {
+    machine.Step();
+    ++turns;
+  }
+
+  std::printf("\n-- session results --\n");
+  std::printf("pid %d (hello): exit=%d console=\"%s\"\n", hello,
+              unix_emulator.process(hello).exit_code,
+              unix_emulator.process(hello).console.substr(0, 19).c_str());
+  std::printf("pid %d (cruncher): exit=%d, final priority=%u (started at %u)\n", cruncher,
+              unix_emulator.process(cruncher).exit_code,
+              unix_emulator.thread(unix_emulator.process(cruncher).thread_index).priority,
+              ckunix::UnixConfig().default_priority);
+  const ckapp::ThreadRec& sleeper_rec =
+      unix_emulator.thread(unix_emulator.process(sleeper).thread_index);
+  std::printf("pid %d (sleeper): exit=%d, slept %u us (asked for 20000)\n", sleeper,
+              unix_emulator.process(sleeper).exit_code,
+              sleeper_rec.saved.regs[ckisa::kRegS0 + 1]);
+  std::printf("pid %d (crasher): exit=%d (99 = SEGV handler ran)\n", crasher,
+              unix_emulator.process(crasher).exit_code);
+
+  const ck::CkStats& stats = cache_kernel.stats();
+  std::printf("\n-- cache kernel stats --\n");
+  std::printf("syscalls forwarded: %llu, faults: %llu, mapping loads: %llu, thread "
+              "writebacks: %llu\n",
+              static_cast<unsigned long long>(stats.traps_forwarded),
+              static_cast<unsigned long long>(stats.faults_forwarded),
+              static_cast<unsigned long long>(stats.loads[3]),
+              static_cast<unsigned long long>(stats.writebacks[2]));
+  std::printf("simulated time: %.2f ms\n",
+              cksim::CostModel::ToMicroseconds(machine.Now()) / 1000.0);
+  return unix_emulator.AllExited() ? 0 : 1;
+}

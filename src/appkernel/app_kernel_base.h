@@ -1,0 +1,180 @@
+// ApplicationKernelBase: the C++ class library application kernels extend.
+//
+// "A C++ class library has been developed for each of the resources, namely
+// memory management, processing and communication. These libraries allow
+// applications to start with a common base of functionality and then
+// specialize" (section 3). This base provides:
+//   * full backing records for spaces/pages/threads and the writeback
+//     handlers that keep them current;
+//   * a default demand pager (zero-fill and backing-store pages, FIFO
+//     replacement, dirty write-back) that subclasses override to specialize
+//     -- the database kernel overrides victim choice, MP3D overrides
+//     placement, the UNIX emulator overrides fault-to-SEGV policy;
+//   * thread create/reload/unload helpers implementing the retry-on-stale
+//     protocol of section 2;
+//   * program-image loading for CKVM guests.
+
+#ifndef SRC_APPKERNEL_APP_KERNEL_BASE_H_
+#define SRC_APPKERNEL_APP_KERNEL_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/appkernel/backing_store.h"
+#include "src/appkernel/frame_pool.h"
+#include "src/appkernel/vspace.h"
+#include "src/ck/cache_kernel.h"
+#include "src/isa/assembler.h"
+
+namespace ckapp {
+
+struct GuestThreadParams {
+  uint32_t space_index = 0;
+  cksim::VirtAddr entry = 0;
+  cksim::VirtAddr stack_top = 0;
+  uint8_t priority = 8;
+  uint8_t cpu_hint = 0xff;
+  bool locked = false;
+  cksim::VirtAddr signal_handler = 0;
+  cksim::VirtAddr exception_stack = 0;
+};
+
+struct PagingStats {
+  uint64_t faults = 0;
+  uint64_t zero_fills = 0;
+  uint64_t pages_in = 0;   // backing store -> memory
+  uint64_t pages_out = 0;  // dirty evictions written back
+  uint64_t evictions = 0;
+  uint64_t illegal_accesses = 0;
+  uint64_t cow_copies = 0;
+  uint64_t stale_retries = 0;
+};
+
+class AppKernelBase : public ck::AppKernel {
+ public:
+  AppKernelBase(std::string name, uint32_t backing_pages,
+                cksim::Cycles backing_latency = 125000);
+  ~AppKernelBase() override;
+
+  // The SRM (or test harness) sets the identity after LoadKernel.
+  void Attach(ck::KernelId self) { self_ = self; }
+  ck::KernelId self() const { return self_; }
+  const std::string& name() const { return name_; }
+
+  FramePool& frames() { return frames_; }
+  BackingStore& backing() { return backing_; }
+  const PagingStats& paging_stats() const { return paging_stats_; }
+
+  // ---- space management ----
+  uint32_t CreateSpace(ck::CkApi& api, bool locked = false);
+  VSpace& space(uint32_t index) { return *spaces_[index]; }
+  uint32_t space_count() const { return static_cast<uint32_t>(spaces_.size()); }
+  // Reload the space descriptor if it was written back; returns the current
+  // identifier (the retry protocol of section 2).
+  ck::SpaceId EnsureSpaceLoaded(ck::CkApi& api, uint32_t index);
+
+  // Region definition (page records only; mappings load on demand).
+  void DefineZeroRegion(uint32_t space_index, cksim::VirtAddr vaddr, uint32_t pages,
+                        bool writable);
+  void DefineBackedRegion(uint32_t space_index, cksim::VirtAddr vaddr, uint32_t pages,
+                          uint32_t first_backing_page, bool writable);
+  // Fixed-frame regions: device registers, shared message pages. The frames
+  // are not drawn from (or returned to) the frame pool.
+  void DefineFrameRegion(uint32_t space_index, cksim::VirtAddr vaddr, uint32_t pages,
+                         cksim::PhysAddr first_frame, bool writable, bool message,
+                         uint32_t signal_thread = kNoThread, bool locked = false);
+  // Deferred copy: pages initially map `source` read-only copy-on-write.
+  void DefineCowRegion(uint32_t space_index, cksim::VirtAddr vaddr, uint32_t pages,
+                       cksim::PhysAddr source_first_frame);
+
+  // Load a CKVM program image into the backing store and define the region.
+  // Returns the first backing page used.
+  uint32_t LoadProgramImage(uint32_t space_index, const ckisa::Program& program, bool writable);
+
+  // ---- thread management ----
+  uint32_t CreateGuestThread(ck::CkApi& api, const GuestThreadParams& params);
+  uint32_t CreateNativeThread(ck::CkApi& api, uint32_t space_index, ck::NativeProgram* program,
+                              uint8_t priority, bool locked = false, uint8_t cpu_hint = 0xff);
+  ThreadRec& thread(uint32_t index) { return *threads_[index]; }
+  uint32_t thread_count() const { return static_cast<uint32_t>(threads_.size()); }
+  // Load the thread descriptor (again) from the saved record.
+  ckbase::CkStatus EnsureThreadLoaded(ck::CkApi& api, uint32_t index);
+  void UnloadThreadByIndex(ck::CkApi& api, uint32_t index);
+  bool AllThreadsFinished() const;
+
+  // Force a resident page out (replacement experiments / explicit unload).
+  void EvictPage(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr);
+
+  // Load the mapping for a page without a faulting thread (senders must map
+  // message pages before signaling; "each application kernel is expected to
+  // load all the mappings for a message page when it loads any", section 4.2).
+  ckbase::CkStatus EnsureMappingLoaded(ck::CkApi& api, uint32_t space_index,
+                                       cksim::VirtAddr vaddr);
+
+  // Copy between a guest space and app-kernel memory (syscall argument
+  // strings, console buffers). Pages are materialized as needed.
+  bool ReadGuest(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr, void* out,
+                 uint32_t len);
+  bool WriteGuest(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr, const void* data,
+                  uint32_t len);
+
+  // Ensure a page's contents are in a physical frame (no mapping load).
+  bool MaterializePage(ck::CkApi& api, VSpace& sp, PageRecord& page, cksim::VirtAddr page_vaddr);
+
+  // ---- AppKernel interface (Cache Kernel upcalls) ----
+  ck::HandlerAction HandleFault(const ck::FaultForward& fault, ck::CkApi& api) override;
+  ck::TrapAction HandleTrap(const ck::TrapForward& trap, ck::CkApi& api) override;
+  void OnMappingWriteback(const ck::MappingWriteback& record, ck::CkApi& api) override;
+  void OnThreadWriteback(const ck::ThreadWriteback& record, ck::CkApi& api) override;
+  void OnSpaceWriteback(const ck::SpaceWriteback& record, ck::CkApi& api) override;
+  void OnThreadHalt(ck::ThreadId thread, uint64_t cookie, ck::CkApi& api) override;
+
+ protected:
+  // ---- policy hooks ----
+  // Replacement: which resident page of `sp` to evict when the frame pool is
+  // dry. Default: FIFO. Return 0 to refuse (fault then fails the thread).
+  virtual cksim::VirtAddr ChooseVictim(VSpace& sp);
+  // An access with no page record or insufficient rights. Default: terminate
+  // the thread. The UNIX emulator overrides this to post SEGV.
+  virtual ck::HandlerAction OnIllegalAccess(const ck::FaultForward& fault, ck::CkApi& api);
+  // A consistency fault: the line/page is held on a remote node or its
+  // memory module failed (section 2.1 footnote). The DSM kernel overrides
+  // this to run its consistency protocol; default treats it as illegal.
+  virtual ck::HandlerAction OnConsistencyFault(const ck::FaultForward& fault, ck::CkApi& api) {
+    return OnIllegalAccess(fault, api);
+  }
+  // Asynchronous paging: block the faulting thread and resume it after the
+  // backing-store latency instead of stalling the CPU. Default off.
+  virtual bool UseAsyncPaging() const { return false; }
+  // Called when a guest thread halts, after bookkeeping, before unload.
+  virtual void OnGuestFinished(uint32_t thread_index, ck::CkApi& api) {
+    (void)thread_index;
+    (void)api;
+  }
+
+  // Allocate a frame, evicting if necessary. 0 on failure.
+  cksim::PhysAddr AllocateFrame(ck::CkApi& api, VSpace& sp);
+  // Allocate a backing-store page for a dirty zero-fill page being evicted.
+  uint32_t AllocateSwapPage();
+
+  // Resolve a fault on a known page record: fetch contents, load mapping,
+  // resume. Shared by the default handler and subclass handlers.
+  ck::HandlerAction ResolvePageFault(const ck::FaultForward& fault, VSpace& sp, PageRecord& page,
+                                     cksim::VirtAddr page_vaddr, ck::CkApi& api);
+
+  ck::KernelId self_;
+  std::string name_;
+  FramePool frames_;
+  BackingStore backing_;
+  uint32_t image_next_ = 0;  // program images allocate upward from page 0
+  uint32_t swap_next_;       // swap pages allocate downward from the top
+  std::vector<std::unique_ptr<VSpace>> spaces_;
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  PagingStats paging_stats_;
+  uint32_t halted_threads_ = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_APP_KERNEL_BASE_H_

@@ -1,0 +1,188 @@
+// Communication library: channels and object-oriented RPC over memory-based
+// messaging (sections 2.2 and 3).
+//
+// A MessageChannel is a one-way stream of fixed-slot messages. The sender
+// maps the slot pages writable + message-mode; each receiver maps the same
+// physical pages (or, for a device-bridged channel, its device's reception
+// slots) with a signal thread registered. Send = write the message into the
+// next slot, then deliver the slot's address as an address-valued signal.
+// "The performance-critical data transfer aspect of interprocess
+// communication is performed directly through the memory system."
+//
+// The same channel works unchanged across machines: configure the sender
+// over the local fiber-channel/Ethernet transmit slots and the receiver over
+// the remote device's reception slots -- the doorbell signal makes the
+// device move the bytes. This is the unification the paper's device model is
+// about.
+//
+// The RPC facility ("an object-oriented RPC facility implemented on top of
+// the memory-based messaging as a user-space communication library") runs a
+// request channel and a reply channel; servers are native threads woken by
+// signals, clients issue asynchronous calls with completion callbacks.
+
+#ifndef SRC_APPKERNEL_CHANNEL_H_
+#define SRC_APPKERNEL_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+
+namespace ckapp {
+
+class MessageChannel {
+ public:
+  // Maximum payload per message (slot page minus the length word).
+  static constexpr uint32_t kMaxMessage = cksim::kPageSize - 8;
+
+  // Sender-side setup: map `slots` pages starting at physical `frame_base`
+  // into the sender kernel's space at `vbase`, writable + message mode.
+  void ConfigureSender(AppKernelBase& kernel, uint32_t space_index, cksim::VirtAddr vbase,
+                       cksim::PhysAddr frame_base, uint32_t slots);
+
+  // Receiver-side setup: same pages (or the bridged device's reception
+  // pages), read-only + message mode, signals to `signal_thread` (an
+  // app-kernel thread index). Mappings are locked by default so a waiting
+  // server never misses a signal to an unmapped page.
+  void ConfigureReceiver(AppKernelBase& kernel, uint32_t space_index, cksim::VirtAddr vbase,
+                         cksim::PhysAddr frame_base, uint32_t slots, uint32_t signal_thread,
+                         bool locked = true);
+
+  // Prefault all sender-side slot mappings (multi-mapping rule).
+  ckbase::CkStatus PrimeSender(ck::CkApi& api);
+  ckbase::CkStatus PrimeReceiver(ck::CkApi& api);
+
+  // Write one message into the next slot and signal it. Native-sender path.
+  ckbase::CkStatus Send(ck::CkApi& api, const void* data, uint32_t len);
+
+  // Receiver: read the message at the signaled address.
+  uint32_t Read(ck::CkApi& api, cksim::VirtAddr signal_addr, void* out, uint32_t max_len);
+
+  uint64_t messages_sent() const { return sent_; }
+
+ private:
+  struct End {
+    AppKernelBase* kernel = nullptr;
+    uint32_t space_index = 0;
+    cksim::VirtAddr vbase = 0;
+    cksim::PhysAddr frame_base = 0;
+    uint32_t slots = 0;
+  };
+
+  End sender_;
+  End receiver_;
+  uint64_t sent_ = 0;
+};
+
+// Wire header of one RPC message.
+struct RpcHeader {
+  uint32_t seq = 0;
+  uint32_t op = 0;
+  uint32_t len = 0;
+};
+
+using RpcServeFn = std::function<std::vector<uint8_t>(
+    uint32_t op, const std::vector<uint8_t>& request, ck::CkApi& api)>;
+
+// Server: a native thread blocked on its request channel; each request signal
+// runs the service function and sends the reply.
+class RpcServer : public ck::NativeProgram {
+ public:
+  RpcServer(MessageChannel& requests, MessageChannel& replies, RpcServeFn serve)
+      : requests_(requests), replies_(replies), serve_(std::move(serve)) {}
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;  // signal-driven
+    return outcome;
+  }
+
+  void OnSignal(cksim::VirtAddr message_addr, ck::NativeCtx& ctx) override;
+
+  uint64_t requests_served() const { return served_; }
+
+ private:
+  MessageChannel& requests_;
+  MessageChannel& replies_;
+  RpcServeFn serve_;
+  uint64_t served_ = 0;
+};
+
+// Client: Call() sends asynchronously; the completion callback runs when the
+// matching reply signal arrives on the client's reply-channel thread.
+class RpcClient : public ck::NativeProgram {
+ public:
+  using Completion = std::function<void(const std::vector<uint8_t>& reply, ck::CkApi& api)>;
+
+  explicit RpcClient(MessageChannel& requests, MessageChannel& replies)
+      : requests_(requests), replies_(replies) {}
+
+  ckbase::CkStatus Call(ck::CkApi& api, uint32_t op, const std::vector<uint8_t>& payload,
+                        Completion done);
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+
+  void OnSignal(cksim::VirtAddr message_addr, ck::NativeCtx& ctx) override;
+
+  uint32_t outstanding() const { return static_cast<uint32_t>(pending_.size()); }
+  uint64_t replies_received() const { return replies_in_; }
+
+ private:
+  MessageChannel& requests_;
+  MessageChannel& replies_;
+  std::map<uint32_t, Completion> pending_;
+  uint32_t next_seq_ = 1;
+  uint64_t replies_in_ = 0;
+};
+
+// Symmetric endpoint: both caller and callee over ONE channel pair, for
+// peers whose device reception ring carries interleaved requests and
+// replies. The endpoint thread demultiplexes by the reply bit in the op
+// word -- the per-stream dispatch the paper assigns to the receiving thread
+// (section 2.2). Used by the DSM kernel, where both nodes fetch from each
+// other over the same fiber-channel link.
+inline constexpr uint32_t kRpcReplyFlag = 0x80000000u;
+
+class RpcEndpoint : public ck::NativeProgram {
+ public:
+  using Completion = std::function<void(const std::vector<uint8_t>& reply, ck::CkApi& api)>;
+
+  RpcEndpoint(MessageChannel& out, MessageChannel& in, RpcServeFn serve)
+      : out_(out), in_(in), serve_(std::move(serve)) {}
+
+  ckbase::CkStatus Call(ck::CkApi& api, uint32_t op, const std::vector<uint8_t>& payload,
+                        Completion done);
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+
+  void OnSignal(cksim::VirtAddr message_addr, ck::NativeCtx& ctx) override;
+
+  uint64_t requests_served() const { return served_; }
+  uint64_t replies_received() const { return replies_in_; }
+
+ private:
+  MessageChannel& out_;
+  MessageChannel& in_;
+  RpcServeFn serve_;
+  std::map<uint32_t, Completion> pending_;
+  uint32_t next_seq_ = 1;
+  uint64_t served_ = 0;
+  uint64_t replies_in_ = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_CHANNEL_H_

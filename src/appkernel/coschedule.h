@@ -1,0 +1,78 @@
+// Co-scheduling of parallel applications (section 2.3).
+//
+// "Co-scheduling of large parallel applications can be supported by
+// assigning a thread per processor and raising all the threads to the
+// appropriate priority at the same time, possibly across multiple Cache
+// Kernel instances." The mechanism is nothing but the SetThreadPriority
+// modify call applied to the gang at once -- this helper packages it with a
+// timed drop back to the background priority, so a gang alternates between
+// "owns every processor" and "yields to other kernels".
+
+#ifndef SRC_APPKERNEL_COSCHEDULE_H_
+#define SRC_APPKERNEL_COSCHEDULE_H_
+
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+
+namespace ckapp {
+
+class CoScheduler {
+ public:
+  CoScheduler(AppKernelBase& kernel, std::vector<uint32_t> gang_threads)
+      : kernel_(kernel), gang_(std::move(gang_threads)) {}
+
+  // Raise the whole gang to `priority` now; drop to `background` after
+  // `window` cycles. Re-arms itself every `period` cycles while running.
+  void Start(ck::CkApi& api, uint8_t priority, uint8_t background, cksim::Cycles window,
+             cksim::Cycles period) {
+    priority_ = priority;
+    background_ = background;
+    window_ = window;
+    period_ = period;
+    running_ = true;
+    Raise(api);
+  }
+
+  void Stop() { running_ = false; }
+
+  uint64_t windows() const { return windows_; }
+
+ private:
+  void SetAll(ck::CkApi& api, uint8_t priority) {
+    for (uint32_t index : gang_) {
+      ThreadRec& rec = kernel_.thread(index);
+      if (rec.loaded) {
+        rec.priority = priority;
+        api.SetThreadPriority(rec.ck_id, priority);
+      }
+    }
+  }
+
+  void Raise(ck::CkApi& api) {
+    if (!running_) {
+      return;
+    }
+    // "raising all the threads to the appropriate priority at the same time"
+    SetAll(api, priority_);
+    ++windows_;
+    api.ScheduleAfter(window_, [this](ck::CkApi& later) {
+      SetAll(later, background_);
+      later.ScheduleAfter(period_ > window_ ? period_ - window_ : 1,
+                          [this](ck::CkApi& next) { Raise(next); });
+    });
+  }
+
+  AppKernelBase& kernel_;
+  std::vector<uint32_t> gang_;
+  uint8_t priority_ = 20;
+  uint8_t background_ = 2;
+  cksim::Cycles window_ = 0;
+  cksim::Cycles period_ = 0;
+  bool running_ = false;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_COSCHEDULE_H_

@@ -1,0 +1,86 @@
+#include "src/appkernel/debugger.h"
+
+namespace ckapp {
+
+using ck::CkApi;
+using ckbase::CkStatus;
+using cksim::VirtAddr;
+
+CkStatus Debugger::PatchWord(CkApi& api, uint32_t space_index, VirtAddr vaddr, uint32_t word,
+                             uint32_t* old_word) {
+  if ((vaddr & 3u) != 0) {
+    return CkStatus::kInvalidArgument;
+  }
+  uint32_t previous = 0;
+  if (!kernel_.ReadGuest(api, space_index, vaddr, &previous, 4)) {
+    return CkStatus::kNotFound;
+  }
+  if (old_word != nullptr) {
+    *old_word = previous;
+  }
+  if (!kernel_.WriteGuest(api, space_index, vaddr, &word, 4)) {
+    return CkStatus::kNotFound;
+  }
+  return CkStatus::kOk;
+}
+
+CkStatus Debugger::SetBreakpoint(CkApi& api, uint32_t space_index, VirtAddr vaddr) {
+  auto key = std::make_pair(space_index, vaddr);
+  if (breakpoints_.count(key) != 0) {
+    return CkStatus::kBusy;
+  }
+  uint32_t trap_word = ckisa::Encode(ckisa::Op::kTrap, 0, 0, kBreakpointTrap);
+  uint32_t original = 0;
+  CkStatus status = PatchWord(api, space_index, vaddr, trap_word, &original);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  breakpoints_[key] = Planted{space_index, original};
+  return CkStatus::kOk;
+}
+
+CkStatus Debugger::ClearBreakpoint(CkApi& api, uint32_t space_index, VirtAddr vaddr) {
+  auto it = breakpoints_.find(std::make_pair(space_index, vaddr));
+  if (it == breakpoints_.end()) {
+    return CkStatus::kNotFound;
+  }
+  CkStatus status = PatchWord(api, space_index, vaddr, it->second.original_word, nullptr);
+  breakpoints_.erase(it);
+  return status;
+}
+
+ck::HandlerAction Debugger::OnBreakpointTrap(const ck::TrapForward& trap, CkApi& api) {
+  uint32_t thread_index = static_cast<uint32_t>(trap.thread_cookie);
+  ThreadRec& rec = kernel_.thread(thread_index);
+
+  // The trap advanced pc past the planted word; the breakpoint lives at
+  // pc - 4. Unload the thread: its state writes back into rec.saved, where
+  // the "user" examines it (section 2.3).
+  ++hits_;
+  kernel_.UnloadThreadByIndex(api, thread_index);
+  VirtAddr bp = rec.saved.pc - 4;
+  rec.saved.pc = bp;  // re-execute the (restored) instruction on resume
+  stopped_[thread_index] = bp;
+  return ck::HandlerAction::kBlock;  // the thread is already gone
+}
+
+CkStatus Debugger::Resume(CkApi& api, uint32_t thread_index) {
+  auto it = stopped_.find(thread_index);
+  if (it == stopped_.end()) {
+    return CkStatus::kNotFound;
+  }
+  ThreadRec& rec = kernel_.thread(thread_index);
+  VirtAddr bp = it->second;
+  stopped_.erase(it);
+
+  // Single-shot: restore the original instruction, then reload the thread
+  // at the breakpoint address ("reloaded on user request").
+  CkStatus status = ClearBreakpoint(api, rec.space_index, bp);
+  if (status != CkStatus::kOk && status != CkStatus::kNotFound) {
+    return status;
+  }
+  rec.was_blocked = false;
+  return kernel_.EnsureThreadLoaded(api, thread_index);
+}
+
+}  // namespace ckapp

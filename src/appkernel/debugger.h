@@ -1,0 +1,73 @@
+// Breakpoint debugging of guest threads (section 2.3).
+//
+// "A thread being debugged is also unloaded when it hits a breakpoint. Its
+// state can then be examined and reloaded on user request." The debugger is
+// application-kernel code: it plants breakpoints by overwriting the target
+// instruction with a trap (the classic technique), and the owning kernel's
+// trap handler routes the breakpoint trap here. On a hit the thread's
+// descriptor leaves the Cache Kernel entirely -- the saved context in the
+// application kernel's ThreadRec IS the debugger's view of the registers.
+
+#ifndef SRC_APPKERNEL_DEBUGGER_H_
+#define SRC_APPKERNEL_DEBUGGER_H_
+
+#include <map>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/isa/isa.h"
+
+namespace ckapp {
+
+// The trap number breakpoints compile to. Application kernels route it to
+// Debugger::OnBreakpointTrap from their HandleTrap.
+inline constexpr uint16_t kBreakpointTrap = 30;
+
+class Debugger {
+ public:
+  explicit Debugger(AppKernelBase& kernel) : kernel_(kernel) {}
+
+  // Plant a breakpoint at `vaddr` in `space_index` (word-aligned). The
+  // original instruction is saved and replaced by a breakpoint trap.
+  ckbase::CkStatus SetBreakpoint(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr);
+  ckbase::CkStatus ClearBreakpoint(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr);
+
+  // Call from the owning kernel's HandleTrap for kBreakpointTrap. Unloads
+  // the thread (post-examination state lives in its ThreadRec) and rewinds
+  // the saved pc to the breakpoint address. Returns the action to return
+  // from the trap handler.
+  ck::HandlerAction OnBreakpointTrap(const ck::TrapForward& trap, ck::CkApi& api);
+
+  // Examine a stopped thread's registers (the writeback context).
+  const ckisa::VmContext& Examine(uint32_t thread_index) {
+    return kernel_.thread(thread_index).saved;
+  }
+  bool IsStopped(uint32_t thread_index) const {
+    return stopped_.count(thread_index) != 0;
+  }
+
+  // Resume a stopped thread: restore the original instruction, reload the
+  // descriptor, optionally re-arming the breakpoint after one step is NOT
+  // supported (single-shot breakpoints keep the machinery honest).
+  ckbase::CkStatus Resume(ck::CkApi& api, uint32_t thread_index);
+
+  uint64_t hits() const { return hits_; }
+
+ private:
+  struct Planted {
+    uint32_t space_index;
+    uint32_t original_word;
+  };
+
+  // Read/write one instruction word in guest memory.
+  ckbase::CkStatus PatchWord(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr vaddr,
+                             uint32_t word, uint32_t* old_word);
+
+  AppKernelBase& kernel_;
+  std::map<std::pair<uint32_t, cksim::VirtAddr>, Planted> breakpoints_;
+  std::map<uint32_t, cksim::VirtAddr> stopped_;  // thread index -> bp vaddr
+  uint64_t hits_ = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_DEBUGGER_H_

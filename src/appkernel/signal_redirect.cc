@@ -1,0 +1,68 @@
+#include "src/appkernel/signal_redirect.h"
+
+namespace ckapp {
+
+using ck::CkApi;
+using ckbase::CkStatus;
+using cksim::VirtAddr;
+
+CkStatus SignalRedirector::Repoint(CkApi& api, uint32_t space_index, VirtAddr page_vaddr,
+                                   uint32_t signal_thread) {
+  VSpace& sp = kernel_.space(space_index);
+  PageRecord* page = sp.FindPage(page_vaddr);
+  if (page == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  page->signal_thread = signal_thread;
+  // The signal registration lives in the mapping descriptor: reload it.
+  if (page->mapping_loaded && sp.loaded) {
+    api.UnloadMapping(sp.ck_id, page_vaddr);
+  }
+  return kernel_.EnsureMappingLoaded(api, space_index, page_vaddr);
+}
+
+CkStatus SignalRedirector::Park(CkApi& api, uint32_t space_index, VirtAddr page_vaddr,
+                                uint32_t target_thread) {
+  page_vaddr &= ~static_cast<VirtAddr>(cksim::kPageOffsetMask);
+  CkStatus status = Repoint(api, space_index, page_vaddr, self_index_);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  parked_[page_vaddr] = Parked{space_index, target_thread};
+  // Now the descriptor can go: signals will reach us instead.
+  kernel_.UnloadThreadByIndex(api, target_thread);
+  return CkStatus::kOk;
+}
+
+void SignalRedirector::OnSignal(VirtAddr message_addr, ck::NativeCtx& ctx) {
+  CkApi& api = ctx.api();
+  VirtAddr page_vaddr = message_addr & ~static_cast<VirtAddr>(cksim::kPageOffsetMask);
+  auto it = parked_.find(page_vaddr);
+  if (it == parked_.end()) {
+    return;  // not one of ours (stale registration)
+  }
+  Parked parked = it->second;
+  parked_.erase(it);
+
+  // Reload the thread (the ~230us descriptor load the paper prices), point
+  // the page's signals back at it, and hand over the pending message.
+  ThreadRec& rec = kernel_.thread(parked.target_thread);
+  rec.was_blocked = true;  // it was waiting on the signal when parked
+  if (kernel_.EnsureThreadLoaded(api, parked.target_thread) != CkStatus::kOk) {
+    return;
+  }
+  ++reloads_;
+  Repoint(api, parked.space_index, page_vaddr, parked.target_thread);
+
+  if (rec.native != nullptr) {
+    // Native waiter: deliver through its own signal entry point.
+    api.ResumeThread(rec.ck_id);
+    ck::NativeCtx target_ctx(api, rec.ck_id, rec.cookie);
+    rec.native->OnSignal(message_addr, target_ctx);
+  } else {
+    // Guest waiter blocked in await-signal: wake it with the address in a0.
+    api.ResumeThread(rec.ck_id, /*has_return=*/true, /*return_value=*/message_addr);
+  }
+}
+
+}  // namespace ckapp

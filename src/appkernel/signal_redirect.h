@@ -1,0 +1,75 @@
+// On-demand thread loading via signal redirection (sections 2.2, 2.3).
+//
+// "A thread that blocks waiting on a memory-based messaging signal can be
+// unloaded by its application kernel after it adds mappings that redirect
+// the signal to one of the application kernel's internal (real-time)
+// threads. The application-kernel thread then reloads the thread when it
+// receives a redirected signal for this unloaded thread. This technique
+// provides on-demand loading of threads similar to the on-demand loading of
+// page mappings that occurs with page faults."
+//
+// A SignalRedirector is that internal thread: Park() unloads a waiting
+// thread and re-registers its message page's signals to the redirector;
+// when a signal arrives, the redirector reloads the parked thread, restores
+// the direct registration, and hands the signal over. The parked thread
+// consumes NO Cache Kernel descriptors while it waits.
+
+#ifndef SRC_APPKERNEL_SIGNAL_REDIRECT_H_
+#define SRC_APPKERNEL_SIGNAL_REDIRECT_H_
+
+#include <map>
+
+#include "src/appkernel/app_kernel_base.h"
+
+namespace ckapp {
+
+class SignalRedirector : public ck::NativeProgram {
+ public:
+  explicit SignalRedirector(AppKernelBase& kernel) : kernel_(kernel) {}
+
+  // Create the redirector's own (locked) thread in `space_index`. Call once.
+  void Start(ck::CkApi& api, uint32_t space_index, uint8_t priority = 26) {
+    self_index_ = kernel_.CreateNativeThread(api, space_index, this, priority, /*locked=*/true);
+  }
+  uint32_t thread_index() const { return self_index_; }
+
+  // Park `target_thread` (an index into the kernel's thread table) that is
+  // waiting on signals for `page_vaddr` in `space_index`: redirect the
+  // page's signals here, then unload the thread descriptor entirely.
+  ckbase::CkStatus Park(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr page_vaddr,
+                        uint32_t target_thread);
+
+  // A redirected signal arrived: reload the parked thread, restore its
+  // direct registration, and deliver the pending message address.
+  void OnSignal(cksim::VirtAddr message_addr, ck::NativeCtx& ctx) override;
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+
+  uint64_t reloads() const { return reloads_; }
+  uint32_t parked_count() const { return static_cast<uint32_t>(parked_.size()); }
+
+ private:
+  struct Parked {
+    uint32_t space_index = 0;
+    uint32_t target_thread = 0;
+  };
+
+  // Re-point a page's signal registration by reloading its mapping with the
+  // new signal thread (the registration is part of the mapping descriptor).
+  ckbase::CkStatus Repoint(ck::CkApi& api, uint32_t space_index, cksim::VirtAddr page_vaddr,
+                           uint32_t signal_thread);
+
+  AppKernelBase& kernel_;
+  uint32_t self_index_ = 0;
+  std::map<cksim::VirtAddr, Parked> parked_;  // by page-aligned vaddr
+  uint64_t reloads_ = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_SIGNAL_REDIRECT_H_

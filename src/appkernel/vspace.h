@@ -1,0 +1,85 @@
+// Application-kernel backing records for spaces, pages and threads.
+//
+// These are the "descriptors maintained by the application kernel" that back
+// the Cache Kernel's cache: the full page state of every virtual page
+// (where its contents live, whether they are dirty) and the saved context of
+// every thread, loaded or not. Cache Kernel identifiers are transient --
+// "application kernels do not use the Cache Kernel object identifiers except
+// across this interface because a new identifier is assigned each time an
+// object is loaded" -- so each record keeps its own stable index (the cookie
+// passed at load time) and the current identifier separately.
+
+#ifndef SRC_APPKERNEL_VSPACE_H_
+#define SRC_APPKERNEL_VSPACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/ck/cache_kernel.h"
+#include "src/isa/interpreter.h"
+#include "src/sim/types.h"
+
+namespace ckapp {
+
+inline constexpr uint32_t kNoThread = 0xffffffffu;
+inline constexpr uint32_t kNoBackingPage = 0xffffffffu;
+
+struct PageRecord {
+  enum class Where : uint8_t {
+    kZeroFill,  // first touch gets a zeroed frame
+    kBacking,   // contents live in the backing store
+    kResident,  // contents live in a physical frame (mapping may be loaded)
+  };
+
+  Where where = Where::kZeroFill;
+  bool writable = false;
+  bool message = false;  // message-mode (memory-based messaging) page
+  bool locked = false;   // lock the mapping in the Cache Kernel when loaded
+  bool dirty = false;    // frame contents newer than backing store
+  bool frame_owned = true;   // false for fixed/shared frames (devices, channels)
+  bool mapping_loaded = false;
+  uint32_t backing_page = kNoBackingPage;
+  cksim::PhysAddr frame = 0;        // valid when kResident
+  cksim::PhysAddr fixed_frame = 0;  // non-zero: always map this exact frame
+  uint32_t signal_thread = kNoThread;  // app-kernel thread index for signals
+  cksim::PhysAddr cow_source = 0;      // deferred-copy source frame (one-shot)
+};
+
+struct VSpace {
+  uint64_t cookie = 0;  // == index in the owning kernel's space table
+  ck::SpaceId ck_id;    // current identifier; stale after writeback
+  bool loaded = false;
+  bool locked = false;
+
+  std::map<cksim::VirtAddr, PageRecord> pages;  // keyed by page-aligned vaddr
+  std::deque<cksim::VirtAddr> resident_fifo;    // default replacement order
+
+  PageRecord* FindPage(cksim::VirtAddr vaddr) {
+    auto it = pages.find(vaddr & ~static_cast<cksim::VirtAddr>(cksim::kPageOffsetMask));
+    return it == pages.end() ? nullptr : &it->second;
+  }
+};
+
+struct ThreadRec {
+  uint64_t cookie = 0;  // == index in the owning kernel's thread table
+  ck::ThreadId ck_id;
+  bool loaded = false;
+  bool finished = false;
+  bool was_blocked = false;
+
+  uint32_t space_index = 0;
+  uint8_t priority = 0;
+  uint8_t cpu_hint = 0xff;
+  bool locked = false;
+
+  ckisa::VmContext saved;           // context while unloaded
+  ck::NativeProgram* native = nullptr;
+  cksim::VirtAddr signal_handler = 0;
+  cksim::VirtAddr exception_stack = 0;
+  cksim::Cycles total_consumed = 0;
+};
+
+}  // namespace ckapp
+
+#endif  // SRC_APPKERNEL_VSPACE_H_

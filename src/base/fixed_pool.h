@@ -1,0 +1,111 @@
+// Fixed-capacity object pool with stable slots and generation-tagged ids.
+//
+// Every Cache Kernel descriptor cache (kernels, address spaces, threads,
+// MemMapEntries) is a fixed array sized at boot -- the defining property of
+// the caching model: the kernel never allocates, it reclaims. Slots carry a
+// generation counter so that an object identifier returned at load time
+// becomes stale the moment the slot is reclaimed and reloaded, which is
+// exactly the paper's "a new identifier is assigned each time an object is
+// loaded" rule.
+
+#ifndef SRC_BASE_FIXED_POOL_H_
+#define SRC_BASE_FIXED_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+
+namespace ckbase {
+
+// An identifier for a pooled object: slot index plus the slot generation at
+// allocation time. Value 0 is never a valid id (generation starts at 1).
+struct PoolId {
+  uint32_t slot = 0;
+  uint32_t generation = 0;
+
+  bool valid() const { return generation != 0; }
+  bool operator==(const PoolId&) const = default;
+
+  // Packs into a single opaque 64-bit value, the form application kernels see.
+  uint64_t Packed() const { return (uint64_t{generation} << 32) | slot; }
+  static PoolId FromPacked(uint64_t packed) {
+    return PoolId{static_cast<uint32_t>(packed & 0xffffffffu),
+                  static_cast<uint32_t>(packed >> 32)};
+  }
+};
+
+// Pool of T. T must embed `ckbase::ListNode pool_node;` used for the free
+// list (and reusable by the owner for an allocated-objects list, since an
+// object is never on both).
+template <typename T>
+class FixedPool {
+ public:
+  explicit FixedPool(uint32_t capacity)
+      : slots_(capacity), generations_(capacity, 1), allocated_(capacity, false) {
+    for (uint32_t i = 0; i < capacity; ++i) {
+      free_list_.PushBack(&slots_[i]);
+    }
+  }
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t in_use() const { return in_use_; }
+  bool full() const { return in_use_ == capacity(); }
+
+  // Allocate a slot; returns nullptr when the pool is exhausted (the caller
+  // then runs reclamation). The object is NOT reconstructed; the caller
+  // resets fields (descriptors are POD-ish by design).
+  T* Allocate() {
+    T* item = free_list_.PopFront();
+    if (item == nullptr) {
+      return nullptr;
+    }
+    allocated_[SlotOf(item)] = true;
+    ++in_use_;
+    return item;
+  }
+
+  // Return a slot to the pool, bumping its generation so outstanding ids go
+  // stale.
+  void Release(T* item) {
+    uint32_t slot = SlotOf(item);
+    ++generations_[slot];
+    allocated_[slot] = false;
+    --in_use_;
+    free_list_.PushBack(item);
+  }
+
+  // Whether a slot currently holds a live object (reclamation scans iterate
+  // slots directly).
+  bool IsAllocated(uint32_t slot) const { return allocated_[slot]; }
+
+  // Identifier for a currently allocated object.
+  PoolId IdOf(const T* item) const {
+    uint32_t slot = SlotOf(item);
+    return PoolId{slot, generations_[slot]};
+  }
+
+  // Resolve an id to the object, or nullptr if the id is stale/invalid.
+  T* Lookup(PoolId id) {
+    if (id.slot >= capacity() || generations_[id.slot] != id.generation) {
+      return nullptr;
+    }
+    return &slots_[id.slot];
+  }
+
+  // Direct slot access for iteration by owners (e.g. replacement scans).
+  T* SlotAt(uint32_t slot) { return &slots_[slot]; }
+
+  uint32_t SlotOf(const T* item) const { return static_cast<uint32_t>(item - slots_.data()); }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<uint32_t> generations_;
+  std::vector<bool> allocated_;
+  IntrusiveList<T, &T::pool_node> free_list_;
+  uint32_t in_use_ = 0;
+};
+
+}  // namespace ckbase
+
+#endif  // SRC_BASE_FIXED_POOL_H_

@@ -1,0 +1,73 @@
+// Streaming latency/statistics accumulator for the benchmark harnesses.
+//
+// The paper reports single elapsed-time numbers; we report mean plus spread so
+// the bench output makes the measurement quality visible.
+
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ckbase {
+
+class Stats {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double sum = 0;
+    for (double s : samples_) {
+      sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // p in [0,100]. Sorts a copy; bench-path only.
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) {
+      return 0.0;
+    }
+    double mean = Mean();
+    double acc = 0;
+    for (double s : samples_) {
+      acc += (s - mean) * (s - mean);
+    }
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ckbase
+
+#endif  // SRC_BASE_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// Used by examples and by the failure-injection tests; the kernel paths
+// themselves never log on the hot path (a PROM kernel would not either).
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ckbase {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Defaults to kWarn so tests
+// and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line: "[LEVEL] message".
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style helper: CKLOG(kInfo) << "loaded " << n << " mappings";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ckbase
+
+#define CKLOG(level) ::ckbase::LogMessage(::ckbase::LogLevel::level).stream()
+
+#endif  // SRC_BASE_LOG_H_

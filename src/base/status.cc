@@ -1,0 +1,27 @@
+#include "src/base/status.h"
+
+namespace ckbase {
+
+std::string_view CkStatusName(CkStatus status) {
+  switch (status) {
+    case CkStatus::kOk:
+      return "OK";
+    case CkStatus::kStale:
+      return "STALE";
+    case CkStatus::kDenied:
+      return "DENIED";
+    case CkStatus::kNoResources:
+      return "NO_RESOURCES";
+    case CkStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case CkStatus::kBusy:
+      return "BUSY";
+    case CkStatus::kRetry:
+      return "RETRY";
+    case CkStatus::kNotFound:
+      return "NOT_FOUND";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ckbase

@@ -1,0 +1,62 @@
+// Version-based non-blocking synchronization.
+//
+// Section 4.2: "The Cache Kernel data structures use non-blocking
+// synchronization techniques so that potentially long unload operations are
+// performed without disabling interrupts or incurring long lock hold times.
+// The version support ... allows a processor to determine whether a data
+// structure has been modified ... concurrently with its execution of a Cache
+// Kernel operation. If it has been modified, the processor retries."
+//
+// The simulator executes the machine deterministically on one host thread, so
+// these primitives do not need host atomics; what they preserve is the
+// *protocol*: readers snapshot a version, validate it after the traversal and
+// retry on mismatch, and writers bump the version around every mutation. The
+// retry paths are real and exercised by tests that interleave mutations at
+// simulated preemption points.
+
+#ifndef SRC_BASE_VERSION_LOCK_H_
+#define SRC_BASE_VERSION_LOCK_H_
+
+#include <cstdint>
+
+namespace ckbase {
+
+// A version counter protecting one structure (e.g. the physical memory map).
+// Even value = stable; odd = a writer is mid-mutation.
+class VersionLock {
+ public:
+  // Begin a read-side critical section: returns the version to validate
+  // against. If a write is in progress the reader spins (in simulation, a
+  // write never yields mid-section, so this returns a stable version).
+  uint64_t ReadBegin() const { return version_; }
+
+  // True if the structure was NOT modified since `version` was observed.
+  bool ReadValidate(uint64_t version) const { return version_ == version && (version & 1) == 0; }
+
+  // Writer entry/exit. WriteBegin marks the structure unstable; WriteEnd
+  // publishes the mutation. Nesting is a bug and is asserted by tests.
+  void WriteBegin() { ++version_; }
+  void WriteEnd() { ++version_; }
+
+  // Total number of published mutations (for tests and stats).
+  uint64_t mutation_count() const { return version_ / 2; }
+
+ private:
+  uint64_t version_ = 0;
+};
+
+// RAII writer section.
+class VersionWriteScope {
+ public:
+  explicit VersionWriteScope(VersionLock& lock) : lock_(lock) { lock_.WriteBegin(); }
+  ~VersionWriteScope() { lock_.WriteEnd(); }
+  VersionWriteScope(const VersionWriteScope&) = delete;
+  VersionWriteScope& operator=(const VersionWriteScope&) = delete;
+
+ private:
+  VersionLock& lock_;
+};
+
+}  // namespace ckbase
+
+#endif  // SRC_BASE_VERSION_LOCK_H_

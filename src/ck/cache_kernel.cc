@@ -1,0 +1,1385 @@
+// Cache Kernel implementation: object lifecycle, dependency-ordered
+// writeback, page tables and resource enforcement. Scheduling/dispatch lives
+// in ck_sched.cc and memory-based messaging in ck_signal.cc.
+
+#include "src/ck/cache_kernel.h"
+
+#include <cstring>
+
+namespace ck {
+
+using cksim::Cycles;
+using cksim::PhysAddr;
+using cksim::VirtAddr;
+
+CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& config)
+    : machine_(machine),
+      config_(config),
+      kernels_(config.kernel_slots),
+      spaces_(config.space_slots),
+      threads_(config.thread_slots),
+      pmap_(config.mapping_slots),
+      table_arena_(machine.memory(),
+                   machine.memory().size() - config.page_table_arena_bytes,
+                   config.page_table_arena_bytes) {
+  ready_.resize(machine.cpu_count());
+  for (auto& queues : ready_) {
+    queues = std::vector<ReadyQueue>(config.priority_levels);
+  }
+  pending_signals_.resize(machine.cpu_count());
+  quota_window_start_.assign(machine.cpu_count(), 0);
+  machine.AttachKernel(this);
+}
+
+CacheKernel::~CacheKernel() = default;
+
+KernelId CacheKernel::BootFirstKernel(AppKernel* handlers, uint64_t cookie) {
+  KernelObject* k = kernels_.Allocate();
+  *k = KernelObject{};
+  k->handlers = handlers;
+  k->cookie = cookie;
+  k->locked = true;
+  k->max_priority = static_cast<uint8_t>(config_.priority_levels - 1);
+  for (uint32_t c = 0; c < kMaxCpus; ++c) {
+    k->cpu_percent[c] = 100;
+  }
+  // Full permissions on all physical resources (section 3). The page-table
+  // arena stays exclusive to the Cache Kernel.
+  uint32_t usable_groups =
+      (machine_.memory().size() - config_.page_table_arena_bytes) / cksim::kPageGroupBytes;
+  for (uint32_t g = 0; g < usable_groups; ++g) {
+    k->SetGroupAccess(g, GroupAccess::kReadWrite);
+  }
+  for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
+    k->locked_limit[t] = 255;
+  }
+  k->manager_slot = kernels_.SlotOf(k);
+  first_kernel_ = KernelId{kernels_.IdOf(k)};
+  stats_.loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  return first_kernel_;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel objects
+// ---------------------------------------------------------------------------
+
+Result<KernelId> CacheKernel::LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKernel* handlers,
+                                         uint64_t cookie, bool locked) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* mgr = GetKernel(caller);
+  if (mgr == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (!(caller == first_kernel_) || handlers == nullptr) {
+    // Kernel objects are loaded by, and written back to, the first kernel.
+    return CkStatus::kDenied;
+  }
+  if (kernels_.full()) {
+    if (!ReclaimKernel(cpu)) {
+      stats_.load_failures++;
+      return CkStatus::kNoResources;
+    }
+  }
+  if (locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kKernel);
+    if (mgr->locked_count[t] >= mgr->locked_limit[t]) {
+      return CkStatus::kDenied;
+    }
+    mgr->locked_count[t]++;
+  }
+  KernelObject* k = kernels_.Allocate();
+  *k = KernelObject{};
+  k->handlers = handlers;
+  k->cookie = cookie;
+  k->locked = locked;
+  k->manager_slot = kernels_.SlotOf(mgr);
+  cpu.Advance(cost.descriptor_init + cost.mem_word * (cksim::kAccessArrayBytes / 4));
+  stats_.loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  cpu.Advance(cost.trap_exit);
+  return KernelId{kernels_.IdOf(k)};
+}
+
+CkStatus CacheKernel::UnloadKernel(KernelId caller, cksim::Cpu& cpu, KernelId kernel) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  if (GetKernel(caller) == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (!(caller == first_kernel_)) {
+    return CkStatus::kDenied;
+  }
+  KernelObject* k = GetKernel(kernel);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if (kernel == first_kernel_) {
+    return CkStatus::kDenied;  // the SRM never unloads itself
+  }
+  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  UnloadKernelInternal(k, cpu, /*writeback=*/true);
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::GrantPageGroups(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                                      uint32_t first_group, uint32_t count, GroupAccess access) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  if (!(caller == first_kernel_)) {
+    return CkStatus::kDenied;  // only the SRM changes memory access arrays
+  }
+  KernelObject* k = GetKernel(kernel);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  for (uint32_t g = first_group; g < first_group + count; ++g) {
+    k->SetGroupAccess(g, access);
+  }
+  // Revoking access must also evict any of the kernel's loaded mappings into
+  // the revoked groups, or the grant would be advisory. Walk the kernel's
+  // spaces and unload offending mappings.
+  if (access != GroupAccess::kReadWrite) {
+    for (uint32_t slot = 0; slot < spaces_.capacity(); ++slot) {
+      if (!spaces_.IsAllocated(slot)) {
+        continue;
+      }
+      AddressSpaceObject* space = spaces_.SlotAt(slot);
+      if (kernels_.SlotAt(space->kernel_slot) != k) {
+        continue;
+      }
+      // Scan pv records belonging to this space; collect first (unload
+      // mutates the map).
+      std::vector<uint32_t> victims;
+      for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
+        const MemMapEntry& rec = pmap_.record(i);
+        if (rec.type() != RecordType::kPhysToVirt || rec.pv_space_slot() != slot) {
+          continue;
+        }
+        uint32_t group = cksim::FrameBase(rec.pv_frame()) / cksim::kPageGroupBytes;
+        GroupAccess now = k->GroupAccessOf(group);
+        bool writable = (rec.pv_flags() & kPvWritable) != 0;
+        if (now == GroupAccess::kNone || (writable && now != GroupAccess::kReadWrite)) {
+          victims.push_back(i);
+        }
+      }
+      for (uint32_t pv : victims) {
+        if (pmap_.record(pv).type() == RecordType::kPhysToVirt) {
+          UnloadPvRecord(pv, cpu, /*writeback=*/true);
+        }
+      }
+    }
+  }
+  cpu.Advance(cost.mem_word * ((count + 3) / 4) + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::SetCpuQuota(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                                  const uint8_t percent[kMaxCpus], uint8_t max_priority) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  if (!(caller == first_kernel_)) {
+    return CkStatus::kDenied;
+  }
+  KernelObject* k = GetKernel(kernel);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if (max_priority >= config_.priority_levels) {
+    return CkStatus::kInvalidArgument;
+  }
+  for (uint32_t c = 0; c < kMaxCpus; ++c) {
+    k->cpu_percent[c] = percent[c];
+  }
+  k->max_priority = max_priority;
+  cpu.Advance(cost.descriptor_init + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::SetLockLimits(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                                    const uint8_t limits[kObjectTypeCount]) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  if (!(caller == first_kernel_)) {
+    return CkStatus::kDenied;
+  }
+  KernelObject* k = GetKernel(kernel);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
+    k->locked_limit[t] = limits[t];
+  }
+  cpu.Advance(cost.descriptor_init + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Address spaces
+// ---------------------------------------------------------------------------
+
+Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_t cookie,
+                                       bool locked) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  if (owner == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (spaces_.full()) {
+    if (!ReclaimSpace(cpu)) {
+      stats_.load_failures++;
+      return CkStatus::kNoResources;
+    }
+  }
+  if (locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kSpace);
+    if (owner->locked_count[t] >= owner->locked_limit[t]) {
+      return CkStatus::kDenied;
+    }
+    owner->locked_count[t]++;
+  }
+  PhysAddr root = table_arena_.Allocate(cksim::kL1TableBytes);
+  if (root == 0) {
+    stats_.load_failures++;
+    return CkStatus::kNoResources;
+  }
+  AddressSpaceObject* space = spaces_.Allocate();
+  space->root_table = root;
+  space->kernel_slot = kernels_.SlotOf(owner);
+  space->kernel_gen = kernels_.IdOf(owner).generation;
+  space->cookie = cookie;
+  space->mapping_count = 0;
+  space->locked = locked;
+  owner->space_count++;
+  // Descriptor init plus zeroing the 512-byte root table.
+  cpu.Advance(cost.descriptor_init + cost.table_alloc +
+              cost.mem_word * (cksim::kL1TableBytes / 4));
+  stats_.loads[static_cast<uint32_t>(ObjectType::kSpace)]++;
+  cpu.Advance(cost.trap_exit);
+  return SpaceId{spaces_.IdOf(space)};
+}
+
+CkStatus CacheKernel::UnloadSpace(KernelId caller, cksim::Cpu& cpu, SpaceId space_id) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  AddressSpaceObject* space = GetSpace(space_id);
+  if (owner == nullptr || space == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(space->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kSpace)]++;
+  UnloadSpaceInternal(space, cpu, /*writeback=*/true);
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
+                                         const ThreadSpec& spec) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  if (owner == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  AddressSpaceObject* space = GetSpace(spec.space);
+  if (space == nullptr) {
+    // The address space was written back concurrently: the application
+    // kernel reloads the space and retries (section 2).
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(space->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  if (spec.priority >= config_.priority_levels || spec.priority > owner->max_priority) {
+    return CkStatus::kDenied;  // priority cap, section 4.3
+  }
+  if (threads_.full()) {
+    if (!ReclaimThread(cpu)) {
+      stats_.load_failures++;
+      return CkStatus::kNoResources;
+    }
+  }
+  if (spec.locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kThread);
+    if (owner->locked_count[t] >= owner->locked_limit[t]) {
+      return CkStatus::kDenied;
+    }
+    owner->locked_count[t]++;
+  }
+
+  ThreadObject* thread = threads_.Allocate();
+  // Reset everything but the embedded list nodes (freshly unlinked).
+  thread->state = spec.start_blocked ? ThreadState::kBlocked : ThreadState::kReady;
+  thread->priority = spec.priority;
+  thread->cpu = spec.cpu_hint != 0xff && spec.cpu_hint < machine_.cpu_count()
+                    ? spec.cpu_hint
+                    : static_cast<uint8_t>(next_cpu_rr_++ % machine_.cpu_count());
+  thread->locked = spec.locked;
+  thread->in_signal = false;
+  thread->space_slot = spaces_.SlotOf(space);
+  thread->space_gen = spaces_.IdOf(space).generation;
+  thread->kernel_slot = space->kernel_slot;
+  thread->cookie = spec.cookie;
+  thread->vm = spec.vm;
+  thread->native = spec.native;
+  thread->signal_handler = spec.signal_handler;
+  thread->saved_pc = 0;
+  thread->exception_stack = spec.exception_stack;
+  thread->signal_head = 0;
+  thread->signal_count = 0;
+  thread->signal_reg_count = 0;
+  thread->slice_remaining = config_.time_slice;
+  thread->cpu_consumed = 0;
+  thread->signals_taken = 0;
+  thread->signals_dropped = 0;
+
+  space->threads.PushBack(thread);
+  owner->thread_count++;
+  if (thread->state == ThreadState::kReady) {
+    Enqueue(thread);
+  }
+  // Loading a thread copies the full descriptor (register context, stack
+  // pointers, signal state) across the interface.
+  cpu.Advance(cost.descriptor_init + cost.context_restore + cost.list_op +
+              cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
+  stats_.loads[static_cast<uint32_t>(ObjectType::kThread)]++;
+  cpu.Advance(cost.trap_exit);
+  return ThreadId{threads_.IdOf(thread)};
+}
+
+CkStatus CacheKernel::UnloadThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  ThreadObject* thread = GetThread(thread_id);
+  if (owner == nullptr || thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kThread)]++;
+  UnloadThreadInternal(thread, cpu, /*writeback=*/true);
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::SetThreadPriority(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id,
+                                        uint8_t priority) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  ThreadObject* thread = GetThread(thread_id);
+  if (owner == nullptr || thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  if (priority >= config_.priority_levels || priority > owner->max_priority) {
+    return CkStatus::kDenied;
+  }
+  // The special call that avoids unload-modify-reload (section 2.3).
+  bool requeue = thread->ready_node.linked();
+  if (requeue) {
+    Dequeue(thread);
+  }
+  thread->priority = priority;
+  if (requeue) {
+    Enqueue(thread);
+  }
+  cpu.Advance(cost.list_op * 2 + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::BlockThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  ThreadObject* thread = GetThread(thread_id);
+  if (owner == nullptr || thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  if (thread->state == ThreadState::kRunning) {
+    cksim::Cpu& target = machine_.cpu(thread->cpu);
+    if (CurrentOn(target) == thread) {
+      target.current_thread = nullptr;
+      cpu.Advance(cost.context_save);
+    }
+  } else if (thread->ready_node.linked()) {
+    Dequeue(thread);
+  }
+  thread->state = ThreadState::kBlocked;
+  cpu.Advance(cost.list_op + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::ResumeThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id,
+                                   bool has_return, uint32_t return_value) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  ThreadObject* thread = GetThread(thread_id);
+  if (owner == nullptr || thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  if (thread->state != ThreadState::kBlocked) {
+    return CkStatus::kBusy;
+  }
+  if (has_return) {
+    thread->vm.regs[ckisa::kRegA0] = return_value;
+  }
+  thread->state = ThreadState::kReady;
+  Enqueue(thread);
+  cpu.Advance(cost.list_op + cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::RedirectThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id,
+                                     cksim::VirtAddr pc, uint32_t a0) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  ThreadObject* thread = GetThread(thread_id);
+  if (owner == nullptr || thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  thread->vm.pc = pc;
+  thread->vm.regs[ckisa::kRegA0] = a0;
+  if (thread->state == ThreadState::kBlocked || thread->state == ThreadState::kHalted) {
+    thread->state = ThreadState::kReady;
+    Enqueue(thread);
+  }
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Page mappings
+// ---------------------------------------------------------------------------
+
+cksim::PhysAddr CacheKernel::LeafPteAddr(AddressSpaceObject* space, VirtAddr vaddr, bool create,
+                                         cksim::Cpu& cpu) {
+  const cksim::CostModel& cost = machine_.cost();
+  cksim::PhysicalMemory& mem = machine_.memory();
+
+  PhysAddr l1_slot = space->root_table + cksim::L1Index(vaddr) * 4;
+  uint32_t l1 = mem.ReadWord(l1_slot);
+  cpu.Advance(cost.table_walk_level);
+  if (!cksim::PteValid(l1)) {
+    if (!create) {
+      return 0;
+    }
+    PhysAddr l2_table = table_arena_.Allocate(cksim::kL2TableBytes);
+    if (l2_table == 0) {
+      return 0;
+    }
+    l1 = cksim::MakePte(l2_table, cksim::kPteValid);
+    mem.WriteWord(l1_slot, l1);
+    cpu.Advance(cost.table_alloc + cost.pte_write);
+  }
+
+  PhysAddr l2_slot = cksim::PteAddress(l1) + cksim::L2Index(vaddr) * 4;
+  uint32_t l2 = mem.ReadWord(l2_slot);
+  cpu.Advance(cost.table_walk_level);
+  if (!cksim::PteValid(l2)) {
+    if (!create) {
+      return 0;
+    }
+    PhysAddr l3_table = table_arena_.Allocate(cksim::kL3TableBytes);
+    if (l3_table == 0) {
+      return 0;
+    }
+    l2 = cksim::MakePte(l3_table, cksim::kPteValid);
+    mem.WriteWord(l2_slot, l2);
+    cpu.Advance(cost.table_alloc + cost.pte_write);
+  }
+
+  return cksim::PteAddress(l2) + cksim::L3Index(vaddr) * 4;
+}
+
+CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const MappingSpec& spec) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  CkStatus status = [&] {
+    KernelObject* owner = GetKernel(caller);
+    if (owner == nullptr) {
+      stats_.stale_id_errors++;
+      return CkStatus::kStale;
+    }
+    AddressSpaceObject* space = GetSpace(spec.space);
+    if (space == nullptr) {
+      stats_.stale_id_errors++;
+      return CkStatus::kStale;
+    }
+    if (kernels_.SlotAt(space->kernel_slot) != owner) {
+      return CkStatus::kDenied;
+    }
+    if ((spec.vaddr & cksim::kPageOffsetMask) != 0 || (spec.paddr & cksim::kPageOffsetMask) != 0 ||
+        !machine_.memory().Contains(spec.paddr, cksim::kPageSize)) {
+      return CkStatus::kInvalidArgument;
+    }
+    // "the physical address and the access that the application kernel can
+    // specify in a new mapping are restricted by its authorized access to
+    // physical memory" (section 2.1).
+    if (!owner->AllowsPhysical(spec.paddr, spec.flags.writable)) {
+      return CkStatus::kDenied;
+    }
+    ThreadObject* signal_thread = nullptr;
+    if (spec.signal_thread.valid()) {
+      signal_thread = GetThread(spec.signal_thread);
+      if (signal_thread == nullptr) {
+        stats_.stale_id_errors++;
+        return CkStatus::kStale;
+      }
+      if (kernels_.SlotAt(signal_thread->kernel_slot) != owner) {
+        return CkStatus::kDenied;
+      }
+    }
+    if (spec.locked) {
+      uint32_t t = static_cast<uint32_t>(ObjectType::kMapping);
+      if (owner->locked_count[t] >= owner->locked_limit[t]) {
+        return CkStatus::kDenied;
+      }
+    }
+
+    // Replace any existing mapping at this (space, vaddr).
+    PhysAddr leaf = LeafPteAddr(space, spec.vaddr, /*create=*/true, cpu);
+    if (leaf == 0) {
+      stats_.load_failures++;
+      return CkStatus::kNoResources;
+    }
+    uint32_t old_pte = machine_.memory().ReadWord(leaf);
+    if (cksim::PteValid(old_pte)) {
+      uint32_t old_pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(old_pte)),
+                                     spaces_.SlotOf(space), spec.vaddr);
+      if (old_pv != kNilRecord) {
+        UnloadPvRecord(old_pv, cpu, /*writeback=*/true);
+      }
+    }
+
+    // Room for the pv record plus its optional annotation records.
+    uint32_t needed = 1 + (signal_thread != nullptr ? 1u : 0u) + (spec.cow_source != 0 ? 1u : 0u);
+    while (pmap_.capacity() - pmap_.in_use() < needed) {
+      if (!ReclaimMapping(cpu)) {
+        stats_.load_failures++;
+        return CkStatus::kNoResources;
+      }
+    }
+
+    uint32_t frame = cksim::PageFrame(spec.paddr);
+    uint32_t flags = (spec.locked ? kPvLocked : 0) | (spec.flags.message ? kPvMessage : 0) |
+                     (spec.flags.writable ? kPvWritable : 0);
+    uint32_t pv = pmap_.Insert(frame, (spec.vaddr & ~0xfffu) | flags, spaces_.SlotOf(space),
+                               RecordType::kPhysToVirt);
+    cpu.Advance(cost.hash_op);
+
+    if (signal_thread != nullptr) {
+      uint32_t gen24 = threads_.IdOf(signal_thread).generation & 0xffffffu;
+      pmap_.Insert(pv, (gen24 << 8) | threads_.SlotOf(signal_thread), 0, RecordType::kSignal);
+      signal_thread->signal_reg_count++;
+      cpu.Advance(cost.hash_op);
+      // New signal mapping invalidates stale reverse-TLB entries for the frame.
+      FlushReverseTlbFrameAllCpus(frame);
+    }
+    if (spec.cow_source != 0) {
+      pmap_.Insert(pv, cksim::PageFrame(spec.cow_source), 0, RecordType::kCopyOnWrite);
+      cpu.Advance(cost.hash_op);
+    }
+    if (spec.locked) {
+      owner->locked_count[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    }
+
+    cksim::MapFlags pte_flags = spec.flags;
+    machine_.memory().WriteWord(leaf, cksim::MakePte(spec.paddr,
+                                                     cksim::kPteValid | pte_flags.ToPteBits()));
+    cpu.Advance(cost.pte_write);
+    space->mapping_count++;
+    stats_.loads[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    return CkStatus::kOk;
+  }();
+  cpu.Advance(cost.trap_exit);
+  return status;
+}
+
+CkStatus CacheKernel::LoadMappingAndResume(KernelId caller, cksim::Cpu& cpu,
+                                           const MappingSpec& spec, ThreadId faulting_thread) {
+  // One trap instead of two: the combined load+resume optimization.
+  const cksim::CostModel& cost = machine_.cost();
+  CkStatus status = LoadMapping(caller, cpu, spec);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  ThreadObject* thread = GetThread(faulting_thread);
+  if (thread == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  // Combined-call discount: the separate trap entry/exit and the full resume
+  // call are folded into the mapping load (charge only the restore).
+  cpu.Advance(cost.context_restore);
+  fault_trace_.mapping_loaded = cpu.clock();
+  if (thread->state == ThreadState::kBlocked) {
+    thread->state = ThreadState::kReady;
+    Enqueue(thread, /*front=*/true);
+  }
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::UnloadMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space_id,
+                                    VirtAddr vaddr) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  CkStatus status = [&] {
+    KernelObject* owner = GetKernel(caller);
+    AddressSpaceObject* space = GetSpace(space_id);
+    if (owner == nullptr || space == nullptr) {
+      stats_.stale_id_errors++;
+      return CkStatus::kStale;
+    }
+    if (kernels_.SlotAt(space->kernel_slot) != owner) {
+      return CkStatus::kDenied;
+    }
+    PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+    if (leaf == 0) {
+      return CkStatus::kNotFound;
+    }
+    uint32_t pte = machine_.memory().ReadWord(leaf);
+    if (!cksim::PteValid(pte)) {
+      return CkStatus::kNotFound;
+    }
+    uint32_t pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(pte)), spaces_.SlotOf(space),
+                               vaddr);
+    if (pv == kNilRecord) {
+      return CkStatus::kNotFound;
+    }
+    stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    UnloadPvRecord(pv, cpu, /*writeback=*/true);
+    return CkStatus::kOk;
+  }();
+  cpu.Advance(cost.trap_exit);
+  return status;
+}
+
+CkStatus CacheKernel::UnloadMappingRange(KernelId caller, cksim::Cpu& cpu, SpaceId space,
+                                         VirtAddr vaddr, uint32_t pages) {
+  CkStatus last = CkStatus::kNotFound;
+  for (uint32_t i = 0; i < pages; ++i) {
+    CkStatus s = UnloadMapping(caller, cpu, space, vaddr + i * cksim::kPageSize);
+    if (s == CkStatus::kOk || s == CkStatus::kNotFound) {
+      if (s == CkStatus::kOk) {
+        last = CkStatus::kOk;
+      }
+      continue;
+    }
+    return s;  // stale/denied aborts the sweep
+  }
+  return last;
+}
+
+Result<MappingInfo> CacheKernel::QueryMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space_id,
+                                              VirtAddr vaddr) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* owner = GetKernel(caller);
+  AddressSpaceObject* space = GetSpace(space_id);
+  if (owner == nullptr || space == nullptr) {
+    stats_.stale_id_errors++;
+    return CkStatus::kStale;
+  }
+  if (kernels_.SlotAt(space->kernel_slot) != owner) {
+    return CkStatus::kDenied;
+  }
+  PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+  if (leaf == 0) {
+    cpu.Advance(cost.trap_exit);
+    return CkStatus::kNotFound;
+  }
+  uint32_t pte = machine_.memory().ReadWord(leaf);
+  if (!cksim::PteValid(pte)) {
+    cpu.Advance(cost.trap_exit);
+    return CkStatus::kNotFound;
+  }
+  MappingInfo info;
+  info.paddr = cksim::PteAddress(pte);
+  info.writable = (pte & cksim::kPteWritable) != 0;
+  info.message = (pte & cksim::kPteMessage) != 0;
+  info.referenced = (pte & cksim::kPteReferenced) != 0;
+  info.modified = (pte & cksim::kPteModified) != 0;
+  uint32_t pv = pmap_.FindPv(cksim::PageFrame(info.paddr), spaces_.SlotOf(space), vaddr);
+  info.locked = pv != kNilRecord && pmap_.record(pv).pv_locked();
+  cpu.Advance(cost.trap_exit);
+  return info;
+}
+
+CkStatus CacheKernel::LockMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space_id,
+                                  VirtAddr vaddr, bool locked) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  CkStatus status = [&] {
+    KernelObject* owner = GetKernel(caller);
+    AddressSpaceObject* space = GetSpace(space_id);
+    if (owner == nullptr || space == nullptr) {
+      stats_.stale_id_errors++;
+      return CkStatus::kStale;
+    }
+    if (kernels_.SlotAt(space->kernel_slot) != owner) {
+      return CkStatus::kDenied;
+    }
+    PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+    if (leaf == 0) {
+      return CkStatus::kNotFound;
+    }
+    uint32_t pte = machine_.memory().ReadWord(leaf);
+    if (!cksim::PteValid(pte)) {
+      return CkStatus::kNotFound;
+    }
+    uint32_t pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(pte)), spaces_.SlotOf(space),
+                               vaddr);
+    if (pv == kNilRecord) {
+      return CkStatus::kNotFound;
+    }
+    MemMapEntry& rec = pmap_.record(pv);
+    uint32_t t = static_cast<uint32_t>(ObjectType::kMapping);
+    if (locked && !rec.pv_locked()) {
+      if (owner->locked_count[t] >= owner->locked_limit[t]) {
+        return CkStatus::kDenied;
+      }
+      owner->locked_count[t]++;
+      rec.dependent |= kPvLocked;
+    } else if (!locked && rec.pv_locked()) {
+      owner->locked_count[t]--;
+      rec.dependent &= ~kPvLocked;
+    }
+    return CkStatus::kOk;
+  }();
+  cpu.Advance(cost.trap_exit);
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Effective lock chains (section 4.2: "a locked mapping can be reclaimed
+// unless its address space, its kernel object and its signal thread (if any)
+// are locked")
+// ---------------------------------------------------------------------------
+
+bool CacheKernel::SpaceEffectivelyLocked(AddressSpaceObject* s) {
+  if (!s->locked) {
+    return false;
+  }
+  return kernels_.SlotAt(s->kernel_slot)->locked;
+}
+
+bool CacheKernel::ThreadEffectivelyLocked(ThreadObject* t) {
+  if (!t->locked) {
+    return false;
+  }
+  AddressSpaceObject* space = spaces_.Lookup(ckbase::PoolId{t->space_slot, t->space_gen});
+  return space != nullptr && SpaceEffectivelyLocked(space);
+}
+
+bool CacheKernel::MappingEffectivelyLocked(uint32_t pv_index) {
+  MemMapEntry& rec = pmap_.record(pv_index);
+  if (!rec.pv_locked()) {
+    return false;
+  }
+  AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
+  if (!SpaceEffectivelyLocked(space)) {
+    return false;
+  }
+  // Every signal thread on this mapping must itself be effectively locked.
+  for (uint32_t cur = pmap_.FindFirst(pv_index); cur != kNilRecord;
+       cur = pmap_.NextWithKey(cur)) {
+    const MemMapEntry& dep = pmap_.record(cur);
+    if (dep.type() != RecordType::kSignal) {
+      continue;
+    }
+    ThreadObject* t = threads_.SlotAt(dep.signal_thread_slot());
+    if (!ThreadEffectivelyLocked(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation (capacity-forced victims)
+// ---------------------------------------------------------------------------
+
+bool CacheKernel::ReclaimKernel(cksim::Cpu& cpu) {
+  for (uint32_t step = 0; step < kernels_.capacity(); ++step) {
+    uint32_t slot = kernel_hand_;
+    kernel_hand_ = (kernel_hand_ + 1) % kernels_.capacity();
+    if (!kernels_.IsAllocated(slot)) {
+      continue;
+    }
+    KernelObject* k = kernels_.SlotAt(slot);
+    if (KernelEffectivelyLocked(k)) {
+      continue;
+    }
+    stats_.reclamations[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    UnloadKernelInternal(k, cpu, /*writeback=*/true);
+    return true;
+  }
+  return false;
+}
+
+bool CacheKernel::ReclaimSpace(cksim::Cpu& cpu) {
+  for (uint32_t step = 0; step < spaces_.capacity(); ++step) {
+    uint32_t slot = space_hand_;
+    space_hand_ = (space_hand_ + 1) % spaces_.capacity();
+    if (!spaces_.IsAllocated(slot)) {
+      continue;
+    }
+    AddressSpaceObject* s = spaces_.SlotAt(slot);
+    if (SpaceEffectivelyLocked(s)) {
+      continue;
+    }
+    stats_.reclamations[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    UnloadSpaceInternal(s, cpu, /*writeback=*/true);
+    return true;
+  }
+  return false;
+}
+
+bool CacheKernel::ReclaimThread(cksim::Cpu& cpu) {
+  // Prefer blocked threads, then ready, then running (a running victim costs
+  // a context switch, section 4.2).
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t step = 0; step < threads_.capacity(); ++step) {
+      uint32_t slot = (thread_hand_ + step) % threads_.capacity();
+      if (!threads_.IsAllocated(slot)) {
+        continue;
+      }
+      ThreadObject* t = threads_.SlotAt(slot);
+      bool eligible = (pass == 0 && t->state == ThreadState::kBlocked) ||
+                      (pass == 1 && (t->state == ThreadState::kReady ||
+                                     t->state == ThreadState::kHalted)) ||
+                      (pass == 2);
+      if (!eligible || ThreadEffectivelyLocked(t)) {
+        continue;
+      }
+      stats_.reclamations[static_cast<uint32_t>(ObjectType::kThread)]++;
+      thread_hand_ = (slot + 1) % threads_.capacity();
+      UnloadThreadInternal(t, cpu, /*writeback=*/true);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheKernel::ReclaimMapping(cksim::Cpu& cpu) {
+  const cksim::CostModel& cost = machine_.cost();
+  // Clock scan with second chance on the hardware referenced bit.
+  uint32_t scans = pmap_.capacity();
+  uint32_t forced = kNilRecord;
+  for (uint32_t step = 0; step < scans; ++step) {
+    uint32_t pv = pmap_.ClockNextPv();
+    if (pv == kNilRecord) {
+      return false;
+    }
+    if (MappingEffectivelyLocked(pv)) {
+      continue;
+    }
+    if (forced == kNilRecord) {
+      forced = pv;  // fallback if everything stays referenced
+    }
+    MemMapEntry& rec = pmap_.record(pv);
+    AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
+    PhysAddr leaf = LeafPteAddr(space, rec.pv_vaddr(), /*create=*/false, cpu);
+    if (leaf != 0) {
+      uint32_t pte = machine_.memory().ReadWord(leaf);
+      if ((pte & cksim::kPteReferenced) != 0) {
+        // Second chance: clear the bit and move on.
+        machine_.memory().WriteWord(leaf, pte & ~cksim::kPteReferenced);
+        cpu.Advance(cost.pte_write);
+        continue;
+      }
+    }
+    stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    UnloadPvRecord(pv, cpu, /*writeback=*/true);
+    return true;
+  }
+  if (forced != kNilRecord && pmap_.record(forced).type() == RecordType::kPhysToVirt) {
+    stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    UnloadPvRecord(forced, cpu, /*writeback=*/true);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Cascaded unloads (Figure 6 dependency order)
+// ---------------------------------------------------------------------------
+
+void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeback,
+                                 bool consistency_cascade) {
+  const cksim::CostModel& cost = machine_.cost();
+  MemMapEntry& rec = pmap_.record(pv_index);
+  uint32_t frame = rec.pv_frame();
+  VirtAddr vaddr = rec.pv_vaddr();
+  uint32_t space_slot = rec.pv_space_slot();
+  AddressSpaceObject* space = spaces_.SlotAt(space_slot);
+  KernelObject* owner = kernels_.SlotAt(space->kernel_slot);
+
+  // Gather and clear the hardware state.
+  MappingWriteback record;
+  record.space_cookie = space->cookie;
+  record.vaddr = vaddr;
+  record.pframe = frame;
+  record.writable = (rec.pv_flags() & kPvWritable) != 0;
+  record.message = rec.pv_message();
+
+  PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+  if (leaf != 0) {
+    uint32_t pte = machine_.memory().ReadWord(leaf);
+    if (cksim::PteValid(pte)) {
+      record.referenced = (pte & cksim::kPteReferenced) != 0;
+      record.modified = (pte & cksim::kPteModified) != 0;
+      machine_.memory().WriteWord(leaf, 0);
+      cpu.Advance(cost.pte_write);
+    }
+  }
+  FlushTlbPageAllCpus(static_cast<uint16_t>(space_slot), vaddr >> cksim::kPageShift, cpu);
+  FlushReverseTlbFrameAllCpus(frame);
+
+  // Remove annotation records (signal registrations, cow source).
+  bool had_signal = false;
+  uint32_t cur = pmap_.FindFirst(pv_index);
+  while (cur != kNilRecord) {
+    uint32_t next = pmap_.NextWithKey(cur);
+    MemMapEntry& dep = pmap_.record(cur);
+    if (dep.type() == RecordType::kSignal) {
+      had_signal = true;
+      ThreadObject* t = threads_.SlotAt(dep.signal_thread_slot());
+      if (t->signal_reg_count > 0) {
+        t->signal_reg_count--;
+      }
+      pmap_.Remove(cur);
+      cpu.Advance(cost.hash_op);
+    } else if (dep.type() == RecordType::kCopyOnWrite) {
+      pmap_.Remove(cur);
+      cpu.Advance(cost.hash_op);
+    }
+    cur = next;
+  }
+  record.had_signal = had_signal;
+
+  if (rec.pv_locked()) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kMapping);
+    if (owner->locked_count[t] > 0) {
+      owner->locked_count[t]--;
+    }
+  }
+
+  pmap_.Remove(pv_index);
+  cpu.Advance(cost.hash_op);
+  space->mapping_count--;
+
+  // Multi-mapping consistency (section 4.2): flushing a signal mapping
+  // flushes every writable mapping of the frame, so a sender can never
+  // signal into a page whose receivers have lost their mappings.
+  if (had_signal && consistency_cascade) {
+    std::vector<uint32_t> writable_peers;
+    for (uint32_t peer = pmap_.FindFirst(frame); peer != kNilRecord;
+         peer = pmap_.NextWithKey(peer)) {
+      const MemMapEntry& p = pmap_.record(peer);
+      if (p.type() == RecordType::kPhysToVirt && (p.pv_flags() & kPvWritable) != 0) {
+        writable_peers.push_back(peer);
+      }
+    }
+    for (uint32_t peer : writable_peers) {
+      if (pmap_.record(peer).type() == RecordType::kPhysToVirt) {
+        UnloadPvRecord(peer, cpu, writeback, /*consistency_cascade=*/false);
+      }
+    }
+  }
+
+  if (writeback) {
+    cpu.Advance(cost.writeback_record);
+    stats_.writebacks[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CkApi api(*this, IdOfKernel(owner), cpu);
+    owner->handlers->OnMappingWriteback(record, api);
+  }
+}
+
+void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bool writeback) {
+  const cksim::CostModel& cost = machine_.cost();
+  KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+  AddressSpaceObject* space = spaces_.SlotAt(thread->space_slot);
+
+  // Detach from the processor / queues.
+  if (thread->state == ThreadState::kRunning) {
+    cksim::Cpu& target = machine_.cpu(thread->cpu);
+    if (CurrentOn(target) == thread) {
+      target.current_thread = nullptr;
+      cpu.Advance(cost.context_save);
+    }
+  }
+  if (thread->ready_node.linked()) {
+    Dequeue(thread);
+  }
+  RemoveSignalRecordsForThread(thread, cpu);
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    machine_.cpu(c).reverse_tlb().InvalidateThread(threads_.IdOf(thread).Packed());
+  }
+
+  ThreadWriteback record;
+  record.cookie = thread->cookie;
+  record.space_cookie = space->cookie;
+  record.context = thread->vm;
+  record.priority = thread->priority;
+  record.was_blocked = thread->state == ThreadState::kBlocked;
+  record.cpu_consumed = thread->cpu_consumed;
+
+  if (thread->locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kThread);
+    if (owner->locked_count[t] > 0) {
+      owner->locked_count[t]--;
+    }
+  }
+  space->threads.Remove(thread);
+  owner->thread_count--;
+  threads_.Release(thread);
+  cpu.Advance(cost.context_save + cost.list_op);
+
+  if (writeback) {
+    cpu.Advance(cost.writeback_record + cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
+    stats_.writebacks[static_cast<uint32_t>(ObjectType::kThread)]++;
+    CkApi api(*this, IdOfKernel(owner), cpu);
+    owner->handlers->OnThreadWriteback(record, api);
+  }
+}
+
+void CacheKernel::FreeSpaceTables(AddressSpaceObject* space) {
+  cksim::PhysicalMemory& mem = machine_.memory();
+  for (uint32_t i1 = 0; i1 < cksim::kL1Entries; ++i1) {
+    uint32_t l1 = mem.ReadWord(space->root_table + i1 * 4);
+    if (!cksim::PteValid(l1)) {
+      continue;
+    }
+    PhysAddr l2_table = cksim::PteAddress(l1);
+    for (uint32_t i2 = 0; i2 < cksim::kL2Entries; ++i2) {
+      uint32_t l2 = mem.ReadWord(l2_table + i2 * 4);
+      if (cksim::PteValid(l2)) {
+        table_arena_.Free(cksim::PteAddress(l2), cksim::kL3TableBytes);
+      }
+    }
+    table_arena_.Free(l2_table, cksim::kL2TableBytes);
+  }
+  table_arena_.Free(space->root_table, cksim::kL1TableBytes);
+  space->root_table = 0;
+}
+
+void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu, bool writeback) {
+  const cksim::CostModel& cost = machine_.cost();
+  KernelObject* owner = kernels_.SlotAt(space->kernel_slot);
+  uint32_t space_slot = spaces_.SlotOf(space);
+
+  // "Before an address space object is written back, all the page mappings
+  // in the address space and all the associated threads are written back."
+  while (ThreadObject* t = space->threads.Front()) {
+    UnloadThreadInternal(t, cpu, writeback);
+  }
+
+  // Walk the page tables to find every loaded mapping of this space.
+  cksim::PhysicalMemory& mem = machine_.memory();
+  for (uint32_t i1 = 0; i1 < cksim::kL1Entries && space->mapping_count > 0; ++i1) {
+    uint32_t l1 = mem.ReadWord(space->root_table + i1 * 4);
+    if (!cksim::PteValid(l1)) {
+      continue;
+    }
+    for (uint32_t i2 = 0; i2 < cksim::kL2Entries && space->mapping_count > 0; ++i2) {
+      uint32_t l2 = mem.ReadWord(cksim::PteAddress(l1) + i2 * 4);
+      if (!cksim::PteValid(l2)) {
+        continue;
+      }
+      for (uint32_t i3 = 0; i3 < cksim::kL3Entries && space->mapping_count > 0; ++i3) {
+        uint32_t leaf = mem.ReadWord(cksim::PteAddress(l2) + i3 * 4);
+        if (!cksim::PteValid(leaf)) {
+          continue;
+        }
+        VirtAddr vaddr = (i1 << 25) | (i2 << 18) | (i3 << cksim::kPageShift);
+        uint32_t pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(leaf)), space_slot, vaddr);
+        if (pv != kNilRecord) {
+          UnloadPvRecord(pv, cpu, writeback);
+        } else {
+          mem.WriteWord(cksim::PteAddress(l2) + i3 * 4, 0);
+        }
+      }
+    }
+  }
+
+  FreeSpaceTables(space);
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    machine_.cpu(c).mmu().tlb().FlushAsid(static_cast<uint16_t>(space_slot));
+    cpu.Advance(cost.tlb_flush_asid);
+  }
+
+  SpaceWriteback record;
+  record.cookie = space->cookie;
+  if (space->locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kSpace);
+    if (owner->locked_count[t] > 0) {
+      owner->locked_count[t]--;
+    }
+  }
+  owner->space_count--;
+  spaces_.Release(space);
+  cpu.Advance(cost.descriptor_init);
+
+  if (writeback) {
+    cpu.Advance(cost.writeback_record);
+    stats_.writebacks[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    CkApi api(*this, IdOfKernel(owner), cpu);
+    owner->handlers->OnSpaceWriteback(record, api);
+  }
+}
+
+void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bool writeback) {
+  const cksim::CostModel& cost = machine_.cost();
+  uint32_t kernel_slot = kernels_.SlotOf(kernel);
+
+  // Unload every address space (and thereby thread and mapping) it owns.
+  // "Unloading a kernel object is an expensive operation" -- this loop is
+  // why (section 2.4).
+  for (uint32_t slot = 0; slot < spaces_.capacity(); ++slot) {
+    if (!spaces_.IsAllocated(slot)) {
+      continue;
+    }
+    AddressSpaceObject* space = spaces_.SlotAt(slot);
+    if (space->kernel_slot == kernel_slot) {
+      UnloadSpaceInternal(space, cpu, writeback);
+    }
+  }
+
+  KernelObject* manager = kernels_.SlotAt(kernel->manager_slot);
+  KernelWriteback record;
+  record.cookie = kernel->cookie;
+  if (kernel->locked) {
+    uint32_t t = static_cast<uint32_t>(ObjectType::kKernel);
+    if (manager->locked_count[t] > 0) {
+      manager->locked_count[t]--;
+    }
+  }
+  kernels_.Release(kernel);
+  cpu.Advance(cost.descriptor_init);
+
+  if (writeback) {
+    cpu.Advance(cost.writeback_record);
+    stats_.writebacks[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    CkApi api(*this, IdOfKernel(manager), cpu);
+    manager->handlers->OnKernelWriteback(record, api);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Page contents / physical access
+// ---------------------------------------------------------------------------
+
+bool CacheKernel::CheckPhysicalAccess(KernelObject* kernel, PhysAddr addr, uint32_t len,
+                                      bool write) {
+  if (!machine_.memory().Contains(addr, len)) {
+    return false;
+  }
+  for (PhysAddr a = addr & ~(cksim::kPageGroupBytes - 1); a < addr + len;
+       a += cksim::kPageGroupBytes) {
+    if (!kernel->AllowsPhysical(a, write)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CkStatus CacheKernel::CopyPage(KernelId caller, cksim::Cpu& cpu, PhysAddr dst, PhysAddr src) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* k = GetKernel(caller);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if ((dst & cksim::kPageOffsetMask) != 0 || (src & cksim::kPageOffsetMask) != 0 ||
+      !CheckPhysicalAccess(k, dst, cksim::kPageSize, true) ||
+      !CheckPhysicalAccess(k, src, cksim::kPageSize, false)) {
+    return CkStatus::kDenied;
+  }
+  std::vector<uint8_t> buf(cksim::kPageSize);
+  machine_.memory().Read(src, buf.data(), cksim::kPageSize);
+  machine_.memory().Write(dst, buf.data(), cksim::kPageSize);
+  cpu.Advance(cost.cache_line_fill * (cksim::kPageSize / 32));  // line-at-a-time copy
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::ZeroPage(KernelId caller, cksim::Cpu& cpu, PhysAddr dst) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  KernelObject* k = GetKernel(caller);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if ((dst & cksim::kPageOffsetMask) != 0 ||
+      !CheckPhysicalAccess(k, dst, cksim::kPageSize, true)) {
+    return CkStatus::kDenied;
+  }
+  machine_.memory().Zero(dst, cksim::kPageSize);
+  cpu.Advance(cost.mem_word * (cksim::kPageSize / 8));  // burst zeroing
+  cpu.Advance(cost.trap_exit);
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::WritePhys(KernelId caller, cksim::Cpu& cpu, PhysAddr addr, const void* data,
+                                uint32_t len) {
+  const cksim::CostModel& cost = machine_.cost();
+  KernelObject* k = GetKernel(caller);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if (!CheckPhysicalAccess(k, addr, len, true)) {
+    return CkStatus::kDenied;
+  }
+  machine_.memory().Write(addr, data, len);
+  cpu.Advance(cost.mem_word * ((len + 3) / 4));
+  return CkStatus::kOk;
+}
+
+CkStatus CacheKernel::ReadPhys(KernelId caller, cksim::Cpu& cpu, PhysAddr addr, void* out,
+                               uint32_t len) {
+  const cksim::CostModel& cost = machine_.cost();
+  KernelObject* k = GetKernel(caller);
+  if (k == nullptr) {
+    return CkStatus::kStale;
+  }
+  if (!CheckPhysicalAccess(k, addr, len, false)) {
+    return CkStatus::kDenied;
+  }
+  machine_.memory().Read(addr, out, len);
+  cpu.Advance(cost.mem_word * ((len + 3) / 4));
+  return CkStatus::kOk;
+}
+
+void CacheKernel::MarkFrameRemote(uint32_t pframe, bool remote) {
+  if (remote) {
+    remote_frames_.insert(pframe);
+  } else {
+    remote_frames_.erase(pframe);
+  }
+}
+
+void CacheKernel::ScheduleAppEvent(cksim::Cycles at, KernelId kernel,
+                                   std::function<void(CkApi&)> fn) {
+  AppEvent event{at, kernel.id, std::move(fn)};
+  auto it = app_events_.begin();
+  while (it != app_events_.end() && it->at <= at) {
+    ++it;
+  }
+  app_events_.insert(it, std::move(event));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint32_t CacheKernel::loaded_count(ObjectType type) const {
+  switch (type) {
+    case ObjectType::kKernel:
+      return kernels_.in_use();
+    case ObjectType::kSpace:
+      return spaces_.in_use();
+    case ObjectType::kThread:
+      return threads_.in_use();
+    case ObjectType::kMapping:
+      return pmap_.in_use();
+  }
+  return 0;
+}
+
+uint32_t CacheKernel::capacity(ObjectType type) const {
+  switch (type) {
+    case ObjectType::kKernel:
+      return kernels_.capacity();
+    case ObjectType::kSpace:
+      return spaces_.capacity();
+    case ObjectType::kThread:
+      return threads_.capacity();
+    case ObjectType::kMapping:
+      return pmap_.capacity();
+  }
+  return 0;
+}
+
+Result<ThreadState> CacheKernel::GetThreadState(ThreadId id) {
+  ThreadObject* t = GetThread(id);
+  if (t == nullptr) {
+    return CkStatus::kStale;
+  }
+  return t->state;
+}
+
+Result<ckisa::VmContext> CacheKernel::GetThreadContext(ThreadId id) {
+  ThreadObject* t = GetThread(id);
+  if (t == nullptr) {
+    return CkStatus::kStale;
+  }
+  return t->vm;
+}
+
+Result<cksim::Cycles> CacheKernel::GetThreadCpuConsumed(ThreadId id) {
+  ThreadObject* t = GetThread(id);
+  if (t == nullptr) {
+    return CkStatus::kStale;
+  }
+  return t->cpu_consumed;
+}
+
+Result<uint32_t> CacheKernel::GetThreadCpu(ThreadId id) {
+  ThreadObject* t = GetThread(id);
+  if (t == nullptr) {
+    return CkStatus::kStale;
+  }
+  return static_cast<uint32_t>(t->cpu);
+}
+
+void CacheKernel::FlushTlbPageAllCpus(uint16_t asid, uint32_t vpage, cksim::Cpu& cpu) {
+  const cksim::CostModel& cost = machine_.cost();
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    machine_.cpu(c).mmu().tlb().FlushPage(asid, vpage);
+    cpu.Advance(c == cpu.id() ? cost.tlb_flush_entry : cost.tlb_flush_entry + cost.ipi);
+  }
+}
+
+void CacheKernel::FlushReverseTlbFrameAllCpus(uint32_t pframe) {
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    machine_.cpu(c).reverse_tlb().InvalidateFrame(pframe);
+  }
+}
+
+}  // namespace ck

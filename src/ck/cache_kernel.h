@@ -1,0 +1,491 @@
+// The Cache Kernel: supervisor-mode cache of kernels, address spaces,
+// threads and page mappings (the paper's core contribution).
+//
+// The primary interface is load/unload of the four object types plus the
+// forwarding of faults, traps and signals; policy lives entirely in the
+// application kernels above. The Cache Kernel:
+//   * keeps descriptors in fixed pools and reclaims by dependency-ordered
+//     writeback (Figure 6) when a load finds no free descriptor;
+//   * maintains real 68040-format page tables in simulated physical memory
+//     and the 16-byte-record physical memory map of section 4.1;
+//   * schedules loaded threads with fixed priorities, per-priority time
+//     slicing and per-kernel processor quotas (section 4.3);
+//   * implements memory-based messaging with a per-CPU reverse-TLB fast path
+//     and multi-mapping consistency (sections 2.2 and 4.2);
+//   * enforces the resource grants recorded in kernel objects: page-group
+//     access arrays, processor percentages, priority caps, lock limits.
+//
+// It attaches to a cksim::Machine as both the MachineClient (the dispatch
+// loop) and the SignalSink (device signal delivery).
+
+#ifndef SRC_CK_CACHE_KERNEL_H_
+#define SRC_CK_CACHE_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/fixed_pool.h"
+#include "src/base/status.h"
+#include "src/ck/appkernel_iface.h"
+#include "src/ck/config.h"
+#include "src/ck/ids.h"
+#include "src/ck/objects.h"
+#include "src/ck/physmap.h"
+#include "src/ck/table_arena.h"
+#include "src/isa/interpreter.h"
+#include "src/sim/devices.h"
+#include "src/sim/machine.h"
+
+namespace ck {
+
+using ckbase::CkStatus;
+using ckbase::Result;
+
+// Counters exposed to tests and benches.
+struct CkStats {
+  uint64_t loads[kObjectTypeCount] = {0};
+  uint64_t writebacks[kObjectTypeCount] = {0};       // reclamation + cascade
+  uint64_t explicit_unloads[kObjectTypeCount] = {0}; // owner-requested
+  uint64_t reclamations[kObjectTypeCount] = {0};     // capacity-forced victims
+  uint64_t load_failures = 0;
+  uint64_t faults_forwarded = 0;
+  uint64_t traps_forwarded = 0;
+  uint64_t signals_delivered_fast = 0;  // reverse-TLB hit to active thread
+  uint64_t signals_delivered_slow = 0;  // two-stage pmap lookup
+  uint64_t signals_queued = 0;
+  uint64_t signals_dropped = 0;
+  uint64_t consistency_faults = 0;
+  uint64_t context_switches = 0;
+  uint64_t preemptions = 0;
+  uint64_t idle_turns = 0;
+  uint64_t quota_degradations = 0;
+  uint64_t stale_id_errors = 0;
+};
+
+// Timestamps of the Figure 2 steps for the most recent forwarded fault.
+struct FaultTrace {
+  cksim::Cycles trap_entry = 0;      // step 1: hardware trap into the CK
+  cksim::Cycles handler_start = 0;   // step 2: thread redirected to app kernel
+  cksim::Cycles mapping_loaded = 0;  // step 4: new mapping descriptor loaded
+  cksim::Cycles resumed = 0;         // step 6: faulting thread resumed
+};
+
+struct MappingSpec {
+  SpaceId space;
+  cksim::VirtAddr vaddr = 0;
+  cksim::PhysAddr paddr = 0;
+  cksim::MapFlags flags;
+  bool locked = false;
+  ThreadId signal_thread;          // optional: deliver signals on this page
+  cksim::PhysAddr cow_source = 0;  // optional: deferred-copy source page
+};
+
+struct ThreadSpec {
+  SpaceId space;
+  uint64_t cookie = 0;
+  uint8_t priority = 0;
+  uint8_t cpu_hint = 0xff;  // 0xff: round-robin assignment
+  bool locked = false;
+  bool start_blocked = false;      // load in blocked state (await signal)
+  ckisa::VmContext vm;             // guest register state
+  NativeProgram* native = nullptr; // native program instead of guest code
+  cksim::VirtAddr signal_handler = 0;
+  cksim::VirtAddr exception_stack = 0;
+};
+
+struct MappingInfo {
+  cksim::PhysAddr paddr = 0;
+  bool writable = false;
+  bool message = false;
+  bool referenced = false;
+  bool modified = false;
+  bool locked = false;
+};
+
+class CkApi;
+
+class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
+ public:
+  CacheKernel(cksim::Machine& machine, const CacheKernelConfig& config);
+  ~CacheKernel() override;
+
+  CacheKernel(const CacheKernel&) = delete;
+  CacheKernel& operator=(const CacheKernel&) = delete;
+
+  // Create the first application kernel (normally the system resource
+  // manager) with full permissions on all physical resources, locked
+  // (section 3). Must be called exactly once before the machine runs.
+  KernelId BootFirstKernel(AppKernel* handlers, uint64_t cookie);
+  KernelId first_kernel() const { return first_kernel_; }
+
+  // ---- kernel objects (loadable only by the first kernel, section 2.4) ----
+  Result<KernelId> LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKernel* handlers,
+                              uint64_t cookie, bool locked);
+  CkStatus UnloadKernel(KernelId caller, cksim::Cpu& cpu, KernelId kernel);
+
+  // The special modify operations (optimizations over unload-modify-reload).
+  CkStatus GrantPageGroups(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                           uint32_t first_group, uint32_t count, GroupAccess access);
+  CkStatus SetCpuQuota(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                       const uint8_t percent[kMaxCpus], uint8_t max_priority);
+  CkStatus SetLockLimits(KernelId caller, cksim::Cpu& cpu, KernelId kernel,
+                         const uint8_t limits[kObjectTypeCount]);
+
+  // ---- address spaces ----
+  Result<SpaceId> LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_t cookie, bool locked);
+  CkStatus UnloadSpace(KernelId caller, cksim::Cpu& cpu, SpaceId space);
+
+  // ---- threads ----
+  Result<ThreadId> LoadThread(KernelId caller, cksim::Cpu& cpu, const ThreadSpec& spec);
+  CkStatus UnloadThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread);
+  CkStatus SetThreadPriority(KernelId caller, cksim::Cpu& cpu, ThreadId thread, uint8_t priority);
+  CkStatus BlockThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread);
+  // Unblock a blocked thread; optionally deposit a return value in guest a0
+  // (completing a blocked trap).
+  CkStatus ResumeThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread, bool has_return = false,
+                        uint32_t return_value = 0);
+  // Redirect a guest thread to `pc` with `a0` as argument -- how an
+  // application kernel "resumes the thread at the address corresponding to
+  // the user-specified UNIX signal handler" after a SEGV (section 2.1).
+  CkStatus RedirectThread(KernelId caller, cksim::Cpu& cpu, ThreadId thread, cksim::VirtAddr pc,
+                          uint32_t a0);
+
+  // ---- page mappings ----
+  CkStatus LoadMapping(KernelId caller, cksim::Cpu& cpu, const MappingSpec& spec);
+  // The optimized combined call: load the mapping and restart the faulting
+  // thread in one trap (Table 2's "optimized" row).
+  CkStatus LoadMappingAndResume(KernelId caller, cksim::Cpu& cpu, const MappingSpec& spec,
+                                ThreadId faulting_thread);
+  CkStatus UnloadMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space, cksim::VirtAddr vaddr);
+  CkStatus UnloadMappingRange(KernelId caller, cksim::Cpu& cpu, SpaceId space,
+                              cksim::VirtAddr vaddr, uint32_t pages);
+  Result<MappingInfo> QueryMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space,
+                                   cksim::VirtAddr vaddr);
+  CkStatus LockMapping(KernelId caller, cksim::Cpu& cpu, SpaceId space, cksim::VirtAddr vaddr,
+                       bool locked);
+
+  // ---- memory-based messaging ----
+  // Deliver an address-valued signal naming `vaddr` in `sender_space` (must
+  // be a message-mode mapping). Guests reach this through the signal trap;
+  // with the signal-on-write assist enabled, stores reach it directly.
+  CkStatus Signal(KernelId caller, cksim::Cpu& cpu, SpaceId sender_space, cksim::VirtAddr vaddr);
+
+  // ---- page contents (resolving deferred copies, zero-fill) ----
+  CkStatus CopyPage(KernelId caller, cksim::Cpu& cpu, cksim::PhysAddr dst, cksim::PhysAddr src);
+  CkStatus ZeroPage(KernelId caller, cksim::Cpu& cpu, cksim::PhysAddr dst);
+  // Direct physical access for application kernels loading program images
+  // into frames they own (models the app kernel's identity mapping of its
+  // granted memory).
+  CkStatus WritePhys(KernelId caller, cksim::Cpu& cpu, cksim::PhysAddr addr, const void* data,
+                     uint32_t len);
+  CkStatus ReadPhys(KernelId caller, cksim::Cpu& cpu, cksim::PhysAddr addr, void* out,
+                    uint32_t len);
+
+  // ---- native application memory access ----
+  // Loads/stores issued by native threads through their address space: the
+  // moral equivalent of a guest load/store instruction (applications "linked
+  // directly in the same address space with its application kernel" still
+  // access memory through their mappings, section 2.3). Translation goes
+  // through the CPU's TLB and the space's page tables; a missing mapping
+  // raises the normal fault-forwarding path synchronously and the access
+  // retries. No call-gate cost: this is not a kernel call.
+  Result<uint32_t> GuestLoad(KernelId caller, cksim::Cpu& cpu, ThreadId thread,
+                             cksim::VirtAddr vaddr);
+  CkStatus GuestStore(KernelId caller, cksim::Cpu& cpu, ThreadId thread, cksim::VirtAddr vaddr,
+                      uint32_t value);
+
+  // ---- failure injection ----
+  // Mark a physical frame as held remotely / failed: accesses raise
+  // consistency faults (section 2.1 footnote 1).
+  void MarkFrameRemote(uint32_t pframe, bool remote);
+
+  // ---- app-kernel deferred events ----
+  // Models application kernels' internal timer/pager threads: run `fn` with
+  // the kernel's authority at simulated time `at` on whichever CPU reaches
+  // it first.
+  void ScheduleAppEvent(cksim::Cycles at, KernelId kernel,
+                        std::function<void(CkApi&)> fn);
+
+  // ---- MachineClient / SignalSink ----
+  void OnCpuTurn(cksim::Cpu& cpu) override;
+  void SignalPhysical(cksim::PhysAddr addr, cksim::Cycles when) override;
+
+  // ---- introspection (tests, benches, examples) ----
+  const CkStats& stats() const { return stats_; }
+  const FaultTrace& last_fault_trace() const { return fault_trace_; }
+  cksim::Machine& machine() { return machine_; }
+  const CacheKernelConfig& config() const { return config_; }
+
+  uint32_t loaded_count(ObjectType type) const;
+  uint32_t capacity(ObjectType type) const;
+
+  // Thread/space state peeking for tests.
+  bool IsThreadLoaded(ThreadId id) { return threads_.Lookup(id.id) != nullptr; }
+  bool IsSpaceLoaded(SpaceId id) { return spaces_.Lookup(id.id) != nullptr; }
+  bool IsKernelLoaded(KernelId id) { return kernels_.Lookup(id.id) != nullptr; }
+  Result<ThreadState> GetThreadState(ThreadId id);
+  Result<ckisa::VmContext> GetThreadContext(ThreadId id);
+  // Live CPU consumption of a loaded thread (the per-thread accounting the
+  // quota machinery maintains, section 4.3). App-kernel scheduler threads use
+  // it to detect compute-bound threads.
+  Result<cksim::Cycles> GetThreadCpuConsumed(ThreadId id);
+  // Processor the thread was placed on at load time.
+  Result<uint32_t> GetThreadCpu(ThreadId id);
+
+  // Exhaustive structural self-check (the property tests' oracle): verifies
+  // the Figure 6 dependency invariants -- every loaded object's dependencies
+  // are loaded, the physical memory map agrees with the page tables, queue
+  // membership matches thread states, per-kernel counts add up. Returns a
+  // list of violations (empty = consistent).
+  std::vector<std::string> ValidateInvariants();
+
+  // Descriptor sizes for the Table 1 bench.
+  static constexpr uint32_t kKernelObjectBytes = sizeof(KernelObject);
+  static constexpr uint32_t kSpaceObjectBytes = sizeof(AddressSpaceObject);
+  static constexpr uint32_t kThreadObjectBytes = sizeof(ThreadObject);
+  static constexpr uint32_t kMappingEntryBytes = sizeof(MemMapEntry);
+
+ private:
+  friend class CkApi;
+  friend class GuestBusImpl;
+  friend class NativeCtx;
+
+  struct PendingSignal {
+    ckbase::PoolId thread;
+    cksim::VirtAddr vaddr = 0;
+    uint32_t pframe = 0;  // for the receiver-side reverse-TLB fast path
+    cksim::Cycles due = 0;
+  };
+
+  struct AppEvent {
+    cksim::Cycles at = 0;
+    ckbase::PoolId kernel;
+    std::function<void(CkApi&)> fn;
+  };
+
+  // -- lookup helpers --
+  KernelObject* GetKernel(KernelId id) { return kernels_.Lookup(id.id); }
+  AddressSpaceObject* GetSpace(SpaceId id) { return spaces_.Lookup(id.id); }
+  ThreadObject* GetThread(ThreadId id) { return threads_.Lookup(id.id); }
+  KernelId IdOfKernel(const KernelObject* k) { return KernelId{kernels_.IdOf(k)}; }
+  SpaceId IdOfSpace(const AddressSpaceObject* s) { return SpaceId{spaces_.IdOf(s)}; }
+  ThreadId IdOfThread(const ThreadObject* t) { return ThreadId{threads_.IdOf(t)}; }
+  KernelObject* KernelOfSlot(uint32_t slot) { return kernels_.SlotAt(slot); }
+
+  // -- effective lock chains (section 4.2) --
+  bool KernelEffectivelyLocked(const KernelObject* k) const { return k->locked; }
+  bool SpaceEffectivelyLocked(AddressSpaceObject* s);
+  bool ThreadEffectivelyLocked(ThreadObject* t);
+  bool MappingEffectivelyLocked(uint32_t pv_index);
+
+  // -- reclamation (capacity-forced victims) --
+  bool ReclaimKernel(cksim::Cpu& cpu);
+  bool ReclaimSpace(cksim::Cpu& cpu);
+  bool ReclaimThread(cksim::Cpu& cpu);
+  bool ReclaimMapping(cksim::Cpu& cpu);
+
+  // -- cascaded unload (Figure 6 order). Writeback iff wb. --
+  void UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bool writeback);
+  void UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu, bool writeback);
+  void UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bool writeback);
+  void UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeback,
+                      bool consistency_cascade = true);
+
+  // -- page table maintenance --
+  // Returns the leaf PTE address for vaddr, allocating tables if `create`.
+  cksim::PhysAddr LeafPteAddr(AddressSpaceObject* space, cksim::VirtAddr vaddr, bool create,
+                              cksim::Cpu& cpu);
+  void FreeSpaceTables(AddressSpaceObject* space);
+
+  // -- scheduling --
+  ThreadObject* PickNext(cksim::Cpu& cpu);
+  void Enqueue(ThreadObject* thread, bool front = false);
+  void Dequeue(ThreadObject* thread);
+  void RunGuest(ThreadObject* thread, cksim::Cpu& cpu);
+  void RunNative(ThreadObject* thread, cksim::Cpu& cpu);
+  void ChargeThread(ThreadObject* thread, cksim::Cpu& cpu, cksim::Cycles cycles);
+  void RollQuotaWindow(cksim::Cpu& cpu);
+  void PreemptCurrent(cksim::Cpu& cpu);
+  ThreadObject* CurrentOn(cksim::Cpu& cpu) {
+    return static_cast<ThreadObject*>(cpu.current_thread);
+  }
+
+  // -- forwarding --
+  void ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksim::Fault& fault);
+  void ForwardTrap(ThreadObject* thread, cksim::Cpu& cpu, uint16_t number);
+  void HandleCkTrap(ThreadObject* thread, cksim::Cpu& cpu, uint16_t number);
+
+  // -- messaging internals --
+  void DeliverSignalToFrame(uint32_t pframe, uint32_t offset, cksim::Cycles when,
+                            cksim::Cpu* origin_cpu);
+  void DeliverToThread(ThreadObject* thread, cksim::VirtAddr vaddr, uint32_t pframe,
+                       cksim::Cpu& cpu);
+  void DrainPendingSignals(cksim::Cpu& cpu);
+  void MaybeEnterSignalHandler(ThreadObject* thread, cksim::Cpu& cpu);
+  void RemoveSignalRecordsForThread(ThreadObject* thread, cksim::Cpu& cpu);
+
+  // -- access checks --
+  bool CheckPhysicalAccess(KernelObject* kernel, cksim::PhysAddr addr, uint32_t len, bool write);
+
+  void FlushTlbPageAllCpus(uint16_t asid, uint32_t vpage, cksim::Cpu& cpu);
+  void FlushReverseTlbFrameAllCpus(uint32_t pframe);
+
+  cksim::Machine& machine_;
+  CacheKernelConfig config_;
+
+  ckbase::FixedPool<KernelObject> kernels_;
+  ckbase::FixedPool<AddressSpaceObject> spaces_;
+  ckbase::FixedPool<ThreadObject> threads_;
+  PhysicalMemoryMap pmap_;
+  TableArena table_arena_;
+
+  KernelId first_kernel_;
+
+  // Per-CPU, per-priority ready queues.
+  using ReadyQueue = ckbase::IntrusiveList<ThreadObject, &ThreadObject::ready_node>;
+  std::vector<std::vector<ReadyQueue>> ready_;  // [cpu][priority]
+
+  std::vector<std::deque<PendingSignal>> pending_signals_;  // [cpu]
+  std::vector<cksim::Cycles> quota_window_start_;           // [cpu]
+
+  std::vector<AppEvent> app_events_;  // kept sorted by `at`
+  std::unordered_set<uint32_t> remote_frames_;
+
+  uint32_t next_cpu_rr_ = 0;  // round-robin thread placement
+  // Clock hands for victim scans, so reclamation cycles through the pools
+  // instead of re-evicting the most recently refilled slots.
+  uint32_t kernel_hand_ = 0;
+  uint32_t space_hand_ = 0;
+  uint32_t thread_hand_ = 0;
+  CkStats stats_;
+  FaultTrace fault_trace_;
+};
+
+// Facade carrying one application kernel's authority into Cache Kernel calls
+// (the "trap into the Cache Kernel" path for native app-kernel code). Also
+// lets app kernels charge their own simulated user-mode work.
+class CkApi {
+ public:
+  CkApi(CacheKernel& kernel, KernelId self, cksim::Cpu& cpu)
+      : ck_(kernel), self_(self), cpu_(cpu) {}
+
+  KernelId self() const { return self_; }
+  cksim::Cpu& cpu() { return cpu_; }
+  CacheKernel& kernel() { return ck_; }
+  cksim::Cycles now() const { return cpu_.clock(); }
+  void Charge(cksim::Cycles cycles) { cpu_.Advance(cycles); }
+
+  Result<SpaceId> LoadSpace(uint64_t cookie, bool locked = false) {
+    return ck_.LoadSpace(self_, cpu_, cookie, locked);
+  }
+  CkStatus UnloadSpace(SpaceId space) { return ck_.UnloadSpace(self_, cpu_, space); }
+  Result<ThreadId> LoadThread(const ThreadSpec& spec) { return ck_.LoadThread(self_, cpu_, spec); }
+  CkStatus UnloadThread(ThreadId thread) { return ck_.UnloadThread(self_, cpu_, thread); }
+  CkStatus SetThreadPriority(ThreadId thread, uint8_t priority) {
+    return ck_.SetThreadPriority(self_, cpu_, thread, priority);
+  }
+  CkStatus BlockThread(ThreadId thread) { return ck_.BlockThread(self_, cpu_, thread); }
+  CkStatus ResumeThread(ThreadId thread, bool has_return = false, uint32_t return_value = 0) {
+    return ck_.ResumeThread(self_, cpu_, thread, has_return, return_value);
+  }
+  CkStatus RedirectThread(ThreadId thread, cksim::VirtAddr pc, uint32_t a0) {
+    return ck_.RedirectThread(self_, cpu_, thread, pc, a0);
+  }
+  CkStatus LoadMapping(const MappingSpec& spec) { return ck_.LoadMapping(self_, cpu_, spec); }
+  CkStatus LoadMappingAndResume(const MappingSpec& spec, ThreadId faulting) {
+    return ck_.LoadMappingAndResume(self_, cpu_, spec, faulting);
+  }
+  CkStatus UnloadMapping(SpaceId space, cksim::VirtAddr vaddr) {
+    return ck_.UnloadMapping(self_, cpu_, space, vaddr);
+  }
+  CkStatus UnloadMappingRange(SpaceId space, cksim::VirtAddr vaddr, uint32_t pages) {
+    return ck_.UnloadMappingRange(self_, cpu_, space, vaddr, pages);
+  }
+  Result<MappingInfo> QueryMapping(SpaceId space, cksim::VirtAddr vaddr) {
+    return ck_.QueryMapping(self_, cpu_, space, vaddr);
+  }
+  CkStatus LockMapping(SpaceId space, cksim::VirtAddr vaddr, bool locked) {
+    return ck_.LockMapping(self_, cpu_, space, vaddr, locked);
+  }
+  CkStatus Signal(SpaceId sender_space, cksim::VirtAddr vaddr) {
+    return ck_.Signal(self_, cpu_, sender_space, vaddr);
+  }
+  CkStatus CopyPage(cksim::PhysAddr dst, cksim::PhysAddr src) {
+    return ck_.CopyPage(self_, cpu_, dst, src);
+  }
+  CkStatus ZeroPage(cksim::PhysAddr dst) { return ck_.ZeroPage(self_, cpu_, dst); }
+  CkStatus WritePhys(cksim::PhysAddr addr, const void* data, uint32_t len) {
+    return ck_.WritePhys(self_, cpu_, addr, data, len);
+  }
+  CkStatus ReadPhys(cksim::PhysAddr addr, void* out, uint32_t len) {
+    return ck_.ReadPhys(self_, cpu_, addr, out, len);
+  }
+  void ScheduleAt(cksim::Cycles at, std::function<void(CkApi&)> fn) {
+    ck_.ScheduleAppEvent(at, self_, std::move(fn));
+  }
+  void ScheduleAfter(cksim::Cycles delay, std::function<void(CkApi&)> fn) {
+    ck_.ScheduleAppEvent(cpu_.clock() + delay, self_, std::move(fn));
+  }
+
+  // First-kernel (SRM) operations; kDenied for everyone else.
+  Result<KernelId> LoadKernel(AppKernel* handlers, uint64_t cookie, bool locked = false) {
+    return ck_.LoadKernel(self_, cpu_, handlers, cookie, locked);
+  }
+  CkStatus UnloadKernel(KernelId kernel) { return ck_.UnloadKernel(self_, cpu_, kernel); }
+  CkStatus GrantPageGroups(KernelId kernel, uint32_t first_group, uint32_t count,
+                           GroupAccess access) {
+    return ck_.GrantPageGroups(self_, cpu_, kernel, first_group, count, access);
+  }
+  CkStatus SetCpuQuota(KernelId kernel, const uint8_t percent[kMaxCpus], uint8_t max_priority) {
+    return ck_.SetCpuQuota(self_, cpu_, kernel, percent, max_priority);
+  }
+  CkStatus SetLockLimits(KernelId kernel, const uint8_t limits[kObjectTypeCount]) {
+    return ck_.SetLockLimits(self_, cpu_, kernel, limits);
+  }
+
+ private:
+  CacheKernel& ck_;
+  KernelId self_;
+  cksim::Cpu& cpu_;
+};
+
+// Execution context given to native programs each Step/OnSignal.
+class NativeCtx {
+ public:
+  NativeCtx(CkApi api, ThreadId self, uint64_t cookie)
+      : api_(api), self_(self), cookie_(cookie) {}
+
+  CkApi& api() { return api_; }
+  ThreadId self_thread() const { return self_; }
+  uint64_t cookie() const { return cookie_; }
+  void Charge(cksim::Cycles cycles) { api_.Charge(cycles); }
+
+  // Memory access through this thread's address space (translated, charged,
+  // faulting into the owning kernel's handler like any other access).
+  ckbase::Result<uint32_t> LoadWord(cksim::VirtAddr vaddr) {
+    return api_.kernel().GuestLoad(api_.self(), api_.cpu(), self_, vaddr);
+  }
+  ckbase::CkStatus StoreWord(cksim::VirtAddr vaddr, uint32_t value) {
+    return api_.kernel().GuestStore(api_.self(), api_.cpu(), self_, vaddr, value);
+  }
+
+ private:
+  CkApi api_;
+  ThreadId self_;
+  uint64_t cookie_;
+};
+
+// Guest trap numbers handled by the Cache Kernel itself; all others are
+// forwarded to the owning application kernel as system calls.
+inline constexpr uint16_t kTrapSignalReturn = 1;  // end of signal function
+inline constexpr uint16_t kTrapSignal = 2;        // a0 = message vaddr
+inline constexpr uint16_t kTrapAwaitSignal = 3;   // block until a signal
+inline constexpr uint16_t kTrapYield = 4;         // give up the time slice
+inline constexpr uint16_t kFirstAppTrap = 16;     // app-kernel syscall space
+
+}  // namespace ck
+
+#endif  // SRC_CK_CACHE_KERNEL_H_

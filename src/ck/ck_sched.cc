@@ -1,0 +1,671 @@
+// Cache Kernel scheduling, dispatch, and trap/fault forwarding (Figure 2).
+
+#include "src/ck/cache_kernel.h"
+
+namespace ck {
+
+using cksim::Cycles;
+using cksim::PhysAddr;
+using cksim::VirtAddr;
+
+// Guest memory bus: binds the running thread's address space to the CPU's
+// MMU. All guest instruction fetches, loads and stores flow through here.
+class GuestBusImpl : public ckisa::GuestBus {
+ public:
+  GuestBusImpl(CacheKernel& ck, cksim::Cpu& cpu, AddressSpaceObject* space, uint16_t asid)
+      : ck_(ck), cpu_(cpu), space_(space), asid_(asid) {}
+
+  MemResult Fetch(uint32_t vaddr) override {
+    return Access(vaddr, cksim::Access::kExecute, 0, 4);
+  }
+  MemResult Load32(uint32_t vaddr) override { return Access(vaddr, cksim::Access::kRead, 0, 4); }
+  MemResult Load8(uint32_t vaddr) override { return Access(vaddr, cksim::Access::kRead, 0, 1); }
+  MemResult Store32(uint32_t vaddr, uint32_t value) override {
+    return Access(vaddr, cksim::Access::kWrite, value, 4);
+  }
+  MemResult Store8(uint32_t vaddr, uint8_t value) override {
+    return Access(vaddr, cksim::Access::kWrite, value, 1);
+  }
+
+  void ChargeInstruction() override { cpu_.Advance(ck_.machine_.cost().instruction); }
+
+  void OnMessageWrite(uint32_t vaddr) override {
+    // Signal-on-write hardware assist (section 2.2 footnote): the write
+    // itself generates the address-valued signal.
+    if (!ck_.config_.signal_on_write) {
+      return;
+    }
+    cksim::Mmu::TranslateResult t =
+        cpu_.mmu().Translate(space_->root_table, asid_, vaddr, cksim::Access::kRead);
+    if (t.ok) {
+      ck_.DeliverSignalToFrame(cksim::PageFrame(t.paddr), t.paddr & cksim::kPageOffsetMask,
+                               cpu_.clock(), &cpu_);
+    }
+  }
+
+ private:
+  MemResult Access(uint32_t vaddr, cksim::Access access, uint32_t value, uint32_t size) {
+    MemResult result;
+    if (size == 4 && (vaddr & 3u) != 0) {
+      result.fault.type = cksim::FaultType::kBadAlignment;
+      result.fault.address = vaddr;
+      result.fault.access = access;
+      return result;
+    }
+    cksim::Mmu::TranslateResult t =
+        cpu_.mmu().Translate(space_->root_table, asid_, vaddr, access);
+    cpu_.Advance(t.cycles);
+    if (!t.ok) {
+      result.fault = t.fault;
+      return result;
+    }
+    if (ck_.remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+      // Consistency fault: the line is held on a remote node or the memory
+      // module failed (section 2.1).
+      ck_.stats_.consistency_faults++;
+      result.fault.type = cksim::FaultType::kConsistency;
+      result.fault.address = vaddr;
+      result.fault.access = access;
+      return result;
+    }
+    cksim::PhysicalMemory& mem = ck_.machine_.memory();
+    cpu_.Advance(ck_.machine_.cost().mem_word);
+    if (access == cksim::Access::kWrite) {
+      if (size == 4) {
+        mem.WriteWord(t.paddr, value);
+      } else {
+        mem.WriteByte(t.paddr, static_cast<uint8_t>(value));
+      }
+      result.message_write = t.message_write;
+    } else {
+      result.value = size == 4 ? mem.ReadWord(t.paddr) : mem.ReadByte(t.paddr);
+    }
+    result.ok = true;
+    return result;
+  }
+
+  CacheKernel& ck_;
+  cksim::Cpu& cpu_;
+  AddressSpaceObject* space_;
+  uint16_t asid_;
+};
+
+// ---------------------------------------------------------------------------
+// Native application memory access
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> CacheKernel::GuestLoad(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id,
+                                        VirtAddr vaddr) {
+  ThreadObject* thread = GetThread(thread_id);
+  KernelObject* owner = GetKernel(caller);
+  if (thread == nullptr || owner == nullptr || kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kStale;
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    AddressSpaceObject* space =
+        spaces_.Lookup(ckbase::PoolId{thread->space_slot, thread->space_gen});
+    if (space == nullptr) {
+      return CkStatus::kStale;
+    }
+    cksim::Mmu::TranslateResult t = cpu.mmu().Translate(
+        space->root_table, static_cast<uint16_t>(thread->space_slot), vaddr,
+        cksim::Access::kRead);
+    cpu.Advance(t.cycles);
+    if (t.ok) {
+      if (remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+        stats_.consistency_faults++;
+        cksim::Fault fault;
+        fault.type = cksim::FaultType::kConsistency;
+        fault.address = vaddr;
+        ForwardFault(thread, cpu, fault);
+        continue;
+      }
+      cpu.Advance(machine_.cost().mem_word);
+      return machine_.memory().ReadWord(t.paddr & ~3u);
+    }
+    ForwardFault(thread, cpu, t.fault);
+    if (GetThread(thread_id) == nullptr || thread->state == ThreadState::kHalted ||
+        thread->state == ThreadState::kBlocked) {
+      return CkStatus::kBusy;  // the handler blocked or killed the thread
+    }
+  }
+  return CkStatus::kNotFound;
+}
+
+CkStatus CacheKernel::GuestStore(KernelId caller, cksim::Cpu& cpu, ThreadId thread_id,
+                                 VirtAddr vaddr, uint32_t value) {
+  ThreadObject* thread = GetThread(thread_id);
+  KernelObject* owner = GetKernel(caller);
+  if (thread == nullptr || owner == nullptr || kernels_.SlotAt(thread->kernel_slot) != owner) {
+    return CkStatus::kStale;
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    AddressSpaceObject* space =
+        spaces_.Lookup(ckbase::PoolId{thread->space_slot, thread->space_gen});
+    if (space == nullptr) {
+      return CkStatus::kStale;
+    }
+    cksim::Mmu::TranslateResult t = cpu.mmu().Translate(
+        space->root_table, static_cast<uint16_t>(thread->space_slot), vaddr,
+        cksim::Access::kWrite);
+    cpu.Advance(t.cycles);
+    if (t.ok) {
+      if (remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+        stats_.consistency_faults++;
+        cksim::Fault fault;
+        fault.type = cksim::FaultType::kConsistency;
+        fault.address = vaddr;
+        fault.access = cksim::Access::kWrite;
+        ForwardFault(thread, cpu, fault);
+        continue;
+      }
+      cpu.Advance(machine_.cost().mem_word);
+      machine_.memory().WriteWord(t.paddr & ~3u, value);
+      if (t.message_write && config_.signal_on_write) {
+        DeliverSignalToFrame(cksim::PageFrame(t.paddr), t.paddr & cksim::kPageOffsetMask,
+                             cpu.clock(), &cpu);
+      }
+      return CkStatus::kOk;
+    }
+    ForwardFault(thread, cpu, t.fault);
+    if (GetThread(thread_id) == nullptr || thread->state == ThreadState::kHalted ||
+        thread->state == ThreadState::kBlocked) {
+      return CkStatus::kBusy;
+    }
+  }
+  return CkStatus::kNotFound;
+}
+
+// ---------------------------------------------------------------------------
+// Ready queues
+// ---------------------------------------------------------------------------
+
+void CacheKernel::Enqueue(ThreadObject* thread, bool front) {
+  ReadyQueue& queue = ready_[thread->cpu][thread->priority];
+  if (front) {
+    queue.PushFront(thread);
+  } else {
+    queue.PushBack(thread);
+  }
+  thread->state = ThreadState::kReady;
+}
+
+void CacheKernel::Dequeue(ThreadObject* thread) {
+  ready_[thread->cpu][thread->priority].Remove(thread);
+}
+
+ThreadObject* CacheKernel::PickNext(cksim::Cpu& cpu) {
+  RollQuotaWindow(cpu);
+  // Pass 0 honors quotas; pass 1 runs over-quota threads only when the
+  // processor is otherwise idle ("reduced to a low priority so that they only
+  // run when the processor is otherwise idle", section 4.3).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int prio = static_cast<int>(config_.priority_levels) - 1; prio >= 0; --prio) {
+      ReadyQueue& queue = ready_[cpu.id()][prio];
+      for (ThreadObject* t : queue) {
+        KernelObject* owner = kernels_.SlotAt(t->kernel_slot);
+        bool degraded = config_.enforce_quotas && owner->over_quota[cpu.id()];
+        if (pass == 0 && degraded) {
+          continue;
+        }
+        Dequeue(t);
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void CacheKernel::PreemptCurrent(cksim::Cpu& cpu) {
+  ThreadObject* cur = CurrentOn(cpu);
+  if (cur == nullptr) {
+    return;
+  }
+  cpu.Advance(machine_.cost().context_save);
+  cur->state = ThreadState::kReady;
+  Enqueue(cur);
+  cpu.current_thread = nullptr;
+  stats_.preemptions++;
+}
+
+void CacheKernel::RollQuotaWindow(cksim::Cpu& cpu) {
+  if (cpu.clock() - quota_window_start_[cpu.id()] < config_.quota_window) {
+    return;
+  }
+  quota_window_start_[cpu.id()] = cpu.clock();
+  for (uint32_t slot = 0; slot < kernels_.capacity(); ++slot) {
+    if (!kernels_.IsAllocated(slot)) {
+      continue;
+    }
+    KernelObject* k = kernels_.SlotAt(slot);
+    k->weighted_consumed[cpu.id()] = 0;
+    k->over_quota[cpu.id()] = false;
+  }
+}
+
+void CacheKernel::ChargeThread(ThreadObject* thread, cksim::Cpu& cpu, Cycles cycles) {
+  thread->cpu_consumed += cycles;
+  thread->slice_remaining = thread->slice_remaining > cycles
+                                ? thread->slice_remaining - cycles
+                                : 0;
+  cpu.busy_cycles += cycles;
+
+  KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+  // Graduated charging (section 4.3): a premium for high-priority execution,
+  // a discount for low. weight/16 ranges from 0.5 at priority 0 to ~2.4 at 31.
+  uint64_t weighted = cycles * (8 + thread->priority) / 16;
+  owner->weighted_consumed[cpu.id()] += weighted;
+  cpu.Advance(machine_.cost().quota_account);
+
+  if (config_.enforce_quotas && owner->cpu_percent[cpu.id()] < 100 &&
+      !owner->over_quota[cpu.id()]) {
+    uint64_t budget =
+        static_cast<uint64_t>(owner->cpu_percent[cpu.id()]) * config_.quota_window / 100;
+    if (owner->weighted_consumed[cpu.id()] > budget) {
+      owner->over_quota[cpu.id()] = true;
+      stats_.quota_degradations++;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The dispatch loop
+// ---------------------------------------------------------------------------
+
+void CacheKernel::OnCpuTurn(cksim::Cpu& cpu) {
+  // Application-kernel deferred events due on this CPU's clock.
+  while (!app_events_.empty() && app_events_.front().at <= cpu.clock()) {
+    AppEvent event = std::move(app_events_.front());
+    app_events_.erase(app_events_.begin());
+    KernelObject* k = kernels_.Lookup(event.kernel);
+    if (k != nullptr) {
+      CkApi api(*this, KernelId{event.kernel}, cpu);
+      event.fn(api);
+    }
+  }
+
+  DrainPendingSignals(cpu);
+
+  ThreadObject* current = CurrentOn(cpu);
+  if (current != nullptr) {
+    // Priority preemption: a higher-priority thread readied since last turn.
+    for (uint32_t prio = config_.priority_levels - 1; prio > current->priority; --prio) {
+      if (!ready_[cpu.id()][prio].empty()) {
+        PreemptCurrent(cpu);
+        current = nullptr;
+        break;
+      }
+    }
+    // Quota preemption: a degraded kernel's thread runs only when the
+    // processor is otherwise idle (section 4.3), so any ready non-degraded
+    // thread takes the processor at the next dispatch boundary.
+    if (current != nullptr && config_.enforce_quotas &&
+        kernels_.SlotAt(current->kernel_slot)->over_quota[cpu.id()]) {
+      bool other_waiting = false;
+      for (uint32_t prio = 0; prio < config_.priority_levels && !other_waiting; ++prio) {
+        for (ThreadObject* t : ready_[cpu.id()][prio]) {
+          if (!kernels_.SlotAt(t->kernel_slot)->over_quota[cpu.id()]) {
+            other_waiting = true;
+            break;
+          }
+        }
+      }
+      if (other_waiting) {
+        PreemptCurrent(cpu);
+        current = nullptr;
+      }
+    }
+  }
+
+  if (current == nullptr) {
+    current = PickNext(cpu);
+    if (current == nullptr) {
+      stats_.idle_turns++;
+      // Jump idle CPUs forward to the next interesting moment so pending
+      // cross-CPU work is not crawled toward in idle_tick steps.
+      Cycles target = cpu.clock() + machine_.cost().idle_tick;
+      if (!pending_signals_[cpu.id()].empty()) {
+        target = std::max(cpu.clock() + 1, std::min(target, pending_signals_[cpu.id()].front().due));
+      }
+      cpu.AdvanceTo(target);
+      return;
+    }
+    current->state = ThreadState::kRunning;
+    cpu.current_thread = current;
+    current->slice_remaining = config_.time_slice;
+    cpu.Advance(machine_.cost().context_restore);
+    stats_.context_switches++;
+  }
+
+  if (current->native != nullptr) {
+    RunNative(current, cpu);
+  } else {
+    RunGuest(current, cpu);
+  }
+
+  // Time-slice expiry: round-robin within the priority (section 4.3).
+  ThreadObject* still = CurrentOn(cpu);
+  if (still != nullptr && still->slice_remaining == 0) {
+    PreemptCurrent(cpu);
+  }
+}
+
+void CacheKernel::RunGuest(ThreadObject* thread, cksim::Cpu& cpu) {
+  AddressSpaceObject* space =
+      spaces_.Lookup(ckbase::PoolId{thread->space_slot, thread->space_gen});
+  if (space == nullptr) {
+    // Invariant violation: threads are unloaded with their space.
+    UnloadThreadInternal(thread, cpu, /*writeback=*/false);
+    return;
+  }
+
+  MaybeEnterSignalHandler(thread, cpu);
+
+  Cycles before = cpu.clock();
+  GuestBusImpl bus(*this, cpu, space, static_cast<uint16_t>(thread->space_slot));
+  ckisa::RunResult run = ckisa::Run(thread->vm, bus, config_.dispatch_budget);
+  ChargeThread(thread, cpu, cpu.clock() - before);
+
+  switch (run.event) {
+    case ckisa::RunEvent::kBudgetExhausted:
+      break;
+    case ckisa::RunEvent::kTrap:
+      if (run.trap_number < kFirstAppTrap) {
+        HandleCkTrap(thread, cpu, run.trap_number);
+      } else {
+        ForwardTrap(thread, cpu, run.trap_number);
+      }
+      break;
+    case ckisa::RunEvent::kFault:
+      ForwardFault(thread, cpu, run.fault);
+      break;
+    case ckisa::RunEvent::kHalt: {
+      ThreadId id = IdOfThread(thread);
+      uint64_t cookie = thread->cookie;
+      KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+      thread->state = ThreadState::kHalted;
+      cpu.current_thread = nullptr;
+      CkApi api(*this, IdOfKernel(owner), cpu);
+      owner->handlers->OnThreadHalt(id, cookie, api);
+      break;
+    }
+  }
+}
+
+void CacheKernel::RunNative(ThreadObject* thread, cksim::Cpu& cpu) {
+  KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+  ThreadId id = IdOfThread(thread);
+  NativeCtx ctx(CkApi(*this, IdOfKernel(owner), cpu), id, thread->cookie);
+
+  // Deliver queued address-valued signals before the step.
+  while (thread->signal_count > 0) {
+    VirtAddr addr = thread->signal_queue[thread->signal_head];
+    thread->signal_head = (thread->signal_head + 1) % ThreadObject::kSignalQueueDepth;
+    thread->signal_count--;
+    thread->signals_taken++;
+    thread->native->OnSignal(addr, ctx);
+    if (GetThread(id) != thread || thread->state != ThreadState::kRunning) {
+      return;  // the handler unloaded or blocked the thread
+    }
+  }
+
+  Cycles before = cpu.clock();
+  NativeOutcome outcome = thread->native->Step(ctx);
+  if (GetThread(id) != thread) {
+    return;  // the step unloaded this thread
+  }
+  Cycles consumed = cpu.clock() - before;
+  if (consumed == 0) {
+    cpu.Advance(machine_.cost().instruction);
+    consumed = machine_.cost().instruction;
+  }
+  ChargeThread(thread, cpu, consumed);
+
+  switch (outcome.action) {
+    case NativeOutcome::Action::kYield:
+      break;
+    case NativeOutcome::Action::kBlock:
+      if (thread->state == ThreadState::kRunning) {
+        // A signal may have raced in during the step; stay runnable then.
+        if (thread->signal_count > 0) {
+          break;
+        }
+        thread->state = ThreadState::kBlocked;
+        cpu.current_thread = nullptr;
+        cpu.Advance(machine_.cost().context_save);
+      }
+      break;
+    case NativeOutcome::Action::kHalt: {
+      thread->state = ThreadState::kHalted;
+      cpu.current_thread = nullptr;
+      CkApi api(*this, IdOfKernel(owner), cpu);
+      owner->handlers->OnThreadHalt(id, thread->cookie, api);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding (Figure 2)
+// ---------------------------------------------------------------------------
+
+void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksim::Fault& fault) {
+  const cksim::CostModel& cost = machine_.cost();
+  stats_.faults_forwarded++;
+  fault_trace_ = FaultTrace{};
+  fault_trace_.trap_entry = cpu.clock();
+
+  // Step 1-2: the access error handler stores the faulting thread's state,
+  // switches it to the application kernel's space and exception stack, and
+  // starts it in the kernel's fault handler.
+  cpu.Advance(cost.trap_entry + cost.context_save + cost.handler_dispatch);
+
+  AddressSpaceObject* space = spaces_.SlotAt(thread->space_slot);
+  KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+
+  FaultForward forward;
+  ThreadId id = IdOfThread(thread);
+  forward.thread = id;
+  forward.thread_cookie = thread->cookie;
+  forward.space_cookie = space->cookie;
+  forward.fault = fault;
+  if (fault.type == cksim::FaultType::kProtection) {
+    PhysAddr leaf = LeafPteAddr(space, fault.address, /*create=*/false, cpu);
+    if (leaf != 0) {
+      uint32_t pte = machine_.memory().ReadWord(leaf);
+      forward.copy_on_write = cksim::PteValid(pte) && (pte & cksim::kPteCopyOnWrite) != 0;
+    }
+  }
+
+  fault_trace_.handler_start = cpu.clock();
+  CkApi api(*this, IdOfKernel(owner), cpu);
+  cpu.Advance(cost.app_handler_base);
+  HandlerAction action = owner->handlers->HandleFault(forward, api);
+
+  // The handler may have unloaded or blocked the thread; revalidate.
+  ThreadObject* revalidated = GetThread(id);
+  if (revalidated == nullptr) {
+    if (CurrentOn(cpu) == thread) {
+      cpu.current_thread = nullptr;
+    }
+    return;
+  }
+
+  switch (action) {
+    case HandlerAction::kResume:
+    case HandlerAction::kResumed:
+      // Step 5-6: exception processing complete; the thread re-executes the
+      // faulting access.
+      cpu.Advance(cost.trap_exit);
+      if (thread->state == ThreadState::kBlocked) {
+        thread->state = ThreadState::kReady;
+        Enqueue(thread, /*front=*/true);
+      }
+      fault_trace_.resumed = cpu.clock();
+      break;
+    case HandlerAction::kBlock:
+      if (CurrentOn(cpu) == thread) {
+        cpu.current_thread = nullptr;
+      }
+      if (thread->ready_node.linked()) {
+        Dequeue(thread);
+      }
+      thread->state = ThreadState::kBlocked;
+      cpu.Advance(cost.context_save);
+      break;
+    case HandlerAction::kTerminate:
+      if (CurrentOn(cpu) == thread) {
+        cpu.current_thread = nullptr;
+      }
+      if (thread->ready_node.linked()) {
+        Dequeue(thread);
+      }
+      thread->state = ThreadState::kHalted;
+      owner->handlers->OnThreadHalt(id, forward.thread_cookie, api);
+      break;
+  }
+}
+
+void CacheKernel::ForwardTrap(ThreadObject* thread, cksim::Cpu& cpu, uint16_t number) {
+  const cksim::CostModel& cost = machine_.cost();
+  stats_.traps_forwarded++;
+
+  // Same redirect mechanism as faults (section 2.3 trap forwarding).
+  cpu.Advance(cost.trap_entry + cost.handler_dispatch);
+
+  KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
+  TrapForward forward;
+  ThreadId id = IdOfThread(thread);
+  forward.thread = id;
+  forward.thread_cookie = thread->cookie;
+  forward.number = number;
+  for (int i = 0; i < 6; ++i) {
+    forward.args[i] = thread->vm.regs[ckisa::kRegA0 + i];
+  }
+
+  CkApi api(*this, IdOfKernel(owner), cpu);
+  cpu.Advance(cost.app_handler_base);
+  TrapAction action = owner->handlers->HandleTrap(forward, api);
+
+  ThreadObject* revalidated = GetThread(id);
+  if (revalidated == nullptr) {
+    if (CurrentOn(cpu) == thread) {
+      cpu.current_thread = nullptr;
+    }
+    return;
+  }
+
+  switch (action.action) {
+    case HandlerAction::kResume:
+    case HandlerAction::kResumed:
+      if (action.has_return_value) {
+        thread->vm.regs[ckisa::kRegA0] = action.return_value;
+      }
+      cpu.Advance(cost.trap_exit);
+      if (thread->state == ThreadState::kBlocked) {
+        thread->state = ThreadState::kReady;
+        Enqueue(thread, /*front=*/true);
+      }
+      break;
+    case HandlerAction::kBlock:
+      if (CurrentOn(cpu) == thread) {
+        cpu.current_thread = nullptr;
+      }
+      if (thread->ready_node.linked()) {
+        Dequeue(thread);
+      }
+      thread->state = ThreadState::kBlocked;
+      cpu.Advance(cost.context_save);
+      break;
+    case HandlerAction::kTerminate:
+      if (CurrentOn(cpu) == thread) {
+        cpu.current_thread = nullptr;
+      }
+      if (thread->ready_node.linked()) {
+        Dequeue(thread);
+      }
+      thread->state = ThreadState::kHalted;
+      owner->handlers->OnThreadHalt(id, forward.thread_cookie, api);
+      break;
+  }
+}
+
+void CacheKernel::HandleCkTrap(ThreadObject* thread, cksim::Cpu& cpu, uint16_t number) {
+  const cksim::CostModel& cost = machine_.cost();
+  switch (number) {
+    case kTrapSignalReturn:
+      cpu.Advance(cost.signal_return);
+      if (thread->in_signal) {
+        thread->in_signal = false;
+        thread->vm.pc = thread->saved_pc;
+        // Drain the next queued signal, if any.
+        MaybeEnterSignalHandler(thread, cpu);
+      }
+      break;
+
+    case kTrapSignal: {
+      // a0 = virtual address of the new message in the sender's space.
+      cpu.Advance(cost.trap_entry + cost.call_gate);
+      AddressSpaceObject* space = spaces_.SlotAt(thread->space_slot);
+      VirtAddr vaddr = thread->vm.regs[ckisa::kRegA0];
+      cksim::Mmu::TranslateResult t = cpu.mmu().Translate(
+          space->root_table, static_cast<uint16_t>(thread->space_slot), vaddr,
+          cksim::Access::kRead);
+      cpu.Advance(t.cycles);
+      if (t.ok) {
+        // Must be a message-mode mapping; otherwise the signal is ignored
+        // (the guest misused the trap).
+        PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+        uint32_t pte = leaf != 0 ? machine_.memory().ReadWord(leaf) : 0;
+        if (cksim::PteValid(pte) && (pte & cksim::kPteMessage) != 0) {
+          machine_.DeliverDoorbell(t.paddr, cpu.clock());
+          DeliverSignalToFrame(cksim::PageFrame(t.paddr), t.paddr & cksim::kPageOffsetMask,
+                               cpu.clock(), &cpu);
+        }
+      } else {
+        // Sender's mapping is not loaded: deliver the mapping fault so the
+        // application kernel loads all mappings for the message page
+        // (multi-mapping consistency, section 4.2).
+        thread->vm.pc -= 4;  // re-execute the trap after the fault resolves
+        ForwardFault(thread, cpu, t.fault);
+        return;
+      }
+      cpu.Advance(cost.trap_exit);
+      break;
+    }
+
+    case kTrapAwaitSignal:
+      cpu.Advance(cost.call_gate);
+      if (thread->signal_count > 0) {
+        if (thread->signal_handler != 0) {
+          MaybeEnterSignalHandler(thread, cpu);
+        } else {
+          VirtAddr addr = thread->signal_queue[thread->signal_head];
+          thread->signal_head = (thread->signal_head + 1) % ThreadObject::kSignalQueueDepth;
+          thread->signal_count--;
+          thread->signals_taken++;
+          thread->vm.regs[ckisa::kRegA0] = addr;
+        }
+      } else {
+        // Suspend, staying loaded, so the arrival resumes quickly
+        // ("a thread can also remain loaded ... when it suspends itself by
+        // waiting on a signal", section 2.3).
+        thread->state = ThreadState::kBlocked;
+        cpu.current_thread = nullptr;
+        cpu.Advance(cost.context_save);
+      }
+      break;
+
+    case kTrapYield:
+      thread->slice_remaining = 0;
+      break;
+
+    default:
+      // Unknown Cache Kernel trap: treat as an application trap so the owning
+      // kernel can decide (it usually terminates the thread).
+      ForwardTrap(thread, cpu, number);
+      break;
+  }
+}
+
+}  // namespace ck

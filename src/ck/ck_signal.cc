@@ -1,0 +1,242 @@
+// Memory-based messaging: address-valued signal delivery (sections 2.2, 4.1).
+
+#include "src/ck/cache_kernel.h"
+
+namespace ck {
+
+using cksim::Cycles;
+using cksim::PhysAddr;
+using cksim::VirtAddr;
+
+CkStatus CacheKernel::Signal(KernelId caller, cksim::Cpu& cpu, SpaceId sender_space,
+                             VirtAddr vaddr) {
+  const cksim::CostModel& cost = machine_.cost();
+  cpu.Advance(cost.trap_entry + cost.call_gate);
+  CkStatus status = [&] {
+    KernelObject* owner = GetKernel(caller);
+    AddressSpaceObject* space = GetSpace(sender_space);
+    if (owner == nullptr || space == nullptr) {
+      stats_.stale_id_errors++;
+      return CkStatus::kStale;
+    }
+    if (kernels_.SlotAt(space->kernel_slot) != owner) {
+      return CkStatus::kDenied;
+    }
+    uint16_t asid = static_cast<uint16_t>(spaces_.SlotOf(space));
+    cksim::Mmu::TranslateResult t =
+        cpu.mmu().Translate(space->root_table, asid, vaddr, cksim::Access::kRead);
+    cpu.Advance(t.cycles);
+    if (!t.ok) {
+      return CkStatus::kNotFound;  // sender's mapping must be loaded
+    }
+    PhysAddr leaf = LeafPteAddr(space, vaddr, /*create=*/false, cpu);
+    uint32_t pte = leaf != 0 ? machine_.memory().ReadWord(leaf) : 0;
+    if (!cksim::PteValid(pte) || (pte & cksim::kPteMessage) == 0) {
+      return CkStatus::kInvalidArgument;  // not a message-mode page
+    }
+    machine_.DeliverDoorbell(t.paddr, cpu.clock());
+    DeliverSignalToFrame(cksim::PageFrame(t.paddr), t.paddr & cksim::kPageOffsetMask, cpu.clock(),
+                         &cpu);
+    return CkStatus::kOk;
+  }();
+  cpu.Advance(cost.trap_exit);
+  return status;
+}
+
+void CacheKernel::SignalPhysical(PhysAddr addr, Cycles when) {
+  // Device-originated signals (reception slots, clock ticks). Devices run off
+  // the machine clock, not a CPU, so delivery always goes through the
+  // per-CPU pending queues.
+  DeliverSignalToFrame(cksim::PageFrame(addr), addr & cksim::kPageOffsetMask, when, nullptr);
+}
+
+void CacheKernel::DeliverSignalToFrame(uint32_t pframe, uint32_t offset, Cycles when,
+                                       cksim::Cpu* origin_cpu) {
+  const cksim::CostModel& cost = machine_.cost();
+
+  // Two-stage lookup (section 4.1): PhysToVirt records for the frame, then
+  // Signal records keyed by each. Targets are collected first because
+  // delivery can mutate the map (stale-thread records are dropped).
+  struct Target {
+    ckbase::PoolId thread;
+    VirtAddr vaddr;
+  };
+  std::vector<Target> targets;
+
+  for (uint32_t pv = pmap_.FindFirst(pframe); pv != kNilRecord; pv = pmap_.NextWithKey(pv)) {
+    const MemMapEntry& rec = pmap_.record(pv);
+    if (rec.type() != RecordType::kPhysToVirt) {
+      continue;
+    }
+    VirtAddr vbase = rec.pv_vaddr();
+    for (uint32_t sig = pmap_.FindFirst(pv); sig != kNilRecord; sig = pmap_.NextWithKey(sig)) {
+      const MemMapEntry& dep = pmap_.record(sig);
+      if (dep.type() != RecordType::kSignal) {
+        continue;
+      }
+      uint32_t slot = dep.signal_thread_slot();
+      if (!threads_.IsAllocated(slot)) {
+        continue;
+      }
+      ThreadObject* t = threads_.SlotAt(slot);
+      ckbase::PoolId tid = threads_.IdOf(t);
+      if ((tid.generation & 0xffffffu) != dep.signal_thread_gen24()) {
+        continue;  // record names a previous occupant of the slot
+      }
+      targets.push_back(Target{tid, vbase + offset});
+    }
+  }
+
+  for (const Target& target : targets) {
+    ThreadObject* t = threads_.Lookup(target.thread);
+    if (t == nullptr) {
+      continue;
+    }
+    if (origin_cpu != nullptr && t->cpu == origin_cpu->id()) {
+      DeliverToThread(t, target.vaddr, pframe, *origin_cpu);
+    } else {
+      // Cross-processor delivery: timestamped, processed on the receiver's
+      // next turn after the IPI latency.
+      if (origin_cpu != nullptr) {
+        origin_cpu->Advance(cost.ipi);
+      }
+      Cycles due = when + cost.ipi;
+      auto& queue = pending_signals_[t->cpu];
+      auto it = queue.end();
+      while (it != queue.begin() && (it - 1)->due > due) {
+        --it;
+      }
+      queue.insert(it, PendingSignal{target.thread, target.vaddr, pframe, due});
+    }
+  }
+}
+
+void CacheKernel::DrainPendingSignals(cksim::Cpu& cpu) {
+  auto& queue = pending_signals_[cpu.id()];
+  while (!queue.empty() && queue.front().due <= cpu.clock()) {
+    PendingSignal pending = queue.front();
+    queue.pop_front();
+    ThreadObject* t = threads_.Lookup(pending.thread);
+    if (t == nullptr) {
+      continue;  // unloaded while the signal was in flight
+    }
+    DeliverToThread(t, pending.vaddr, pending.pframe, cpu);
+  }
+}
+
+void CacheKernel::DeliverToThread(ThreadObject* thread, VirtAddr vaddr, uint32_t pframe,
+                                  cksim::Cpu& cpu) {
+  const cksim::CostModel& cost = machine_.cost();
+
+  // Fast path: the per-processor reverse-TLB maps the physical frame to the
+  // (virtual address, signal function) pair; a hit delivers to the active
+  // thread with no map lookup (section 4.1).
+  bool fast = false;
+  if (config_.reverse_tlb_enabled) {
+    const cksim::ReverseTlb::Entry* entry = cpu.reverse_tlb().Lookup(pframe);
+    if (entry != nullptr && entry->thread_id == threads_.IdOf(thread).Packed()) {
+      fast = true;
+    }
+  }
+  if (fast) {
+    cpu.Advance(cost.signal_deliver_fast);
+    stats_.signals_delivered_fast++;
+  } else {
+    cpu.Advance(cost.signal_deliver_slow);
+    stats_.signals_delivered_slow++;
+    if (config_.reverse_tlb_enabled) {
+      cksim::ReverseTlb::Entry entry;
+      entry.valid = true;
+      entry.pframe = pframe;
+      entry.vbase = vaddr & ~cksim::kPageOffsetMask;
+      entry.thread_id = threads_.IdOf(thread).Packed();
+      entry.handler = thread->signal_handler;
+      entry.map_version = pmap_.version_value();
+      cpu.reverse_tlb().Insert(entry);
+    }
+  }
+
+  // Queue the address-valued signal.
+  if (thread->signal_count >= ThreadObject::kSignalQueueDepth) {
+    thread->signals_dropped++;
+    stats_.signals_dropped++;
+    return;
+  }
+  uint32_t tail =
+      (thread->signal_head + thread->signal_count) % ThreadObject::kSignalQueueDepth;
+  thread->signal_queue[tail] = vaddr;
+  thread->signal_count++;
+  if (thread->in_signal) {
+    stats_.signals_queued++;
+  }
+
+  switch (thread->state) {
+    case ThreadState::kBlocked: {
+      // Wake the waiter; "the overhead of signal delivery to the non-active
+      // thread ... is dominated by the rescheduling time".
+      thread->state = ThreadState::kReady;
+      if (thread->native == nullptr && thread->signal_handler == 0) {
+        // await-signal style: return the address in a0.
+        VirtAddr addr = thread->signal_queue[thread->signal_head];
+        thread->signal_head = (thread->signal_head + 1) % ThreadObject::kSignalQueueDepth;
+        thread->signal_count--;
+        thread->signals_taken++;
+        thread->vm.regs[ckisa::kRegA0] = addr;
+      }
+      Enqueue(thread, /*front=*/true);
+      cpu.Advance(cost.list_op);
+      break;
+    }
+    case ThreadState::kRunning:
+      // Guest threads enter the signal function at their next instruction
+      // boundary (the dispatcher calls MaybeEnterSignalHandler); native
+      // threads get OnSignal before their next Step.
+      if (CurrentOn(cpu) == thread && thread->native == nullptr) {
+        MaybeEnterSignalHandler(thread, cpu);
+      }
+      break;
+    case ThreadState::kReady:
+      break;  // handled at dispatch
+    case ThreadState::kHalted:
+      break;  // signal kept queued; the kernel will unload the thread anyway
+  }
+}
+
+void CacheKernel::MaybeEnterSignalHandler(ThreadObject* thread, cksim::Cpu& cpu) {
+  if (thread->in_signal || thread->signal_count == 0 || thread->signal_handler == 0 ||
+      thread->native != nullptr) {
+    return;
+  }
+  VirtAddr addr = thread->signal_queue[thread->signal_head];
+  thread->signal_head = (thread->signal_head + 1) % ThreadObject::kSignalQueueDepth;
+  thread->signal_count--;
+  thread->signals_taken++;
+
+  // Enter the signal function: save pc, pass the translated message address
+  // in a0, run the handler until it executes the signal-return trap.
+  thread->saved_pc = thread->vm.pc;
+  thread->vm.pc = thread->signal_handler;
+  thread->vm.regs[ckisa::kRegA0] = addr;
+  thread->in_signal = true;
+  cpu.Advance(machine_.cost().list_op);
+}
+
+void CacheKernel::RemoveSignalRecordsForThread(ThreadObject* thread, cksim::Cpu& cpu) {
+  if (thread->signal_reg_count == 0) {
+    return;
+  }
+  const cksim::CostModel& cost = machine_.cost();
+  uint32_t slot = threads_.SlotOf(thread);
+  uint32_t gen24 = threads_.IdOf(thread).generation & 0xffffffu;
+  for (uint32_t i = 0; i < pmap_.capacity() && thread->signal_reg_count > 0; ++i) {
+    const MemMapEntry& rec = pmap_.record(i);
+    if (rec.type() == RecordType::kSignal && rec.signal_thread_slot() == slot &&
+        rec.signal_thread_gen24() == gen24) {
+      pmap_.Remove(i);
+      cpu.Advance(cost.hash_op);
+      thread->signal_reg_count--;
+    }
+  }
+}
+
+}  // namespace ck

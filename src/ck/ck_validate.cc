@@ -1,0 +1,172 @@
+// Structural self-check used by the property tests: verifies that every
+// cached object's dependency chain (Figure 6) is intact and that the three
+// views of the mapping state -- page tables, physical memory map, TLBs -- can
+// only disagree in the allowed direction (a TLB entry may be absent, never
+// wrong; this is enforced by flush-before-remove, which the storm tests
+// hammer).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ck/cache_kernel.h"
+
+namespace ck {
+
+std::vector<std::string> CacheKernel::ValidateInvariants() {
+  std::vector<std::string> violations;
+  auto fail = [&](const std::string& message) { violations.push_back(message); };
+  cksim::PhysicalMemory& mem = machine_.memory();
+
+  // --- physical memory map records ---
+  std::vector<uint32_t> pv_count_per_space(spaces_.capacity(), 0);
+  for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
+    const MemMapEntry& rec = pmap_.record(i);
+    switch (rec.type()) {
+      case RecordType::kFree:
+        break;
+      case RecordType::kPhysToVirt: {
+        uint32_t slot = rec.pv_space_slot();
+        if (slot >= spaces_.capacity() || !spaces_.IsAllocated(slot)) {
+          fail("pv record " + std::to_string(i) + " names unallocated space slot " +
+               std::to_string(slot));
+          break;
+        }
+        pv_count_per_space[slot]++;
+        AddressSpaceObject* space = spaces_.SlotAt(slot);
+        // The leaf PTE must exist, be valid, and point at the record's frame.
+        cksim::PhysAddr l1_slot = space->root_table + cksim::L1Index(rec.pv_vaddr()) * 4;
+        uint32_t l1 = mem.ReadWord(l1_slot);
+        if (!cksim::PteValid(l1)) {
+          fail("pv record with no L1 entry");
+          break;
+        }
+        uint32_t l2 = mem.ReadWord(cksim::PteAddress(l1) + cksim::L2Index(rec.pv_vaddr()) * 4);
+        if (!cksim::PteValid(l2)) {
+          fail("pv record with no L2 entry");
+          break;
+        }
+        uint32_t leaf =
+            mem.ReadWord(cksim::PteAddress(l2) + cksim::L3Index(rec.pv_vaddr()) * 4);
+        if (!cksim::PteValid(leaf)) {
+          fail("pv record with invalid leaf PTE");
+          break;
+        }
+        if (cksim::PageFrame(cksim::PteAddress(leaf)) != rec.pv_frame()) {
+          fail("pv record frame disagrees with PTE");
+        }
+        break;
+      }
+      case RecordType::kSignal: {
+        uint32_t pv = rec.key;
+        if (pv >= pmap_.capacity() || pmap_.record(pv).type() != RecordType::kPhysToVirt) {
+          fail("signal record keyed by non-pv record");
+          break;
+        }
+        uint32_t slot = rec.signal_thread_slot();
+        if (slot >= threads_.capacity() || !threads_.IsAllocated(slot)) {
+          fail("signal record names unallocated thread (dangling Fig. 6 dependency)");
+          break;
+        }
+        ThreadObject* t = threads_.SlotAt(slot);
+        if ((threads_.IdOf(t).generation & 0xffffffu) != rec.signal_thread_gen24()) {
+          fail("signal record names a stale thread generation");
+        }
+        break;
+      }
+      case RecordType::kCopyOnWrite: {
+        uint32_t pv = rec.key;
+        if (pv >= pmap_.capacity() || pmap_.record(pv).type() != RecordType::kPhysToVirt) {
+          fail("cow record keyed by non-pv record");
+        }
+        break;
+      }
+    }
+  }
+
+  // --- address spaces ---
+  for (uint32_t slot = 0; slot < spaces_.capacity(); ++slot) {
+    if (!spaces_.IsAllocated(slot)) {
+      continue;
+    }
+    AddressSpaceObject* space = spaces_.SlotAt(slot);
+    if (space->root_table == 0) {
+      fail("loaded space without a root page table");
+    }
+    if (space->kernel_slot >= kernels_.capacity() ||
+        !kernels_.IsAllocated(space->kernel_slot)) {
+      fail("space owned by unallocated kernel (Fig. 6 violation)");
+    }
+    if (space->mapping_count != pv_count_per_space[slot]) {
+      std::ostringstream os;
+      os << "space slot " << slot << " mapping_count=" << space->mapping_count
+         << " but pmap holds " << pv_count_per_space[slot];
+      fail(os.str());
+    }
+  }
+
+  // --- threads ---
+  std::vector<uint32_t> threads_per_kernel(kernels_.capacity(), 0);
+  std::vector<uint32_t> spaces_per_kernel(kernels_.capacity(), 0);
+  for (uint32_t slot = 0; slot < threads_.capacity(); ++slot) {
+    if (!threads_.IsAllocated(slot)) {
+      continue;
+    }
+    ThreadObject* t = threads_.SlotAt(slot);
+    AddressSpaceObject* space = spaces_.Lookup(ckbase::PoolId{t->space_slot, t->space_gen});
+    if (space == nullptr) {
+      fail("loaded thread references an unloaded space (Fig. 6 violation)");
+      continue;
+    }
+    threads_per_kernel[t->kernel_slot]++;
+    bool queued = t->ready_node.linked();
+    if (t->state == ThreadState::kReady && !queued) {
+      fail("ready thread not on a ready queue");
+    }
+    if (t->state != ThreadState::kReady && queued) {
+      fail("non-ready thread sitting on a ready queue");
+    }
+    if (t->state == ThreadState::kRunning) {
+      cksim::Cpu& cpu = machine_.cpu(t->cpu);
+      if (CurrentOn(cpu) != t) {
+        fail("running thread is not current on its processor");
+      }
+    }
+    if (t->signal_count > ThreadObject::kSignalQueueDepth) {
+      fail("signal queue count exceeds depth");
+    }
+  }
+
+  // --- kernels ---
+  for (uint32_t slot = 0; slot < spaces_.capacity(); ++slot) {
+    if (spaces_.IsAllocated(slot)) {
+      spaces_per_kernel[spaces_.SlotAt(slot)->kernel_slot]++;
+    }
+  }
+  for (uint32_t slot = 0; slot < kernels_.capacity(); ++slot) {
+    if (!kernels_.IsAllocated(slot)) {
+      continue;
+    }
+    KernelObject* k = kernels_.SlotAt(slot);
+    if (k->space_count != spaces_per_kernel[slot]) {
+      fail("kernel space_count mismatch");
+    }
+    if (k->thread_count != threads_per_kernel[slot]) {
+      fail("kernel thread_count mismatch");
+    }
+    for (uint32_t type = 0; type < kObjectTypeCount; ++type) {
+      if (k->locked_count[type] > k->locked_limit[type]) {
+        fail("locked count exceeds limit");
+      }
+    }
+  }
+
+  // --- TLBs may only cache CURRENT translations ---
+  // (Checked indirectly: flushes precede PTE clears, so a translated access
+  // through any CPU must agree with the tables. Exhaustive TLB dumping is
+  // not exposed by the hardware model, as on the real machine.)
+
+  return violations;
+}
+
+}  // namespace ck

@@ -1,0 +1,45 @@
+// Cache Kernel configuration.
+//
+// The defaults reproduce the prototype configuration reported in Table 1:
+// 16 kernel descriptors, 64 address-space descriptors, 256 thread
+// descriptors and 65536 MemMapEntry descriptors, with the descriptor arrays
+// in (simulated) local RAM.
+
+#ifndef SRC_CK_CONFIG_H_
+#define SRC_CK_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace ck {
+
+struct CacheKernelConfig {
+  // Descriptor cache capacities (Table 1).
+  uint32_t kernel_slots = 16;
+  uint32_t space_slots = 64;
+  uint32_t thread_slots = 256;
+  uint32_t mapping_slots = 65536;
+
+  // Scheduling.
+  uint32_t priority_levels = 32;        // 0 = lowest, 31 = highest
+  cksim::Cycles time_slice = 25000;     // 1 ms at 25 MHz
+  uint32_t dispatch_budget = 64;        // guest instructions per CPU turn
+  cksim::Cycles quota_window = 2500000; // 100 ms accounting window (section 4.3)
+  bool enforce_quotas = true;
+
+  // Messaging.
+  bool reverse_tlb_enabled = true;  // ablation A1 disables the fast path
+  bool signal_on_write = false;     // ParaDiGM hardware assist: every store to
+                                    // a message page generates the signal; off
+                                    // means senders signal explicitly
+  uint32_t signal_queue_depth = 8;  // per-thread pending signal ring
+
+  // Physical memory reserved for the Cache Kernel's page tables, carved from
+  // the top of the machine's memory.
+  uint32_t page_table_arena_bytes = 1u << 20;
+};
+
+}  // namespace ck
+
+#endif  // SRC_CK_CONFIG_H_

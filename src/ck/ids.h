@@ -1,0 +1,44 @@
+// Typed object identifiers across the Cache Kernel interface.
+//
+// "Each loaded object is identified by an object identifier, returned when
+// the object is loaded. ... a new identifier is assigned each time an object
+// is loaded" (section 2). Identifiers are slot+generation pairs: reclaiming a
+// slot bumps its generation, so every outstanding identifier for the old
+// occupant goes stale and the owning application kernel observes kStale and
+// re-loads -- the retry protocol the paper describes for concurrent
+// writeback.
+//
+// Page mappings deliberately have no identifiers: "Page mappings are
+// identified by address space and virtual address" (section 2.1), saving a
+// field in the dominant descriptor type.
+
+#ifndef SRC_CK_IDS_H_
+#define SRC_CK_IDS_H_
+
+#include "src/base/fixed_pool.h"
+
+namespace ck {
+
+// Distinct wrapper types so a ThreadId cannot be passed where a SpaceId is
+// expected; all share the slot+generation representation.
+struct KernelId {
+  ckbase::PoolId id;
+  bool valid() const { return id.valid(); }
+  bool operator==(const KernelId&) const = default;
+};
+
+struct SpaceId {
+  ckbase::PoolId id;
+  bool valid() const { return id.valid(); }
+  bool operator==(const SpaceId&) const = default;
+};
+
+struct ThreadId {
+  ckbase::PoolId id;
+  bool valid() const { return id.valid(); }
+  bool operator==(const ThreadId&) const = default;
+};
+
+}  // namespace ck
+
+#endif  // SRC_CK_IDS_H_

@@ -1,0 +1,57 @@
+#include "src/ck/table_arena.h"
+
+namespace ck {
+
+TableArena::TableArena(cksim::PhysicalMemory& memory, cksim::PhysAddr base, uint32_t size)
+    : memory_(memory), bump_(base), end_(base + size) {
+  blocks_total_ = size / kBlock;
+  blocks_free_ = blocks_total_;
+}
+
+cksim::PhysAddr TableArena::Allocate(uint32_t bytes) {
+  cksim::PhysAddr result = 0;
+  if (bytes == 512) {
+    if (free512_ != 0) {
+      result = free512_;
+      free512_ = memory_.ReadWord(result);
+    } else if (bump_ + 512 <= end_) {
+      result = bump_;
+      bump_ += 512;
+    }
+    if (result != 0) {
+      blocks_free_ -= 2;
+    }
+  } else if (bytes == 256) {
+    if (free256_ != 0) {
+      result = free256_;
+      free256_ = memory_.ReadWord(result);
+    } else if (bump_ + 256 <= end_) {
+      result = bump_;
+      bump_ += 256;
+    }
+    if (result != 0) {
+      blocks_free_ -= 1;
+    }
+  }
+  if (result != 0) {
+    memory_.Zero(result, bytes);
+  }
+  return result;
+}
+
+void TableArena::Free(cksim::PhysAddr table, uint32_t bytes) {
+  if (table == 0) {
+    return;
+  }
+  if (bytes == 512) {
+    memory_.WriteWord(table, free512_);
+    free512_ = table;
+    blocks_free_ += 2;
+  } else if (bytes == 256) {
+    memory_.WriteWord(table, free256_);
+    free256_ = table;
+    blocks_free_ += 1;
+  }
+}
+
+}  // namespace ck

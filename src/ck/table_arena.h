@@ -1,0 +1,48 @@
+// Allocator for page-table blocks inside the Cache Kernel's reserved
+// physical-memory arena.
+//
+// The 68040-format tables are 512 bytes (L1/L2) and 256 bytes (L3). The
+// arena hands out 256-byte blocks (one block for an L3 table, two contiguous
+// for an L1/L2) from a region carved out of the machine's physical memory at
+// boot, so the tables are genuinely walked by the simulated MMU. A free list
+// threaded through the blocks themselves keeps the allocator allocation-free.
+
+#ifndef SRC_CK_TABLE_ARENA_H_
+#define SRC_CK_TABLE_ARENA_H_
+
+#include <cstdint>
+
+#include "src/sim/pagetable.h"
+#include "src/sim/physmem.h"
+#include "src/sim/types.h"
+
+namespace ck {
+
+class TableArena {
+ public:
+  // [base, base+size) must lie inside `memory` and be 512-byte aligned.
+  TableArena(cksim::PhysicalMemory& memory, cksim::PhysAddr base, uint32_t size);
+
+  // Allocate and zero one table of the given byte size (256 or 512).
+  // Returns 0 on exhaustion.
+  cksim::PhysAddr Allocate(uint32_t bytes);
+  void Free(cksim::PhysAddr table, uint32_t bytes);
+
+  uint32_t blocks_free() const { return blocks_free_; }
+  uint32_t blocks_total() const { return blocks_total_; }
+
+ private:
+  static constexpr uint32_t kBlock = 256;
+
+  cksim::PhysicalMemory& memory_;
+  cksim::PhysAddr free512_ = 0;  // heads of free lists (0 = empty; the link
+  cksim::PhysAddr free256_ = 0;  //  word lives in the first word of a block)
+  cksim::PhysAddr bump_ = 0;     // never-used region start
+  cksim::PhysAddr end_ = 0;
+  uint32_t blocks_free_ = 0;
+  uint32_t blocks_total_ = 0;
+};
+
+}  // namespace ck
+
+#endif  // SRC_CK_TABLE_ARENA_H_

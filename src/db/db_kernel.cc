@@ -1,0 +1,182 @@
+#include "src/db/db_kernel.h"
+
+#include <algorithm>
+
+namespace ckdb {
+
+using ck::CkApi;
+using cksim::VirtAddr;
+
+namespace {
+constexpr uint32_t kRowsPerPage = 64;
+constexpr uint32_t kRowBytes = cksim::kPageSize / kRowsPerPage;  // 64 bytes
+}  // namespace
+
+// Query engine: a native thread that drains the job queue. One page of rows
+// per Step keeps chunks bounded.
+class DbKernel::EngineProgram : public ck::NativeProgram {
+ public:
+  explicit EngineProgram(DbKernel& kernel) : kernel_(kernel) {}
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    ck::NativeOutcome outcome;
+    DbKernel& db = kernel_;
+    if (db.jobs_.empty()) {
+      outcome.action = ck::NativeOutcome::Action::kBlock;
+      return outcome;
+    }
+    Job& job = db.jobs_.front();
+
+    if (job.kind == Job::Kind::kScan) {
+      if (cursor_ >= db.config_.table_pages) {
+        cursor_ = 0;
+      }
+      // Scan one page: read the first column of every row.
+      VirtAddr page = db.PageAddr(cursor_);
+      db.Touch(page);
+      for (uint32_t row = 0; row < kRowsPerPage; ++row) {
+        ckbase::Result<uint32_t> value = ctx.LoadWord(page + row * kRowBytes);
+        if (value.ok()) {
+          sum_ += value.value();
+          db.stats_.rows_read++;
+        }
+        ctx.Charge(3);  // predicate evaluation
+      }
+      ++cursor_;
+      if (cursor_ == db.config_.table_pages) {
+        db.FinishJob(sum_);
+        sum_ = 0;
+        cursor_ = 0;
+      }
+    } else {
+      // Point lookups: a handful per step.
+      for (uint32_t i = 0; i < 8 && job.count > 0; ++i, --job.count) {
+        uint32_t row = static_cast<uint32_t>(
+            db.rng_.Below(static_cast<uint64_t>(db.config_.table_pages) * kRowsPerPage));
+        VirtAddr addr = db.PageAddr(row / kRowsPerPage) + (row % kRowsPerPage) * kRowBytes;
+        db.Touch(addr & ~static_cast<VirtAddr>(cksim::kPageOffsetMask));
+        ckbase::Result<uint32_t> value = ctx.LoadWord(addr);
+        if (value.ok()) {
+          sum_ += value.value();
+          db.stats_.rows_read++;
+        }
+        ctx.Charge(20);  // index probe
+      }
+      if (job.count == 0) {
+        db.FinishJob(sum_);
+        sum_ = 0;
+      }
+    }
+    outcome.action = ck::NativeOutcome::Action::kYield;
+    return outcome;
+  }
+
+ private:
+  DbKernel& kernel_;
+  uint32_t cursor_ = 0;
+  uint64_t sum_ = 0;
+};
+
+DbKernel::DbKernel(ck::CacheKernel& ck, const DbConfig& config)
+    : ckapp::AppKernelBase("database", config.table_pages + 64),
+      ck_(ck),
+      config_(config),
+      rng_(config.seed) {}
+
+DbKernel::~DbKernel() = default;
+
+void DbKernel::Setup(CkApi& api) {
+  space_index_ = CreateSpace(api, /*locked=*/true);
+
+  // Populate the table in the backing store: row r's first column = r.
+  for (uint32_t page = 0; page < config_.table_pages; ++page) {
+    for (uint32_t row = 0; row < kRowsPerPage; ++row) {
+      uint32_t value = page * kRowsPerPage + row;
+      backing_.WriteBytes(page, row * kRowBytes, &value, 4);
+    }
+  }
+  DefineBackedRegion(space_index_, config_.table_base, config_.table_pages,
+                     /*first_backing_page=*/0, /*writable=*/false);
+  image_next_ = config_.table_pages;  // table occupies the low backing pages
+
+  engine_ = std::make_unique<EngineProgram>(*this);
+  engine_thread_ = CreateNativeThread(api, space_index_, engine_.get(), /*priority=*/10);
+}
+
+void DbKernel::Touch(VirtAddr page_vaddr) {
+  ckapp::VSpace& sp = space(space_index_);
+  ckapp::PageRecord* page = sp.FindPage(page_vaddr);
+  if (page != nullptr && page->where == ckapp::PageRecord::Where::kResident) {
+    stats_.buffer_hits++;
+  } else {
+    stats_.buffer_misses++;
+  }
+  auto it = std::find(recency_.begin(), recency_.end(), page_vaddr);
+  if (it != recency_.end()) {
+    recency_.erase(it);
+  }
+  recency_.push_back(page_vaddr);  // back = most recently used
+}
+
+VirtAddr DbKernel::ChooseVictim(ckapp::VSpace& sp) {
+  auto evictable = [&](VirtAddr vaddr) {
+    ckapp::PageRecord* page = sp.FindPage(vaddr);
+    return page != nullptr && page->where == ckapp::PageRecord::Where::kResident &&
+           page->frame_owned && !page->locked && !page->message;
+  };
+  switch (config_.policy) {
+    case Replacement::kLru:
+      for (VirtAddr vaddr : recency_) {
+        if (evictable(vaddr)) {
+          return vaddr;
+        }
+      }
+      break;
+    case Replacement::kMru:
+      for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+        // Skip the page being touched right now (back of the list): evicting
+        // the page we are about to read would livelock.
+        if (it == recency_.rbegin()) {
+          continue;
+        }
+        if (evictable(*it)) {
+          return *it;
+        }
+      }
+      break;
+    case Replacement::kFifo:
+      break;
+  }
+  return AppKernelBase::ChooseVictim(sp);  // FIFO fallback
+}
+
+void DbKernel::FinishJob(uint64_t result) {
+  jobs_.pop_front();
+  job_result_ = result;
+  job_done_ = true;
+  stats_.queries++;
+}
+
+uint64_t DbKernel::RunJob(const Job& job) {
+  jobs_.push_back(job);
+  job_done_ = false;
+  CkApi api(ck_, self(), ck_.machine().cpu(0));
+  ckapp::ThreadRec& rec = thread(engine_thread_);
+  EnsureThreadLoaded(api, engine_thread_);
+  api.ResumeThread(rec.ck_id);
+  uint64_t turns = 0;
+  const uint64_t kTurnLimit = 50u * 1000 * 1000;
+  while (!job_done_ && turns < kTurnLimit) {
+    ck_.machine().Step();
+    ++turns;
+  }
+  return job_result_;
+}
+
+uint64_t DbKernel::RunScan() { return RunJob(Job{Job::Kind::kScan, 0}); }
+
+uint64_t DbKernel::RunPointLookups(uint32_t count) {
+  return RunJob(Job{Job::Kind::kPoint, count});
+}
+
+}  // namespace ckdb

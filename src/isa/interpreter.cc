@@ -1,0 +1,235 @@
+#include "src/isa/interpreter.h"
+
+namespace ckisa {
+namespace {
+
+cksim::Fault BadInstruction(uint32_t pc) {
+  cksim::Fault f;
+  f.type = cksim::FaultType::kBadInstruction;
+  f.address = pc;
+  f.access = cksim::Access::kExecute;
+  return f;
+}
+
+cksim::Fault Misaligned(uint32_t addr, cksim::Access access) {
+  cksim::Fault f;
+  f.type = cksim::FaultType::kBadAlignment;
+  f.address = addr;
+  f.access = access;
+  return f;
+}
+
+}  // namespace
+
+RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
+  RunResult result;
+
+  for (uint32_t n = 0; n < budget; ++n) {
+    GuestBus::MemResult fetch = bus.Fetch(ctx.pc);
+    if (!fetch.ok) {
+      result.event = RunEvent::kFault;
+      result.fault = fetch.fault;
+      result.instructions = n;
+      return result;
+    }
+    bus.ChargeInstruction();
+
+    Decoded d = Decode(fetch.value);
+    uint32_t* r = ctx.regs;
+    r[0] = 0;
+    uint32_t next_pc = ctx.pc + 4;
+
+    switch (d.op) {
+      case Op::kNop:
+        break;
+      case Op::kHalt:
+        ctx.pc = next_pc;
+        result.event = RunEvent::kHalt;
+        result.instructions = n + 1;
+        return result;
+
+      case Op::kAdd:
+        r[d.rd] = r[d.rs1] + r[d.rs2];
+        break;
+      case Op::kSub:
+        r[d.rd] = r[d.rs1] - r[d.rs2];
+        break;
+      case Op::kAnd:
+        r[d.rd] = r[d.rs1] & r[d.rs2];
+        break;
+      case Op::kOr:
+        r[d.rd] = r[d.rs1] | r[d.rs2];
+        break;
+      case Op::kXor:
+        r[d.rd] = r[d.rs1] ^ r[d.rs2];
+        break;
+      case Op::kSll:
+        r[d.rd] = r[d.rs1] << (r[d.rs2] & 31u);
+        break;
+      case Op::kSrl:
+        r[d.rd] = r[d.rs1] >> (r[d.rs2] & 31u);
+        break;
+      case Op::kSra:
+        r[d.rd] = static_cast<uint32_t>(static_cast<int32_t>(r[d.rs1]) >> (r[d.rs2] & 31u));
+        break;
+      case Op::kMul:
+        r[d.rd] = r[d.rs1] * r[d.rs2];
+        break;
+      case Op::kDiv: {
+        int32_t a = static_cast<int32_t>(r[d.rs1]);
+        int32_t b = static_cast<int32_t>(r[d.rs2]);
+        r[d.rd] = (b == 0) ? 0 : static_cast<uint32_t>(a / b);
+        break;
+      }
+      case Op::kRem: {
+        int32_t a = static_cast<int32_t>(r[d.rs1]);
+        int32_t b = static_cast<int32_t>(r[d.rs2]);
+        r[d.rd] = (b == 0) ? 0 : static_cast<uint32_t>(a % b);
+        break;
+      }
+      case Op::kSlt:
+        r[d.rd] = static_cast<int32_t>(r[d.rs1]) < static_cast<int32_t>(r[d.rs2]) ? 1 : 0;
+        break;
+      case Op::kSltu:
+        r[d.rd] = r[d.rs1] < r[d.rs2] ? 1 : 0;
+        break;
+
+      case Op::kAddi:
+        r[d.rd] = r[d.rs1] + static_cast<uint32_t>(d.imm);
+        break;
+      case Op::kAndi:
+        r[d.rd] = r[d.rs1] & static_cast<uint32_t>(d.imm & 0xffff);
+        break;
+      case Op::kOri:
+        r[d.rd] = r[d.rs1] | static_cast<uint32_t>(d.imm & 0xffff);
+        break;
+      case Op::kXori:
+        r[d.rd] = r[d.rs1] ^ static_cast<uint32_t>(d.imm & 0xffff);
+        break;
+      case Op::kLui:
+        r[d.rd] = static_cast<uint32_t>(d.imm & 0xffff) << 16;
+        break;
+      case Op::kSlti:
+        r[d.rd] = static_cast<int32_t>(r[d.rs1]) < d.imm ? 1 : 0;
+        break;
+
+      case Op::kLw: {
+        uint32_t addr = r[d.rs1] + static_cast<uint32_t>(d.imm);
+        if ((addr & 3u) != 0) {
+          result.event = RunEvent::kFault;
+          result.fault = Misaligned(addr, cksim::Access::kRead);
+          result.instructions = n + 1;
+          return result;
+        }
+        GuestBus::MemResult m = bus.Load32(addr);
+        if (!m.ok) {
+          result.event = RunEvent::kFault;
+          result.fault = m.fault;
+          result.instructions = n + 1;
+          return result;
+        }
+        r[d.rd] = m.value;
+        break;
+      }
+      case Op::kLb: {
+        GuestBus::MemResult m = bus.Load8(r[d.rs1] + static_cast<uint32_t>(d.imm));
+        if (!m.ok) {
+          result.event = RunEvent::kFault;
+          result.fault = m.fault;
+          result.instructions = n + 1;
+          return result;
+        }
+        r[d.rd] = m.value;
+        break;
+      }
+      case Op::kSw: {
+        uint32_t addr = r[d.rs1] + static_cast<uint32_t>(d.imm);
+        if ((addr & 3u) != 0) {
+          result.event = RunEvent::kFault;
+          result.fault = Misaligned(addr, cksim::Access::kWrite);
+          result.instructions = n + 1;
+          return result;
+        }
+        GuestBus::MemResult m = bus.Store32(addr, r[d.rd]);
+        if (!m.ok) {
+          result.event = RunEvent::kFault;
+          result.fault = m.fault;
+          result.instructions = n + 1;
+          return result;
+        }
+        if (m.message_write) {
+          bus.OnMessageWrite(addr);
+        }
+        break;
+      }
+      case Op::kSb: {
+        uint32_t addr = r[d.rs1] + static_cast<uint32_t>(d.imm);
+        GuestBus::MemResult m = bus.Store8(addr, static_cast<uint8_t>(r[d.rd]));
+        if (!m.ok) {
+          result.event = RunEvent::kFault;
+          result.fault = m.fault;
+          result.instructions = n + 1;
+          return result;
+        }
+        if (m.message_write) {
+          bus.OnMessageWrite(addr);
+        }
+        break;
+      }
+
+      case Op::kBeq:
+        if (r[d.rd] == r[d.rs1]) {
+          next_pc = ctx.pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+        }
+        break;
+      case Op::kBne:
+        if (r[d.rd] != r[d.rs1]) {
+          next_pc = ctx.pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+        }
+        break;
+      case Op::kBlt:
+        if (static_cast<int32_t>(r[d.rd]) < static_cast<int32_t>(r[d.rs1])) {
+          next_pc = ctx.pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+        }
+        break;
+      case Op::kBge:
+        if (static_cast<int32_t>(r[d.rd]) >= static_cast<int32_t>(r[d.rs1])) {
+          next_pc = ctx.pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+        }
+        break;
+
+      case Op::kJal:
+        r[d.rd] = ctx.pc + 4;
+        next_pc = ctx.pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+        break;
+      case Op::kJalr: {
+        uint32_t target = r[d.rs1] + static_cast<uint32_t>(d.imm);
+        r[d.rd] = ctx.pc + 4;
+        next_pc = target;
+        break;
+      }
+
+      case Op::kTrap:
+        ctx.pc = next_pc;  // resume after the trap instruction
+        result.event = RunEvent::kTrap;
+        result.trap_number = static_cast<uint16_t>(d.imm & 0xffff);
+        result.instructions = n + 1;
+        return result;
+
+      default:
+        result.event = RunEvent::kFault;
+        result.fault = BadInstruction(ctx.pc);
+        result.instructions = n + 1;
+        return result;
+    }
+
+    r[0] = 0;
+    ctx.pc = next_pc;
+  }
+
+  result.event = RunEvent::kBudgetExhausted;
+  result.instructions = budget;
+  return result;
+}
+
+}  // namespace ckisa

@@ -1,0 +1,115 @@
+// CKVM: the guest instruction set.
+//
+// User-level programs in this reproduction execute as real instruction
+// streams through the simulated MMU, so traps, page faults and the
+// memory-based-messaging fast path are driven by actual loads, stores and
+// trap instructions -- not by host function calls. The ISA is a minimal
+// 32-bit load/store machine (32 registers, fixed 32-bit encoding), small
+// enough to interpret quickly but rich enough to write the benchmark guests
+// (getpid loops, page touchers, message senders) and example programs.
+//
+// Encoding (fields from the high bits down):
+//   R-type:  op[31:26] rd[25:21] rs1[20:16] rs2[15:11] zeros
+//   I-type:  op[31:26] rd[25:21] rs1[20:16] imm16[15:0]   (imm sign-extended)
+//   B-type:  op[31:26] r1[25:21] r2[20:16]  off16[15:0]   (word offset from
+//                                                          the next pc)
+
+#ifndef SRC_ISA_ISA_H_
+#define SRC_ISA_ISA_H_
+
+#include <cstdint>
+
+namespace ckisa {
+
+enum class Op : uint8_t {
+  kNop = 0,
+  kHalt = 1,
+  // R-type arithmetic: rd = rs1 <op> rs2
+  kAdd = 2,
+  kSub = 3,
+  kAnd = 4,
+  kOr = 5,
+  kXor = 6,
+  kSll = 7,
+  kSrl = 8,
+  kSra = 9,
+  kMul = 10,
+  kSlt = 11,   // signed set-less-than
+  kSltu = 12,  // unsigned
+  // I-type arithmetic: rd = rs1 <op> imm
+  kAddi = 13,
+  kAndi = 14,
+  kOri = 15,
+  kXori = 16,
+  kLui = 17,  // rd = imm << 16
+  kSlti = 18,
+  // Memory: I-type, address = rs1 + imm
+  kLw = 19,  // rd = mem32[addr]
+  kSw = 20,  // mem32[addr] = rd  (rd field holds the source register)
+  kLb = 21,  // rd = zero-extended mem8[addr]
+  kSb = 22,
+  // Control: B-type compares r1, r2; branch target = pc + 4 + off*4
+  kBeq = 23,
+  kBne = 24,
+  kBlt = 25,  // signed
+  kBge = 26,
+  // Jumps
+  kJal = 27,   // I-type: rd = pc + 4; pc += 4 + imm*4
+  kJalr = 28,  // I-type: rd = pc + 4; pc = rs1 + imm
+  // Supervisor entry: I-type, imm = trap number. Traps to the Cache Kernel,
+  // which forwards to the owning application kernel (section 2.3).
+  kTrap = 29,
+  kDiv = 30,  // rd = rs1 / rs2 (signed; x/0 = 0, matching no-fault hardware)
+  kRem = 31,
+};
+
+inline constexpr uint32_t Encode(Op op, uint32_t a, uint32_t b, uint32_t c_or_imm16) {
+  return (static_cast<uint32_t>(op) << 26) | ((a & 31u) << 21) | ((b & 31u) << 16) |
+         (c_or_imm16 & 0xffffu);
+}
+
+inline constexpr uint32_t EncodeR(Op op, uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return (static_cast<uint32_t>(op) << 26) | ((rd & 31u) << 21) | ((rs1 & 31u) << 16) |
+         ((rs2 & 31u) << 11);
+}
+
+struct Decoded {
+  Op op;
+  uint8_t rd;   // or r1 for branches
+  uint8_t rs1;  // or r2 for branches
+  uint8_t rs2;
+  int32_t imm;  // sign-extended 16-bit immediate
+};
+
+inline Decoded Decode(uint32_t word) {
+  Decoded d;
+  d.op = static_cast<Op>(word >> 26);
+  d.rd = static_cast<uint8_t>((word >> 21) & 31u);
+  d.rs1 = static_cast<uint8_t>((word >> 16) & 31u);
+  d.rs2 = static_cast<uint8_t>((word >> 11) & 31u);
+  d.imm = static_cast<int16_t>(word & 0xffffu);
+  return d;
+}
+
+// Conventional register roles used by the assembler and the application
+// kernels' syscall ABI:
+//   r0  zero    hardwired zero
+//   r1  ra      return address
+//   r2  sp      stack pointer / syscall return value register
+//   r3  gp      global pointer
+//   r4..r9   a0..a5   arguments (a0 also = syscall number result space)
+//   r10..r17 t0..t7   temporaries
+//   r18..r25 s0..s7   saved
+//   r26..r31 k0..k5   reserved for handler glue
+inline constexpr uint8_t kRegZero = 0;
+inline constexpr uint8_t kRegRa = 1;
+inline constexpr uint8_t kRegSp = 2;
+inline constexpr uint8_t kRegGp = 3;
+inline constexpr uint8_t kRegA0 = 4;
+inline constexpr uint8_t kRegT0 = 10;
+inline constexpr uint8_t kRegS0 = 18;
+inline constexpr uint8_t kRegK0 = 26;
+
+}  // namespace ckisa
+
+#endif  // SRC_ISA_ISA_H_

@@ -1,0 +1,311 @@
+#include "src/prom/netboot.h"
+
+namespace ckprom {
+
+using ck::CkApi;
+using ckbase::CkStatus;
+using cksim::PhysAddr;
+using cksim::VirtAddr;
+
+namespace {
+constexpr uint32_t kHeaderBytes = 4;  // kind, src, arg16
+constexpr uint8_t kBroadcast = 0xff;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Station
+// ---------------------------------------------------------------------------
+
+Station::Station(ckapp::AppKernelBase& kernel, uint32_t space_index,
+                 cksim::EthernetDevice& device, VirtAddr tx_vbase, VirtAddr rx_vbase)
+    : kernel_(kernel),
+      space_index_(space_index),
+      device_(device),
+      tx_vbase_(tx_vbase),
+      rx_vbase_(rx_vbase) {}
+
+CkStatus Station::Attach(CkApi& api, uint32_t signal_thread) {
+  kernel_.DefineFrameRegion(space_index_, tx_vbase_, device_.tx_slot_count(), device_.tx_slot(0),
+                            /*writable=*/true, /*message=*/true);
+  kernel_.DefineFrameRegion(space_index_, rx_vbase_, device_.rx_slot_count(), device_.rx_slot(0),
+                            /*writable=*/false, /*message=*/true, signal_thread);
+  for (uint32_t i = 0; i < device_.rx_slot_count(); ++i) {
+    CkStatus status =
+        kernel_.EnsureMappingLoaded(api, space_index_, rx_vbase_ + i * cksim::kPageSize);
+    if (status != CkStatus::kOk) {
+      return status;
+    }
+  }
+  return CkStatus::kOk;
+}
+
+CkStatus Station::Send(CkApi& api, uint8_t dest, PacketKind kind, uint16_t arg, const void* body,
+                       uint32_t body_len) {
+  // Ethernet payload: [dest][kind][src][arg16][body].
+  std::vector<uint8_t> wire(1 + kHeaderBytes + body_len);
+  wire[0] = dest;
+  wire[1] = static_cast<uint8_t>(kind);
+  wire[2] = device_.station();
+  std::memcpy(wire.data() + 3, &arg, 2);
+  if (body_len > 0) {
+    std::memcpy(wire.data() + 1 + kHeaderBytes, body, body_len);
+  }
+
+  uint32_t slot = next_tx_++ % device_.tx_slot_count();
+  PhysAddr frame = device_.tx_slot(slot);
+  VirtAddr slot_vaddr = tx_vbase_ + slot * cksim::kPageSize;
+  uint32_t len = static_cast<uint32_t>(wire.size());
+  api.WritePhys(frame, &len, 4);
+  api.WritePhys(frame + 4, wire.data(), len);
+  CkStatus status = kernel_.EnsureMappingLoaded(api, space_index_, slot_vaddr);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  return api.Signal(kernel_.space(space_index_).ck_id, slot_vaddr);
+}
+
+bool Station::Read(CkApi& api, VirtAddr signal_addr, PacketKind* kind, uint8_t* src,
+                   uint16_t* arg, std::vector<uint8_t>* body) {
+  if (signal_addr < rx_vbase_) {
+    return false;
+  }
+  uint32_t slot = (signal_addr - rx_vbase_) / cksim::kPageSize;
+  if (slot >= device_.rx_slot_count()) {
+    return false;
+  }
+  PhysAddr frame = device_.rx_slot(slot);
+  uint32_t len = 0;
+  api.ReadPhys(frame, &len, 4);
+  if (len < 1 + kHeaderBytes || len > cksim::kPageSize - 4) {
+    return false;
+  }
+  std::vector<uint8_t> wire(len);
+  api.ReadPhys(frame + 4, wire.data(), len);
+  *kind = static_cast<PacketKind>(wire[1]);
+  *src = wire[2];
+  std::memcpy(arg, wire.data() + 3, 2);
+  body->assign(wire.begin() + 1 + kHeaderBytes, wire.end());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BootServer
+// ---------------------------------------------------------------------------
+
+void BootServer::SendBlock(CkApi& api, uint8_t dest, const Transfer& transfer) {
+  const std::vector<uint8_t>& image = images_[transfer.name];
+  uint32_t offset = (transfer.next_block - 1) * kTftpBlockSize;
+  uint32_t remaining = offset <= image.size() ? static_cast<uint32_t>(image.size()) - offset : 0;
+  uint32_t chunk = std::min(remaining, kTftpBlockSize);
+  station_.Send(api, dest, PacketKind::kTftpData, static_cast<uint16_t>(transfer.next_block),
+                image.data() + offset, chunk);
+  ++blocks_;
+}
+
+void BootServer::OnSignal(VirtAddr addr, ck::NativeCtx& ctx) {
+  CkApi& api = ctx.api();
+  PacketKind kind;
+  uint8_t src;
+  uint16_t arg;
+  std::vector<uint8_t> body;
+  if (!station_.Read(api, addr, &kind, &src, &arg, &body)) {
+    return;
+  }
+
+  switch (kind) {
+    case PacketKind::kRarpRequest:
+      // RARP-style: "who serves me?" -- the reply's source station is the
+      // answer.
+      station_.Send(api, src, PacketKind::kRarpReply, 0, nullptr, 0);
+      break;
+
+    case PacketKind::kTftpRead: {
+      std::string name(reinterpret_cast<const char*>(body.data()),
+                       strnlen(reinterpret_cast<const char*>(body.data()), body.size()));
+      if (images_.count(name) == 0) {
+        const char* message = "no such image";
+        station_.Send(api, src, PacketKind::kTftpError, 0, message,
+                      static_cast<uint32_t>(strlen(message)));
+        break;
+      }
+      Transfer transfer{name, 1};
+      transfers_[src] = transfer;
+      ++boots_;
+      SendBlock(api, src, transfer);
+      break;
+    }
+
+    case PacketKind::kTftpAck: {
+      auto it = transfers_.find(src);
+      if (it == transfers_.end() || it->second.next_block != arg) {
+        break;  // stale/duplicate ack
+      }
+      const std::vector<uint8_t>& image = images_[it->second.name];
+      // Block N carries bytes [(N-1)*512, N*512); a short (or empty) block
+      // terminates, so the transfer is done once N*512 passes the image end.
+      bool was_last = static_cast<uint64_t>(arg) * kTftpBlockSize > image.size();
+      if (was_last) {
+        transfers_.erase(it);
+      } else {
+        it->second.next_block = arg + 1;
+        SendBlock(api, src, it->second);
+      }
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PromClient
+// ---------------------------------------------------------------------------
+
+CkStatus PromClient::Boot(CkApi& api, const std::string& image_name, BootDone done) {
+  image_name_ = image_name;
+  done_ = std::move(done);
+  image_.clear();
+  expected_block_ = 1;
+  discovering_ = true;
+  fetching_ = false;
+  boot_complete_ = false;
+  return station_.Send(api, kBroadcast, PacketKind::kRarpRequest, 0, nullptr, 0);
+}
+
+void PromClient::OnSignal(VirtAddr addr, ck::NativeCtx& ctx) {
+  CkApi& api = ctx.api();
+  PacketKind kind;
+  uint8_t src;
+  uint16_t arg;
+  std::vector<uint8_t> body;
+  if (!station_.Read(api, addr, &kind, &src, &arg, &body)) {
+    return;
+  }
+
+  switch (kind) {
+    case PacketKind::kRarpReply:
+      if (!discovering_) {
+        break;
+      }
+      discovering_ = false;
+      fetching_ = true;
+      server_ = src;
+      station_.Send(api, server_, PacketKind::kTftpRead, 0, image_name_.c_str(),
+                    static_cast<uint32_t>(image_name_.size() + 1));
+      break;
+
+    case PacketKind::kTftpData: {
+      if (!fetching_ || arg != expected_block_) {
+        break;  // duplicate or out-of-order block: re-ack the last good one
+      }
+      image_.insert(image_.end(), body.begin(), body.end());
+      station_.Send(api, src, PacketKind::kTftpAck, arg, nullptr, 0);
+      ++expected_block_;
+      if (body.size() < kTftpBlockSize) {
+        fetching_ = false;
+        boot_complete_ = true;
+        if (done_) {
+          done_(image_, api);
+        }
+      }
+      break;
+    }
+
+    case PacketKind::kTftpError:
+      fetching_ = false;
+      discovering_ = false;
+      break;
+
+    case PacketKind::kPeekReply: {
+      if (peek_done_ && body.size() >= 4) {
+        uint32_t value;
+        std::memcpy(&value, body.data(), 4);
+        auto done = std::move(peek_done_);
+        peek_done_ = nullptr;
+        done(value);
+      }
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+CkStatus PromClient::Peek(CkApi& api, uint8_t server, PhysAddr addr,
+                          std::function<void(uint32_t)> done) {
+  peek_done_ = std::move(done);
+  return station_.Send(api, server, PacketKind::kPeek, 0, &addr, 4);
+}
+
+CkStatus PromClient::Poke(CkApi& api, uint8_t server, PhysAddr addr, uint32_t value) {
+  uint8_t body[8];
+  std::memcpy(body, &addr, 4);
+  std::memcpy(body + 4, &value, 4);
+  return station_.Send(api, server, PacketKind::kPoke, 0, body, 8);
+}
+
+// ---------------------------------------------------------------------------
+// DebugPort
+// ---------------------------------------------------------------------------
+
+void DebugPort::OnSignal(VirtAddr addr, ck::NativeCtx& ctx) {
+  CkApi& api = ctx.api();
+  PacketKind kind;
+  uint8_t src;
+  uint16_t arg;
+  std::vector<uint8_t> body;
+  if (!station_.Read(api, addr, &kind, &src, &arg, &body)) {
+    return;
+  }
+  if (kind == PacketKind::kPeek && body.size() >= 4) {
+    PhysAddr target;
+    std::memcpy(&target, body.data(), 4);
+    uint32_t value = memory_.Contains(target, 4) ? memory_.ReadWord(target & ~3u) : 0;
+    ++peeks_;
+    station_.Send(api, src, PacketKind::kPeekReply, 0, &value, 4);
+  } else if (kind == PacketKind::kPoke && body.size() >= 8) {
+    PhysAddr target;
+    uint32_t value;
+    std::memcpy(&target, body.data(), 4);
+    std::memcpy(&value, body.data() + 4, 4);
+    if (memory_.Contains(target, 4)) {
+      memory_.WriteWord(target & ~3u, value);
+    }
+    ++pokes_;
+    station_.Send(api, src, PacketKind::kPokeAck, 0, nullptr, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Boot-image serialization
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> SerializeProgram(const ckisa::Program& program) {
+  std::vector<uint8_t> bytes(8 + program.words.size() * 4);
+  uint32_t base = program.base;
+  uint32_t count = static_cast<uint32_t>(program.words.size());
+  std::memcpy(bytes.data(), &base, 4);
+  std::memcpy(bytes.data() + 4, &count, 4);
+  std::memcpy(bytes.data() + 8, program.words.data(), program.words.size() * 4);
+  return bytes;
+}
+
+bool DeserializeProgram(const std::vector<uint8_t>& bytes, ckisa::Program* program) {
+  if (bytes.size() < 8) {
+    return false;
+  }
+  uint32_t base, count;
+  std::memcpy(&base, bytes.data(), 4);
+  std::memcpy(&count, bytes.data() + 4, 4);
+  if (bytes.size() < 8 + static_cast<size_t>(count) * 4) {
+    return false;
+  }
+  program->base = base;
+  program->words.resize(count);
+  std::memcpy(program->words.data(), bytes.data() + 8, static_cast<size_t>(count) * 4);
+  return true;
+}
+
+}  // namespace ckprom

@@ -1,0 +1,189 @@
+// PROM monitor: network boot and remote debugging (section 4).
+//
+// "The Cache Kernel code is burned into PROM on each MPM together with a
+// conventional PROM monitor and network boot program. ... roughly 6000 lines
+// (40 percent) is PROM monitor, remote debugging and booting support
+// (including implementations of UDP, IP, ARP, RARP, and TFTP)."
+//
+// This module is that support, scaled to the simulated Ethernet:
+//   * a RARP-like discovery exchange (a booting node broadcasts "whoami";
+//     the boot server replies with its station number);
+//   * a TFTP-like block transfer protocol (RRQ -> DATA/ACK ping-pong,
+//     512-byte blocks, short block terminates);
+//   * a PEEK/POKE remote-debug port into the node's physical memory.
+//
+// BootServer runs as a native thread of an application kernel on the server
+// node and serves named images. PromClient runs on the booting node and
+// drives discovery + fetch, handing the image bytes to a completion callback
+// (the caller then assembles/executes it -- see tests/netboot_test.cc).
+// Both sit directly on the Ethernet device's message regions, like every
+// other user of memory-based messaging.
+
+#ifndef SRC_PROM_NETBOOT_H_
+#define SRC_PROM_NETBOOT_H_
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/sim/devices.h"
+
+namespace ckprom {
+
+// Wire protocol (inside the Ethernet payload, after the destination byte):
+//   [0] kind  [1] src station  [2..3] arg (block number / port)  [4..] body
+enum class PacketKind : uint8_t {
+  kRarpRequest = 1,   // body: empty (broadcast)
+  kRarpReply = 2,     // body: empty (src station IS the answer)
+  kTftpRead = 3,      // body: image name (NUL-terminated)
+  kTftpData = 4,      // arg: block number; body: block bytes (<512 = last)
+  kTftpAck = 5,       // arg: block number
+  kTftpError = 6,     // body: message
+  kPeek = 7,          // body: u32 phys addr
+  kPeekReply = 8,     // body: u32 value
+  kPoke = 9,          // body: u32 phys addr, u32 value
+  kPokeAck = 10,
+};
+
+inline constexpr uint32_t kTftpBlockSize = 512;
+
+// Shared plumbing: wraps one Ethernet station's tx/rx regions mapped into an
+// application kernel's space.
+class Station {
+ public:
+  Station(ckapp::AppKernelBase& kernel, uint32_t space_index, cksim::EthernetDevice& device,
+          cksim::VirtAddr tx_vbase, cksim::VirtAddr rx_vbase);
+
+  // Map regions and prefault the receive ring; `signal_thread` gets the
+  // inbound signals.
+  ckbase::CkStatus Attach(ck::CkApi& api, uint32_t signal_thread);
+
+  ckbase::CkStatus Send(ck::CkApi& api, uint8_t dest, PacketKind kind, uint16_t arg,
+                        const void* body, uint32_t body_len);
+
+  // Parse an inbound signal into (kind, src, arg, body). False if malformed.
+  bool Read(ck::CkApi& api, cksim::VirtAddr signal_addr, PacketKind* kind, uint8_t* src,
+            uint16_t* arg, std::vector<uint8_t>* body);
+
+  uint8_t station() const { return device_.station(); }
+
+ private:
+  ckapp::AppKernelBase& kernel_;
+  uint32_t space_index_;
+  cksim::EthernetDevice& device_;
+  cksim::VirtAddr tx_vbase_;
+  cksim::VirtAddr rx_vbase_;
+  uint32_t next_tx_ = 0;
+};
+
+// Serves named boot images and the PEEK/POKE debug port.
+class BootServer : public ck::NativeProgram {
+ public:
+  BootServer(Station station) : station_(std::move(station)) {}
+
+  void AddImage(const std::string& name, std::vector<uint8_t> bytes) {
+    images_[name] = std::move(bytes);
+  }
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+  void OnSignal(cksim::VirtAddr addr, ck::NativeCtx& ctx) override;
+
+  uint64_t boots_served() const { return boots_; }
+  uint64_t blocks_sent() const { return blocks_; }
+
+ private:
+  struct Transfer {
+    std::string name;
+    uint32_t next_block = 1;
+  };
+
+  void SendBlock(ck::CkApi& api, uint8_t dest, const Transfer& transfer);
+
+  Station station_;
+  std::map<std::string, std::vector<uint8_t>> images_;
+  std::map<uint8_t, Transfer> transfers_;  // by client station
+  uint64_t boots_ = 0;
+  uint64_t blocks_ = 0;
+};
+
+// Drives discovery + fetch from the booting node.
+class PromClient : public ck::NativeProgram {
+ public:
+  using BootDone = std::function<void(const std::vector<uint8_t>& image, ck::CkApi& api)>;
+
+  PromClient(Station station) : station_(std::move(station)) {}
+
+  // Begin: broadcast RARP; on the reply, request `image_name` from the
+  // responding server; on completion call `done`.
+  ckbase::CkStatus Boot(ck::CkApi& api, const std::string& image_name, BootDone done);
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+  void OnSignal(cksim::VirtAddr addr, ck::NativeCtx& ctx) override;
+
+  // Remote-debug client side: peek/poke the PEER's physical memory through
+  // its debug port (completions are asynchronous).
+  ckbase::CkStatus Peek(ck::CkApi& api, uint8_t server, cksim::PhysAddr addr,
+                        std::function<void(uint32_t)> done);
+  ckbase::CkStatus Poke(ck::CkApi& api, uint8_t server, cksim::PhysAddr addr, uint32_t value);
+
+  bool boot_complete() const { return boot_complete_; }
+  uint8_t discovered_server() const { return server_; }
+
+ private:
+  Station station_;
+  std::string image_name_;
+  BootDone done_;
+  std::vector<uint8_t> image_;
+  uint32_t expected_block_ = 1;
+  uint8_t server_ = 0;
+  bool discovering_ = false;
+  bool fetching_ = false;
+  bool boot_complete_ = false;
+  std::function<void(uint32_t)> peek_done_;
+};
+
+// The debug-port responder for a node that accepts remote PEEK/POKE (the
+// "remote debugging" half of the PROM monitor). Runs on the debugged node.
+class DebugPort : public ck::NativeProgram {
+ public:
+  DebugPort(Station station, cksim::PhysicalMemory& memory)
+      : station_(std::move(station)), memory_(memory) {}
+
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    (void)ctx;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+  void OnSignal(cksim::VirtAddr addr, ck::NativeCtx& ctx) override;
+
+  uint64_t peeks() const { return peeks_; }
+  uint64_t pokes() const { return pokes_; }
+
+ private:
+  Station station_;
+  cksim::PhysicalMemory& memory_;
+  uint64_t peeks_ = 0;
+  uint64_t pokes_ = 0;
+};
+
+// Boot-image serialization for CKVM programs: [u32 base][u32 words][words].
+std::vector<uint8_t> SerializeProgram(const ckisa::Program& program);
+bool DeserializeProgram(const std::vector<uint8_t>& bytes, ckisa::Program* program);
+
+}  // namespace ckprom
+
+#endif  // SRC_PROM_NETBOOT_H_

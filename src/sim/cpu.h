@@ -1,0 +1,56 @@
+// One simulated processor of the multiprocessor module.
+//
+// A Cpu owns its MMU (TLB) and reverse-TLB and a local cycle clock. The
+// machine always runs the CPU with the smallest clock, which gives a
+// deterministic, causally consistent interleaving of the four processors --
+// the property the non-blocking synchronization tests rely on.
+
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <cstdint>
+
+#include "src/sim/cost.h"
+#include "src/sim/mmu.h"
+#include "src/sim/reverse_tlb.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+
+class Cpu {
+ public:
+  Cpu(uint32_t id, PhysicalMemory& memory, const CostModel& cost)
+      : id_(id), mmu_(memory, cost) {}
+
+  uint32_t id() const { return id_; }
+
+  Cycles clock() const { return clock_; }
+  void Advance(Cycles cycles) { clock_ += cycles; }
+  // Used when another agent (a device, a peer CPU's IPI) hands this CPU work
+  // stamped later than its local clock: time cannot run backwards.
+  void AdvanceTo(Cycles at_least) {
+    if (clock_ < at_least) {
+      clock_ = at_least;
+    }
+  }
+
+  Mmu& mmu() { return mmu_; }
+  ReverseTlb& reverse_tlb() { return reverse_tlb_; }
+
+  // Scratch slot for the kernel: which thread descriptor currently runs here.
+  // Opaque to the sim layer.
+  void* current_thread = nullptr;
+
+  // Cumulative busy (non-idle) cycles, for utilization reporting.
+  Cycles busy_cycles = 0;
+
+ private:
+  uint32_t id_;
+  Cycles clock_ = 0;
+  Mmu mmu_;
+  ReverseTlb reverse_tlb_;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_CPU_H_

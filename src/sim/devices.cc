@@ -1,0 +1,119 @@
+#include "src/sim/devices.h"
+
+namespace cksim {
+
+// --- ClockDevice ---
+
+void ClockDevice::Run(Cycles now) {
+  if (next_tick_ == kNoEvent || now < next_tick_) {
+    return;
+  }
+  sink_->SignalPhysical(tick_page_, next_tick_);
+  ++ticks_;
+  next_tick_ += period_;
+}
+
+void ClockDevice::OnDoorbell(PhysAddr /*addr*/, Cycles /*when*/) {
+  // The clock has no doorbell protocol; writes to the tick page are ignored.
+}
+
+// --- PacketDevice ---
+
+PacketDevice::PacketDevice(PhysicalMemory& memory, SignalSink* sink, PhysAddr base,
+                           uint32_t tx_slots, uint32_t rx_slots, Cycles wire_latency)
+    : memory_(memory),
+      sink_(sink),
+      wire_latency_(wire_latency),
+      base_(base),
+      tx_slots_(tx_slots),
+      rx_slots_(rx_slots) {}
+
+Cycles PacketDevice::NextEventAt() const {
+  return inbound_.empty() ? kNoEvent : inbound_.front().due;
+}
+
+void PacketDevice::Run(Cycles now) {
+  while (!inbound_.empty() && inbound_.front().due <= now) {
+    Inbound in = std::move(inbound_.front());
+    inbound_.pop_front();
+    if (in.payload.size() + 4 > kPageSize) {
+      ++dropped_;
+      continue;
+    }
+    // Copy into the next receive slot and signal its address. A slot is
+    // reused round-robin; an unconsumed packet is simply overwritten, which
+    // models a NIC ring overrun (counted as received -- flow control is the
+    // client protocol's job, as on the real device).
+    PhysAddr slot = rx_slot(next_rx_);
+    next_rx_ = (next_rx_ + 1) % rx_slots_;
+    uint32_t len = static_cast<uint32_t>(in.payload.size());
+    memory_.WriteWord(slot, len);
+    if (len > 0) {
+      memory_.Write(slot + 4, in.payload.data(), len);
+    }
+    ++received_;
+    sink_->SignalPhysical(slot, in.due);
+  }
+}
+
+void PacketDevice::OnDoorbell(PhysAddr addr, Cycles when) {
+  // The doorbell address identifies the transmit slot holding the packet.
+  if (addr < base_ || addr >= base_ + tx_slots_ * kPageSize) {
+    return;  // signal on an rx page: a client-side notification, not for us
+  }
+  PhysAddr slot = addr & ~static_cast<PhysAddr>(kPageOffsetMask);
+  uint32_t len = memory_.ReadWord(slot);
+  if (len + 4 > kPageSize) {
+    ++dropped_;
+    return;
+  }
+  std::vector<uint8_t> payload(len);
+  if (len > 0) {
+    memory_.Read(slot + 4, payload.data(), len);
+  }
+  ++sent_;
+  Transmit(std::move(payload), when);
+}
+
+void PacketDevice::EnqueueInbound(std::vector<uint8_t> payload, Cycles when) {
+  // Keep the queue ordered by due time (senders' clocks can be skewed).
+  Inbound in{std::move(payload), when};
+  auto it = inbound_.end();
+  while (it != inbound_.begin() && (it - 1)->due > in.due) {
+    --it;
+  }
+  inbound_.insert(it, std::move(in));
+}
+
+// --- FiberChannelDevice ---
+
+void FiberChannelDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
+  if (peer_ != nullptr) {
+    peer_->EnqueueInbound(std::move(payload), when + wire_latency_);
+  }
+}
+
+// --- EthernetDevice / EthernetHub ---
+
+void EthernetDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
+  if (hub_ != nullptr) {
+    hub_->Route(std::move(payload), when + wire_latency_, station_);
+  }
+}
+
+void EthernetHub::Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station) {
+  if (payload.empty()) {
+    return;
+  }
+  uint8_t dest = payload[0];
+  for (EthernetDevice* device : stations_) {
+    if (device->station() == from_station) {
+      continue;
+    }
+    if (dest == 0xff || device->station() == dest) {
+      device->EnqueueInbound(payload, when);
+    }
+  }
+}
+
+}  // namespace cksim

@@ -1,0 +1,169 @@
+// Simulated devices, all speaking memory-based messaging (section 2.2).
+//
+// Devices expose memory regions in physical memory. To transmit, a client
+// thread writes a packet into a transmit slot and signals the slot's address
+// (the doorbell). On reception the device copies the packet into a receive
+// slot and generates a signal on that physical address, which the Cache
+// Kernel routes to whichever thread registered a signal mapping for it --
+// "data transfer and signaling is then handled using the general Cache Kernel
+// memory-based messaging mechanism".
+//
+//   * ClockDevice        -- periodic timer signal on its tick page.
+//   * FiberChannelDevice -- the 266 Mb point-to-point interconnect; the
+//                           paper's driver was 276 lines because the device
+//                           fits the messaging model directly.
+//   * EthernetDevice     -- a hub-connected NIC with one-byte destination
+//                           addressing; the "non-trivial driver" case.
+//
+// Packet wire format inside a slot: u32 length, then payload bytes.
+
+#ifndef SRC_SIM_DEVICES_H_
+#define SRC_SIM_DEVICES_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+
+// Periodic timer. Generates a signal on its single tick page every
+// `period` cycles once started.
+class ClockDevice : public Device {
+ public:
+  ClockDevice(PhysAddr tick_page, SignalSink* sink) : tick_page_(tick_page), sink_(sink) {}
+
+  void Start(Cycles first_tick, Cycles period) {
+    next_tick_ = first_tick;
+    period_ = period;
+  }
+  void Stop() { next_tick_ = kNoEvent; }
+
+  PhysAddr tick_page() const { return tick_page_; }
+
+  PhysAddr region_base() const override { return tick_page_; }
+  uint32_t region_size() const override { return kPageSize; }
+  Cycles NextEventAt() const override { return next_tick_; }
+  void Run(Cycles now) override;
+  void OnDoorbell(PhysAddr addr, Cycles when) override;
+
+  uint64_t ticks_delivered() const { return ticks_; }
+
+ private:
+  PhysAddr tick_page_;
+  SignalSink* sink_;
+  Cycles next_tick_ = kNoEvent;
+  Cycles period_ = 0;
+  uint64_t ticks_ = 0;
+};
+
+// Shared plumbing for packet devices: slot management and delivery queues.
+class PacketDevice : public Device {
+ public:
+  // Region layout: tx_slots pages of transmit buffers followed by rx_slots
+  // pages of receive buffers, starting at `base` in this machine's memory.
+  PacketDevice(PhysicalMemory& memory, SignalSink* sink, PhysAddr base, uint32_t tx_slots,
+               uint32_t rx_slots, Cycles wire_latency);
+
+  PhysAddr region_base() const override { return base_; }
+  uint32_t region_size() const override { return (tx_slots_ + rx_slots_) * kPageSize; }
+
+  PhysAddr tx_slot(uint32_t i) const { return base_ + i * kPageSize; }
+  PhysAddr rx_slot(uint32_t i) const { return base_ + (tx_slots_ + i) * kPageSize; }
+  uint32_t tx_slot_count() const { return tx_slots_; }
+  uint32_t rx_slot_count() const { return rx_slots_; }
+
+  Cycles NextEventAt() const override;
+  void Run(Cycles now) override;
+  void OnDoorbell(PhysAddr addr, Cycles when) override;
+
+  uint64_t packets_sent() const { return sent_; }
+  uint64_t packets_received() const { return received_; }
+  uint64_t packets_dropped() const { return dropped_; }
+
+  // Inject a packet for local delivery at `when` (called by the peer device
+  // or the hub).
+  void EnqueueInbound(std::vector<uint8_t> payload, Cycles when);
+
+ protected:
+  // Transmit a packet read out of a tx slot; implemented by the subclass
+  // (point-to-point forward, or hub routing).
+  virtual void Transmit(std::vector<uint8_t> payload, Cycles when) = 0;
+
+  PhysicalMemory& memory_;
+  SignalSink* sink_;
+  Cycles wire_latency_;
+
+ private:
+  struct Inbound {
+    std::vector<uint8_t> payload;
+    Cycles due;
+  };
+
+  PhysAddr base_;
+  uint32_t tx_slots_;
+  uint32_t rx_slots_;
+  uint32_t next_rx_ = 0;
+  std::deque<Inbound> inbound_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Point-to-point fiber channel link. Connect() wires two endpoints (usually
+// on different machines).
+class FiberChannelDevice : public PacketDevice {
+ public:
+  using PacketDevice::PacketDevice;
+
+  static void Connect(FiberChannelDevice& a, FiberChannelDevice& b) {
+    a.peer_ = &b;
+    b.peer_ = &a;
+  }
+
+ protected:
+  void Transmit(std::vector<uint8_t> payload, Cycles when) override;
+
+ private:
+  FiberChannelDevice* peer_ = nullptr;
+};
+
+// Hub connecting any number of EthernetDevices. Destination is the first
+// payload byte (0xff broadcasts).
+class EthernetHub;
+
+class EthernetDevice : public PacketDevice {
+ public:
+  EthernetDevice(PhysicalMemory& memory, SignalSink* sink, PhysAddr base, uint32_t tx_slots,
+                 uint32_t rx_slots, Cycles wire_latency, uint8_t station)
+      : PacketDevice(memory, sink, base, tx_slots, rx_slots, wire_latency), station_(station) {}
+
+  uint8_t station() const { return station_; }
+
+ protected:
+  void Transmit(std::vector<uint8_t> payload, Cycles when) override;
+
+ private:
+  friend class EthernetHub;
+  EthernetHub* hub_ = nullptr;
+  uint8_t station_;
+};
+
+class EthernetHub {
+ public:
+  void Attach(EthernetDevice* device) {
+    device->hub_ = this;
+    stations_.push_back(device);
+  }
+
+  void Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station);
+
+ private:
+  std::vector<EthernetDevice*> stations_;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_DEVICES_H_

@@ -1,0 +1,121 @@
+// The simulated multiprocessor module (MPM) and its run loop.
+//
+// A Machine is one ParaDiGM MPM: a small number of CPUs, local physical
+// memory, and devices, executing one Cache Kernel (section 3: "Each
+// multiprocessor module is a self-contained unit ... executing its own copy
+// of the Cache Kernel"). Multiple Machines connected by the simulated fiber
+// channel model the multi-MPM configurations of Figures 4 and 5.
+//
+// Execution model: the machine repeatedly gives a turn to the CPU with the
+// smallest local clock (or services the earliest-due device). The attached
+// kernel decides what that CPU does with its turn and advances its clock.
+// This is a conservative discrete-event simulation: cross-CPU interactions
+// are timestamped and never observed before their time.
+
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/cost.h"
+#include "src/sim/cpu.h"
+#include "src/sim/physmem.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+
+// Implemented by the Cache Kernel: the machine calls this when a CPU gets a
+// turn. The implementation must advance cpu.clock() (dispatch a thread, run a
+// quantum, handle a fault, or idle).
+class MachineClient {
+ public:
+  virtual ~MachineClient() = default;
+  virtual void OnCpuTurn(Cpu& cpu) = 0;
+};
+
+// Implemented by the Cache Kernel: devices deliver inbound data by signaling
+// a physical address (memory-based messaging, section 2.2).
+class SignalSink {
+ public:
+  virtual ~SignalSink() = default;
+  virtual void SignalPhysical(PhysAddr addr, Cycles when) = 0;
+};
+
+// A device mapped into physical memory and driven by the machine clock.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  // Physical range of the device's transmission (doorbell) region; a signal
+  // delivered inside it is routed to OnDoorbell.
+  virtual PhysAddr region_base() const = 0;
+  virtual uint32_t region_size() const = 0;
+
+  // Earliest pending internal event, or kNoEvent.
+  static constexpr Cycles kNoEvent = ~Cycles{0};
+  virtual Cycles NextEventAt() const = 0;
+
+  // Process internal events due at or before `now`.
+  virtual void Run(Cycles now) = 0;
+
+  // A signal landed on `addr` inside the device region at time `when`.
+  virtual void OnDoorbell(PhysAddr addr, Cycles when) = 0;
+};
+
+struct MachineConfig {
+  uint32_t cpu_count = 4;                       // the MPM had four 68040s
+  uint32_t memory_bytes = 16u << 20;            // local RAM + nearby memory module
+  CostModel cost;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  PhysicalMemory& memory() { return memory_; }
+  const CostModel& cost() const { return config_.cost; }
+  uint32_t cpu_count() const { return static_cast<uint32_t>(cpus_.size()); }
+  Cpu& cpu(uint32_t i) { return *cpus_[i]; }
+
+  void AttachKernel(MachineClient* client) { client_ = client; }
+
+  // Devices are owned by the caller (examples own them; tests stack-allocate)
+  // and must outlive the machine's run loop.
+  void AttachDevice(Device* device) { devices_.push_back(device); }
+
+  // Route a signal on a device doorbell page. Returns true if a device
+  // claimed the address.
+  bool DeliverDoorbell(PhysAddr addr, Cycles when);
+
+  // Earliest time across CPUs -- "now" for external observers.
+  Cycles Now() const;
+
+  // Run one turn (one CPU quantum or one device service). Returns false if
+  // there is no attached kernel.
+  bool Step();
+
+  // Run until Now() >= deadline.
+  void RunUntil(Cycles deadline);
+
+  // Run for `duration` cycles past the current Now().
+  void RunFor(Cycles duration) { RunUntil(Now() + duration); }
+
+  // Halted machines refuse turns; models an MPM hardware failure for the
+  // fault-containment experiments.
+  void Halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+ private:
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::vector<Device*> devices_;
+  MachineClient* client_ = nullptr;
+  bool halted_ = false;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_MACHINE_H_

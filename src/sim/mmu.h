@@ -1,0 +1,52 @@
+// Per-CPU memory management unit.
+//
+// Translates virtual accesses through the TLB and, on a miss, performs the
+// 68040-style hardware table walk over the three-level tables that the Cache
+// Kernel maintains in physical memory. Sets referenced/modified bits in leaf
+// PTEs (the state the Cache Kernel reports on mapping writeback, section
+// 2.1), raises mapping/protection/consistency faults, and flags stores to
+// message-mode pages so the machine can generate address-valued signals
+// (ParaDiGM's signal-on-write assist, section 2.2 footnote).
+
+#ifndef SRC_SIM_MMU_H_
+#define SRC_SIM_MMU_H_
+
+#include <cstdint>
+
+#include "src/sim/cost.h"
+#include "src/sim/pagetable.h"
+#include "src/sim/physmem.h"
+#include "src/sim/tlb.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+
+class Mmu {
+ public:
+  Mmu(PhysicalMemory& memory, const CostModel& cost) : memory_(memory), cost_(cost) {}
+
+  struct TranslateResult {
+    bool ok = false;
+    PhysAddr paddr = 0;
+    Fault fault;              // set when !ok
+    bool message_write = false;  // store hit a message-mode page
+    Cycles cycles = 0;           // cost of this translation
+  };
+
+  // Translate one access in the space whose root table is at root_paddr
+  // (0 means "no address space loaded" -> mapping fault). asid tags TLB
+  // entries and must correspond 1:1 with root_paddr.
+  TranslateResult Translate(PhysAddr root_paddr, uint16_t asid, VirtAddr vaddr, Access access);
+
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+ private:
+  PhysicalMemory& memory_;
+  const CostModel& cost_;
+  Tlb tlb_;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_MMU_H_

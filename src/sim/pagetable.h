@@ -1,0 +1,85 @@
+// 68040-style three-level page-table format.
+//
+// Section 5.2 gives the geometry the Cache Kernel used and that we replicate
+// exactly:
+//   * 512-byte top-level table   (128 x 4-byte entries, 32 MiB per entry)
+//   * 512-byte second-level table(128 x 4-byte entries, 256 KiB per entry)
+//   * 256-byte third-level table ( 64 x 4-byte entries, one 4 KiB page each)
+// 7 + 7 + 6 index bits + 12 offset bits = 32-bit virtual addresses.
+//
+// The table *format* is hardware architecture (the 68040 walks these tables
+// itself), so it lives in the sim layer; the Cache Kernel allocates and fills
+// the tables (src/ck/pagetable_allocator and address-space code).
+
+#ifndef SRC_SIM_PAGETABLE_H_
+#define SRC_SIM_PAGETABLE_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace cksim {
+
+inline constexpr uint32_t kL1Entries = 128;  // 512-byte root table
+inline constexpr uint32_t kL2Entries = 128;  // 512-byte mid table
+inline constexpr uint32_t kL3Entries = 64;   // 256-byte leaf table
+inline constexpr uint32_t kL1TableBytes = kL1Entries * 4;
+inline constexpr uint32_t kL2TableBytes = kL2Entries * 4;
+inline constexpr uint32_t kL3TableBytes = kL3Entries * 4;
+
+// Virtual address decomposition.
+inline constexpr uint32_t L1Index(VirtAddr v) { return v >> 25; }                 // top 7 bits
+inline constexpr uint32_t L2Index(VirtAddr v) { return (v >> 18) & 0x7f; }        // next 7
+inline constexpr uint32_t L3Index(VirtAddr v) { return (v >> kPageShift) & 0x3f; }  // next 6
+
+// Page-table entry layout (both table pointers and leaf descriptors):
+//   bits 31..8  address >> 8 (tables are 256-byte aligned; pages 4 KiB aligned)
+//   bit  0      valid
+//   bit  1      writable          (leaf only)
+//   bit  2      message mode      (leaf only -- memory-based messaging)
+//   bit  3      referenced        (set by the MMU on any access)
+//   bit  4      modified          (set by the MMU on write)
+//   bit  5      copy-on-write     (leaf only; write raises protection fault)
+//   bit  6      cache-inhibited   (leaf only; device regions)
+inline constexpr uint32_t kPteValid = 1u << 0;
+inline constexpr uint32_t kPteWritable = 1u << 1;
+inline constexpr uint32_t kPteMessage = 1u << 2;
+inline constexpr uint32_t kPteReferenced = 1u << 3;
+inline constexpr uint32_t kPteModified = 1u << 4;
+inline constexpr uint32_t kPteCopyOnWrite = 1u << 5;
+inline constexpr uint32_t kPteCacheInhibit = 1u << 6;
+inline constexpr uint32_t kPteFlagsMask = 0xff;
+
+inline constexpr uint32_t MakePte(PhysAddr target, uint32_t flags) {
+  return ((target >> 8) << 8) | (flags & kPteFlagsMask);
+}
+
+inline constexpr PhysAddr PteAddress(uint32_t pte) { return pte & ~kPteFlagsMask; }
+inline constexpr bool PteValid(uint32_t pte) { return (pte & kPteValid) != 0; }
+
+// Flag bits carried by a mapping as the application kernel specifies them and
+// as the TLB caches them.
+struct MapFlags {
+  bool writable = false;
+  bool message = false;
+  bool copy_on_write = false;
+  bool cache_inhibit = false;
+
+  uint32_t ToPteBits() const {
+    return (writable ? kPteWritable : 0) | (message ? kPteMessage : 0) |
+           (copy_on_write ? kPteCopyOnWrite : 0) | (cache_inhibit ? kPteCacheInhibit : 0);
+  }
+
+  static MapFlags FromPteBits(uint32_t pte) {
+    MapFlags f;
+    f.writable = (pte & kPteWritable) != 0;
+    f.message = (pte & kPteMessage) != 0;
+    f.copy_on_write = (pte & kPteCopyOnWrite) != 0;
+    f.cache_inhibit = (pte & kPteCacheInhibit) != 0;
+    return f;
+  }
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_PAGETABLE_H_

@@ -1,0 +1,58 @@
+#include "src/sim/physmem.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cksim {
+
+PhysicalMemory::PhysicalMemory(uint32_t size_bytes) {
+  // Round up to a whole number of page groups.
+  uint32_t rounded = ((size_bytes + kPageGroupBytes - 1) / kPageGroupBytes) * kPageGroupBytes;
+  bytes_.assign(rounded, 0);
+}
+
+void PhysicalMemory::Check(PhysAddr addr, uint32_t len) const {
+  if (!Contains(addr, len)) {
+    std::fprintf(stderr, "physmem: access [%#x, +%u) outside %#x bytes\n", addr, len, size());
+    std::abort();
+  }
+}
+
+uint32_t PhysicalMemory::ReadWord(PhysAddr addr) const {
+  Check(addr, 4);
+  uint32_t value;
+  std::memcpy(&value, bytes_.data() + addr, 4);
+  return value;
+}
+
+void PhysicalMemory::WriteWord(PhysAddr addr, uint32_t value) {
+  Check(addr, 4);
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+uint8_t PhysicalMemory::ReadByte(PhysAddr addr) const {
+  Check(addr, 1);
+  return bytes_[addr];
+}
+
+void PhysicalMemory::WriteByte(PhysAddr addr, uint8_t value) {
+  Check(addr, 1);
+  bytes_[addr] = value;
+}
+
+void PhysicalMemory::Read(PhysAddr addr, void* out, uint32_t len) const {
+  Check(addr, len);
+  std::memcpy(out, bytes_.data() + addr, len);
+}
+
+void PhysicalMemory::Write(PhysAddr addr, const void* data, uint32_t len) {
+  Check(addr, len);
+  std::memcpy(bytes_.data() + addr, data, len);
+}
+
+void PhysicalMemory::Zero(PhysAddr addr, uint32_t len) {
+  Check(addr, len);
+  std::memset(bytes_.data() + addr, 0, len);
+}
+
+}  // namespace cksim

@@ -1,0 +1,61 @@
+// Simulated physical memory.
+//
+// One contiguous physical address range per machine (the MPM's view of
+// memory: local RAM plus the bus-attached memory modules). The Cache Kernel
+// allocates its page tables here, application kernels map page frames from
+// here, and memory-based messaging moves bytes through here. Byte-addressable
+// with typed word helpers; all addresses are machine-checked.
+
+#ifndef SRC_SIM_PHYSMEM_H_
+#define SRC_SIM_PHYSMEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cksim {
+
+class PhysicalMemory {
+ public:
+  // size must be page-group aligned so that the protection arithmetic of
+  // section 4.3 is exact.
+  explicit PhysicalMemory(uint32_t size_bytes);
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  uint32_t page_count() const { return size() / kPageSize; }
+  uint32_t page_group_count() const { return size() / kPageGroupBytes; }
+
+  bool Contains(PhysAddr addr, uint32_t len = 1) const {
+    return addr < size() && size() - addr >= len;
+  }
+
+  // 32-bit word access. Addr must be word-aligned and in range; violations
+  // indicate a kernel bug and abort the simulation (a real 68040 would raise
+  // a bus error inside the supervisor, which the paper's kernel treats as
+  // fatal to the MPM).
+  uint32_t ReadWord(PhysAddr addr) const;
+  void WriteWord(PhysAddr addr, uint32_t value);
+
+  uint8_t ReadByte(PhysAddr addr) const;
+  void WriteByte(PhysAddr addr, uint8_t value);
+
+  // Bulk copies for devices, loaders and page zero/copy operations.
+  void Read(PhysAddr addr, void* out, uint32_t len) const;
+  void Write(PhysAddr addr, const void* data, uint32_t len);
+  void Zero(PhysAddr addr, uint32_t len);
+
+  // Raw view for the interpreter's fast path (bounds already translated).
+  const uint8_t* raw() const { return bytes_.data(); }
+  uint8_t* raw() { return bytes_.data(); }
+
+ private:
+  void Check(PhysAddr addr, uint32_t len) const;
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_PHYSMEM_H_

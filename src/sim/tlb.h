@@ -1,0 +1,69 @@
+// Per-CPU translation lookaside buffer.
+//
+// Small set-associative TLB keyed by (address-space id, virtual page). The
+// Cache Kernel must flush entries when it unloads mappings or address spaces
+// ("when unloading an address space, the mappings associated with that
+// address space must be removed from the hardware TLB and/or page tables",
+// section 4.2) -- the flush interfaces here are what that code calls.
+
+#ifndef SRC_SIM_TLB_H_
+#define SRC_SIM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/pagetable.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+
+struct TlbEntry {
+  bool valid = false;
+  uint16_t asid = 0;
+  uint32_t vpage = 0;   // virtual page number
+  uint32_t pframe = 0;  // physical page frame number
+  uint8_t flags = 0;    // PTE flag bits (writable/message/cow/cache-inhibit)
+  uint32_t lru = 0;     // replacement timestamp
+};
+
+class Tlb {
+ public:
+  // 64 entries, 4-way set associative by default (roughly 68040-class: the
+  // real part had a 64-entry ATC).
+  explicit Tlb(uint32_t entries = 64, uint32_t ways = 4);
+
+  struct LookupResult {
+    bool hit = false;
+    uint32_t pframe = 0;
+    uint8_t flags = 0;
+  };
+
+  LookupResult Lookup(uint16_t asid, uint32_t vpage);
+  void Insert(uint16_t asid, uint32_t vpage, uint32_t pframe, uint8_t flags);
+
+  // Invalidate a single page of a space, every entry of a space, entries
+  // mapping a physical frame (for frame reclamation and multi-mapping
+  // consistency), or everything.
+  void FlushPage(uint16_t asid, uint32_t vpage);
+  void FlushAsid(uint16_t asid);
+  void FlushFrame(uint32_t pframe);
+  void FlushAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  uint32_t SetOf(uint16_t asid, uint32_t vpage) const;
+
+  std::vector<TlbEntry> entries_;
+  uint32_t sets_;
+  uint32_t ways_;
+  uint32_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_TLB_H_

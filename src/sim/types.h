@@ -1,0 +1,69 @@
+// Shared basic types for the simulated ParaDiGM-like hardware.
+//
+// The original prototype: a Multiprocessor Module (MPM) with four 25 MHz
+// Motorola 68040s, 2 MiB local RAM, a software-controlled second-level cache,
+// and a 32-bit (4 GiB) physical address space carved into 128-page "page
+// groups" for protection. We keep the same geometry so the paper's space
+// arithmetic (Table 1, section 4.3, section 5.2) reproduces.
+
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace cksim {
+
+using PhysAddr = uint32_t;  // 32-bit physical addresses, as on the 68040
+using VirtAddr = uint32_t;  // 32-bit virtual addresses
+using Cycles = uint64_t;    // simulated CPU cycles
+
+// 25 MHz clock: 25 cycles per microsecond. All paper numbers are in
+// microseconds at this clock rate.
+inline constexpr uint64_t kCyclesPerMicrosecond = 25;
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageShift;  // 4 KiB
+inline constexpr uint32_t kPageOffsetMask = kPageSize - 1;
+
+// Section 4.3: "a set of contiguous physical pages starting on a boundary
+// that is aligned modulo the number of pages in the group (currently 128 4k
+// pages)".
+inline constexpr uint32_t kPagesPerGroup = 128;
+inline constexpr uint32_t kPageGroupBytes = kPagesPerGroup * kPageSize;  // 512 KiB
+
+// "a two-kilobyte memory access array in each kernel object records access to
+// the current four-gigabyte physical address space" -- 2 bits per page group.
+inline constexpr uint32_t kPhysAddressSpaceBytes4G = 0xffffffffu;  // nominal 4 GiB
+inline constexpr uint32_t kAccessArrayBytes = 2048;
+
+inline constexpr uint32_t PageFrame(PhysAddr addr) { return addr >> kPageShift; }
+inline constexpr PhysAddr FrameBase(uint32_t frame) { return frame << kPageShift; }
+inline constexpr uint32_t PageGroupOf(PhysAddr addr) { return addr / kPageGroupBytes; }
+
+// Kind of memory access, as seen by the MMU.
+enum class Access : uint8_t { kRead = 0, kWrite = 1, kExecute = 2 };
+
+// Hardware exception classes forwarded by the Cache Kernel to application
+// kernels (section 2.1).
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kNoMapping,    // no valid translation: the "mapping fault" / page fault
+  kProtection,   // write to read-only page
+  kPrivilege,    // privileged instruction in user mode
+  kConsistency,  // access to a line held on a remote node / failed module
+  kBadAlignment, // unaligned word access (the interpreter raises this)
+  kBadInstruction,
+};
+
+// Per-access fault report produced by the MMU or the interpreter.
+struct Fault {
+  FaultType type = FaultType::kNone;
+  VirtAddr address = 0;
+  Access access = Access::kRead;
+
+  bool pending() const { return type != FaultType::kNone; }
+};
+
+}  // namespace cksim
+
+#endif  // SRC_SIM_TYPES_H_

@@ -1,0 +1,301 @@
+#include "src/srm/srm.h"
+
+#include "src/base/log.h"
+
+namespace cksrm {
+
+using ck::CkApi;
+using ck::GroupAccess;
+using ck::KernelId;
+using ckbase::CkStatus;
+using ckbase::Result;
+
+Srm::Srm(ck::CacheKernel& ck) : ckapp::AppKernelBase("srm", /*backing_pages=*/512), ck_(ck) {}
+
+void Srm::Boot() {
+  KernelId id = ck_.BootFirstKernel(this, /*cookie=*/0);
+  Attach(id);
+
+  // Claim the allocatable physical memory (everything below the Cache
+  // Kernel's page-table arena).
+  uint32_t usable = (ck_.machine().memory().size() - ck_.config().page_table_arena_bytes) /
+                    cksim::kPageGroupBytes;
+  group_owner_.assign(usable, -1);
+  // Group 0 stays with the SRM: frame 0 doubles as the "no frame" sentinel
+  // and early boot structures live low.
+  group_owner_[0] = -2;
+  frames_.AddPageGroup(0);
+
+  // The SRM needs its own address space for its internal (RPC) threads.
+  CkApi api = Api();
+  CreateSpace(api, /*locked=*/true);
+}
+
+Srm::Registered* Srm::FindRegistration(const ckapp::AppKernelBase& app) {
+  // Newest first: a dead kernel's AppKernelBase may have been destroyed and
+  // a fresh one allocated at the same address; the most recent registration
+  // is the live one.
+  for (auto it = registry_.rbegin(); it != registry_.rend(); ++it) {
+    if ((*it)->app == &app) {
+      return it->get();
+    }
+  }
+  return nullptr;
+}
+
+const Srm::Registered* Srm::FindRegistration(const ckapp::AppKernelBase& app) const {
+  for (auto it = registry_.rbegin(); it != registry_.rend(); ++it) {
+    if ((*it)->app == &app) {
+      return it->get();
+    }
+  }
+  return nullptr;
+}
+
+uint32_t Srm::free_groups() const {
+  uint32_t n = 0;
+  for (int32_t owner : group_owner_) {
+    if (owner == -1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Result<uint32_t> Srm::ReserveGroups(uint32_t count) {
+  // First-fit contiguous scan.
+  for (uint32_t start = 0; start + count <= group_owner_.size(); ++start) {
+    bool ok = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (group_owner_[start + i] != -1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (uint32_t i = 0; i < count; ++i) {
+        group_owner_[start + i] = -2;
+      }
+      return start;
+    }
+  }
+  return CkStatus::kNoResources;
+}
+
+Result<KernelId> Srm::Launch(ckapp::AppKernelBase& app, const LaunchParams& params) {
+  CkApi api = Api();
+  auto reg = std::make_unique<Registered>();
+  reg->app = &app;
+  reg->params = params;
+
+  Result<KernelId> loaded =
+      api.LoadKernel(&app, /*cookie=*/registry_.size(), params.locked_kernel_object);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  reg->id = loaded.value();
+  reg->loaded = true;
+  app.Attach(reg->id);
+
+  registry_.push_back(std::move(reg));
+  Registered& r = *registry_.back();
+
+  // Initial memory allocation ("resources are allocated in large units that
+  // the application kernel can then suballocate internally").
+  if (params.page_groups > 0) {
+    Result<uint32_t> groups = GrantGroups(app, params.page_groups);
+    if (!groups.ok()) {
+      return groups.status();
+    }
+  }
+
+  CkStatus status = ApplyGrants(r);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  CKLOG(kInfo) << "srm: launched kernel '" << app.name() << "'";
+  return r.id;
+}
+
+CkStatus Srm::ApplyGrants(Registered& reg) {
+  CkApi api = Api();
+  CkStatus status = api.SetCpuQuota(reg.id, reg.params.cpu_percent, reg.params.max_priority);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  status = api.SetLockLimits(reg.id, reg.params.lock_limits);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  for (auto [first, count] : reg.owned_groups) {
+    status = api.GrantPageGroups(reg.id, first, count, GroupAccess::kReadWrite);
+    if (status != CkStatus::kOk) {
+      return status;
+    }
+  }
+  for (auto [first, count] : reg.shared_groups) {
+    status = api.GrantPageGroups(reg.id, first, count, GroupAccess::kReadWrite);
+    if (status != CkStatus::kOk) {
+      return status;
+    }
+  }
+  return CkStatus::kOk;
+}
+
+Result<uint32_t> Srm::GrantGroups(ckapp::AppKernelBase& app, uint32_t count) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  int32_t index = -1;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (registry_[i].get() == reg) {
+      index = static_cast<int32_t>(i);
+    }
+  }
+  for (uint32_t start = 0; start + count <= group_owner_.size(); ++start) {
+    bool ok = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (group_owner_[start + i] != -1) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      group_owner_[start + i] = index;
+      app.frames().AddPageGroup(start + i);
+    }
+    reg->owned_groups.emplace_back(start, count);
+    if (reg->loaded) {
+      CkApi api = Api();
+      CkStatus status = api.GrantPageGroups(reg->id, start, count, GroupAccess::kReadWrite);
+      if (status != CkStatus::kOk) {
+        return status;
+      }
+    }
+    return start;
+  }
+  return CkStatus::kNoResources;
+}
+
+CkStatus Srm::GrantSharedGroups(ckapp::AppKernelBase& app, uint32_t first_group, uint32_t count,
+                                GroupAccess access) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  reg->shared_groups.emplace_back(first_group, count);
+  if (reg->loaded) {
+    CkApi api = Api();
+    return api.GrantPageGroups(reg->id, first_group, count, access);
+  }
+  return CkStatus::kOk;
+}
+
+CkStatus Srm::SwapOut(ckapp::AppKernelBase& app) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  if (!reg->loaded) {
+    return CkStatus::kOk;
+  }
+  CkApi api = Api();
+  CkStatus status = api.UnloadKernel(reg->id);
+  // OnKernelWriteback marks the registration unloaded.
+  return status;
+}
+
+CkStatus Srm::SwapIn(ckapp::AppKernelBase& app) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  if (reg->loaded) {
+    return CkStatus::kOk;
+  }
+  CkApi api = Api();
+  uint64_t cookie = 0;
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (registry_[i].get() == reg) {
+      cookie = i;
+    }
+  }
+  Result<KernelId> loaded = api.LoadKernel(&app, cookie, reg->params.locked_kernel_object);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  reg->id = loaded.value();
+  reg->loaded = true;
+  app.Attach(reg->id);
+  return ApplyGrants(*reg);
+}
+
+bool Srm::IsSwappedOut(const ckapp::AppKernelBase& app) const {
+  const Registered* reg = FindRegistration(app);
+  return reg != nullptr && !reg->loaded;
+}
+
+CkStatus Srm::AdjustQuota(ckapp::AppKernelBase& app, const uint8_t percent[ck::kMaxCpus],
+                          uint8_t max_priority) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  for (uint32_t c = 0; c < ck::kMaxCpus; ++c) {
+    reg->params.cpu_percent[c] = percent[c];
+  }
+  reg->params.max_priority = max_priority;
+  if (!reg->loaded) {
+    return CkStatus::kOk;
+  }
+  CkApi api = Api();
+  return api.SetCpuQuota(reg->id, percent, max_priority);
+}
+
+void Srm::OnKernelWriteback(const ck::KernelWriteback& record, CkApi& api) {
+  (void)api;
+  if (record.cookie < registry_.size()) {
+    registry_[record.cookie]->loaded = false;
+    CKLOG(kInfo) << "srm: kernel '" << registry_[record.cookie]->app->name()
+                 << "' written back (swapped out)";
+  }
+}
+
+void Srm::SetIoQuota(ckapp::AppKernelBase& app, uint64_t packets_per_window) {
+  Registered* reg = FindRegistration(app);
+  if (reg != nullptr) {
+    reg->io_quota = packets_per_window;
+  }
+}
+
+bool Srm::RecordIo(ckapp::AppKernelBase& app, uint64_t packets) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return true;
+  }
+  reg->io_used += packets;
+  if (reg->io_used > reg->io_quota) {
+    // "temporarily disconnects application kernels that exceed their quota,
+    // exploiting the connection-oriented nature of this networking facility"
+    reg->io_disconnected = true;
+  }
+  return !reg->io_disconnected;
+}
+
+bool Srm::IsIoDisconnected(const ckapp::AppKernelBase& app) const {
+  const Registered* reg = FindRegistration(app);
+  return reg != nullptr && reg->io_disconnected;
+}
+
+void Srm::ResetIoWindow() {
+  for (auto& reg : registry_) {
+    reg->io_used = 0;
+    reg->io_disconnected = false;
+  }
+}
+
+}  // namespace cksrm

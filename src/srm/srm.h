@@ -1,0 +1,111 @@
+// The System Resource Manager (SRM), the first application kernel (section 3).
+//
+// "A special application kernel called the system resource manager,
+// replicated one per Cache Kernel/MPM, manages the resource sharing between
+// other application kernels." The SRM:
+//   * boots as the first kernel, locked, with full permissions on all
+//     physical resources;
+//   * owns the page-group allocator and grants groups, processor
+//     percentages, priority caps and lock limits to the kernels it launches;
+//   * acts as the owning kernel for other kernels' kernel objects, handling
+//     their writeback (swap-out/swap-in of whole application kernels);
+//   * coordinates with SRM replicas on other MPMs over the fiber-channel RPC
+//     facility.
+
+#ifndef SRC_SRM_SRM_H_
+#define SRC_SRM_SRM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/appkernel/channel.h"
+
+namespace cksrm {
+
+// Resource grant for one application kernel.
+struct LaunchParams {
+  uint32_t page_groups = 2;                 // 512 KiB units of physical memory
+  uint8_t cpu_percent[ck::kMaxCpus] = {100, 100, 100, 100};
+  uint8_t max_priority = 24;
+  uint8_t lock_limits[ck::kObjectTypeCount] = {2, 4, 8, 64};
+  bool locked_kernel_object = false;        // pin the kernel descriptor itself
+};
+
+class Srm : public ckapp::AppKernelBase {
+ public:
+  explicit Srm(ck::CacheKernel& ck);
+
+  // Create the first kernel object and take ownership of all allocatable
+  // page groups. Call once, before the machine runs.
+  void Boot();
+
+  ck::CacheKernel& ck() { return ck_; }
+  // SRM work runs on CPU 0 unless an event hands it another CPU.
+  ck::CkApi Api() { return ck::CkApi(ck_, self(), ck_.machine().cpu(0)); }
+
+  // ---- application-kernel lifecycle ----
+  ckbase::Result<ck::KernelId> Launch(ckapp::AppKernelBase& app, const LaunchParams& params);
+  // Swap a kernel out: unloads its kernel object (cascading writeback of all
+  // its spaces, threads and mappings) but keeps its grants reserved.
+  ckbase::CkStatus SwapOut(ckapp::AppKernelBase& app);
+  // Reload a swapped kernel object and re-apply its grants. The application
+  // kernel's own records reload spaces/threads on demand.
+  ckbase::CkStatus SwapIn(ckapp::AppKernelBase& app);
+  bool IsSwappedOut(const ckapp::AppKernelBase& app) const;
+
+  // Adjust a running kernel's processor quota (the SRM modify operation).
+  ckbase::CkStatus AdjustQuota(ckapp::AppKernelBase& app, const uint8_t percent[ck::kMaxCpus],
+                               uint8_t max_priority);
+
+  // ---- physical memory ----
+  // Allocate `count` contiguous page groups to `app` (read-write) and add
+  // their frames to the app's pool. Returns the first group or kNoResources.
+  ckbase::Result<uint32_t> GrantGroups(ckapp::AppKernelBase& app, uint32_t count);
+  // Grant access to specific groups (shared channels, device regions)
+  // without transferring frames into the app's pool.
+  ckbase::CkStatus GrantSharedGroups(ckapp::AppKernelBase& app, uint32_t first_group,
+                                     uint32_t count, ck::GroupAccess access);
+  // Reserve groups for the SRM itself (device placement, channel frames).
+  ckbase::Result<uint32_t> ReserveGroups(uint32_t count);
+
+  uint32_t free_groups() const;
+
+  // ---- kernel-object writeback (we are the managing kernel) ----
+  void OnKernelWriteback(const ck::KernelWriteback& record, ck::CkApi& api) override;
+
+  // ---- I/O usage control (section 4.3): the channel manager disconnects
+  // kernels that exceed their network quota. Packet counts are polled from
+  // devices by the example/bench harnesses via RecordIo. ----
+  void SetIoQuota(ckapp::AppKernelBase& app, uint64_t packets_per_window);
+  bool RecordIo(ckapp::AppKernelBase& app, uint64_t packets);  // false = disconnected
+  bool IsIoDisconnected(const ckapp::AppKernelBase& app) const;
+  void ResetIoWindow();
+
+ private:
+  struct Registered {
+    ckapp::AppKernelBase* app = nullptr;
+    ck::KernelId id;
+    bool loaded = false;
+    LaunchParams params;
+    std::vector<std::pair<uint32_t, uint32_t>> owned_groups;   // (first, count)
+    std::vector<std::pair<uint32_t, uint32_t>> shared_groups;  // (first, count)
+    uint64_t io_quota = ~uint64_t{0};
+    uint64_t io_used = 0;
+    bool io_disconnected = false;
+  };
+
+  Registered* FindRegistration(const ckapp::AppKernelBase& app);
+  const Registered* FindRegistration(const ckapp::AppKernelBase& app) const;
+  ckbase::CkStatus ApplyGrants(Registered& reg);
+
+  ck::CacheKernel& ck_;
+  std::vector<std::unique_ptr<Registered>> registry_;
+  std::vector<int32_t> group_owner_;  // -1 free, -2 reserved/SRM, else registry index
+};
+
+}  // namespace cksrm
+
+#endif  // SRC_SRM_SRM_H_

@@ -1,0 +1,146 @@
+// UNIX emulator application kernel.
+//
+// The paper's running example: an emulator kernel that implements UNIX-like
+// process services entirely in user mode on the Cache Kernel interface
+// (section 2 passim). This emulator provides:
+//   * processes with stable pids (independent of the transient Cache Kernel
+//     identifiers), an address space and one main thread each;
+//   * demand paging with asynchronous page-in ("a page read from backing
+//     store incurs costs that make the Cache Kernel overhead insignificant");
+//   * syscalls via trap forwarding: getpid, exit, write (console), sbrk,
+//     sleep, nice, sigsegv handler registration;
+//   * SEGV delivery: resuming the thread at the registered user handler
+//     instead of loading a mapping (section 2.1's alternative path);
+//   * long sleeps unload the thread descriptor ("a thread is unloaded when
+//     it begins to sleep with low priority...reloaded when a wakeup call is
+//     issued", section 2.3) and reload on wakeup;
+//   * whole-process swap-out (space + thread unloaded, frames paged out);
+//   * a per-processor scheduling thread that ages compute-bound processes
+//     down and boosts interactive ones ("the UNIX emulator degrades the
+//     priority of compute-bound programs", section 4.3).
+
+#ifndef SRC_UNIXEMU_UNIX_EMULATOR_H_
+#define SRC_UNIXEMU_UNIX_EMULATOR_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/isa/assembler.h"
+
+namespace ckunix {
+
+// Syscall trap numbers (>= ck::kFirstAppTrap reaches HandleTrap).
+inline constexpr uint16_t kSysGetPid = 16;
+inline constexpr uint16_t kSysExit = 17;    // a0 = exit code
+inline constexpr uint16_t kSysWrite = 18;   // a0 = buf, a1 = len -> console
+inline constexpr uint16_t kSysSbrk = 19;    // a0 = pages -> old break
+inline constexpr uint16_t kSysSleep = 20;   // a0 = microseconds
+inline constexpr uint16_t kSysNice = 21;    // a0 = new priority (capped)
+inline constexpr uint16_t kSysSigSegv = 22; // a0 = handler vaddr (0 clears)
+inline constexpr uint16_t kSysGetTime = 23; // -> microseconds since boot
+inline constexpr uint16_t kSysSpawn = 24;   // a0 = registered program index -> child pid
+inline constexpr uint16_t kSysWaitPid = 25; // a0 = pid; blocks -> exit code
+inline constexpr uint16_t kSysSend = 26;    // a0 = dest pid, a1 = buf, a2 = len
+inline constexpr uint16_t kSysRecv = 27;    // a0 = buf, a1 = max; blocks -> len
+
+// Sleeps at least this long unload the thread descriptor instead of keeping
+// it blocked in the Cache Kernel (thread reload is ~230us, trivial against
+// interactive response times).
+inline constexpr cksim::Cycles kUnloadSleepThreshold = 250000;  // 10 ms
+
+struct Process {
+  enum class State : uint8_t { kRunnable, kSleeping, kZombie };
+
+  int pid = 0;
+  State state = State::kRunnable;
+  int exit_code = 0;
+  bool segv_fault = false;
+  uint32_t space_index = 0;
+  uint32_t thread_index = 0;
+  cksim::VirtAddr brk = 0;          // heap break (page aligned)
+  cksim::VirtAddr segv_handler = 0;
+  std::string console;              // bytes written via kSysWrite
+  uint64_t syscalls = 0;
+  bool swapped = false;
+  std::vector<int> waiters;         // pids blocked in waitpid on this process
+  std::deque<std::vector<uint8_t>> inbox;  // kSysSend/kSysRecv messages
+  bool recv_blocked = false;
+  cksim::VirtAddr recv_buf = 0;
+  uint32_t recv_max = 0;
+};
+
+struct UnixConfig {
+  uint32_t backing_pages = 2048;
+  cksim::Cycles backing_latency = 125000;  // 5 ms
+  bool async_paging = true;
+  uint8_t default_priority = 12;
+  uint8_t batch_priority = 4;       // aged-down compute-bound level
+  cksim::Cycles sched_interval = 2500000;  // 100 ms rescheduling interval
+  bool run_scheduler_thread = true;
+  uint32_t stack_pages = 4;
+  uint32_t heap_base = 0x20000000;
+  uint32_t stack_top = 0x30000000;
+};
+
+class UnixEmulator : public ckapp::AppKernelBase {
+ public:
+  UnixEmulator(ck::CacheKernel& ck, const UnixConfig& config = UnixConfig());
+  ~UnixEmulator() override;
+
+  // Start the per-processor scheduling threads. Requires Attach() (launch by
+  // the SRM) first.
+  void Start(ck::CkApi& api);
+
+  // Create a process running `program` (exec without fork). Returns the pid.
+  int Exec(ck::CkApi& api, const ckisa::Program& program, uint8_t priority = 0);
+
+  // Register a program image so guests can kSysSpawn it by index.
+  uint32_t RegisterProgram(const ckisa::Program& program) {
+    registered_programs_.push_back(program);
+    return static_cast<uint32_t>(registered_programs_.size() - 1);
+  }
+
+  Process& process(int pid) { return *processes_[pid - 1]; }
+  uint32_t process_count() const { return static_cast<uint32_t>(processes_.size()); }
+  bool AllExited() const;
+
+  // Swap a whole process to backing store: unload its thread and space,
+  // page out its frames (section 2.1/2.3). Wake reloads on demand.
+  void SwapOutProcess(ck::CkApi& api, int pid);
+  void WakeProcess(ck::CkApi& api, int pid);
+
+  uint64_t total_syscalls() const { return total_syscalls_; }
+
+  // ---- AppKernel overrides ----
+  ck::TrapAction HandleTrap(const ck::TrapForward& trap, ck::CkApi& api) override;
+
+ protected:
+  ck::HandlerAction OnIllegalAccess(const ck::FaultForward& fault, ck::CkApi& api) override;
+  bool UseAsyncPaging() const override { return config_.async_paging; }
+  void OnGuestFinished(uint32_t thread_index, ck::CkApi& api) override;
+
+ private:
+  class SchedulerProgram;
+
+  Process* ProcessOfThread(uint64_t thread_cookie);
+  void FinishSleep(ck::CkApi& api, int pid);
+  // Zombie transition: wake waitpid waiters with the exit code.
+  void NotifyExit(Process& proc, ck::CkApi& api);
+  // Deliver a queued message into a blocked receiver's buffer.
+  void CompleteRecv(Process& proc, ck::CkApi& api);
+
+  UnixConfig config_;
+  ck::CacheKernel& ck_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<SchedulerProgram>> schedulers_;
+  std::vector<uint64_t> last_consumed_;  // per thread-index, for aging
+  std::vector<ckisa::Program> registered_programs_;
+  uint64_t total_syscalls_ = 0;
+};
+
+}  // namespace ckunix
+
+#endif  // SRC_UNIXEMU_UNIX_EMULATOR_H_

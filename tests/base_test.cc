@@ -1,0 +1,180 @@
+// Unit tests for src/base: intrusive lists, fixed pools, version locks, rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/fixed_pool.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/version_lock.h"
+
+namespace {
+
+using ckbase::FixedPool;
+using ckbase::IntrusiveList;
+using ckbase::ListNode;
+using ckbase::PoolId;
+
+struct Item {
+  ListNode pool_node;
+  ListNode queue_node;
+  int value = 0;
+};
+
+TEST(IntrusiveListTest, PushPopOrder) {
+  IntrusiveList<Item, &Item::queue_node> list;
+  Item a, b, c;
+  a.value = 1;
+  b.value = 2;
+  c.value = 3;
+  EXPECT_TRUE(list.empty());
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(list.Size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, RemoveMiddleAndIdempotentUnlink) {
+  IntrusiveList<Item, &Item::queue_node> list;
+  Item a, b, c;
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.Size(), 2u);
+  b.queue_node.Unlink();  // already unlinked; must be a no-op
+  EXPECT_EQ(list.Size(), 2u);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_EQ(list.PopFront(), &c);
+}
+
+TEST(IntrusiveListTest, IterationVisitsAllInOrder) {
+  IntrusiveList<Item, &Item::queue_node> list;
+  Item items[5];
+  for (int i = 0; i < 5; ++i) {
+    items[i].value = i;
+    list.PushBack(&items[i]);
+  }
+  int expect = 0;
+  for (Item* item : list) {
+    EXPECT_EQ(item->value, expect++);
+  }
+  EXPECT_EQ(expect, 5);
+}
+
+TEST(IntrusiveListTest, MembershipAcrossTwoLists) {
+  IntrusiveList<Item, &Item::pool_node> pool_list;
+  IntrusiveList<Item, &Item::queue_node> queue_list;
+  Item a;
+  pool_list.PushBack(&a);
+  queue_list.PushBack(&a);
+  EXPECT_TRUE(a.pool_node.linked());
+  EXPECT_TRUE(a.queue_node.linked());
+  queue_list.Remove(&a);
+  EXPECT_TRUE(a.pool_node.linked());
+  EXPECT_FALSE(a.queue_node.linked());
+}
+
+TEST(FixedPoolTest, AllocateUntilFull) {
+  FixedPool<Item> pool(3);
+  EXPECT_EQ(pool.capacity(), 3u);
+  Item* a = pool.Allocate();
+  Item* b = pool.Allocate();
+  Item* c = pool.Allocate();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(pool.full());
+  EXPECT_EQ(pool.Allocate(), nullptr);
+  pool.Release(b);
+  EXPECT_FALSE(pool.full());
+  EXPECT_EQ(pool.Allocate(), b);  // free list reuses the slot
+}
+
+TEST(FixedPoolTest, GenerationInvalidatesOldIds) {
+  FixedPool<Item> pool(1);
+  Item* a = pool.Allocate();
+  PoolId id = pool.IdOf(a);
+  EXPECT_EQ(pool.Lookup(id), a);
+  pool.Release(a);
+  EXPECT_EQ(pool.Lookup(id), nullptr) << "stale id must not resolve";
+  Item* b = pool.Allocate();
+  EXPECT_EQ(b, a) << "slot is reused";
+  EXPECT_EQ(pool.Lookup(id), nullptr) << "old id still stale after reuse";
+  EXPECT_NE(pool.IdOf(b).generation, id.generation);
+}
+
+TEST(FixedPoolTest, PackedRoundTrip) {
+  PoolId id{42, 17};
+  EXPECT_EQ(PoolId::FromPacked(id.Packed()), id);
+  EXPECT_FALSE(PoolId{}.valid());
+  EXPECT_TRUE(id.valid());
+}
+
+TEST(FixedPoolTest, IsAllocatedTracksLiveness) {
+  FixedPool<Item> pool(2);
+  Item* a = pool.Allocate();
+  uint32_t slot = pool.SlotOf(a);
+  EXPECT_TRUE(pool.IsAllocated(slot));
+  pool.Release(a);
+  EXPECT_FALSE(pool.IsAllocated(slot));
+}
+
+TEST(VersionLockTest, ReadValidateDetectsWriters) {
+  ckbase::VersionLock lock;
+  uint64_t v = lock.ReadBegin();
+  EXPECT_TRUE(lock.ReadValidate(v));
+  {
+    ckbase::VersionWriteScope writer(lock);
+    EXPECT_FALSE(lock.ReadValidate(v)) << "mid-write must invalidate readers";
+  }
+  EXPECT_FALSE(lock.ReadValidate(v)) << "completed write must invalidate readers";
+  uint64_t v2 = lock.ReadBegin();
+  EXPECT_TRUE(lock.ReadValidate(v2));
+  EXPECT_EQ(lock.mutation_count(), 1u);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  ckbase::Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.Below(10), 10u);
+    uint64_t r = a.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  ckbase::Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Chance(1, 4) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+TEST(StatusTest, NamesAndResult) {
+  EXPECT_EQ(ckbase::CkStatusName(ckbase::CkStatus::kOk), "OK");
+  EXPECT_EQ(ckbase::CkStatusName(ckbase::CkStatus::kStale), "STALE");
+  ckbase::Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  ckbase::Result<int> bad(ckbase::CkStatus::kDenied);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status(), ckbase::CkStatus::kDenied);
+}
+
+}  // namespace

@@ -1,0 +1,471 @@
+// Cache Kernel object lifecycle: load/unload, identifiers going stale,
+// writeback cascades (Figure 6), reclamation, locking, resource enforcement.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ck/cache_kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CacheKernelConfig;
+using ck::CkApi;
+using ck::GroupAccess;
+using ck::KernelId;
+using ck::MappingSpec;
+using ck::SpaceId;
+using ck::ThreadId;
+using ck::ThreadSpec;
+using ckbase::CkStatus;
+
+// Records every upcall it receives.
+class RecordingKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward& fault, CkApi&) override {
+    events.push_back("fault@" + std::to_string(fault.fault.address));
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward& trap, CkApi&) override {
+    events.push_back("trap#" + std::to_string(trap.number));
+    return ck::TrapAction{};
+  }
+  void OnMappingWriteback(const ck::MappingWriteback& record, CkApi&) override {
+    events.push_back("wb-map@" + std::to_string(record.vaddr));
+    mapping_writebacks.push_back(record);
+  }
+  void OnThreadWriteback(const ck::ThreadWriteback& record, CkApi&) override {
+    events.push_back("wb-thread#" + std::to_string(record.cookie));
+    thread_writebacks.push_back(record);
+  }
+  void OnSpaceWriteback(const ck::SpaceWriteback& record, CkApi&) override {
+    events.push_back("wb-space#" + std::to_string(record.cookie));
+    space_writebacks.push_back(record);
+  }
+  void OnKernelWriteback(const ck::KernelWriteback& record, CkApi&) override {
+    events.push_back("wb-kernel#" + std::to_string(record.cookie));
+    kernel_writebacks.push_back(record);
+  }
+
+  std::vector<std::string> events;
+  std::vector<ck::MappingWriteback> mapping_writebacks;
+  std::vector<ck::ThreadWriteback> thread_writebacks;
+  std::vector<ck::SpaceWriteback> space_writebacks;
+  std::vector<ck::KernelWriteback> kernel_writebacks;
+};
+
+class CkObjectsTest : public ::testing::Test {
+ protected:
+  CkObjectsTest() { Init(CacheKernelConfig()); }
+
+  void Init(const CacheKernelConfig& config) {
+    cksim::MachineConfig mc;
+    mc.memory_bytes = 8u << 20;
+    machine_ = std::make_unique<cksim::Machine>(mc);
+    ck_ = std::make_unique<CacheKernel>(*machine_, config);
+    first_id_ = ck_->BootFirstKernel(&first_, 0);
+  }
+
+  CkApi Api() { return CkApi(*ck_, first_id_, machine_->cpu(0)); }
+
+  // A valid frame owned by the first kernel.
+  cksim::PhysAddr Frame(uint32_t n) { return 0x100000 + n * cksim::kPageSize; }
+
+  std::unique_ptr<cksim::Machine> machine_;
+  std::unique_ptr<CacheKernel> ck_;
+  RecordingKernel first_;
+  KernelId first_id_;
+};
+
+TEST_F(CkObjectsTest, BootedKernelHasFullAuthority) {
+  EXPECT_TRUE(first_id_.valid());
+  EXPECT_TRUE(ck_->IsKernelLoaded(first_id_));
+  EXPECT_EQ(ck_->loaded_count(ck::ObjectType::kKernel), 1u);
+}
+
+TEST_F(CkObjectsTest, SpaceLoadUnloadAndStaleId) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(/*cookie=*/7);
+  ASSERT_TRUE(space.ok());
+  EXPECT_TRUE(ck_->IsSpaceLoaded(space.value()));
+
+  EXPECT_EQ(api.UnloadSpace(space.value()), CkStatus::kOk);
+  EXPECT_FALSE(ck_->IsSpaceLoaded(space.value()));
+  ASSERT_EQ(first_.space_writebacks.size(), 1u);
+  EXPECT_EQ(first_.space_writebacks[0].cookie, 7u);
+
+  // The old identifier is stale forever.
+  EXPECT_EQ(api.UnloadSpace(space.value()), CkStatus::kStale);
+
+  // A reload returns a NEW identifier, even if the slot is reused.
+  ckbase::Result<SpaceId> space2 = api.LoadSpace(7);
+  ASSERT_TRUE(space2.ok());
+  EXPECT_FALSE(space.value() == space2.value());
+}
+
+TEST_F(CkObjectsTest, ThreadLoadRequiresLiveSpace) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.cookie = 11;
+  spec.priority = 5;
+  ckbase::Result<ThreadId> thread = api.LoadThread(spec);
+  ASSERT_TRUE(thread.ok());
+
+  // Unload the space: the thread must have been written back with it
+  // (Figure 6 dependency).
+  ASSERT_EQ(api.UnloadSpace(space.value()), CkStatus::kOk);
+  EXPECT_FALSE(ck_->IsThreadLoaded(thread.value()));
+  ASSERT_EQ(first_.thread_writebacks.size(), 1u);
+  EXPECT_EQ(first_.thread_writebacks[0].cookie, 11u);
+
+  // Loading a thread against the stale space id fails with kStale; the
+  // application kernel is expected to reload the space and retry.
+  ckbase::Result<ThreadId> retry = api.LoadThread(spec);
+  EXPECT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status(), CkStatus::kStale);
+}
+
+TEST_F(CkObjectsTest, WritebackOrderThreadsAndMappingsBeforeSpace) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(3);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec tspec;
+  tspec.space = space.value();
+  tspec.cookie = 21;
+  ASSERT_TRUE(api.LoadThread(tspec).ok());
+
+  MappingSpec mspec;
+  mspec.space = space.value();
+  mspec.vaddr = 0x4000;
+  mspec.paddr = Frame(1);
+  mspec.flags.writable = true;
+  ASSERT_EQ(api.LoadMapping(mspec), CkStatus::kOk);
+
+  first_.events.clear();
+  ASSERT_EQ(api.UnloadSpace(space.value()), CkStatus::kOk);
+  // "Before an address space object is written back, all the page mappings
+  // ... and all the associated threads are written back."
+  ASSERT_EQ(first_.events.size(), 3u);
+  EXPECT_EQ(first_.events[0], "wb-thread#21");
+  EXPECT_EQ(first_.events[1], "wb-map@16384");
+  EXPECT_EQ(first_.events[2], "wb-space#3");
+}
+
+TEST_F(CkObjectsTest, MappingRequiresAlignmentAndAuthorizedMemory) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.vaddr = 0x4001;  // unaligned
+  spec.paddr = Frame(0);
+  EXPECT_EQ(api.LoadMapping(spec), CkStatus::kInvalidArgument);
+
+  spec.vaddr = 0x4000;
+  spec.paddr = 0xff000000;  // outside physical memory
+  EXPECT_EQ(api.LoadMapping(spec), CkStatus::kInvalidArgument);
+
+  // Second kernel with NO memory grant: denied.
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 1);
+  ASSERT_TRUE(second_id.ok());
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  ckbase::Result<SpaceId> space2 = api2.LoadSpace(1);
+  ASSERT_TRUE(space2.ok());
+  MappingSpec spec2;
+  spec2.space = space2.value();
+  spec2.vaddr = 0x4000;
+  spec2.paddr = Frame(0);
+  EXPECT_EQ(api2.LoadMapping(spec2), CkStatus::kDenied);
+
+  // Grant read-only: read mapping OK, writable mapping denied.
+  uint32_t group = Frame(0) / cksim::kPageGroupBytes;
+  ASSERT_EQ(api.GrantPageGroups(second_id.value(), group, 1, GroupAccess::kRead), CkStatus::kOk);
+  EXPECT_EQ(api2.LoadMapping(spec2), CkStatus::kOk);
+  spec2.vaddr = 0x5000;
+  spec2.flags.writable = true;
+  EXPECT_EQ(api2.LoadMapping(spec2), CkStatus::kDenied);
+}
+
+TEST_F(CkObjectsTest, OnlyFirstKernelManagesKernels) {
+  CkApi api = Api();
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 1);
+  ASSERT_TRUE(second_id.ok());
+
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  RecordingKernel third;
+  EXPECT_EQ(api2.LoadKernel(&third, 2).status(), CkStatus::kDenied);
+  EXPECT_EQ(api2.UnloadKernel(second_id.value()), CkStatus::kDenied);
+  uint8_t percent[ck::kMaxCpus] = {50, 50, 50, 50};
+  EXPECT_EQ(api2.SetCpuQuota(second_id.value(), percent, 10), CkStatus::kDenied);
+
+  // The first kernel cannot unload itself.
+  EXPECT_EQ(api.UnloadKernel(first_id_), CkStatus::kDenied);
+}
+
+TEST_F(CkObjectsTest, KernelUnloadCascadesEverything) {
+  CkApi api = Api();
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 42);
+  ASSERT_TRUE(second_id.ok());
+  uint32_t group = Frame(0) / cksim::kPageGroupBytes;
+  ASSERT_EQ(api.GrantPageGroups(second_id.value(), group, 1, GroupAccess::kReadWrite),
+            CkStatus::kOk);
+
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  ckbase::Result<SpaceId> space = api2.LoadSpace(5);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec tspec;
+  tspec.space = space.value();
+  tspec.cookie = 50;
+  ASSERT_TRUE(api2.LoadThread(tspec).ok());
+  MappingSpec mspec;
+  mspec.space = space.value();
+  mspec.vaddr = 0x8000;
+  mspec.paddr = Frame(0);
+  ASSERT_EQ(api2.LoadMapping(mspec), CkStatus::kOk);
+
+  ASSERT_EQ(api.UnloadKernel(second_id.value()), CkStatus::kOk);
+  // The second kernel got its objects back...
+  ASSERT_EQ(second.thread_writebacks.size(), 1u);
+  ASSERT_EQ(second.mapping_writebacks.size(), 1u);
+  ASSERT_EQ(second.space_writebacks.size(), 1u);
+  // ...and the manager (first kernel) got the kernel object.
+  ASSERT_EQ(first_.kernel_writebacks.size(), 1u);
+  EXPECT_EQ(first_.kernel_writebacks[0].cookie, 42u);
+  EXPECT_FALSE(ck_->IsKernelLoaded(second_id.value()));
+  EXPECT_FALSE(ck_->IsSpaceLoaded(space.value()));
+}
+
+TEST_F(CkObjectsTest, MappingWritebackCarriesReferencedModifiedBits) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.vaddr = 0x4000;
+  spec.paddr = Frame(2);
+  spec.flags.writable = true;
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+
+  // Touch through the MMU as the hardware would.
+  cksim::Mmu::TranslateResult t =
+      machine_->cpu(0).mmu().Translate(0, 0, 0, cksim::Access::kRead);  // warm-up no-op
+  (void)t;
+  // Use QueryMapping before/after a simulated write.
+  ckbase::Result<ck::MappingInfo> info = api.QueryMapping(space.value(), 0x4000);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().modified);
+
+  // Fake a hardware write: translate with the space's root and asid. The
+  // space slot doubles as the asid; slot of the first loaded space is 0.
+  // (A full guest-driven version of this lives in ck_guest_test.)
+  ASSERT_EQ(api.UnloadMapping(space.value(), 0x4000), CkStatus::kOk);
+  ASSERT_EQ(first_.mapping_writebacks.size(), 1u);
+  EXPECT_EQ(first_.mapping_writebacks[0].pframe, Frame(2) >> cksim::kPageShift);
+  EXPECT_TRUE(first_.mapping_writebacks[0].writable);
+}
+
+TEST_F(CkObjectsTest, MappingReplaceAtSameVaddr) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.vaddr = 0x4000;
+  spec.paddr = Frame(3);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  spec.paddr = Frame(4);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  // The first mapping was written back by the replacement.
+  ASSERT_EQ(first_.mapping_writebacks.size(), 1u);
+  EXPECT_EQ(first_.mapping_writebacks[0].pframe, Frame(3) >> cksim::kPageShift);
+  ckbase::Result<ck::MappingInfo> info = api.QueryMapping(space.value(), 0x4000);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().paddr, Frame(4));
+  EXPECT_EQ(ck_->loaded_count(ck::ObjectType::kMapping), 1u);
+}
+
+TEST_F(CkObjectsTest, ThreadPoolReclaimsVictimOnOverflow) {
+  CacheKernelConfig config;
+  config.thread_slots = 4;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+
+  std::vector<ThreadId> threads;
+  for (uint32_t i = 0; i < 6; ++i) {
+    ThreadSpec spec;
+    spec.space = space.value();
+    spec.cookie = 100 + i;
+    spec.start_blocked = true;  // blocked threads are preferred victims
+    ckbase::Result<ThreadId> t = api.LoadThread(spec);
+    ASSERT_TRUE(t.ok()) << "load " << i;
+    threads.push_back(t.value());
+  }
+  // Two oldest were reclaimed by writeback.
+  EXPECT_EQ(ck_->loaded_count(ck::ObjectType::kThread), 4u);
+  EXPECT_EQ(first_.thread_writebacks.size(), 2u);
+  EXPECT_EQ(first_.thread_writebacks[0].cookie, 100u);
+  EXPECT_EQ(first_.thread_writebacks[1].cookie, 101u);
+  EXPECT_FALSE(ck_->IsThreadLoaded(threads[0]));
+  EXPECT_TRUE(ck_->IsThreadLoaded(threads[5]));
+  EXPECT_EQ(ck_->stats().reclamations[static_cast<int>(ck::ObjectType::kThread)], 2u);
+}
+
+TEST_F(CkObjectsTest, LockedChainSurvivesReclamation) {
+  CacheKernelConfig config;
+  config.thread_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  // Locked space in a locked kernel: the chain holds.
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+
+  ThreadSpec locked_spec;
+  locked_spec.space = space.value();
+  locked_spec.cookie = 1;
+  locked_spec.locked = true;
+  locked_spec.start_blocked = true;
+  ckbase::Result<ThreadId> locked_thread = api.LoadThread(locked_spec);
+  ASSERT_TRUE(locked_thread.ok());
+
+  ThreadSpec plain_spec;
+  plain_spec.space = space.value();
+  plain_spec.cookie = 2;
+  plain_spec.start_blocked = true;
+  ASSERT_TRUE(api.LoadThread(plain_spec).ok());
+
+  // Overflow: the unlocked thread must be the victim.
+  plain_spec.cookie = 3;
+  ASSERT_TRUE(api.LoadThread(plain_spec).ok());
+  EXPECT_TRUE(ck_->IsThreadLoaded(locked_thread.value()));
+  ASSERT_EQ(first_.thread_writebacks.size(), 1u);
+  EXPECT_EQ(first_.thread_writebacks[0].cookie, 2u);
+}
+
+TEST_F(CkObjectsTest, ExplicitUnloadIgnoresLocks) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.cookie = 9;
+  spec.locked = true;
+  ckbase::Result<ThreadId> thread = api.LoadThread(spec);
+  ASSERT_TRUE(thread.ok());
+  // "Locked dependent objects are unloaded the same as unlocked objects"
+  // under an explicit request.
+  EXPECT_EQ(api.UnloadThread(thread.value()), CkStatus::kOk);
+  EXPECT_EQ(api.UnloadSpace(space.value()), CkStatus::kOk);
+}
+
+TEST_F(CkObjectsTest, LockLimitsEnforced) {
+  CkApi api = Api();
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 1);
+  ASSERT_TRUE(second_id.ok());
+  uint8_t limits[ck::kObjectTypeCount] = {0, 1, 0, 0};  // one locked space only
+  ASSERT_EQ(api.SetLockLimits(second_id.value(), limits), CkStatus::kOk);
+
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  ckbase::Result<SpaceId> s1 = api2.LoadSpace(1, /*locked=*/true);
+  EXPECT_TRUE(s1.ok());
+  ckbase::Result<SpaceId> s2 = api2.LoadSpace(2, /*locked=*/true);
+  EXPECT_FALSE(s2.ok());
+  EXPECT_EQ(s2.status(), CkStatus::kDenied);
+  // Unlocked loads remain fine.
+  EXPECT_TRUE(api2.LoadSpace(3).ok());
+}
+
+TEST_F(CkObjectsTest, PriorityCapEnforced) {
+  CkApi api = Api();
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 1);
+  ASSERT_TRUE(second_id.ok());
+  uint8_t percent[ck::kMaxCpus] = {100, 100, 100, 100};
+  ASSERT_EQ(api.SetCpuQuota(second_id.value(), percent, /*max_priority=*/10), CkStatus::kOk);
+
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  ckbase::Result<SpaceId> space = api2.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.priority = 11;  // above the cap
+  EXPECT_EQ(api2.LoadThread(spec).status(), CkStatus::kDenied);
+  spec.priority = 10;
+  ckbase::Result<ThreadId> t = api2.LoadThread(spec);
+  ASSERT_TRUE(t.ok());
+  // SetThreadPriority is capped too.
+  EXPECT_EQ(api2.SetThreadPriority(t.value(), 12), CkStatus::kDenied);
+  EXPECT_EQ(api2.SetThreadPriority(t.value(), 3), CkStatus::kOk);
+}
+
+TEST_F(CkObjectsTest, RevokingPageGroupEvictsMappings) {
+  CkApi api = Api();
+  RecordingKernel second;
+  ckbase::Result<KernelId> second_id = api.LoadKernel(&second, 1);
+  ASSERT_TRUE(second_id.ok());
+  uint32_t group = Frame(0) / cksim::kPageGroupBytes;
+  ASSERT_EQ(api.GrantPageGroups(second_id.value(), group, 1, GroupAccess::kReadWrite),
+            CkStatus::kOk);
+
+  CkApi api2(*ck_, second_id.value(), machine_->cpu(0));
+  ckbase::Result<SpaceId> space = api2.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.vaddr = 0x4000;
+  spec.paddr = Frame(0);
+  spec.flags.writable = true;
+  ASSERT_EQ(api2.LoadMapping(spec), CkStatus::kOk);
+
+  // Revoke: the loaded mapping must be evicted, not just future ones denied.
+  ASSERT_EQ(api.GrantPageGroups(second_id.value(), group, 1, GroupAccess::kNone), CkStatus::kOk);
+  EXPECT_EQ(second.mapping_writebacks.size(), 1u);
+  EXPECT_FALSE(api2.QueryMapping(space.value(), 0x4000).ok());
+}
+
+TEST_F(CkObjectsTest, UnloadMappingRangeSweeps) {
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    MappingSpec spec;
+    spec.space = space.value();
+    spec.vaddr = 0x10000 + i * cksim::kPageSize;
+    spec.paddr = Frame(i);
+    ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  }
+  EXPECT_EQ(api.UnloadMappingRange(space.value(), 0x10000, 8), CkStatus::kOk);
+  EXPECT_EQ(first_.mapping_writebacks.size(), 4u);
+  EXPECT_EQ(ck_->loaded_count(ck::ObjectType::kMapping), 0u);
+}
+
+TEST_F(CkObjectsTest, Table1DescriptorSizes) {
+  // Our MemMapEntry must match the paper exactly; the other descriptors are
+  // reported by the table1 bench (host padding differs from a 68040).
+  EXPECT_EQ(CacheKernel::kMappingEntryBytes, 16u);
+  EXPECT_LE(CacheKernel::kSpaceObjectBytes, 96u) << "AddrSpace descriptor should stay small";
+  EXPECT_GE(CacheKernel::kKernelObjectBytes, cksim::kAccessArrayBytes)
+      << "kernel object embeds the 2 KiB access array";
+}
+
+TEST_F(CkObjectsTest, DefaultCapacitiesMatchTable1) {
+  EXPECT_EQ(ck_->capacity(ck::ObjectType::kKernel), 16u);
+  EXPECT_EQ(ck_->capacity(ck::ObjectType::kSpace), 64u);
+  EXPECT_EQ(ck_->capacity(ck::ObjectType::kThread), 256u);
+  EXPECT_EQ(ck_->capacity(ck::ObjectType::kMapping), 65536u);
+}
+
+}  // namespace

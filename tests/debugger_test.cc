@@ -1,0 +1,143 @@
+// Breakpoint debugging (section 2.3): hit -> thread unloaded, state
+// examined, instruction restored, thread reloaded on request.
+
+#include <gtest/gtest.h>
+
+#include "src/appkernel/debugger.h"
+#include "src/isa/assembler.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using cktest::TestWorld;
+
+// App kernel that routes the breakpoint trap to its debugger.
+class DebuggableKernel : public ckapp::AppKernelBase {
+ public:
+  DebuggableKernel() : ckapp::AppKernelBase("debuggee", 64), debugger(*this) {}
+
+  ck::TrapAction HandleTrap(const ck::TrapForward& trap, ck::CkApi& api) override {
+    ck::TrapAction action;
+    if (trap.number == ckapp::kBreakpointTrap) {
+      action.action = debugger.OnBreakpointTrap(trap, api);
+      return action;
+    }
+    if (trap.number == 16) {  // exit-style marker
+      exit_value = trap.args[0];
+      action.action = ck::HandlerAction::kTerminate;
+      return action;
+    }
+    action.action = ck::HandlerAction::kTerminate;
+    return action;
+  }
+
+  ckapp::Debugger debugger;
+  uint32_t exit_value = 0;
+};
+
+ckisa::Program MustAssemble(const char* source) {
+  ckisa::AssembleResult result = ckisa::Assemble(source, 0x10000);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.program;
+}
+
+class DebuggerTest : public ::testing::Test {
+ protected:
+  DebuggerTest() {
+    world_ = std::make_unique<TestWorld>();
+    world_->Launch(app_);
+  }
+
+  ck::CkApi Api() { return ck::CkApi(world_->ck(), app_.self(), world_->machine().cpu(0)); }
+
+  std::unique_ptr<TestWorld> world_;
+  DebuggableKernel app_;
+};
+
+TEST_F(DebuggerTest, BreakpointStopsExaminesAndResumes) {
+  ck::CkApi api = Api();
+  uint32_t space = app_.CreateSpace(api);
+  ckisa::Program program = MustAssemble(R"(
+      addi t0, r0, 11
+    checkpoint:
+      addi t0, t0, 22     ; <- breakpoint lands here
+      mv   a0, t0
+      trap 16             ; report t0
+  )");
+  app_.LoadProgramImage(space, program, /*writable=*/true);
+  ASSERT_EQ(app_.debugger.SetBreakpoint(api, space, program.labels.at("checkpoint")),
+            CkStatus::kOk);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  uint32_t guest = app_.CreateGuestThread(api, params);
+
+  // The thread hits the breakpoint and its descriptor leaves the kernel.
+  ASSERT_TRUE(world_->RunUntil([&] { return app_.debugger.IsStopped(guest); }, 500000));
+  EXPECT_FALSE(app_.thread(guest).loaded) << "stopped thread consumes no descriptors";
+  EXPECT_EQ(app_.debugger.hits(), 1u);
+
+  // Examine: t0 already holds 11; pc rewound to the breakpoint.
+  const ckisa::VmContext& regs = app_.debugger.Examine(guest);
+  EXPECT_EQ(regs.regs[ckisa::kRegT0], 11u);
+  EXPECT_EQ(regs.pc, program.labels.at("checkpoint"));
+
+  // Resume: original instruction restored, program completes normally.
+  ASSERT_EQ(app_.debugger.Resume(api, guest), CkStatus::kOk);
+  ASSERT_TRUE(world_->RunUntil([&] { return app_.thread(guest).finished; }, 500000));
+  EXPECT_EQ(app_.exit_value, 33u) << "the patched instruction executed after restore";
+}
+
+TEST_F(DebuggerTest, RegistersCanBeEditedWhileStopped) {
+  ck::CkApi api = Api();
+  uint32_t space = app_.CreateSpace(api);
+  ckisa::Program program = MustAssemble(R"(
+      addi t0, r0, 1
+    stop:
+      mv   a0, t0
+      trap 16
+  )");
+  app_.LoadProgramImage(space, program, /*writable=*/true);
+  ASSERT_EQ(app_.debugger.SetBreakpoint(api, space, program.labels.at("stop")), CkStatus::kOk);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  uint32_t guest = app_.CreateGuestThread(api, params);
+  ASSERT_TRUE(world_->RunUntil([&] { return app_.debugger.IsStopped(guest); }, 500000));
+
+  // Poke a register in the saved context; the reload carries it back in.
+  app_.thread(guest).saved.regs[ckisa::kRegT0] = 777;
+  ASSERT_EQ(app_.debugger.Resume(api, guest), CkStatus::kOk);
+  ASSERT_TRUE(world_->RunUntil([&] { return app_.thread(guest).finished; }, 500000));
+  EXPECT_EQ(app_.exit_value, 777u);
+}
+
+TEST_F(DebuggerTest, ClearWithoutHitRestoresInstruction) {
+  ck::CkApi api = Api();
+  uint32_t space = app_.CreateSpace(api);
+  ckisa::Program program = MustAssemble(R"(
+      addi a0, r0, 5
+    point:
+      addi a0, a0, 5
+      trap 16
+  )");
+  app_.LoadProgramImage(space, program, /*writable=*/true);
+  ASSERT_EQ(app_.debugger.SetBreakpoint(api, space, program.labels.at("point")), CkStatus::kOk);
+  EXPECT_EQ(app_.debugger.SetBreakpoint(api, space, program.labels.at("point")),
+            CkStatus::kBusy);
+  ASSERT_EQ(app_.debugger.ClearBreakpoint(api, space, program.labels.at("point")),
+            CkStatus::kOk);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  uint32_t guest = app_.CreateGuestThread(api, params);
+  ASSERT_TRUE(world_->RunUntil([&] { return app_.thread(guest).finished; }, 500000));
+  EXPECT_EQ(app_.exit_value, 10u) << "program untouched after clear";
+  EXPECT_EQ(app_.debugger.hits(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Property test: the MMU + page tables + TLB against a reference model.
+//
+// Random mapping load/unload churn interleaved with random translated
+// accesses; every access outcome (paddr, fault type, protection) must match
+// a simple map<vpage, (frame, flags)> oracle. This hammers exactly the
+// coherence the Cache Kernel must maintain: TLB flushes on unload, PTE
+// updates on load, referenced/modified bit behavior.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/ck/cache_kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CkApi;
+using ck::MappingSpec;
+using ck::SpaceId;
+using ckbase::CkStatus;
+
+class NullKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward&, CkApi&) override {
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward&, CkApi&) override { return {}; }
+  void OnMappingWriteback(const ck::MappingWriteback&, CkApi&) override {}
+  void OnThreadWriteback(const ck::ThreadWriteback&, CkApi&) override {}
+  void OnSpaceWriteback(const ck::SpaceWriteback&, CkApi&) override {}
+};
+
+struct OracleEntry {
+  uint32_t frame;
+  bool writable;
+};
+
+class MmuOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MmuOracleTest, TranslationsAlwaysMatchTheOracle) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 8u << 20;
+  cksim::Machine machine(mc);
+  ck::CacheKernelConfig config;
+  config.mapping_slots = 2048;  // ample: the oracle does not model reclaim
+  CacheKernel ck(machine, config);
+  NullKernel null_kernel;
+  ck::KernelId kid = ck.BootFirstKernel(&null_kernel, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  SpaceId space = api.LoadSpace(0, false).value();
+  // The freshly loaded space occupies slot 0 -> asid 0. Derive the root the
+  // MMU would use from a thread's perspective via translated probes only.
+
+  ckbase::Rng rng(GetParam());
+  std::map<uint32_t, OracleEntry> oracle;  // vpage -> entry
+  constexpr uint32_t kVpages = 64;         // virtual window: pages 0x400..0x43f
+  constexpr uint32_t kVbase = 0x400;
+  constexpr uint32_t kFrames = 32;
+  constexpr uint32_t kFrameBase = 0x100000 / cksim::kPageSize;
+
+  // Use a second CPU's MMU for raw probes (api charges cpu0). The space's
+  // root table address: QueryMapping does the walk for us, so instead probe
+  // through the Mmu directly using the root from a loaded mapping's PTE walk.
+  // Simpler: probe through QueryMapping (authoritative PTE view) AND through
+  // the raw MMU using the root obtained from the Cache Kernel's own leaf
+  // lookups -- QueryMapping already exercises LeafPteAddr; for the TLB view
+  // we translate via cpu(1)'s MMU bound to the same tables. To get the root,
+  // load one bootstrap mapping and read the machine's page-table arena...
+  // That is kernel-internal; instead validate the TLB path indirectly via
+  // GuestLoad/GuestStore on a loaded thread, which is the real access path.
+
+  ck::ThreadSpec tspec;
+  tspec.space = space;
+  tspec.start_blocked = true;
+  ck::ThreadId thread = api.LoadThread(tspec).value();
+
+  for (int op = 0; op < 4000; ++op) {
+    uint32_t choice = static_cast<uint32_t>(rng.Below(10));
+    uint32_t vpage = kVbase + static_cast<uint32_t>(rng.Below(kVpages));
+    cksim::VirtAddr vaddr = vpage * cksim::kPageSize +
+                            static_cast<uint32_t>(rng.Below(cksim::kPageSize / 4)) * 4;
+
+    if (choice < 3) {  // load/replace a mapping
+      MappingSpec spec;
+      spec.space = space;
+      spec.vaddr = vpage * cksim::kPageSize;
+      spec.paddr = (kFrameBase + static_cast<uint32_t>(rng.Below(kFrames))) * cksim::kPageSize;
+      spec.flags.writable = rng.Chance(1, 2);
+      ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+      oracle[vpage] = OracleEntry{spec.paddr >> cksim::kPageShift, spec.flags.writable};
+    } else if (choice < 5) {  // unload
+      CkStatus status = api.UnloadMapping(space, vpage * cksim::kPageSize);
+      if (oracle.count(vpage) != 0) {
+        ASSERT_EQ(status, CkStatus::kOk);
+        oracle.erase(vpage);
+      } else {
+        ASSERT_EQ(status, CkStatus::kNotFound);
+      }
+    } else if (choice < 8) {  // read access through the real path
+      ckbase::Result<uint32_t> value = ck.GuestLoad(kid, machine.cpu(0), thread, vaddr);
+      if (oracle.count(vpage) != 0) {
+        ASSERT_TRUE(value.ok()) << "mapped read must succeed at op " << op;
+      } else {
+        // The access faulted; the null kernel terminated the thread. Reload.
+        ASSERT_FALSE(value.ok());
+        tspec.cookie = static_cast<uint64_t>(op);
+        ck.UnloadThread(kid, machine.cpu(0), thread);
+        thread = api.LoadThread(tspec).value();
+      }
+    } else {  // write access
+      uint32_t marker = 0xbeef0000u + static_cast<uint32_t>(op);
+      CkStatus status = ck.GuestStore(kid, machine.cpu(0), thread, vaddr, marker);
+      auto it = oracle.find(vpage);
+      if (it != oracle.end() && it->second.writable) {
+        ASSERT_EQ(status, CkStatus::kOk) << "writable page at op " << op;
+        // The word must land in the oracle's frame.
+        uint32_t stored = machine.memory().ReadWord(
+            (it->second.frame << cksim::kPageShift) | (vaddr & cksim::kPageOffsetMask & ~3u));
+        ASSERT_EQ(stored, marker);
+        // And the modified bit must be visible to the owner.
+        ckbase::Result<ck::MappingInfo> info =
+            api.QueryMapping(space, vpage * cksim::kPageSize);
+        ASSERT_TRUE(info.ok());
+        EXPECT_TRUE(info.value().modified);
+      } else {
+        ASSERT_NE(status, CkStatus::kOk) << "unmapped/read-only write at op " << op;
+        tspec.cookie = static_cast<uint64_t>(op);
+        ck.UnloadThread(kid, machine.cpu(0), thread);
+        thread = api.LoadThread(tspec).value();
+      }
+    }
+  }
+
+  // Final sweep: every oracle entry agrees with QueryMapping.
+  for (const auto& [vpage, entry] : oracle) {
+    ckbase::Result<ck::MappingInfo> info = api.QueryMapping(space, vpage * cksim::kPageSize);
+    ASSERT_TRUE(info.ok()) << "vpage " << vpage;
+    EXPECT_EQ(info.value().paddr >> cksim::kPageShift, entry.frame);
+    EXPECT_EQ(info.value().writable, entry.writable);
+  }
+  EXPECT_TRUE(ck.ValidateInvariants().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmuOracleTest, ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// Configuration sweep: the same guest workload must complete on 1-4 CPU
+// machines ("these extensions are relatively easy to omit ... especially
+// with uniprocessor configurations", section 4.1).
+class CpuCountTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CpuCountTest, StandardWorkloadCompletesOnAnyCpuCount) {
+  cksim::MachineConfig mc;
+  mc.cpu_count = GetParam();
+  mc.memory_bytes = 8u << 20;
+  cksim::Machine machine(mc);
+  ck::CacheKernelConfig config;
+  CacheKernel ck(machine, config);
+  NullKernel null_kernel;
+  ck::KernelId kid = ck.BootFirstKernel(&null_kernel, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  SpaceId space = api.LoadSpace(0, false).value();
+
+  // A dozen blocked threads + mapping churn + unload everything.
+  std::vector<ck::ThreadId> threads;
+  for (int i = 0; i < 12; ++i) {
+    ck::ThreadSpec spec;
+    spec.space = space;
+    spec.cookie = static_cast<uint64_t>(i);
+    spec.start_blocked = true;
+    ckbase::Result<ck::ThreadId> t = api.LoadThread(spec);
+    ASSERT_TRUE(t.ok());
+    threads.push_back(t.value());
+  }
+  for (int i = 0; i < 64; ++i) {
+    MappingSpec spec;
+    spec.space = space;
+    spec.vaddr = 0x100000 + i * cksim::kPageSize;
+    spec.paddr = 0x100000 + (i % 32) * cksim::kPageSize;
+    spec.flags.writable = true;
+    ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  }
+  machine.RunFor(100000);
+  EXPECT_TRUE(ck.ValidateInvariants().empty());
+  ASSERT_EQ(api.UnloadSpace(space), CkStatus::kOk);
+  EXPECT_EQ(ck.loaded_count(ck::ObjectType::kThread), 0u);
+  EXPECT_EQ(ck.loaded_count(ck::ObjectType::kMapping), 0u);
+  EXPECT_TRUE(ck.ValidateInvariants().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuCounts, CpuCountTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace

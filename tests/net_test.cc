@@ -1,0 +1,166 @@
+// Networking: application kernels talking over the simulated Ethernet (the
+// "non-trivial driver" device of section 2.2) and SRM I/O usage control
+// (section 4.3) driven by real device packet counts.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/devices.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using cktest::TestWorld;
+
+class PacketCollector : public ck::NativeProgram {
+ public:
+  explicit PacketCollector(ckapp::AppKernelBase& kernel, cksim::VirtAddr rx_vbase,
+                           cksim::PhysAddr rx_frames)
+      : kernel_(kernel), rx_vbase_(rx_vbase), rx_frames_(rx_frames) {}
+
+  ck::NativeOutcome Step(ck::NativeCtx&) override {
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+
+  void OnSignal(cksim::VirtAddr addr, ck::NativeCtx& ctx) override {
+    // Demultiplex: the slot's physical frame holds [len][dest, payload...].
+    uint32_t slot = (addr - rx_vbase_) / cksim::kPageSize;
+    cksim::PhysAddr frame = rx_frames_ + slot * cksim::kPageSize;
+    uint32_t len = 0;
+    ctx.api().ReadPhys(frame, &len, 4);
+    std::vector<uint8_t> bytes(len);
+    if (len > 0) {
+      ctx.api().ReadPhys(frame + 4, bytes.data(), len);
+    }
+    packets.push_back(std::move(bytes));
+  }
+
+  ckapp::AppKernelBase& kernel_;
+  cksim::VirtAddr rx_vbase_;
+  cksim::PhysAddr rx_frames_;
+  std::vector<std::vector<uint8_t>> packets;
+};
+
+// One machine, two app kernels, each with its own Ethernet station on a hub.
+class EthernetWorld {
+ public:
+  EthernetWorld() : app1_("station1", 32), app2_("station2", 32) {
+    uint32_t group1 = world_.srm().ReserveGroups(1).value();
+    uint32_t group2 = world_.srm().ReserveGroups(1).value();
+    eth1_ = std::make_unique<cksim::EthernetDevice>(world_.machine().memory(), &world_.ck(),
+                                                    group1 * cksim::kPageGroupBytes, 2, 4, 1000,
+                                                    /*station=*/1);
+    eth2_ = std::make_unique<cksim::EthernetDevice>(world_.machine().memory(), &world_.ck(),
+                                                    group2 * cksim::kPageGroupBytes, 2, 4, 1000,
+                                                    /*station=*/2);
+    hub_.Attach(eth1_.get());
+    hub_.Attach(eth2_.get());
+    world_.machine().AttachDevice(eth1_.get());
+    world_.machine().AttachDevice(eth2_.get());
+
+    world_.Launch(app1_, 1);
+    world_.Launch(app2_, 1);
+    world_.srm().GrantSharedGroups(app1_, group1, 1, ck::GroupAccess::kReadWrite);
+    world_.srm().GrantSharedGroups(app2_, group2, 1, ck::GroupAccess::kReadWrite);
+  }
+
+  // Transmit `payload` from a station: write into a tx slot and signal it.
+  CkStatus Send(ckapp::AppKernelBase& app, uint32_t space, cksim::VirtAddr tx_vbase,
+                cksim::EthernetDevice& device, uint8_t dest,
+                const std::vector<uint8_t>& payload) {
+    ck::CkApi api(world_.ck(), app.self(), world_.machine().cpu(0));
+    std::vector<uint8_t> wire;
+    wire.push_back(dest);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    uint32_t len = static_cast<uint32_t>(wire.size());
+    api.WritePhys(device.tx_slot(0), &len, 4);
+    api.WritePhys(device.tx_slot(0) + 4, wire.data(), len);
+    CkStatus status = app.EnsureMappingLoaded(api, space, tx_vbase);
+    if (status != CkStatus::kOk) {
+      return status;
+    }
+    return api.Signal(app.space(space).ck_id, tx_vbase);
+  }
+
+  TestWorld world_;
+  ckapp::AppKernelBase app1_, app2_;
+  std::unique_ptr<cksim::EthernetDevice> eth1_, eth2_;
+  cksim::EthernetHub hub_;
+};
+
+TEST(NetTest, StationToStationPacketDelivery) {
+  EthernetWorld net;
+  ck::CkApi api1(net.world_.ck(), net.app1_.self(), net.world_.machine().cpu(0));
+  ck::CkApi api2(net.world_.ck(), net.app2_.self(), net.world_.machine().cpu(0));
+  uint32_t space1 = net.app1_.CreateSpace(api1);
+  uint32_t space2 = net.app2_.CreateSpace(api2);
+
+  // Station 1: map the tx region. Station 2: map the rx region with a
+  // collector thread demultiplexing inbound packets.
+  net.app1_.DefineFrameRegion(space1, 0x00800000, 2, net.eth1_->tx_slot(0), true, true);
+  PacketCollector collector(net.app2_, 0x00900000, net.eth2_->rx_slot(0));
+  uint32_t collector_thread = net.app2_.CreateNativeThread(api2, space2, &collector, 15);
+  net.app2_.DefineFrameRegion(space2, 0x00900000, 4, net.eth2_->rx_slot(0), false, true,
+                              collector_thread);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(net.app2_.EnsureMappingLoaded(api2, space2, 0x00900000 + i * cksim::kPageSize),
+              CkStatus::kOk);
+  }
+
+  ASSERT_EQ(net.Send(net.app1_, space1, 0x00800000, *net.eth1_, /*dest=*/2, {0xaa, 0xbb}),
+            CkStatus::kOk);
+  ASSERT_TRUE(net.world_.RunUntil([&] { return !collector.packets.empty(); }, 500000));
+  ASSERT_EQ(collector.packets[0].size(), 3u);
+  EXPECT_EQ(collector.packets[0][0], 2);  // dest byte
+  EXPECT_EQ(collector.packets[0][1], 0xaa);
+  EXPECT_EQ(collector.packets[0][2], 0xbb);
+  EXPECT_EQ(net.eth1_->packets_sent(), 1u);
+  EXPECT_EQ(net.eth2_->packets_received(), 1u);
+}
+
+TEST(NetTest, SrmIoQuotaDisconnectsFromDeviceCounts) {
+  EthernetWorld net;
+  ck::CkApi api1(net.world_.ck(), net.app1_.self(), net.world_.machine().cpu(0));
+  uint32_t space1 = net.app1_.CreateSpace(api1);
+  net.app1_.DefineFrameRegion(space1, 0x00800000, 2, net.eth1_->tx_slot(0), true, true);
+
+  // The SRM's channel manager polls the device transfer counters
+  // ("interfaces provide packet transmission and reception counts which can
+  // be used to calculate network transfer rates", section 4.3).
+  net.world_.srm().SetIoQuota(net.app1_, 5);
+  uint64_t accounted = 0;
+  bool connected = true;
+  for (int burst = 0; burst < 10 && connected; ++burst) {
+    net.Send(net.app1_, space1, 0x00800000, *net.eth1_, 2, {0x01});
+    net.world_.machine().RunFor(20000);
+    uint64_t sent = net.eth1_->packets_sent();
+    connected = net.world_.srm().RecordIo(net.app1_, sent - accounted);
+    accounted = sent;
+  }
+  EXPECT_FALSE(connected) << "6th packet must exceed the 5-packet quota";
+  EXPECT_TRUE(net.world_.srm().IsIoDisconnected(net.app1_));
+  EXPECT_LE(net.eth1_->packets_sent(), 7u);
+
+  // A new accounting window reconnects (the disconnection is temporary).
+  net.world_.srm().ResetIoWindow();
+  EXPECT_FALSE(net.world_.srm().IsIoDisconnected(net.app1_));
+}
+
+TEST(NetTest, OversizePacketIsDropped) {
+  EthernetWorld net;
+  ck::CkApi api1(net.world_.ck(), net.app1_.self(), net.world_.machine().cpu(0));
+  uint32_t space1 = net.app1_.CreateSpace(api1);
+  net.app1_.DefineFrameRegion(space1, 0x00800000, 2, net.eth1_->tx_slot(0), true, true);
+
+  uint32_t huge = cksim::kPageSize;  // length claims more than a slot holds
+  api1.WritePhys(net.eth1_->tx_slot(0), &huge, 4);
+  ASSERT_EQ(net.app1_.EnsureMappingLoaded(api1, space1, 0x00800000), CkStatus::kOk);
+  ASSERT_EQ(api1.Signal(net.app1_.space(space1).ck_id, 0x00800000), CkStatus::kOk);
+  net.world_.machine().RunFor(50000);
+  EXPECT_EQ(net.eth1_->packets_sent(), 0u);
+  EXPECT_EQ(net.eth1_->packets_dropped(), 1u);
+}
+
+}  // namespace

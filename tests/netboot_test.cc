@@ -1,0 +1,190 @@
+// PROM monitor: network boot (RARP + TFTP analogs) and remote debugging
+// (PEEK/POKE) over the simulated Ethernet (section 4).
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/prom/netboot.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using cktest::TestWorld;
+
+// Two machines on one hub: a boot server node and a diskless client node.
+class NetbootWorld {
+ public:
+  NetbootWorld() : server_app_("bootserver", 64), client_app_("diskless", 256) {
+    uint32_t server_group = server_node_.srm().ReserveGroups(1).value();
+    uint32_t client_group = client_node_.srm().ReserveGroups(1).value();
+    server_eth_ = std::make_unique<cksim::EthernetDevice>(
+        server_node_.machine().memory(), &server_node_.ck(),
+        server_group * cksim::kPageGroupBytes, 4, 4, 1000, /*station=*/1);
+    client_eth_ = std::make_unique<cksim::EthernetDevice>(
+        client_node_.machine().memory(), &client_node_.ck(),
+        client_group * cksim::kPageGroupBytes, 4, 4, 1000, /*station=*/2);
+    hub_.Attach(server_eth_.get());
+    hub_.Attach(client_eth_.get());
+    server_node_.machine().AttachDevice(server_eth_.get());
+    client_node_.machine().AttachDevice(client_eth_.get());
+
+    server_node_.Launch(server_app_, 2);
+    client_node_.Launch(client_app_, 2);
+    server_node_.srm().GrantSharedGroups(server_app_, server_group, 1,
+                                         ck::GroupAccess::kReadWrite);
+    client_node_.srm().GrantSharedGroups(client_app_, client_group, 1,
+                                         ck::GroupAccess::kReadWrite);
+
+    ck::CkApi server_api(server_node_.ck(), server_app_.self(), server_node_.machine().cpu(0));
+    ck::CkApi client_api(client_node_.ck(), client_app_.self(), client_node_.machine().cpu(0));
+    server_space_ = server_app_.CreateSpace(server_api);
+    client_space_ = client_app_.CreateSpace(client_api);
+
+    server_ = std::make_unique<ckprom::BootServer>(
+        ckprom::Station(server_app_, server_space_, *server_eth_, 0x00800000, 0x00900000));
+    client_ = std::make_unique<ckprom::PromClient>(
+        ckprom::Station(client_app_, client_space_, *client_eth_, 0x00800000, 0x00900000));
+
+    uint32_t server_thread =
+        server_app_.CreateNativeThread(server_api, server_space_, server_.get(), 20);
+    uint32_t client_thread =
+        client_app_.CreateNativeThread(client_api, client_space_, client_.get(), 20);
+    // Station plumbing: map tx/rx and route rx signals to the protocol
+    // threads.
+    ckprom::Station(server_app_, server_space_, *server_eth_, 0x00800000, 0x00900000)
+        .Attach(server_api, server_thread);
+    ckprom::Station(client_app_, client_space_, *client_eth_, 0x00800000, 0x00900000)
+        .Attach(client_api, client_thread);
+  }
+
+  bool RunUntil(const std::function<bool()>& done, uint64_t max_turns = 3000000) {
+    for (uint64_t i = 0; i < max_turns; ++i) {
+      if (done()) {
+        return true;
+      }
+      server_node_.machine().Step();
+      client_node_.machine().Step();
+    }
+    return done();
+  }
+
+  TestWorld server_node_, client_node_;
+  ckapp::AppKernelBase server_app_, client_app_;
+  std::unique_ptr<cksim::EthernetDevice> server_eth_, client_eth_;
+  cksim::EthernetHub hub_;
+  std::unique_ptr<ckprom::BootServer> server_;
+  std::unique_ptr<ckprom::PromClient> client_;
+  uint32_t server_space_ = 0, client_space_ = 0;
+};
+
+TEST(NetbootTest, ProgramSerializationRoundTrip) {
+  ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+      addi a0, r0, 7
+      halt
+  )", 0x10000);
+  ASSERT_TRUE(assembled.ok);
+  std::vector<uint8_t> bytes = ckprom::SerializeProgram(assembled.program);
+  ckisa::Program out;
+  ASSERT_TRUE(ckprom::DeserializeProgram(bytes, &out));
+  EXPECT_EQ(out.base, assembled.program.base);
+  EXPECT_EQ(out.words, assembled.program.words);
+  EXPECT_FALSE(ckprom::DeserializeProgram({1, 2, 3}, &out)) << "truncated image rejected";
+}
+
+TEST(NetbootTest, DiscoveryAndMultiBlockFetch) {
+  NetbootWorld world;
+  // An image spanning several TFTP blocks (~3 KiB of program).
+  ckisa::Program big;
+  big.base = 0x10000;
+  for (uint32_t i = 0; i < 700; ++i) {
+    big.words.push_back(ckisa::Encode(ckisa::Op::kAddi, 5, 5, 1));
+  }
+  big.words.push_back(ckisa::Encode(ckisa::Op::kHalt, 0, 0, 0));
+  world.server_->AddImage("vmunix", ckprom::SerializeProgram(big));
+
+  std::vector<uint8_t> fetched;
+  ck::CkApi client_api(world.client_node_.ck(), world.client_app_.self(),
+                       world.client_node_.machine().cpu(0));
+  ASSERT_EQ(world.client_->Boot(client_api, "vmunix",
+                                [&](const std::vector<uint8_t>& image, ck::CkApi&) {
+                                  fetched = image;
+                                }),
+            CkStatus::kOk);
+
+  ASSERT_TRUE(world.RunUntil([&] { return world.client_->boot_complete(); }));
+  EXPECT_EQ(world.client_->discovered_server(), 1) << "RARP found the server's station";
+  EXPECT_EQ(fetched, ckprom::SerializeProgram(big));
+  EXPECT_EQ(world.server_->boots_served(), 1u);
+  EXPECT_GE(world.server_->blocks_sent(), 6u) << "multi-block transfer";
+
+  // And the fetched image actually runs on the diskless node.
+  ckisa::Program program;
+  ASSERT_TRUE(ckprom::DeserializeProgram(fetched, &program));
+  world.client_app_.LoadProgramImage(world.client_space_, program, false);
+  ckapp::GuestThreadParams params;
+  params.space_index = world.client_space_;
+  params.entry = program.base;
+  uint32_t guest = world.client_app_.CreateGuestThread(client_api, params);
+  ASSERT_TRUE(world.RunUntil([&] { return world.client_app_.thread(guest).finished; }));
+  EXPECT_EQ(world.client_app_.thread(guest).saved.regs[5], 700u)
+      << "the netbooted program executed all 700 increments";
+}
+
+TEST(NetbootTest, MissingImageReportsError) {
+  NetbootWorld world;
+  ck::CkApi client_api(world.client_node_.ck(), world.client_app_.self(),
+                       world.client_node_.machine().cpu(0));
+  bool completed = false;
+  ASSERT_EQ(world.client_->Boot(client_api, "nonesuch",
+                                [&](const std::vector<uint8_t>&, ck::CkApi&) {
+                                  completed = true;
+                                }),
+            CkStatus::kOk);
+  world.RunUntil([] { return false; }, 200000);
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(world.client_->boot_complete());
+  EXPECT_EQ(world.server_->boots_served(), 0u);
+}
+
+TEST(NetbootTest, RemotePeekPoke) {
+  NetbootWorld world;
+  // The server node also runs a debug port into its own physical memory.
+  ck::CkApi server_api(world.server_node_.ck(), world.server_app_.self(),
+                       world.server_node_.machine().cpu(0));
+  ckprom::DebugPort port(
+      ckprom::Station(world.server_app_, world.server_space_, *world.server_eth_, 0x00a00000,
+                      0x00900000),
+      world.server_node_.machine().memory());
+  // The debug port shares the server's rx ring; for this test route the rx
+  // signals to the port instead of the boot server.
+  uint32_t port_thread =
+      world.server_app_.CreateNativeThread(server_api, world.server_space_, &port, 21);
+  ckprom::Station(world.server_app_, world.server_space_, *world.server_eth_, 0x00a00000,
+                  0x00900000)
+      .Attach(server_api, port_thread);
+
+  // Plant a value in the server's memory, then read it remotely.
+  cksim::PhysAddr probe = world.server_app_.frames().Allocate();
+  uint32_t planted = 0x5ca1ab1e;
+  ASSERT_EQ(server_api.WritePhys(probe, &planted, 4), CkStatus::kOk);
+
+  ck::CkApi client_api(world.client_node_.ck(), world.client_app_.self(),
+                       world.client_node_.machine().cpu(0));
+  uint32_t observed = 0;
+  ASSERT_EQ(world.client_->Peek(client_api, /*server=*/1, probe,
+                                [&](uint32_t value) { observed = value; }),
+            CkStatus::kOk);
+  ASSERT_TRUE(world.RunUntil([&] { return observed != 0; }));
+  EXPECT_EQ(observed, planted);
+  EXPECT_EQ(port.peeks(), 1u);
+
+  // Poke a new value and verify it landed.
+  ASSERT_EQ(world.client_->Poke(client_api, 1, probe, 0xfeed5eed), CkStatus::kOk);
+  ASSERT_TRUE(world.RunUntil([&] { return port.pokes() >= 1; }));
+  uint32_t now = 0;
+  ASSERT_EQ(server_api.ReadPhys(probe, &now, 4), CkStatus::kOk);
+  EXPECT_EQ(now, 0xfeed5eedu);
+}
+
+}  // namespace

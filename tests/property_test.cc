@@ -1,0 +1,287 @@
+// Property-based tests: random load/unload/lock/signal storms must preserve
+// the Figure 6 dependency invariants after every operation, across seeds
+// (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ck/cache_kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CacheKernelConfig;
+using ck::CkApi;
+using ck::KernelId;
+using ck::MappingSpec;
+using ck::SpaceId;
+using ck::ThreadId;
+using ck::ThreadSpec;
+using ckbase::CkStatus;
+
+// Writeback sink that keeps its own model of what should be loaded.
+class ModelKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward&, CkApi&) override {
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward&, CkApi&) override {
+    ck::TrapAction action;
+    action.action = ck::HandlerAction::kTerminate;
+    return action;
+  }
+  void OnMappingWriteback(const ck::MappingWriteback& record, CkApi&) override {
+    mapping_writebacks++;
+    last_mapping = record;
+  }
+  void OnThreadWriteback(const ck::ThreadWriteback& record, CkApi&) override {
+    thread_writebacks++;
+    unloaded_threads.push_back(record.cookie);
+  }
+  void OnSpaceWriteback(const ck::SpaceWriteback& record, CkApi&) override {
+    space_writebacks++;
+    unloaded_spaces.push_back(record.cookie);
+  }
+
+  uint64_t mapping_writebacks = 0;
+  uint64_t thread_writebacks = 0;
+  uint64_t space_writebacks = 0;
+  ck::MappingWriteback last_mapping;
+  std::vector<uint64_t> unloaded_threads;
+  std::vector<uint64_t> unloaded_spaces;
+};
+
+class StormTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StormTest, RandomObjectChurnPreservesInvariants) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 8u << 20;
+  cksim::Machine machine(mc);
+  // Small pools so reclamation and cascades fire constantly.
+  CacheKernelConfig config;
+  config.space_slots = 8;
+  config.thread_slots = 16;
+  config.mapping_slots = 96;
+  CacheKernel ck(machine, config);
+  ModelKernel model;
+  KernelId kid = ck.BootFirstKernel(&model, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+
+  ckbase::Rng rng(GetParam());
+
+  std::vector<SpaceId> spaces;
+  std::vector<ThreadId> threads;
+  std::vector<KernelId> sub_kernels;  // empty kernels churned alongside
+  struct LiveMapping {
+    SpaceId space;
+    cksim::VirtAddr vaddr;
+  };
+  std::vector<LiveMapping> mappings;
+
+  for (int op = 0; op < 3000; ++op) {
+    switch (rng.Below(12)) {
+      case 0: {  // load space
+        ckbase::Result<SpaceId> s = api.LoadSpace(op, rng.Chance(1, 8));
+        if (s.ok()) {
+          spaces.push_back(s.value());
+        }
+        break;
+      }
+      case 1: {  // unload random space (may be stale: fine)
+        if (!spaces.empty()) {
+          size_t i = rng.Below(spaces.size());
+          api.UnloadSpace(spaces[i]);
+          spaces.erase(spaces.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // load thread into random space
+        if (!spaces.empty()) {
+          ThreadSpec spec;
+          spec.space = spaces[rng.Below(spaces.size())];
+          spec.cookie = static_cast<uint64_t>(op);
+          spec.priority = static_cast<uint8_t>(rng.Below(31));
+          spec.start_blocked = rng.Chance(1, 2);
+          spec.locked = rng.Chance(1, 16);
+          ckbase::Result<ThreadId> t = api.LoadThread(spec);
+          if (t.ok()) {
+            threads.push_back(t.value());
+          } else {
+            EXPECT_TRUE(t.status() == CkStatus::kStale || t.status() == CkStatus::kDenied ||
+                        t.status() == CkStatus::kNoResources)
+                << ckbase::CkStatusName(t.status());
+          }
+        }
+        break;
+      }
+      case 4: {  // unload random thread
+        if (!threads.empty()) {
+          size_t i = rng.Below(threads.size());
+          api.UnloadThread(threads[i]);
+          threads.erase(threads.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 5:
+      case 6:
+      case 7: {  // load mapping (sometimes with a signal thread / cow)
+        if (!spaces.empty()) {
+          MappingSpec spec;
+          spec.space = spaces[rng.Below(spaces.size())];
+          spec.vaddr = static_cast<uint32_t>(rng.Below(512)) * cksim::kPageSize;
+          spec.paddr = 0x100000 + static_cast<uint32_t>(rng.Below(256)) * cksim::kPageSize;
+          spec.flags.writable = rng.Chance(1, 2);
+          spec.flags.message = rng.Chance(1, 4);
+          spec.locked = rng.Chance(1, 16);
+          if (rng.Chance(1, 4) && !threads.empty()) {
+            spec.signal_thread = threads[rng.Below(threads.size())];
+          }
+          if (rng.Chance(1, 8)) {
+            spec.cow_source = 0x100000 + static_cast<uint32_t>(rng.Below(256)) * cksim::kPageSize;
+            spec.flags.copy_on_write = true;
+            spec.flags.writable = false;
+          }
+          CkStatus status = api.LoadMapping(spec);
+          if (status == CkStatus::kOk) {
+            mappings.push_back(LiveMapping{spec.space, spec.vaddr});
+          }
+        }
+        break;
+      }
+      case 8: {  // unload random mapping
+        if (!mappings.empty()) {
+          size_t i = rng.Below(mappings.size());
+          api.UnloadMapping(mappings[i].space, mappings[i].vaddr);
+          mappings.erase(mappings.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 9: {  // lock/unlock a random mapping
+        if (!mappings.empty()) {
+          size_t i = rng.Below(mappings.size());
+          api.LockMapping(mappings[i].space, mappings[i].vaddr, rng.Chance(1, 2));
+        }
+        break;
+      }
+      case 10: {  // load a sub-kernel (only the first kernel may)
+        ckbase::Result<KernelId> k = api.LoadKernel(&model, 1000 + op, rng.Chance(1, 8));
+        if (k.ok()) {
+          sub_kernels.push_back(k.value());
+        }
+        break;
+      }
+      case 11: {  // unload a random sub-kernel
+        if (!sub_kernels.empty()) {
+          size_t i = rng.Below(sub_kernels.size());
+          api.UnloadKernel(sub_kernels[i]);
+          sub_kernels.erase(sub_kernels.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+    }
+
+    if (op % 50 == 0) {
+      std::vector<std::string> violations = ck.ValidateInvariants();
+      ASSERT_TRUE(violations.empty())
+          << "op " << op << ": " << violations.size() << " violations, first: " << violations[0];
+    }
+  }
+
+  std::vector<std::string> violations = ck.ValidateInvariants();
+  EXPECT_TRUE(violations.empty()) << violations.size() << " violations, first: " << violations[0];
+  // The storm must actually have exercised reclamation.
+  EXPECT_GT(ck.stats().reclamations[static_cast<int>(ck::ObjectType::kMapping)] +
+                ck.stats().reclamations[static_cast<int>(ck::ObjectType::kThread)] +
+                ck.stats().reclamations[static_cast<int>(ck::ObjectType::kSpace)],
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+class CapacitySweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CapacitySweepTest, LoadNeverHardFailsWhileUnlockedObjectsExist) {
+  // "An application never encounters the 'hard' error of the kernel running
+  // out of thread or address space descriptors ... The Cache Kernel always
+  // allows more objects to be loaded, writing back other objects to make
+  // space" (section 7).
+  uint32_t capacity = GetParam();
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 4u << 20;
+  cksim::Machine machine(mc);
+  CacheKernelConfig config;
+  config.thread_slots = capacity;
+  config.space_slots = std::max(4u, capacity / 4);
+  CacheKernel ck(machine, config);
+  ModelKernel model;
+  KernelId kid = ck.BootFirstKernel(&model, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+
+  ckbase::Result<SpaceId> space = api.LoadSpace(0, false);
+  ASSERT_TRUE(space.ok());
+  SpaceId sid = space.value();
+
+  // Load 4x the capacity; every load must succeed (older ones written back).
+  for (uint32_t i = 0; i < capacity * 4; ++i) {
+    ThreadSpec spec;
+    spec.space = sid;
+    spec.cookie = i;
+    spec.start_blocked = true;
+    ckbase::Result<ThreadId> t = api.LoadThread(spec);
+    if (t.status() == CkStatus::kStale) {
+      // The space itself was reclaimed to make room; reload and retry --
+      // exactly the documented application-kernel protocol.
+      space = api.LoadSpace(0, false);
+      ASSERT_TRUE(space.ok());
+      sid = space.value();
+      t = api.LoadThread(spec);
+    }
+    ASSERT_TRUE(t.ok()) << "load " << i << ": " << ckbase::CkStatusName(t.status());
+  }
+  EXPECT_EQ(ck.loaded_count(ck::ObjectType::kThread), capacity);
+  EXPECT_EQ(model.thread_writebacks, static_cast<uint64_t>(capacity) * 3u);
+  EXPECT_TRUE(ck.ValidateInvariants().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweepTest, ::testing::Values(2u, 4u, 16u, 64u));
+
+class MappingChurnTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MappingChurnTest, WritebackReportsEveryDisplacedMapping) {
+  // Conservation: loads - live == writebacks (nothing vanishes silently).
+  uint32_t pool = GetParam();
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 4u << 20;
+  cksim::Machine machine(mc);
+  CacheKernelConfig config;
+  config.mapping_slots = pool;
+  CacheKernel ck(machine, config);
+  ModelKernel model;
+  KernelId kid = ck.BootFirstKernel(&model, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  ckbase::Result<SpaceId> space = api.LoadSpace(0, false);
+  ASSERT_TRUE(space.ok());
+
+  uint32_t loads = pool * 3;
+  for (uint32_t i = 0; i < loads; ++i) {
+    MappingSpec spec;
+    spec.space = space.value();
+    spec.vaddr = i * cksim::kPageSize;
+    spec.paddr = 0x100000 + (i % 128) * cksim::kPageSize;
+    ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  }
+  uint32_t live = ck.loaded_count(ck::ObjectType::kMapping);
+  EXPECT_EQ(model.mapping_writebacks + live, loads);
+  EXPECT_LE(live, pool);
+  EXPECT_TRUE(ck.ValidateInvariants().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, MappingChurnTest, ::testing::Values(16u, 64u, 256u, 1024u));
+
+}  // namespace

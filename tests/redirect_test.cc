@@ -1,0 +1,141 @@
+// On-demand thread loading via signal redirection (sections 2.2, 2.3): a
+// parked thread consumes no Cache Kernel descriptors, yet the next signal
+// for its message page reloads it and delivers.
+
+#include <gtest/gtest.h>
+
+#include "src/appkernel/signal_redirect.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using cktest::TestWorld;
+
+class CountingReceiver : public ck::NativeProgram {
+ public:
+  ck::NativeOutcome Step(ck::NativeCtx&) override {
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kBlock;
+    return outcome;
+  }
+  void OnSignal(cksim::VirtAddr addr, ck::NativeCtx&) override { signals.push_back(addr); }
+  std::vector<cksim::VirtAddr> signals;
+};
+
+class RedirectTest : public ::testing::Test {
+ protected:
+  RedirectTest() : app_("redir", 64), redirector_(app_) {
+    world_ = std::make_unique<TestWorld>();
+    world_->Launch(app_);
+    ck::CkApi api = Api();
+    space_ = app_.CreateSpace(api);
+    frame_ = app_.frames().Allocate();
+    redirector_.Start(api, space_);
+
+    receiver_thread_ = app_.CreateNativeThread(api, space_, &receiver_, 12);
+    app_.DefineFrameRegion(space_, kSenderView, 1, frame_, true, true);
+    app_.DefineFrameRegion(space_, kReceiverView, 1, frame_, false, true, receiver_thread_);
+    app_.EnsureMappingLoaded(api, space_, kSenderView);
+    app_.EnsureMappingLoaded(api, space_, kReceiverView);
+  }
+
+  ck::CkApi Api() { return ck::CkApi(world_->ck(), app_.self(), world_->machine().cpu(0)); }
+
+  // Repointing the receiver's signal mapping flushes the sender's writable
+  // mapping too (multi-mapping consistency, section 4.2), so senders reload
+  // all their mappings of a message page before signaling.
+  CkStatus SendSignal(ck::CkApi& api, cksim::VirtAddr vaddr) {
+    CkStatus status = app_.EnsureMappingLoaded(api, space_, kSenderView);
+    if (status != CkStatus::kOk) {
+      return status;
+    }
+    return api.Signal(app_.space(space_).ck_id, vaddr);
+  }
+
+  static constexpr cksim::VirtAddr kSenderView = 0x00800000;
+  static constexpr cksim::VirtAddr kReceiverView = 0x00900000;
+
+  std::unique_ptr<TestWorld> world_;
+  ckapp::AppKernelBase app_;
+  ckapp::SignalRedirector redirector_;
+  CountingReceiver receiver_;
+  uint32_t space_ = 0;
+  cksim::PhysAddr frame_ = 0;
+  uint32_t receiver_thread_ = 0;
+};
+
+TEST_F(RedirectTest, ParkUnloadsDescriptorAndSignalReloads) {
+  ck::CkApi api = Api();
+  uint32_t threads_before = world_->ck().loaded_count(ck::ObjectType::kThread);
+
+  ASSERT_EQ(redirector_.Park(api, space_, kReceiverView, receiver_thread_), CkStatus::kOk);
+  EXPECT_FALSE(app_.thread(receiver_thread_).loaded)
+      << "parked thread consumes no Cache Kernel descriptors";
+  EXPECT_EQ(world_->ck().loaded_count(ck::ObjectType::kThread), threads_before - 1);
+  EXPECT_EQ(redirector_.parked_count(), 1u);
+
+  // A signal on the page reloads the thread and delivers.
+  ASSERT_EQ(SendSignal(api, kSenderView + 0x30), CkStatus::kOk);
+  ASSERT_TRUE(world_->RunUntil([&] { return !receiver_.signals.empty(); }, 300000));
+  EXPECT_EQ(receiver_.signals[0], kReceiverView + 0x30);
+  EXPECT_TRUE(app_.thread(receiver_thread_).loaded);
+  EXPECT_EQ(redirector_.reloads(), 1u);
+  EXPECT_EQ(redirector_.parked_count(), 0u);
+}
+
+TEST_F(RedirectTest, DirectDeliveryResumesAfterReload) {
+  ck::CkApi api = Api();
+  ASSERT_EQ(redirector_.Park(api, space_, kReceiverView, receiver_thread_), CkStatus::kOk);
+  ASSERT_EQ(SendSignal(api, kSenderView), CkStatus::kOk);
+  ASSERT_TRUE(world_->RunUntil([&] { return receiver_.signals.size() >= 1; }, 300000));
+
+  // Registration restored: the next signal goes straight to the receiver
+  // without the redirector in the loop.
+  uint64_t reloads = redirector_.reloads();
+  ASSERT_EQ(SendSignal(api, kSenderView + 0x40), CkStatus::kOk);
+  ASSERT_TRUE(world_->RunUntil([&] { return receiver_.signals.size() >= 2; }, 300000));
+  EXPECT_EQ(receiver_.signals[1], kReceiverView + 0x40);
+  EXPECT_EQ(redirector_.reloads(), reloads) << "no further redirector involvement";
+}
+
+TEST_F(RedirectTest, ParkSurvivesDescriptorPressure) {
+  // With the thread parked, churn the thread cache hard: the parked thread
+  // cannot be a reclamation victim (it holds no descriptor), and it still
+  // comes back on signal.
+  cktest::WorldOptions options;
+  options.ck.thread_slots = 8;
+  TestWorld world(options);
+  ckapp::AppKernelBase app("redir2", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+  cksim::PhysAddr frame = app.frames().Allocate();
+
+  ckapp::SignalRedirector redirector(app);
+  redirector.Start(api, space);
+  CountingReceiver receiver;
+  uint32_t receiver_thread = app.CreateNativeThread(api, space, &receiver, 12);
+  app.DefineFrameRegion(space, 0x00800000, 1, frame, true, true);
+  app.DefineFrameRegion(space, 0x00900000, 1, frame, false, true, receiver_thread);
+  ASSERT_EQ(app.EnsureMappingLoaded(api, space, 0x00800000), CkStatus::kOk);
+  ASSERT_EQ(app.EnsureMappingLoaded(api, space, 0x00900000), CkStatus::kOk);
+
+  ASSERT_EQ(redirector.Park(api, space, 0x00900000, receiver_thread), CkStatus::kOk);
+
+  // Churn: 32 thread loads through an 8-slot cache.
+  for (int i = 0; i < 32; ++i) {
+    ck::ThreadSpec spec;
+    spec.space = app.space(space).ck_id;
+    spec.cookie = 9999;
+    spec.start_blocked = true;
+    api.LoadThread(spec);
+  }
+
+  ASSERT_EQ(app.EnsureMappingLoaded(api, space, 0x00800000), CkStatus::kOk);
+  ASSERT_EQ(api.Signal(app.space(space).ck_id, 0x00800000), CkStatus::kOk);
+  ASSERT_TRUE(world.RunUntil([&] { return !receiver.signals.empty(); }, 500000));
+  EXPECT_TRUE(world.ck().ValidateInvariants().empty());
+}
+
+}  // namespace

@@ -1,0 +1,316 @@
+// Scheduling: fixed priorities, round-robin time slicing within a priority,
+// priority preemption, and per-kernel processor quotas (section 4.3).
+
+#include <gtest/gtest.h>
+
+#include "src/appkernel/coschedule.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using cktest::TestWorld;
+
+// Native program that spins, recording how many steps it got.
+class Spinner : public ck::NativeProgram {
+ public:
+  explicit Spinner(cksim::Cycles per_step = 500) : per_step_(per_step) {}
+  ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+    ctx.Charge(per_step_);
+    ++steps;
+    ck::NativeOutcome outcome;
+    outcome.action = ck::NativeOutcome::Action::kYield;
+    return outcome;
+  }
+  uint64_t steps = 0;
+
+ private:
+  cksim::Cycles per_step_;
+};
+
+TEST(SchedTest, HigherPriorityRunsFirst) {
+  TestWorld world;
+  ckapp::AppKernelBase app("sched-app", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+
+  Spinner low, high;
+  app.CreateNativeThread(api, space, &low, /*priority=*/5, false, /*cpu=*/1);
+  app.CreateNativeThread(api, space, &high, /*priority=*/20, false, /*cpu=*/1);
+  world.machine().RunFor(200000);
+  // Both spin forever; the high-priority one must monopolize the CPU.
+  EXPECT_GT(high.steps, 100u);
+  EXPECT_EQ(low.steps, 0u) << "a lower-priority thread must starve under a spinning higher one";
+}
+
+TEST(SchedTest, RoundRobinWithinPriority) {
+  TestWorld world;
+  ckapp::AppKernelBase app("sched-app", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+
+  Spinner a, b, c;
+  app.CreateNativeThread(api, space, &a, 10, false, 1);
+  app.CreateNativeThread(api, space, &b, 10, false, 1);
+  app.CreateNativeThread(api, space, &c, 10, false, 1);
+  world.machine().RunFor(1000000);
+  // Time slicing must share the processor roughly equally.
+  uint64_t total = a.steps + b.steps + c.steps;
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(a.steps, total / 6);
+  EXPECT_GT(b.steps, total / 6);
+  EXPECT_GT(c.steps, total / 6);
+  EXPECT_GT(world.ck().stats().preemptions, 3u) << "slice expiry must rotate the queue";
+}
+
+TEST(SchedTest, PriorityPreemptionOnWakeup) {
+  TestWorld world;
+  ckapp::AppKernelBase app("sched-app", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+
+  Spinner low;
+  app.CreateNativeThread(api, space, &low, 5, false, 1);
+  world.machine().RunFor(100000);
+  uint64_t low_before = low.steps;
+  ASSERT_GT(low_before, 0u);
+
+  // Wake a high-priority thread: it must preempt the spinner promptly.
+  Spinner high;
+  app.CreateNativeThread(api, space, &high, 25, false, 1);
+  world.machine().RunFor(200000);
+  EXPECT_GT(high.steps, 50u);
+  EXPECT_LT(low.steps - low_before, high.steps / 4) << "low priority mostly preempted";
+}
+
+TEST(SchedTest, CpuQuotaDegradesRogueKernel) {
+  TestWorld world;
+  ckapp::AppKernelBase rogue("rogue", 64);
+  ckapp::AppKernelBase polite("polite", 64);
+  // Rogue gets 20% of cpu 1; polite gets 100%.
+  {
+    cksrm::LaunchParams params;
+    params.page_groups = 1;
+    params.cpu_percent[0] = 100;
+    params.cpu_percent[1] = 20;
+    params.cpu_percent[2] = 100;
+    params.cpu_percent[3] = 100;
+    ASSERT_TRUE(world.srm().Launch(rogue, params).ok());
+  }
+  {
+    cksrm::LaunchParams params;
+    params.page_groups = 1;
+    ASSERT_TRUE(world.srm().Launch(polite, params).ok());
+  }
+  ck::CkApi rogue_api(world.ck(), rogue.self(), world.machine().cpu(0));
+  ck::CkApi polite_api(world.ck(), polite.self(), world.machine().cpu(0));
+  uint32_t rogue_space = rogue.CreateSpace(rogue_api);
+  uint32_t polite_space = polite.CreateSpace(polite_api);
+
+  // Same priority: without quotas they would split 50/50.
+  Spinner rogue_spin, polite_spin;
+  rogue.CreateNativeThread(rogue_api, rogue_space, &rogue_spin, 10, false, 1);
+  polite.CreateNativeThread(polite_api, polite_space, &polite_spin, 10, false, 1);
+
+  world.machine().RunFor(8 * world.ck().config().quota_window);
+  uint64_t total = rogue_spin.steps + polite_spin.steps;
+  ASSERT_GT(total, 0u);
+  double rogue_share = static_cast<double>(rogue_spin.steps) / static_cast<double>(total);
+  // The rogue must be held near its 20% grant (allow scheduling slack).
+  EXPECT_LT(rogue_share, 0.40) << "rogue got " << rogue_share;
+  EXPECT_GT(world.ck().stats().quota_degradations, 0u);
+}
+
+TEST(SchedTest, OverQuotaKernelStillRunsWhenIdle) {
+  TestWorld world;
+  ckapp::AppKernelBase rogue("rogue", 64);
+  cksrm::LaunchParams params;
+  params.page_groups = 1;
+  params.cpu_percent[1] = 10;
+  ASSERT_TRUE(world.srm().Launch(rogue, params).ok());
+  ck::CkApi api(world.ck(), rogue.self(), world.machine().cpu(0));
+  uint32_t space = rogue.CreateSpace(api);
+  Spinner spin;
+  rogue.CreateNativeThread(api, space, &spin, 10, false, 1);
+
+  // Nothing else wants cpu 1: the over-quota kernel keeps running ("only run
+  // when the processor is otherwise idle").
+  world.machine().RunFor(4 * world.ck().config().quota_window);
+  uint64_t mid = spin.steps;
+  world.machine().RunFor(4 * world.ck().config().quota_window);
+  EXPECT_GT(spin.steps, mid) << "idle processor still serves the degraded kernel";
+}
+
+TEST(SchedTest, QuotaDisabledSplitsEvenly) {
+  cktest::WorldOptions options;
+  options.ck.enforce_quotas = false;
+  TestWorld world(options);
+  ckapp::AppKernelBase a("a", 64), b("b", 64);
+  cksrm::LaunchParams pa;
+  pa.page_groups = 1;
+  pa.cpu_percent[1] = 20;  // would throttle if enforcement were on
+  ASSERT_TRUE(world.srm().Launch(a, pa).ok());
+  cksrm::LaunchParams pb;
+  pb.page_groups = 1;
+  ASSERT_TRUE(world.srm().Launch(b, pb).ok());
+  ck::CkApi api_a(world.ck(), a.self(), world.machine().cpu(0));
+  ck::CkApi api_b(world.ck(), b.self(), world.machine().cpu(0));
+  Spinner sa, sb;
+  a.CreateNativeThread(api_a, a.CreateSpace(api_a), &sa, 10, false, 1);
+  b.CreateNativeThread(api_b, b.CreateSpace(api_b), &sb, 10, false, 1);
+  world.machine().RunFor(8 * world.ck().config().quota_window);
+  uint64_t total = sa.steps + sb.steps;
+  double share_a = static_cast<double>(sa.steps) / static_cast<double>(total);
+  EXPECT_GT(share_a, 0.35);
+  EXPECT_LT(share_a, 0.65);
+}
+
+TEST(SchedTest, ThreadsSpreadAcrossCpus) {
+  TestWorld world;
+  ckapp::AppKernelBase app("spread", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+  std::vector<std::unique_ptr<Spinner>> spinners;
+  for (int i = 0; i < 8; ++i) {
+    spinners.push_back(std::make_unique<Spinner>());
+    app.CreateNativeThread(api, space, spinners.back().get(), 10);  // no hint: round-robin
+  }
+  world.machine().RunFor(500000);
+  for (auto& s : spinners) {
+    EXPECT_GT(s->steps, 0u) << "round-robin placement must give every thread a processor";
+  }
+}
+
+TEST(SchedTest, BlockAndResumeCalls) {
+  TestWorld world;
+  ckapp::AppKernelBase app("blocker", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+  Spinner spin;
+  uint32_t t = app.CreateNativeThread(api, space, &spin, 10, false, 1);
+  world.machine().RunFor(100000);
+  uint64_t before = spin.steps;
+  ASSERT_GT(before, 0u);
+
+  // Force the thread to block from outside (the owner's prerogative).
+  ASSERT_EQ(api.BlockThread(app.thread(t).ck_id), CkStatus::kOk);
+  world.machine().RunFor(100000);
+  EXPECT_EQ(spin.steps, before);
+
+  ASSERT_EQ(api.ResumeThread(app.thread(t).ck_id), CkStatus::kOk);
+  world.machine().RunFor(100000);
+  EXPECT_GT(spin.steps, before);
+}
+
+TEST(SchedTest, SetPriorityTakesEffectWithoutReload) {
+  TestWorld world;
+  ckapp::AppKernelBase app("reprio", 64);
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+  uint32_t space = app.CreateSpace(api);
+  Spinner a, b;
+  uint32_t ta = app.CreateNativeThread(api, space, &a, 20, false, 1);
+  app.CreateNativeThread(api, space, &b, 10, false, 1);
+  world.machine().RunFor(200000);
+  EXPECT_EQ(b.steps, 0u);
+
+  // The special modify call: demote the hog below b without unload/reload.
+  ASSERT_EQ(api.SetThreadPriority(app.thread(ta).ck_id, 5), CkStatus::kOk);
+  world.machine().RunFor(200000);
+  EXPECT_GT(b.steps, 0u);
+}
+
+TEST(SchedTest, HighPriorityPremiumExhaustsQuotaSooner) {
+  // Section 4.3: "charging a premium for higher priority execution and a
+  // discounted charge for lower priority execution". Same quota, same work
+  // rate: the high-priority kernel must be degraded earlier/harder.
+  auto run = [](uint8_t priority) {
+    TestWorld world;
+    ckapp::AppKernelBase rogue("premium", 16), victim("victim", 16);
+    cksrm::LaunchParams rogue_params;
+    rogue_params.page_groups = 1;
+    rogue_params.cpu_percent[1] = 30;
+    rogue_params.max_priority = 30;
+    world.srm().Launch(rogue, rogue_params);
+    cksrm::LaunchParams victim_params;
+    victim_params.page_groups = 1;
+    victim_params.max_priority = 30;
+    world.srm().Launch(victim, victim_params);
+    ck::CkApi rogue_api(world.ck(), rogue.self(), world.machine().cpu(0));
+    ck::CkApi victim_api(world.ck(), victim.self(), world.machine().cpu(0));
+    Spinner rogue_spin, victim_spin;
+    rogue.CreateNativeThread(rogue_api, rogue.CreateSpace(rogue_api), &rogue_spin, priority,
+                             false, 1);
+    victim.CreateNativeThread(victim_api, victim.CreateSpace(victim_api), &victim_spin, priority,
+                              false, 1);
+    world.machine().RunFor(8 * world.ck().config().quota_window);
+    return static_cast<double>(rogue_spin.steps) /
+           static_cast<double>(rogue_spin.steps + victim_spin.steps);
+  };
+
+  double share_low = run(4);    // discounted charging
+  double share_high = run(28);  // premium charging
+  EXPECT_LT(share_high, share_low)
+      << "premium charging must throttle the high-priority kernel harder";
+}
+
+TEST(SchedTest, CoSchedulingGangOwnsAllProcessors) {
+  // Section 2.3 co-scheduling: a gang of one thread per processor alternates
+  // between owning every CPU (raised together) and yielding (dropped
+  // together). Competing background spinners on each CPU fill the gaps.
+  TestWorld world;
+  ckapp::AppKernelBase gang_kernel("gang", 32), other("other", 32);
+  world.Launch(gang_kernel, 1, /*max_priority=*/30);
+  world.Launch(other, 1, /*max_priority=*/30);
+  ck::CkApi gang_api(world.ck(), gang_kernel.self(), world.machine().cpu(0));
+  ck::CkApi other_api(world.ck(), other.self(), world.machine().cpu(0));
+  uint32_t gang_space = gang_kernel.CreateSpace(gang_api);
+  uint32_t other_space = other.CreateSpace(other_api);
+
+  std::vector<std::unique_ptr<Spinner>> gang_spinners, other_spinners;
+  std::vector<uint32_t> gang_threads;
+  for (uint32_t c = 0; c < world.machine().cpu_count(); ++c) {
+    gang_spinners.push_back(std::make_unique<Spinner>());
+    gang_threads.push_back(gang_kernel.CreateNativeThread(
+        gang_api, gang_space, gang_spinners.back().get(), 10, false, static_cast<uint8_t>(c)));
+    other_spinners.push_back(std::make_unique<Spinner>());
+    other.CreateNativeThread(other_api, other_space, other_spinners.back().get(), 15, false,
+                             static_cast<uint8_t>(c));
+  }
+
+  // Without co-scheduling the gang (priority 10) starves under the 15s.
+  world.machine().RunFor(300000);
+  uint64_t gang_before = 0;
+  for (auto& s : gang_spinners) {
+    gang_before += s->steps;
+  }
+  EXPECT_EQ(gang_before, 0u) << "gang starves below the competitors";
+
+  // Co-schedule: raise the gang to 25 for half of every 100k-cycle period.
+  ckapp::CoScheduler scheduler(gang_kernel, gang_threads);
+  scheduler.Start(gang_api, /*priority=*/25, /*background=*/10, /*window=*/50000,
+                  /*period=*/100000);
+  world.machine().RunFor(1000000);
+
+  uint64_t gang_total = 0, other_total = 0;
+  uint32_t gang_cpus_used = 0;
+  for (auto& s : gang_spinners) {
+    gang_total += s->steps;
+    gang_cpus_used += s->steps > 0 ? 1 : 0;
+  }
+  for (auto& s : other_spinners) {
+    other_total += s->steps;
+  }
+  EXPECT_EQ(gang_cpus_used, world.machine().cpu_count())
+      << "every processor ran its gang member during the windows";
+  EXPECT_GT(gang_total, 0u);
+  EXPECT_GT(other_total, 0u) << "competitors run in the yielded half";
+  EXPECT_GE(scheduler.windows(), 5u);
+}
+
+}  // namespace

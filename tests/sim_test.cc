@@ -1,0 +1,353 @@
+// Unit tests for the simulated hardware: physical memory, page-table walks,
+// TLB, reverse-TLB, machine stepping, devices.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cost.h"
+#include "src/sim/devices.h"
+#include "src/sim/machine.h"
+#include "src/sim/mmu.h"
+#include "src/sim/pagetable.h"
+#include "src/sim/physmem.h"
+#include "src/sim/reverse_tlb.h"
+#include "src/sim/tlb.h"
+
+namespace {
+
+using namespace cksim;  // NOLINT: test file, single-domain
+
+TEST(PhysMemTest, RoundsUpToPageGroups) {
+  PhysicalMemory mem(1);
+  EXPECT_EQ(mem.size(), kPageGroupBytes);
+  EXPECT_EQ(mem.page_group_count(), 1u);
+  EXPECT_EQ(mem.page_count(), kPagesPerGroup);
+}
+
+TEST(PhysMemTest, WordAndByteAccess) {
+  PhysicalMemory mem(1 << 20);
+  mem.WriteWord(0x100, 0xabcd1234);
+  EXPECT_EQ(mem.ReadWord(0x100), 0xabcd1234u);
+  mem.WriteByte(0x104, 0x7e);
+  EXPECT_EQ(mem.ReadByte(0x104), 0x7e);
+  uint8_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  mem.Write(0x200, buf, 8);
+  uint8_t out[8] = {0};
+  mem.Read(0x200, out, 8);
+  EXPECT_EQ(0, memcmp(buf, out, 8));
+  mem.Zero(0x200, 8);
+  mem.Read(0x200, out, 8);
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(PageTableTest, IndexDecomposition) {
+  // 7 + 7 + 6 + 12 bits.
+  VirtAddr v = (3u << 25) | (5u << 18) | (9u << 12) | 0x123;
+  EXPECT_EQ(L1Index(v), 3u);
+  EXPECT_EQ(L2Index(v), 5u);
+  EXPECT_EQ(L3Index(v), 9u);
+  EXPECT_EQ(kL1Entries * kL2Entries * kL3Entries * kPageSize, 0u)
+      << "geometry covers exactly 4 GiB (wraps uint32)";
+  EXPECT_EQ(kL1TableBytes, 512u);
+  EXPECT_EQ(kL2TableBytes, 512u);
+  EXPECT_EQ(kL3TableBytes, 256u);
+}
+
+TEST(PageTableTest, PteRoundTrip) {
+  uint32_t pte = MakePte(0x12345000, kPteValid | kPteWritable | kPteMessage);
+  EXPECT_TRUE(PteValid(pte));
+  EXPECT_EQ(PteAddress(pte), 0x12345000u);
+  MapFlags flags = MapFlags::FromPteBits(pte);
+  EXPECT_TRUE(flags.writable);
+  EXPECT_TRUE(flags.message);
+  EXPECT_FALSE(flags.copy_on_write);
+}
+
+TEST(TlbTest, HitMissAndFlush) {
+  Tlb tlb(64, 4);
+  EXPECT_FALSE(tlb.Lookup(1, 100).hit);
+  tlb.Insert(1, 100, 555, kPteWritable);
+  Tlb::LookupResult r = tlb.Lookup(1, 100);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.pframe, 555u);
+  EXPECT_EQ(r.flags, kPteWritable);
+  // Different asid, same page: miss.
+  EXPECT_FALSE(tlb.Lookup(2, 100).hit);
+  tlb.FlushPage(1, 100);
+  EXPECT_FALSE(tlb.Lookup(1, 100).hit);
+}
+
+TEST(TlbTest, FlushAsidAndFrame) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, 10, 100, 0);
+  tlb.Insert(1, 11, 101, 0);
+  tlb.Insert(2, 12, 100, 0);
+  tlb.FlushAsid(1);
+  EXPECT_FALSE(tlb.Lookup(1, 10).hit);
+  EXPECT_FALSE(tlb.Lookup(1, 11).hit);
+  EXPECT_TRUE(tlb.Lookup(2, 12).hit);
+  tlb.FlushFrame(100);
+  EXPECT_FALSE(tlb.Lookup(2, 12).hit);
+}
+
+TEST(TlbTest, LruReplacementWithinSet) {
+  Tlb tlb(8, 2);  // 4 sets x 2 ways
+  // Two pages mapping to the same set: fill both ways, then a third evicts
+  // the least recently used.
+  tlb.Insert(1, 0, 1, 0);
+  tlb.Insert(1, 4, 2, 0);  // same set (sets=4, hash spreads; may differ) --
+  // Touch page 0 so it is MRU if they share a set.
+  tlb.Lookup(1, 0);
+  tlb.Insert(1, 8, 3, 0);
+  // Whatever the set layout, page 0 must still be present after its recent
+  // touch unless its set has capacity pressure from both others.
+  int present = tlb.Lookup(1, 0).hit ? 1 : 0;
+  present += tlb.Lookup(1, 8).hit ? 1 : 0;
+  EXPECT_GE(present, 1);
+}
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : mem_(4 << 20), mmu_(mem_, cost_) {}
+
+  // Hand-build tables: root at 0x1000, L2 at 0x2000, L3 at 0x3000.
+  void BuildMapping(VirtAddr vaddr, PhysAddr paddr, uint32_t flags) {
+    mem_.WriteWord(0x1000 + L1Index(vaddr) * 4, MakePte(0x2000, kPteValid));
+    mem_.WriteWord(0x2000 + L2Index(vaddr) * 4, MakePte(0x3000, kPteValid));
+    mem_.WriteWord(0x3000 + L3Index(vaddr) * 4, MakePte(paddr, kPteValid | flags));
+  }
+
+  uint32_t LeafPte(VirtAddr vaddr) { return mem_.ReadWord(0x3000 + L3Index(vaddr) * 4); }
+
+  CostModel cost_;
+  PhysicalMemory mem_;
+  Mmu mmu_;
+};
+
+TEST_F(MmuTest, WalkTranslatesAndSetsReferenced) {
+  BuildMapping(0x00400000, 0x00080000, kPteWritable);
+  Mmu::TranslateResult r = mmu_.Translate(0x1000, 1, 0x00400123, Access::kRead);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.paddr, 0x00080123u);
+  EXPECT_TRUE((LeafPte(0x00400000) & kPteReferenced) != 0) << "hardware sets R bit";
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(MmuTest, TlbHitIsCheaperThanWalk) {
+  BuildMapping(0x00400000, 0x00080000, kPteWritable);
+  Mmu::TranslateResult miss = mmu_.Translate(0x1000, 1, 0x00400000, Access::kRead);
+  Mmu::TranslateResult hit = mmu_.Translate(0x1000, 1, 0x00400004, Access::kRead);
+  EXPECT_LT(hit.cycles, miss.cycles);
+  EXPECT_EQ(mmu_.tlb().hits(), 1u);
+  EXPECT_EQ(mmu_.tlb().misses(), 1u);
+}
+
+TEST_F(MmuTest, NoMappingFaults) {
+  Mmu::TranslateResult r = mmu_.Translate(0x1000, 1, 0x00400000, Access::kRead);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.type, FaultType::kNoMapping);
+  EXPECT_EQ(r.fault.address, 0x00400000u);
+  // Null root: also a mapping fault.
+  r = mmu_.Translate(0, 1, 0x1234, Access::kRead);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.type, FaultType::kNoMapping);
+}
+
+TEST_F(MmuTest, WriteProtectionAndModifiedBit) {
+  BuildMapping(0x00400000, 0x00080000, 0);  // read-only
+  Mmu::TranslateResult r = mmu_.Translate(0x1000, 1, 0x00400000, Access::kWrite);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.type, FaultType::kProtection);
+
+  BuildMapping(0x00500000, 0x00081000, kPteWritable);
+  r = mmu_.Translate(0x1000, 1, 0x00500000, Access::kWrite);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE((LeafPte(0x00500000) & kPteModified) != 0) << "hardware sets M bit on write";
+}
+
+TEST_F(MmuTest, CopyOnWriteFaultsOnWriteOnly) {
+  BuildMapping(0x00400000, 0x00080000, kPteWritable | kPteCopyOnWrite);
+  EXPECT_TRUE(mmu_.Translate(0x1000, 1, 0x00400000, Access::kRead).ok);
+  Mmu::TranslateResult w = mmu_.Translate(0x1000, 1, 0x00400000, Access::kWrite);
+  EXPECT_FALSE(w.ok);
+  EXPECT_EQ(w.fault.type, FaultType::kProtection);
+}
+
+TEST_F(MmuTest, MessageModeWriteFlagged) {
+  BuildMapping(0x00400000, 0x00080000, kPteWritable | kPteMessage);
+  Mmu::TranslateResult w = mmu_.Translate(0x1000, 1, 0x00400000, Access::kWrite);
+  ASSERT_TRUE(w.ok);
+  EXPECT_TRUE(w.message_write);
+  Mmu::TranslateResult r = mmu_.Translate(0x1000, 1, 0x00400000, Access::kRead);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.message_write);
+}
+
+TEST(ReverseTlbTest, InsertLookupInvalidate) {
+  ReverseTlb rtlb(16);
+  EXPECT_EQ(rtlb.Lookup(7), nullptr);
+  ReverseTlb::Entry e;
+  e.valid = true;
+  e.pframe = 7;
+  e.vbase = 0x4000;
+  e.thread_id = 99;
+  rtlb.Insert(e);
+  const ReverseTlb::Entry* hit = rtlb.Lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->thread_id, 99u);
+  rtlb.InvalidateFrame(7);
+  EXPECT_EQ(rtlb.Lookup(7), nullptr);
+  rtlb.Insert(e);
+  rtlb.InvalidateThread(99);
+  EXPECT_EQ(rtlb.Lookup(7), nullptr);
+}
+
+// A trivial kernel that counts turns and idles.
+class CountingClient : public MachineClient {
+ public:
+  void OnCpuTurn(Cpu& cpu) override {
+    ++turns;
+    cpu.Advance(100);
+  }
+  uint64_t turns = 0;
+};
+
+TEST(MachineTest, MinClockScheduling) {
+  MachineConfig config;
+  config.cpu_count = 2;
+  config.memory_bytes = 1 << 20;
+  Machine machine(config);
+  CountingClient client;
+  machine.AttachKernel(&client);
+
+  machine.cpu(1).Advance(1000);  // cpu1 ahead
+  machine.Step();
+  machine.Step();
+  // Both turns must have gone to cpu0 (the laggard).
+  EXPECT_EQ(machine.cpu(0).clock(), 200u);
+  EXPECT_EQ(machine.cpu(1).clock(), 1000u);
+  EXPECT_EQ(client.turns, 2u);
+}
+
+TEST(MachineTest, RunUntilAdvancesAllCpus) {
+  MachineConfig config;
+  config.cpu_count = 4;
+  Machine machine(config);
+  CountingClient client;
+  machine.AttachKernel(&client);
+  machine.RunUntil(5000);
+  for (uint32_t c = 0; c < 4; ++c) {
+    EXPECT_GE(machine.cpu(c).clock(), 5000u);
+  }
+}
+
+TEST(MachineTest, HaltStopsTurns) {
+  MachineConfig config;
+  Machine machine(config);
+  CountingClient client;
+  machine.AttachKernel(&client);
+  machine.Step();
+  machine.Halt();
+  EXPECT_FALSE(machine.Step());
+}
+
+class RecordingSink : public SignalSink {
+ public:
+  void SignalPhysical(PhysAddr addr, Cycles when) override {
+    addrs.push_back(addr);
+    times.push_back(when);
+  }
+  std::vector<PhysAddr> addrs;
+  std::vector<Cycles> times;
+};
+
+TEST(DeviceTest, ClockTicksPeriodically) {
+  MachineConfig config;
+  Machine machine(config);
+  CountingClient client;
+  machine.AttachKernel(&client);
+  RecordingSink sink;
+  ClockDevice clock(0x10000, &sink);
+  machine.AttachDevice(&clock);
+  clock.Start(1000, 500);
+  machine.RunUntil(2600);
+  ASSERT_GE(sink.addrs.size(), 3u);
+  EXPECT_EQ(sink.addrs[0], 0x10000u);
+  EXPECT_EQ(sink.times[0], 1000u);
+  EXPECT_EQ(sink.times[1], 1500u);
+  EXPECT_EQ(sink.times[2], 2000u);
+}
+
+TEST(DeviceTest, FiberChannelDeliversToPeer) {
+  MachineConfig config;
+  Machine a(config), b(config);
+  CountingClient ca, cb;
+  a.AttachKernel(&ca);
+  b.AttachKernel(&cb);
+  RecordingSink sink_a, sink_b;
+  FiberChannelDevice fca(a.memory(), &sink_a, 0x20000, 2, 2, 2500);
+  FiberChannelDevice fcb(b.memory(), &sink_b, 0x20000, 2, 2, 2500);
+  FiberChannelDevice::Connect(fca, fcb);
+  a.AttachDevice(&fca);
+  b.AttachDevice(&fcb);
+
+  // Write a packet into A's tx slot 0 and ring the doorbell.
+  const char payload[] = "hello";
+  uint32_t len = sizeof(payload);
+  a.memory().WriteWord(fca.tx_slot(0), len);
+  a.memory().Write(fca.tx_slot(0) + 4, payload, len);
+  fca.OnDoorbell(fca.tx_slot(0), 100);
+
+  // Run B until its device delivers.
+  b.RunUntil(10000);
+  ASSERT_EQ(sink_b.addrs.size(), 1u);
+  EXPECT_EQ(sink_b.addrs[0], fcb.rx_slot(0));
+  EXPECT_GE(sink_b.times[0], 100u + 2500u);
+  EXPECT_EQ(b.memory().ReadWord(fcb.rx_slot(0)), len);
+  char out[16] = {0};
+  b.memory().Read(fcb.rx_slot(0) + 4, out, len);
+  EXPECT_STREQ(out, "hello");
+  EXPECT_EQ(fca.packets_sent(), 1u);
+  EXPECT_EQ(fcb.packets_received(), 1u);
+}
+
+TEST(DeviceTest, EthernetHubRoutesByStation) {
+  MachineConfig config;
+  Machine m(config);
+  CountingClient client;
+  m.AttachKernel(&client);
+  RecordingSink s1, s2, s3;
+  EthernetDevice e1(m.memory(), &s1, 0x30000, 2, 2, 1000, 1);
+  EthernetDevice e2(m.memory(), &s2, 0x40000, 2, 2, 1000, 2);
+  EthernetDevice e3(m.memory(), &s3, 0x50000, 2, 2, 1000, 3);
+  EthernetHub hub;
+  hub.Attach(&e1);
+  hub.Attach(&e2);
+  hub.Attach(&e3);
+  m.AttachDevice(&e1);
+  m.AttachDevice(&e2);
+  m.AttachDevice(&e3);
+
+  // Unicast to station 2.
+  uint8_t packet[4] = {2, 0xaa, 0xbb, 0xcc};
+  uint32_t len = sizeof(packet);
+  m.memory().WriteWord(e1.tx_slot(0), len);
+  m.memory().Write(e1.tx_slot(0) + 4, packet, len);
+  e1.OnDoorbell(e1.tx_slot(0), 0);
+  m.RunUntil(5000);
+  EXPECT_EQ(s2.addrs.size(), 1u);
+  EXPECT_EQ(s3.addrs.size(), 0u);
+
+  // Broadcast.
+  packet[0] = 0xff;
+  m.memory().WriteWord(e1.tx_slot(1), len);
+  m.memory().Write(e1.tx_slot(1) + 4, packet, len);
+  e1.OnDoorbell(e1.tx_slot(1), 6000);
+  m.RunUntil(12000);
+  EXPECT_EQ(s2.addrs.size(), 2u);
+  EXPECT_EQ(s3.addrs.size(), 1u);
+  EXPECT_EQ(s1.addrs.size(), 0u) << "sender does not hear its own broadcast";
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reverse_tlb.dir/ablation_reverse_tlb.cc.o"
+  "CMakeFiles/ablation_reverse_tlb.dir/ablation_reverse_tlb.cc.o.d"
+  "ablation_reverse_tlb"
+  "ablation_reverse_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reverse_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

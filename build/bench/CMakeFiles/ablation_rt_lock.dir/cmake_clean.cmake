@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rt_lock.dir/ablation_rt_lock.cc.o"
+  "CMakeFiles/ablation_rt_lock.dir/ablation_rt_lock.cc.o.d"
+  "ablation_rt_lock"
+  "ablation_rt_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rt_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signal_on_write.dir/ablation_signal_on_write.cc.o"
+  "CMakeFiles/ablation_signal_on_write.dir/ablation_signal_on_write.cc.o.d"
+  "ablation_signal_on_write"
+  "ablation_signal_on_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signal_on_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

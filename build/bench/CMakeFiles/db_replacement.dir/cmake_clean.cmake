@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_replacement.dir/db_replacement.cc.o"
+  "CMakeFiles/db_replacement.dir/db_replacement.cc.o.d"
+  "db_replacement"
+  "db_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_migration.dir/dsm_migration.cc.o"
+  "CMakeFiles/dsm_migration.dir/dsm_migration.cc.o.d"
+  "dsm_migration"
+  "dsm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fault_steps.dir/fig2_fault_steps.cc.o"
+  "CMakeFiles/fig2_fault_steps.dir/fig2_fault_steps.cc.o.d"
+  "fig2_fault_steps"
+  "fig2_fault_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fault_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_messaging.dir/fig3_messaging.cc.o"
+  "CMakeFiles/fig3_messaging.dir/fig3_messaging.cc.o.d"
+  "fig3_messaging"
+  "fig3_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dependency.dir/fig6_dependency.cc.o"
+  "CMakeFiles/fig6_dependency.dir/fig6_dependency.cc.o.d"
+  "fig6_dependency"
+  "fig6_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

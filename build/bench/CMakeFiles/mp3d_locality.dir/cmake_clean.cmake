@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp3d_locality.dir/mp3d_locality.cc.o"
+  "CMakeFiles/mp3d_locality.dir/mp3d_locality.cc.o.d"
+  "mp3d_locality"
+  "mp3d_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp3d_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

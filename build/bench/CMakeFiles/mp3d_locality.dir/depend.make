@@ -1,0 +1,2 @@
+# Empty dependencies file for mp3d_locality.
+# This may be replaced when dependencies are built.

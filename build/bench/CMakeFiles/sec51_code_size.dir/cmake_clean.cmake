@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_code_size.dir/sec51_code_size.cc.o"
+  "CMakeFiles/sec51_code_size.dir/sec51_code_size.cc.o.d"
+  "sec51_code_size"
+  "sec51_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_caching.dir/sec52_caching.cc.o"
+  "CMakeFiles/sec52_caching.dir/sec52_caching.cc.o.d"
+  "sec52_caching"
+  "sec52_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

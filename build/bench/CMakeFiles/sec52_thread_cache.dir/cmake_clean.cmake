@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_thread_cache.dir/sec52_thread_cache.cc.o"
+  "CMakeFiles/sec52_thread_cache.dir/sec52_thread_cache.cc.o.d"
+  "sec52_thread_cache"
+  "sec52_thread_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_thread_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_pagefault.dir/sec53_pagefault.cc.o"
+  "CMakeFiles/sec53_pagefault.dir/sec53_pagefault.cc.o.d"
+  "sec53_pagefault"
+  "sec53_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_signal.dir/sec53_signal.cc.o"
+  "CMakeFiles/sec53_signal.dir/sec53_signal.cc.o.d"
+  "sec53_signal"
+  "sec53_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

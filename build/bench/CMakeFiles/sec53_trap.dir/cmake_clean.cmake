@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_trap.dir/sec53_trap.cc.o"
+  "CMakeFiles/sec53_trap.dir/sec53_trap.cc.o.d"
+  "sec53_trap"
+  "sec53_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_basic_ops.dir/table2_basic_ops.cc.o"
+  "CMakeFiles/table2_basic_ops.dir/table2_basic_ops.cc.o.d"
+  "table2_basic_ops"
+  "table2_basic_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_basic_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp3d_sim.dir/mp3d_sim.cc.o"
+  "CMakeFiles/mp3d_sim.dir/mp3d_sim.cc.o.d"
+  "mp3d_sim"
+  "mp3d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp3d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

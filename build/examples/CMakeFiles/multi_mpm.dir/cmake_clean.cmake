@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_mpm.dir/multi_mpm.cc.o"
+  "CMakeFiles/multi_mpm.dir/multi_mpm.cc.o.d"
+  "multi_mpm"
+  "multi_mpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_mpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

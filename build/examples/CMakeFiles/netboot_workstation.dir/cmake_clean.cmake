@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netboot_workstation.dir/netboot_workstation.cc.o"
+  "CMakeFiles/netboot_workstation.dir/netboot_workstation.cc.o.d"
+  "netboot_workstation"
+  "netboot_workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netboot_workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_db.dir/realtime_db.cc.o"
+  "CMakeFiles/realtime_db.dir/realtime_db.cc.o.d"
+  "realtime_db"
+  "realtime_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

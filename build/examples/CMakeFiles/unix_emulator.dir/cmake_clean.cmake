@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_emulator.dir/unix_emulator.cc.o"
+  "CMakeFiles/unix_emulator.dir/unix_emulator.cc.o.d"
+  "unix_emulator"
+  "unix_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appkernel/app_kernel_base.cc" "src/appkernel/CMakeFiles/ck_appkernel.dir/app_kernel_base.cc.o" "gcc" "src/appkernel/CMakeFiles/ck_appkernel.dir/app_kernel_base.cc.o.d"
+  "/root/repo/src/appkernel/channel.cc" "src/appkernel/CMakeFiles/ck_appkernel.dir/channel.cc.o" "gcc" "src/appkernel/CMakeFiles/ck_appkernel.dir/channel.cc.o.d"
+  "/root/repo/src/appkernel/debugger.cc" "src/appkernel/CMakeFiles/ck_appkernel.dir/debugger.cc.o" "gcc" "src/appkernel/CMakeFiles/ck_appkernel.dir/debugger.cc.o.d"
+  "/root/repo/src/appkernel/signal_redirect.cc" "src/appkernel/CMakeFiles/ck_appkernel.dir/signal_redirect.cc.o" "gcc" "src/appkernel/CMakeFiles/ck_appkernel.dir/signal_redirect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ck/CMakeFiles/ck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ck_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ck_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_appkernel.dir/app_kernel_base.cc.o"
+  "CMakeFiles/ck_appkernel.dir/app_kernel_base.cc.o.d"
+  "CMakeFiles/ck_appkernel.dir/channel.cc.o"
+  "CMakeFiles/ck_appkernel.dir/channel.cc.o.d"
+  "CMakeFiles/ck_appkernel.dir/debugger.cc.o"
+  "CMakeFiles/ck_appkernel.dir/debugger.cc.o.d"
+  "CMakeFiles/ck_appkernel.dir/signal_redirect.cc.o"
+  "CMakeFiles/ck_appkernel.dir/signal_redirect.cc.o.d"
+  "libck_appkernel.a"
+  "libck_appkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_appkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ck_appkernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_base.dir/log.cc.o"
+  "CMakeFiles/ck_base.dir/log.cc.o.d"
+  "CMakeFiles/ck_base.dir/status.cc.o"
+  "CMakeFiles/ck_base.dir/status.cc.o.d"
+  "libck_base.a"
+  "libck_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

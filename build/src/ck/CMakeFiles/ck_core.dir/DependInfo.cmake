@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ck/cache_kernel.cc" "src/ck/CMakeFiles/ck_core.dir/cache_kernel.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/cache_kernel.cc.o.d"
+  "/root/repo/src/ck/ck_sched.cc" "src/ck/CMakeFiles/ck_core.dir/ck_sched.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/ck_sched.cc.o.d"
+  "/root/repo/src/ck/ck_signal.cc" "src/ck/CMakeFiles/ck_core.dir/ck_signal.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/ck_signal.cc.o.d"
+  "/root/repo/src/ck/ck_validate.cc" "src/ck/CMakeFiles/ck_core.dir/ck_validate.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/ck_validate.cc.o.d"
+  "/root/repo/src/ck/physmap.cc" "src/ck/CMakeFiles/ck_core.dir/physmap.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/physmap.cc.o.d"
+  "/root/repo/src/ck/table_arena.cc" "src/ck/CMakeFiles/ck_core.dir/table_arena.cc.o" "gcc" "src/ck/CMakeFiles/ck_core.dir/table_arena.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ck_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ck_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_core.dir/cache_kernel.cc.o"
+  "CMakeFiles/ck_core.dir/cache_kernel.cc.o.d"
+  "CMakeFiles/ck_core.dir/ck_sched.cc.o"
+  "CMakeFiles/ck_core.dir/ck_sched.cc.o.d"
+  "CMakeFiles/ck_core.dir/ck_signal.cc.o"
+  "CMakeFiles/ck_core.dir/ck_signal.cc.o.d"
+  "CMakeFiles/ck_core.dir/ck_validate.cc.o"
+  "CMakeFiles/ck_core.dir/ck_validate.cc.o.d"
+  "CMakeFiles/ck_core.dir/physmap.cc.o"
+  "CMakeFiles/ck_core.dir/physmap.cc.o.d"
+  "CMakeFiles/ck_core.dir/table_arena.cc.o"
+  "CMakeFiles/ck_core.dir/table_arena.cc.o.d"
+  "libck_core.a"
+  "libck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

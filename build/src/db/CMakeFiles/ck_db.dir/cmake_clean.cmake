@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_db.dir/db_kernel.cc.o"
+  "CMakeFiles/ck_db.dir/db_kernel.cc.o.d"
+  "libck_db.a"
+  "libck_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_dsm.dir/dsm_kernel.cc.o"
+  "CMakeFiles/ck_dsm.dir/dsm_kernel.cc.o.d"
+  "libck_dsm.a"
+  "libck_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

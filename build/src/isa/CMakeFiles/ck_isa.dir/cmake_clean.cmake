@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_isa.dir/assembler.cc.o"
+  "CMakeFiles/ck_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/ck_isa.dir/interpreter.cc.o"
+  "CMakeFiles/ck_isa.dir/interpreter.cc.o.d"
+  "libck_isa.a"
+  "libck_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

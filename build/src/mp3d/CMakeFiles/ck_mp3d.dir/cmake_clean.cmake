@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_mp3d.dir/mp3d_kernel.cc.o"
+  "CMakeFiles/ck_mp3d.dir/mp3d_kernel.cc.o.d"
+  "libck_mp3d.a"
+  "libck_mp3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_mp3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prom/netboot.cc" "src/prom/CMakeFiles/ck_prom.dir/netboot.cc.o" "gcc" "src/prom/CMakeFiles/ck_prom.dir/netboot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/appkernel/CMakeFiles/ck_appkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ck/CMakeFiles/ck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ck_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ck_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_prom.dir/netboot.cc.o"
+  "CMakeFiles/ck_prom.dir/netboot.cc.o.d"
+  "libck_prom.a"
+  "libck_prom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_prom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_rt.dir/rt_kernel.cc.o"
+  "CMakeFiles/ck_rt.dir/rt_kernel.cc.o.d"
+  "libck_rt.a"
+  "libck_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

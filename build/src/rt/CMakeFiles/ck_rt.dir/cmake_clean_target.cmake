@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libck_rt.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/devices.cc" "src/sim/CMakeFiles/ck_sim.dir/devices.cc.o" "gcc" "src/sim/CMakeFiles/ck_sim.dir/devices.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ck_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ck_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/mmu.cc" "src/sim/CMakeFiles/ck_sim.dir/mmu.cc.o" "gcc" "src/sim/CMakeFiles/ck_sim.dir/mmu.cc.o.d"
+  "/root/repo/src/sim/physmem.cc" "src/sim/CMakeFiles/ck_sim.dir/physmem.cc.o" "gcc" "src/sim/CMakeFiles/ck_sim.dir/physmem.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/ck_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/ck_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ck_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_sim.dir/devices.cc.o"
+  "CMakeFiles/ck_sim.dir/devices.cc.o.d"
+  "CMakeFiles/ck_sim.dir/machine.cc.o"
+  "CMakeFiles/ck_sim.dir/machine.cc.o.d"
+  "CMakeFiles/ck_sim.dir/mmu.cc.o"
+  "CMakeFiles/ck_sim.dir/mmu.cc.o.d"
+  "CMakeFiles/ck_sim.dir/physmem.cc.o"
+  "CMakeFiles/ck_sim.dir/physmem.cc.o.d"
+  "CMakeFiles/ck_sim.dir/tlb.cc.o"
+  "CMakeFiles/ck_sim.dir/tlb.cc.o.d"
+  "libck_sim.a"
+  "libck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

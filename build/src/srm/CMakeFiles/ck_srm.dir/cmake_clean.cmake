@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_srm.dir/srm.cc.o"
+  "CMakeFiles/ck_srm.dir/srm.cc.o.d"
+  "libck_srm.a"
+  "libck_srm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

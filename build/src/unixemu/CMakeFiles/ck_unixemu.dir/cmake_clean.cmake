@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_unixemu.dir/unix_emulator.cc.o"
+  "CMakeFiles/ck_unixemu.dir/unix_emulator.cc.o.d"
+  "libck_unixemu.a"
+  "libck_unixemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_unixemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appkernels_test.dir/appkernels_test.cc.o"
+  "CMakeFiles/appkernels_test.dir/appkernels_test.cc.o.d"
+  "appkernels_test"
+  "appkernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appkernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

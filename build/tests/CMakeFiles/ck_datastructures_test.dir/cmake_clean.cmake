@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_datastructures_test.dir/ck_datastructures_test.cc.o"
+  "CMakeFiles/ck_datastructures_test.dir/ck_datastructures_test.cc.o.d"
+  "ck_datastructures_test"
+  "ck_datastructures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_datastructures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

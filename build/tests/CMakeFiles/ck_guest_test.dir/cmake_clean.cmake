@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_guest_test.dir/ck_guest_test.cc.o"
+  "CMakeFiles/ck_guest_test.dir/ck_guest_test.cc.o.d"
+  "ck_guest_test"
+  "ck_guest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_guest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

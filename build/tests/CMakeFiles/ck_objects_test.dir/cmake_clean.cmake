@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ck_objects_test.dir/ck_objects_test.cc.o"
+  "CMakeFiles/ck_objects_test.dir/ck_objects_test.cc.o.d"
+  "ck_objects_test"
+  "ck_objects_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ck_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

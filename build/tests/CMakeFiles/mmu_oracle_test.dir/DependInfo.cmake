@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mmu_oracle_test.cc" "tests/CMakeFiles/mmu_oracle_test.dir/mmu_oracle_test.cc.o" "gcc" "tests/CMakeFiles/mmu_oracle_test.dir/mmu_oracle_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prom/CMakeFiles/ck_prom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/ck_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/ck_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/unixemu/CMakeFiles/ck_unixemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp3d/CMakeFiles/ck_mp3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ck_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ck_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/appkernel/CMakeFiles/ck_appkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ck/CMakeFiles/ck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ck_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ck_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmu_oracle_test.dir/mmu_oracle_test.cc.o"
+  "CMakeFiles/mmu_oracle_test.dir/mmu_oracle_test.cc.o.d"
+  "mmu_oracle_test"
+  "mmu_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmu_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

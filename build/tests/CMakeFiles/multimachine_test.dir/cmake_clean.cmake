@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimachine_test.dir/multimachine_test.cc.o"
+  "CMakeFiles/multimachine_test.dir/multimachine_test.cc.o.d"
+  "multimachine_test"
+  "multimachine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimachine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netboot_test.dir/netboot_test.cc.o"
+  "CMakeFiles/netboot_test.dir/netboot_test.cc.o.d"
+  "netboot_test"
+  "netboot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netboot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

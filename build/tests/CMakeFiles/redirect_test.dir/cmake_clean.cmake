@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect_test.dir/redirect_test.cc.o"
+  "CMakeFiles/redirect_test.dir/redirect_test.cc.o.d"
+  "redirect_test"
+  "redirect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

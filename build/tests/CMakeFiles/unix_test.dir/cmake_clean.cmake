@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unix_test.dir/unix_test.cc.o"
+  "CMakeFiles/unix_test.dir/unix_test.cc.o.d"
+  "unix_test"
+  "unix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -131,7 +131,9 @@ int CheckShape(const char* name, const Shape& shape) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::Title("Methodology ablation: Table 2 shape under perturbed cost models");
   std::printf("%-22s %9s %9s %9s %9s %9s | shape checks\n", "cost model", "map", "map+wb",
               "thread", "space", "kernel");
@@ -176,5 +178,6 @@ int main() {
   std::printf("shape violations across 5 cost models: %d (expected 0)\n", failures);
   ckbench::Note("\nconclusion: Table 2's orderings are properties of the operation counts in");
   ckbench::Note("the implementation, not artifacts of the calibration values.");
+  obs.Finish();
   return failures == 0 ? 0 : 1;
 }

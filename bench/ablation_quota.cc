@@ -100,7 +100,9 @@ Row Run(bool enforce, uint8_t rogue_percent) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::Title("Ablation A2: processor quota enforcement (rogue 20% grant on cpu 1)");
   std::printf("%-22s %12s %18s %14s %14s\n", "configuration", "rogue share",
               "interactive mean us", "p95 us", "degradations");
@@ -118,5 +120,6 @@ int main() {
   ckbench::Note("falls toward its 20% grant and the other kernel's interactive wakeup latency");
   ckbench::Note("improves; without it, equal priorities split the processor 50/50 regardless");
   ckbench::Note("of the grant (section 4.3).");
+  obs.Finish();
   return 0;
 }

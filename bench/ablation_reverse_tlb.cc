@@ -65,7 +65,9 @@ Row Run(bool reverse_tlb_enabled, uint32_t signals) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   constexpr uint32_t kSignals = 200;
   Row with = Run(true, kSignals);
   Row without = Run(false, kSignals);
@@ -84,5 +86,6 @@ int main() {
               without.us_per_signal / with.us_per_signal);
   ckbench::Note("shape check: with the reverse-TLB only the first delivery takes the two-stage");
   ckbench::Note("lookup; disabled, every delivery does (section 4.1's design rationale).");
+  obs.Finish();
   return 0;
 }

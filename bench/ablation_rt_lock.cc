@@ -83,7 +83,9 @@ Row Run(bool lock_resources) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::Title("Ablation A3: locked real-time objects vs. mapping-cache thrash");
   std::printf("%-18s %12s %10s %12s %12s %14s\n", "configuration", "activations", "misses",
               "mean us", "worst us", "map reclaims");
@@ -104,5 +106,6 @@ int main() {
   ckbench::Note("reclamation, so its worst-case activation latency stays at the no-load level");
   ckbench::Note("-- the basis for 'real-time processing co-existing with batch application");
   ckbench::Note("kernels' (sections 2.3, 4.3).");
+  obs.Finish();
   return 0;
 }

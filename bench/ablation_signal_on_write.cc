@@ -100,7 +100,9 @@ Row Run(bool signal_on_write, uint32_t messages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   constexpr uint32_t kMessages = 200;
   Row software = Run(false, kMessages);
   Row hardware = Run(true, kMessages);
@@ -123,5 +125,6 @@ int main() {
   ckbench::Note("delivery', section 2.2). Side effect of the faster send path: the sender can");
   ckbench::Note("outrun the receiver's signal queue and drop -- flow control is left to the");
   ckbench::Note("communication protocol, as in the paper's channel library.");
+  obs.Finish();
   return 0;
 }

@@ -21,10 +21,20 @@
 #include "src/appkernel/app_kernel_base.h"
 #include "src/base/histogram.h"
 #include "src/ck/cache_kernel.h"
+#include "src/ck/observability.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
 
 namespace ckbench {
+
+// Process-wide observability session. main() parses flags into an ObsSession
+// and parks a pointer here; the first World constructed attaches to it (even
+// when worlds are built inside helper functions) and flushes it on
+// destruction, so --trace / --metrics work in every bench without plumbing.
+inline ck::ObsSession*& ObsSlot() {
+  static ck::ObsSession* slot = nullptr;
+  return slot;
+}
 
 // One MPM world (machine + Cache Kernel + SRM), same shape as the tests use.
 class World {
@@ -38,7 +48,20 @@ class World {
     ck_ = std::make_unique<ck::CacheKernel>(*machine_, ck_config);
     srm_ = std::make_unique<cksrm::Srm>(*ck_);
     srm_->Boot();
+    if (ck::ObsSession* obs = ObsSlot()) {
+      obs->Attach(*machine_, ck_.get());
+    }
   }
+
+  ~World() {
+    ck::ObsSession* obs = ObsSlot();
+    if (obs != nullptr && obs->attached(*machine_)) {
+      obs->Finish();
+    }
+  }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   cksim::Machine& machine() { return *machine_; }
   ck::CacheKernel& ck() { return *ck_; }
@@ -102,6 +125,18 @@ inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 
 inline void Rule() {
   std::printf("------------------------------------------------------------------------------\n");
+}
+
+// Print one distribution as a table row: count, mean, percentiles, spread.
+// Units are whatever the caller put into the Stats (usually simulated us).
+inline void StatsRow(const std::string& label, const ckbase::Stats& s) {
+  if (s.count() == 0) {
+    std::printf("  %-26s (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf("  %-26s n=%-7llu mean=%9.2f p50=%9.2f p95=%9.2f sd=%8.2f max=%9.2f\n",
+              label.c_str(), static_cast<unsigned long long>(s.count()), s.Mean(),
+              s.Percentile(50.0), s.Percentile(95.0), s.StdDev(), s.Max());
 }
 
 }  // namespace ckbench

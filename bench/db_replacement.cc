@@ -67,7 +67,9 @@ Row Run(ckdb::Replacement policy, const char* name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::Title("A4: database buffer replacement (96-page table, 64-page pool)");
   std::printf("%-8s | %16s %12s | %18s %12s\n", "policy", "us/warm scan", "scan hit %",
               "us/512 lookups", "lookup hit %");
@@ -88,5 +90,6 @@ int main() {
   ckbench::Note("and wins by the buffer/table ratio. For uniform point lookups the policies");
   ckbench::Note("converge -- policy choice is workload-specific, which is exactly why it");
   ckbench::Note("belongs to the application kernel (sections 1, 3).");
+  obs.Finish();
   return 0;
 }

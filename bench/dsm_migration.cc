@@ -45,7 +45,9 @@ class TouchWorker : public ck::NativeProgram {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   // Two machines, fiber channel, DSM kernel on each (mirrors tests/dsm_test).
   ckbench::World a, b;
   uint32_t group_a = a.srm().ReserveGroups(1).value();
@@ -136,5 +138,6 @@ int main() {
   ckbench::Note("migration pays fault forwarding + two RPC fragments over the wire (dominated");
   ckbench::Note("by the fiber-channel latency) -- the consistency protocol lives entirely in");
   ckbench::Note("user-level software, with the Cache Kernel providing only the fault.");
+  obs.Finish();
   return 0;
 }

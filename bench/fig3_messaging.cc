@@ -86,7 +86,9 @@ SweepPoint RunFanOut(uint32_t receivers, uint32_t messages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::Title("Figure 3: one-to-many memory-based messaging (receiver sweep)");
   std::printf("%10s %16s %18s %10s %10s\n", "receivers", "sender us/msg", "fan-out us (last)",
               "rTLB fast", "slow");
@@ -103,5 +105,6 @@ int main() {
   ckbench::Note("message already lives in the shared physical page -- 'communication");
   ckbench::Note("performance is limited primarily by the raw performance of the memory");
   ckbench::Note("system' (section 2.2).");
+  obs.Finish();
   return 0;
 }

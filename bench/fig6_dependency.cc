@@ -38,7 +38,9 @@ class OrderRecorder : public ck::AppKernel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   // (a) cascade order on one kernel unload.
   {
     ckbench::World world;
@@ -125,5 +127,6 @@ int main() {
   ckbench::Note("largest configurations take milliseconds, matching 'while this operation can");
   ckbench::Note("take several milliseconds, it is performed with interrupts enabled and very");
   ckbench::Note("infrequently' (section 5.2).");
+  obs.Finish();
   return 0;
 }

@@ -54,7 +54,9 @@ double RunMode(uint32_t particles, ckmp3d::Placement placement, uint32_t steps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   constexpr uint32_t kSteps = 5;
   ckbench::Title("S3: MP3D page locality (ms per step; 64 cells, 4 workers)");
   std::printf("%10s | %12s %12s %12s | %11s %11s %9s\n", "particles", "scattered",
@@ -83,5 +85,6 @@ int main() {
   ckbench::Note("reported up to 25%); enforcing locality by copying on migration removes");
   ckbench::Note("nearly all TLB misses at the price of the copy work, which the application");
   ckbench::Note("kernel can decide to pay because the memory is its own (sections 3, 5.2).");
+  obs.Finish();
   return 0;
 }

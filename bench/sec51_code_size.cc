@@ -12,6 +12,8 @@
 // source tree, and print them against the paper's numbers.
 
 #include <cstdio>
+
+#include "src/ck/observability.h"
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -62,7 +64,8 @@ fs::path FindRepoRoot() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);  // accepts --trace/--metrics; nothing to observe here
   fs::path root = FindRepoRoot();
   uint64_t ck_lines = CountDir(root / "src" / "ck");
   uint64_t base_lines = CountDir(root / "src" / "base");
@@ -113,5 +116,6 @@ int main() {
               static_cast<unsigned long long>(user_level));
   std::printf("  caching model. The paper's supervisor was ~9k lines net of PROM support;\n");
   std::printf("  ours stays well inside the monolithic-VM-system line counts above.\n");
+  obs.Finish();
   return 0;
 }

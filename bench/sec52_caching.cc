@@ -87,7 +87,9 @@ Point RunWorkingSet(uint32_t pages, uint32_t mapping_slots) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   constexpr uint32_t kMappingSlots = 128;  // scaled-down cache: sweepable
   ckbench::Title("Section 5.2: working-set sweep across a 128-entry mapping cache");
   std::printf("%12s %10s %14s %16s %14s\n", "working set", "faults", "reclamations",
@@ -107,5 +109,6 @@ int main() {
   ckbench::Note("the same software would also be thrashing a physically-indexed data cache,");
   ckbench::Note("which is the paper's argument that the Cache Kernel is not the limiting");
   ckbench::Note("factor for badly-structured programs (section 5.2).");
+  obs.Finish();
   return 0;
 }

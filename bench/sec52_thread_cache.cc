@@ -71,7 +71,9 @@ Point Run(uint32_t processes, uint32_t thread_slots) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   constexpr uint32_t kSlots = 12;  // 4 scheduler threads + 8 guest slots
   ckbench::Title("Section 5.2 companion: thread-descriptor cache under timesharing");
   ckbench::Note("thread cache: 12 slots (4 pinned scheduler threads + 8 for processes)\n");
@@ -89,5 +91,6 @@ int main() {
   ckbench::Note("above, each process pays bounded descriptor load/writeback trips (Table 2's");
   ckbench::Note("thread rows) amortized across its run -- graceful degradation, never a hard");
   ckbench::Note("'out of descriptors' failure (section 7).");
+  obs.Finish();
   return 0;
 }

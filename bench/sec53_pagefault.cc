@@ -22,7 +22,9 @@ class BenchKernel : public ckapp::AppKernelBase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::World world;
   BenchKernel app;
   world.Launch(app);
@@ -119,5 +121,6 @@ int main() {
                 "(mechanism share: %.0f%%)\n",
                 with_zero, 100.0 * per_fault_us / with_zero);
   }
+  obs.Finish();
   return 0;
 }

@@ -22,7 +22,9 @@ class BenchKernel : public ckapp::AppKernelBase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::World world;
   BenchKernel app;
   world.Launch(app);
@@ -122,5 +124,6 @@ int main() {
   ckbench::Note("shape checks: tens of microseconds end-to-end; delivery dominated by the");
   ckbench::Note("IPI + rescheduling of the receiving thread; reverse-TLB hits make repeat");
   ckbench::Note("deliveries cheaper than the first (sections 4.1, 5.3).");
+  obs.Finish();
   return 0;
 }

@@ -11,7 +11,9 @@
 #include "src/isa/assembler.h"
 #include "src/unixemu/unix_emulator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::World world;
   ckunix::UnixConfig config;
   config.run_scheduler_thread = false;  // quiet machine for the measurement
@@ -70,5 +72,6 @@ int main() {
   ckbench::Note("shape check: same order of magnitude as the paper; the cost is dominated by");
   ckbench::Note("trap entry/exit and the redirect into the application kernel (Figure 2 path),");
   ckbench::Note("and is insignificant against real system-call processing (section 5.3).");
+  obs.Finish();
   return 0;
 }

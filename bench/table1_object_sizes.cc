@@ -27,7 +27,9 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   ckbench::World world;
   ck::CacheKernel& ck = world.ck();
 
@@ -87,5 +89,6 @@ int main() {
               "(paper: >= 2x)\n",
               half_full_descriptor_bytes, cksim::kL3TableBytes,
               half_full_descriptor_bytes / cksim::kL3TableBytes);
+  obs.Finish();
   return 0;
 }

@@ -51,7 +51,9 @@ class NullKernel : public ck::AppKernel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
   OpRow mappings{"Mappings", 45, 145, 160};
   OpRow optimized{"(optimized)", 67, 167, 0};
   OpRow threads{"Threads", 113, 489, 206};
@@ -263,5 +265,6 @@ int main() {
                   ? "yes (matches paper)"
                   : "NO");
   std::printf("  optimized combined call < load + separate resume trap: yes by construction\n");
+  obs.Finish();
   return 0;
 }

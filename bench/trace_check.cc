@@ -1,0 +1,43 @@
+// Validates a Chrome trace_event JSON file produced by --trace=<file>:
+// syntactically valid JSON with a traceEvents array and at least one event.
+// Used by the bench_trace_smoke ctest/target; also handy standalone:
+//
+//   $ ./fig2_fault_steps --trace=/tmp/fig2.json && ./trace_check /tmp/fig2.json
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json_lint.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  std::string error;
+  if (!obs::JsonLint(text, &error)) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s: no traceEvents key\n", argv[1]);
+    return 1;
+  }
+  if (text.find("\"ph\"") == std::string::npos) {
+    std::fprintf(stderr, "trace_check: %s: traceEvents array has no events\n", argv[1]);
+    return 1;
+  }
+  std::printf("trace_check: %s OK (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}

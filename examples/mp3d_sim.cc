@@ -11,11 +11,15 @@
 
 #include <cstdio>
 
+#include "src/ck/observability.h"
 #include "src/mp3d/mp3d_kernel.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
 
 namespace {
+
+// Set by main; the first RunMode world attaches and flushes it.
+ck::ObsSession* g_obs = nullptr;
 
 struct RunResult {
   double sim_ms = 0;
@@ -29,6 +33,9 @@ RunResult RunMode(ckmp3d::Placement placement, uint32_t steps) {
   ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
   cksrm::Srm srm(cache_kernel);
   srm.Boot();
+  if (g_obs != nullptr) {
+    g_obs->Attach(machine, &cache_kernel);
+  }
 
   ckmp3d::Mp3dConfig config;
   config.particles = 16384;  // 512 KiB of particles = 128 pages
@@ -67,12 +74,17 @@ RunResult RunMode(ckmp3d::Placement placement, uint32_t steps) {
                              ? 100.0 * static_cast<double>(misses) /
                                    static_cast<double>(misses + hits)
                              : 0;
+  if (g_obs != nullptr && g_obs->attached(machine)) {
+    g_obs->Finish();
+  }
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  g_obs = &obs;
   constexpr uint32_t kSteps = 6;
   std::printf("mini-MP3D: 16384 particles, 64 cells, 4 workers, %u measured steps\n\n", kSteps);
 

@@ -15,6 +15,7 @@
 #include "src/sim/devices.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
+#include "src/ck/observability.h"
 
 namespace {
 
@@ -29,8 +30,10 @@ struct Node {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
   Node a, b;
+  obs.Attach(a.machine, &a.ck);
 
   // Fiber channel: one device per node, connected; device regions reserved
   // by each SRM.
@@ -139,6 +142,7 @@ int main() {
   std::printf("node B executed %llu work units after node A failed\n",
               static_cast<unsigned long long>(counter.count));
   std::printf("node A dead: %s\n", a.machine.Step() ? "NO (bug)" : "yes, contained");
+  obs.Finish();
   std::printf("multi-MPM OK: failure contained to one Cache Kernel instance\n");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "src/prom/netboot.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
+#include "src/ck/observability.h"
 
 namespace {
 
@@ -31,8 +32,10 @@ struct Node {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
   Node server_node, client_node;
+  obs.Attach(server_node.machine, &server_node.ck);
 
   // One Ethernet station per node, hub-connected.
   uint32_t server_group = server_node.srm.ReserveGroups(1).value();
@@ -146,5 +149,6 @@ int main() {
   run_both([&] { return observed != 0; });
   std::printf("remote debug: peeked %#x from the workstation's physical %#x\n", observed, probe);
   std::printf("netboot workstation OK\n");
+  obs.Finish();
   return observed == marker ? 0 : 1;
 }

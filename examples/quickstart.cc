@@ -17,6 +17,7 @@
 #include "src/isa/assembler.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
+#include "src/ck/observability.h"
 
 namespace {
 
@@ -43,13 +44,15 @@ class QuickKernel : public ckapp::AppKernelBase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
   // 1. One MPM: four CPUs, local memory, a Cache Kernel, the first kernel.
   cksim::MachineConfig machine_config;
   cksim::Machine machine(machine_config);
   ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
   cksrm::Srm srm(cache_kernel);
   srm.Boot();
+  obs.Attach(machine, &cache_kernel);
   std::printf("booted: %u CPUs, %u KiB memory, caches: %u kernels / %u spaces / %u threads / %u "
               "mappings\n",
               machine.cpu_count(), machine.memory().size() / 1024,
@@ -127,6 +130,7 @@ int main() {
   std::printf("space unloaded: %llu mapping writebacks delivered\n",
               static_cast<unsigned long long>(
                   stats.writebacks[static_cast<int>(ck::ObjectType::kMapping)] - wb_before));
+  obs.Finish();
   std::printf("quickstart OK\n");
   return 0;
 }

@@ -15,12 +15,15 @@
 #include "src/rt/rt_kernel.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
+#include "src/ck/observability.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
   cksim::Machine machine{cksim::MachineConfig()};
   ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
   cksrm::Srm srm(cache_kernel);
   srm.Boot();
+  obs.Attach(machine, &cache_kernel);
 
   // Real-time kernel: locked into the Cache Kernel, high priority, cpu 0.
   ckrt::RtConfig rt_config;
@@ -106,5 +109,6 @@ int main() {
               static_cast<unsigned long long>(
                   cache_kernel.stats().reclamations[static_cast<int>(ck::ObjectType::kMapping)]),
               static_cast<unsigned long long>(cache_kernel.stats().quota_degradations));
+  obs.Finish();
   return 0;
 }

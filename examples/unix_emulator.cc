@@ -15,6 +15,7 @@
 #include "src/isa/assembler.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
+#include "src/ck/observability.h"
 #include "src/unixemu/unix_emulator.h"
 
 namespace {
@@ -30,11 +31,13 @@ ckisa::Program Assemble(const char* source) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
   cksim::Machine machine{cksim::MachineConfig()};
   ck::CacheKernel cache_kernel(machine, ck::CacheKernelConfig());
   cksrm::Srm srm(cache_kernel);
   srm.Boot();
+  obs.Attach(machine, &cache_kernel);
 
   ckunix::UnixEmulator unix_emulator(cache_kernel, ckunix::UnixConfig());
   cksrm::LaunchParams params;
@@ -135,5 +138,6 @@ int main() {
               static_cast<unsigned long long>(stats.writebacks[2]));
   std::printf("simulated time: %.2f ms\n",
               cksim::CostModel::ToMicroseconds(machine.Now()) / 1000.0);
+  obs.Finish();
   return unix_emulator.AllExited() ? 0 : 1;
 }

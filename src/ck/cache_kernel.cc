@@ -5,6 +5,9 @@
 #include "src/ck/cache_kernel.h"
 
 #include <cstring>
+#include <string>
+
+#include "src/obs/metrics.h"
 
 namespace ck {
 
@@ -97,6 +100,8 @@ Result<KernelId> CacheKernel::LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKe
   k->manager_slot = kernels_.SlotOf(mgr);
   cpu.Advance(cost.descriptor_init + cost.mem_word * (cksim::kAccessArrayBytes / 4));
   stats_.loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
+           static_cast<uint32_t>(ObjectType::kKernel), kernels_.SlotOf(k));
   cpu.Advance(cost.trap_exit);
   return KernelId{kernels_.IdOf(k)};
 }
@@ -259,6 +264,8 @@ Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_
   cpu.Advance(cost.descriptor_init + cost.table_alloc +
               cost.mem_word * (cksim::kL1TableBytes / 4));
   stats_.loads[static_cast<uint32_t>(ObjectType::kSpace)]++;
+  CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
+           static_cast<uint32_t>(ObjectType::kSpace), spaces_.SlotOf(space));
   cpu.Advance(cost.trap_exit);
   return SpaceId{spaces_.IdOf(space)};
 }
@@ -357,6 +364,8 @@ Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
   cpu.Advance(cost.descriptor_init + cost.context_restore + cost.list_op +
               cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
   stats_.loads[static_cast<uint32_t>(ObjectType::kThread)]++;
+  CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
+           static_cast<uint32_t>(ObjectType::kThread), threads_.SlotOf(thread));
   cpu.Advance(cost.trap_exit);
   return ThreadId{threads_.IdOf(thread)};
 }
@@ -624,6 +633,8 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
     cpu.Advance(cost.pte_write);
     space->mapping_count++;
     stats_.loads[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kMapping), spec.vaddr);
     return CkStatus::kOk;
   }();
   cpu.Advance(cost.trap_exit);
@@ -647,6 +658,8 @@ CkStatus CacheKernel::LoadMappingAndResume(KernelId caller, cksim::Cpu& cpu,
   // call are folded into the mapping load (charge only the restore).
   cpu.Advance(cost.context_restore);
   fault_trace_.mapping_loaded = cpu.clock();
+  CK_TRACE(Ring(cpu), obs::EventType::kFaultMappingLoaded, cpu.clock(),
+           static_cast<uint32_t>(ObjectType::kMapping), spec.vaddr);
   if (thread->state == ThreadState::kBlocked) {
     thread->state = ThreadState::kReady;
     Enqueue(thread, /*front=*/true);
@@ -846,6 +859,8 @@ bool CacheKernel::ReclaimKernel(cksim::Cpu& cpu) {
       continue;
     }
     stats_.reclamations[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kKernel), slot);
     UnloadKernelInternal(k, cpu, /*writeback=*/true);
     return true;
   }
@@ -864,6 +879,8 @@ bool CacheKernel::ReclaimSpace(cksim::Cpu& cpu) {
       continue;
     }
     stats_.reclamations[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kSpace), slot);
     UnloadSpaceInternal(s, cpu, /*writeback=*/true);
     return true;
   }
@@ -888,6 +905,8 @@ bool CacheKernel::ReclaimThread(cksim::Cpu& cpu) {
         continue;
       }
       stats_.reclamations[static_cast<uint32_t>(ObjectType::kThread)]++;
+      CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+               static_cast<uint32_t>(ObjectType::kThread), slot);
       thread_hand_ = (slot + 1) % threads_.capacity();
       UnloadThreadInternal(t, cpu, /*writeback=*/true);
       return true;
@@ -925,11 +944,16 @@ bool CacheKernel::ReclaimMapping(cksim::Cpu& cpu) {
       }
     }
     stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kMapping), rec.pv_vaddr());
     UnloadPvRecord(pv, cpu, /*writeback=*/true);
     return true;
   }
   if (forced != kNilRecord && pmap_.record(forced).type() == RecordType::kPhysToVirt) {
     stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kMapping),
+             pmap_.record(forced).pv_vaddr());
     UnloadPvRecord(forced, cpu, /*writeback=*/true);
     return true;
   }
@@ -1026,6 +1050,8 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeb
   if (writeback) {
     cpu.Advance(cost.writeback_record);
     stats_.writebacks[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kMapping), record.vaddr);
     CkApi api(*this, IdOfKernel(owner), cpu);
     owner->handlers->OnMappingWriteback(record, api);
   }
@@ -1074,6 +1100,8 @@ void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bo
   if (writeback) {
     cpu.Advance(cost.writeback_record + cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
     stats_.writebacks[static_cast<uint32_t>(ObjectType::kThread)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kThread), record.cookie);
     CkApi api(*this, IdOfKernel(owner), cpu);
     owner->handlers->OnThreadWriteback(record, api);
   }
@@ -1159,6 +1187,8 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
   if (writeback) {
     cpu.Advance(cost.writeback_record);
     stats_.writebacks[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kSpace), record.cookie);
     CkApi api(*this, IdOfKernel(owner), cpu);
     owner->handlers->OnSpaceWriteback(record, api);
   }
@@ -1196,6 +1226,8 @@ void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bo
   if (writeback) {
     cpu.Advance(cost.writeback_record);
     stats_.writebacks[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kKernel), record.cookie);
     CkApi api(*this, IdOfKernel(manager), cpu);
     manager->handlers->OnKernelWriteback(record, api);
   }
@@ -1380,6 +1412,95 @@ void CacheKernel::FlushReverseTlbFrameAllCpus(uint32_t pframe) {
   for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
     machine_.cpu(c).reverse_tlb().InvalidateFrame(pframe);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void CacheKernel::RecordFaultTrace(const FaultTrace& trace) {
+  using cksim::CostModel;
+  fault_step_stats_.transfer.Add(CostModel::ToMicroseconds(trace.handler_start -
+                                                           trace.trap_entry));
+  fault_step_stats_.total.Add(CostModel::ToMicroseconds(trace.resumed - trace.trap_entry));
+  if (trace.mapping_loaded != 0) {
+    // Faults resolved without a mapping load (e.g. the app kernel chose to
+    // block or kill the thread) have no step-4 stamp; only the combined
+    // transfer/total distributions see them.
+    fault_step_stats_.handle_load.Add(
+        CostModel::ToMicroseconds(trace.mapping_loaded - trace.handler_start));
+    fault_step_stats_.resume.Add(CostModel::ToMicroseconds(trace.resumed -
+                                                           trace.mapping_loaded));
+  }
+
+  uint32_t depth = config_.fault_history_depth;
+  if (depth == 0) {
+    return;
+  }
+  if (fault_history_.size() < depth) {
+    fault_history_.push_back(trace);
+  } else {
+    fault_history_[fault_history_pushed_ % depth] = trace;
+  }
+  fault_history_pushed_++;
+}
+
+std::vector<FaultTrace> CacheKernel::FaultHistory() const {
+  std::vector<FaultTrace> out;
+  uint32_t depth = config_.fault_history_depth;
+  if (depth == 0 || fault_history_.empty()) {
+    return out;
+  }
+  out.reserve(fault_history_.size());
+  uint64_t oldest = fault_history_pushed_ > fault_history_.size()
+                        ? fault_history_pushed_ - fault_history_.size()
+                        : 0;
+  for (uint64_t i = oldest; i < fault_history_pushed_; ++i) {
+    out.push_back(fault_history_[i % depth]);
+  }
+  return out;
+}
+
+void CacheKernel::RegisterMetrics(obs::Registry& registry) {
+  static const char* const kTypeNames[kObjectTypeCount] = {"kernel", "space", "thread",
+                                                           "mapping"};
+  const CkStats* s = &stats_;
+  for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
+    std::string type = kTypeNames[t];
+    registry.AddCounter("ck.loads." + type, [s, t] { return s->loads[t]; });
+    registry.AddCounter("ck.writebacks." + type, [s, t] { return s->writebacks[t]; });
+    registry.AddCounter("ck.reclamations." + type, [s, t] { return s->reclamations[t]; });
+    registry.AddCounter("ck.explicit_unloads." + type,
+                        [s, t] { return s->explicit_unloads[t]; });
+  }
+  registry.AddCounter("ck.load_failures", [s] { return s->load_failures; });
+  registry.AddCounter("ck.faults_forwarded", [s] { return s->faults_forwarded; });
+  registry.AddCounter("ck.traps_forwarded", [s] { return s->traps_forwarded; });
+  registry.AddCounter("ck.signals.fast", [s] { return s->signals_delivered_fast; });
+  registry.AddCounter("ck.signals.slow", [s] { return s->signals_delivered_slow; });
+  registry.AddCounter("ck.signals.queued", [s] { return s->signals_queued; });
+  registry.AddCounter("ck.signals.dropped", [s] { return s->signals_dropped; });
+  registry.AddCounter("ck.consistency_faults", [s] { return s->consistency_faults; });
+  registry.AddCounter("ck.sched.context_switches", [s] { return s->context_switches; });
+  registry.AddCounter("ck.sched.preemptions", [s] { return s->preemptions; });
+  registry.AddCounter("ck.sched.idle_turns", [s] { return s->idle_turns; });
+  registry.AddCounter("ck.sched.quota_degradations", [s] { return s->quota_degradations; });
+  registry.AddCounter("ck.stale_id_errors", [s] { return s->stale_id_errors; });
+
+  cksim::Machine* m = &machine_;
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    std::string cpu = std::to_string(c);
+    registry.AddCounter("hw.tlb.hits.cpu" + cpu,
+                        [m, c] { return m->cpu(c).mmu().tlb().hits(); });
+    registry.AddCounter("hw.tlb.misses.cpu" + cpu,
+                        [m, c] { return m->cpu(c).mmu().tlb().misses(); });
+  }
+
+  const FaultStepStats* f = &fault_step_stats_;
+  registry.AddHistogram("ck.fault_us.transfer", [f] { return f->transfer; });
+  registry.AddHistogram("ck.fault_us.handle_load", [f] { return f->handle_load; });
+  registry.AddHistogram("ck.fault_us.resume", [f] { return f->resume; });
+  registry.AddHistogram("ck.fault_us.total", [f] { return f->total; });
 }
 
 }  // namespace ck

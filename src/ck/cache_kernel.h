@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "src/base/fixed_pool.h"
+#include "src/base/histogram.h"
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/ck/appkernel_iface.h"
 #include "src/ck/config.h"
 #include "src/ck/ids.h"
@@ -38,6 +40,10 @@
 #include "src/isa/interpreter.h"
 #include "src/sim/devices.h"
 #include "src/sim/machine.h"
+
+namespace obs {
+class Registry;
+}
 
 namespace ck {
 
@@ -65,12 +71,24 @@ struct CkStats {
   uint64_t stale_id_errors = 0;
 };
 
-// Timestamps of the Figure 2 steps for the most recent forwarded fault.
+// Timestamps of the Figure 2 steps for one forwarded fault. The most recent
+// trace is always available; completed traces also accumulate into per-step
+// histograms and a bounded last-N history ring.
 struct FaultTrace {
   cksim::Cycles trap_entry = 0;      // step 1: hardware trap into the CK
   cksim::Cycles handler_start = 0;   // step 2: thread redirected to app kernel
   cksim::Cycles mapping_loaded = 0;  // step 4: new mapping descriptor loaded
   cksim::Cycles resumed = 0;         // step 6: faulting thread resumed
+};
+
+// Per-step latency distributions over every completed forwarded fault, in
+// simulated microseconds (the paper's Figure 2 bars as populations, not a
+// single retained sample).
+struct FaultStepStats {
+  ckbase::Stats transfer;     // steps 1-2: trap entry -> handler start
+  ckbase::Stats handle_load;  // steps 3-4: handler start -> mapping loaded
+  ckbase::Stats resume;       // steps 5-6: mapping loaded -> resumed
+  ckbase::Stats total;        // trap entry -> resumed
 };
 
 struct MappingSpec {
@@ -216,6 +234,13 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // ---- introspection (tests, benches, examples) ----
   const CkStats& stats() const { return stats_; }
   const FaultTrace& last_fault_trace() const { return fault_trace_; }
+  // Last-N completed fault traces, oldest first (N = config.fault_history_depth).
+  std::vector<FaultTrace> FaultHistory() const;
+  uint64_t fault_traces_recorded() const { return fault_history_pushed_; }
+  const FaultStepStats& fault_step_stats() const { return fault_step_stats_; }
+  // Register every counter and latency histogram this kernel (and its
+  // machine's TLBs) maintains under stable dotted names.
+  void RegisterMetrics(obs::Registry& registry);
   cksim::Machine& machine() { return machine_; }
   const CacheKernelConfig& config() const { return config_; }
 
@@ -265,6 +290,12 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
     ckbase::PoolId kernel;
     std::function<void(CkApi&)> fn;
   };
+
+  // -- tracing --
+  // The emitting CPU's trace ring; nullptr until Machine::EnableTracing.
+  obs::TraceRing* Ring(cksim::Cpu& cpu) { return machine_.trace_ring(cpu.id()); }
+  // Fold a completed fault trace into the history ring and step histograms.
+  void RecordFaultTrace(const FaultTrace& trace);
 
   // -- lookup helpers --
   KernelObject* GetKernel(KernelId id) { return kernels_.Lookup(id.id); }
@@ -362,6 +393,10 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   uint32_t thread_hand_ = 0;
   CkStats stats_;
   FaultTrace fault_trace_;
+  // Last-N completed traces (overwrite-oldest) plus per-step distributions.
+  std::vector<FaultTrace> fault_history_;
+  uint64_t fault_history_pushed_ = 0;
+  FaultStepStats fault_step_stats_;
 };
 
 // Facade carrying one application kernel's authority into Cache Kernel calls

@@ -226,6 +226,8 @@ void CacheKernel::PreemptCurrent(cksim::Cpu& cpu) {
   Enqueue(cur);
   cpu.current_thread = nullptr;
   stats_.preemptions++;
+  CK_TRACE(Ring(cpu), obs::EventType::kPreemption, cpu.clock(), cur->priority,
+           threads_.IdOf(cur).Packed());
 }
 
 void CacheKernel::RollQuotaWindow(cksim::Cpu& cpu) {
@@ -264,6 +266,8 @@ void CacheKernel::ChargeThread(ThreadObject* thread, cksim::Cpu& cpu, Cycles cyc
     if (owner->weighted_consumed[cpu.id()] > budget) {
       owner->over_quota[cpu.id()] = true;
       stats_.quota_degradations++;
+      CK_TRACE(Ring(cpu), obs::EventType::kQuotaDegrade, cpu.clock(),
+               owner->cpu_percent[cpu.id()], thread->kernel_slot);
     }
   }
 }
@@ -335,6 +339,8 @@ void CacheKernel::OnCpuTurn(cksim::Cpu& cpu) {
     current->slice_remaining = config_.time_slice;
     cpu.Advance(machine_.cost().context_restore);
     stats_.context_switches++;
+    CK_TRACE(Ring(cpu), obs::EventType::kContextSwitch, cpu.clock(), current->priority,
+             threads_.IdOf(current).Packed());
   }
 
   if (current->native != nullptr) {
@@ -454,6 +460,8 @@ void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksi
   stats_.faults_forwarded++;
   fault_trace_ = FaultTrace{};
   fault_trace_.trap_entry = cpu.clock();
+  CK_TRACE(Ring(cpu), obs::EventType::kFaultTrapEntry, cpu.clock(),
+           static_cast<uint32_t>(fault.type), fault.address);
 
   // Step 1-2: the access error handler stores the faulting thread's state,
   // switches it to the application kernel's space and exception stack, and
@@ -478,6 +486,8 @@ void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksi
   }
 
   fault_trace_.handler_start = cpu.clock();
+  CK_TRACE(Ring(cpu), obs::EventType::kFaultHandlerStart, cpu.clock(),
+           static_cast<uint32_t>(fault.type), id.id.Packed());
   CkApi api(*this, IdOfKernel(owner), cpu);
   cpu.Advance(cost.app_handler_base);
   HandlerAction action = owner->handlers->HandleFault(forward, api);
@@ -502,6 +512,9 @@ void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksi
         Enqueue(thread, /*front=*/true);
       }
       fault_trace_.resumed = cpu.clock();
+      CK_TRACE(Ring(cpu), obs::EventType::kFaultResumed, cpu.clock(),
+               static_cast<uint32_t>(fault.type), id.id.Packed());
+      RecordFaultTrace(fault_trace_);
       break;
     case HandlerAction::kBlock:
       if (CurrentOn(cpu) == thread) {
@@ -529,6 +542,8 @@ void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksi
 void CacheKernel::ForwardTrap(ThreadObject* thread, cksim::Cpu& cpu, uint16_t number) {
   const cksim::CostModel& cost = machine_.cost();
   stats_.traps_forwarded++;
+  CK_TRACE(Ring(cpu), obs::EventType::kTrapForward, cpu.clock(), number,
+           threads_.IdOf(thread).Packed());
 
   // Same redirect mechanism as faults (section 2.3 trap forwarding).
   cpu.Advance(cost.trap_entry + cost.handler_dispatch);

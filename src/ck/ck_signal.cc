@@ -141,9 +141,11 @@ void CacheKernel::DeliverToThread(ThreadObject* thread, VirtAddr vaddr, uint32_t
   if (fast) {
     cpu.Advance(cost.signal_deliver_fast);
     stats_.signals_delivered_fast++;
+    CK_TRACE(Ring(cpu), obs::EventType::kSignalFast, cpu.clock(), pframe, vaddr);
   } else {
     cpu.Advance(cost.signal_deliver_slow);
     stats_.signals_delivered_slow++;
+    CK_TRACE(Ring(cpu), obs::EventType::kSignalSlow, cpu.clock(), pframe, vaddr);
     if (config_.reverse_tlb_enabled) {
       cksim::ReverseTlb::Entry entry;
       entry.valid = true;
@@ -160,6 +162,8 @@ void CacheKernel::DeliverToThread(ThreadObject* thread, VirtAddr vaddr, uint32_t
   if (thread->signal_count >= ThreadObject::kSignalQueueDepth) {
     thread->signals_dropped++;
     stats_.signals_dropped++;
+    CK_TRACE(Ring(cpu), obs::EventType::kSignalDropped, cpu.clock(),
+             threads_.IdOf(thread).Packed(), vaddr);
     return;
   }
   uint32_t tail =
@@ -168,6 +172,8 @@ void CacheKernel::DeliverToThread(ThreadObject* thread, VirtAddr vaddr, uint32_t
   thread->signal_count++;
   if (thread->in_signal) {
     stats_.signals_queued++;
+    CK_TRACE(Ring(cpu), obs::EventType::kSignalQueued, cpu.clock(),
+             threads_.IdOf(thread).Packed(), vaddr);
   }
 
   switch (thread->state) {

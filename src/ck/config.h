@@ -38,6 +38,10 @@ struct CacheKernelConfig {
   // Physical memory reserved for the Cache Kernel's page tables, carved from
   // the top of the machine's memory.
   uint32_t page_table_arena_bytes = 1u << 20;
+
+  // Observability: completed FaultTraces retained in the last-N history ring
+  // (the per-step histograms accumulate every fault regardless).
+  uint32_t fault_history_depth = 64;
 };
 
 }  // namespace ck

@@ -1,0 +1,69 @@
+#include "src/ck/observability.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/ck/cache_kernel.h"
+#include "src/obs/chrome_trace.h"
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace ck {
+
+ObsSession::ObsSession(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path_ = arg + 8;
+    } else if (std::strncmp(arg, "--trace-depth=", 14) == 0) {
+      long depth = std::strtol(arg + 14, nullptr, 10);
+      if (depth > 0) {
+        trace_depth_ = static_cast<uint32_t>(depth);
+      }
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_ = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+void ObsSession::Attach(cksim::Machine& machine, CacheKernel* kernel) {
+  if (machine_ != nullptr) {
+    return;  // first attach wins; later machines run unobserved
+  }
+  machine_ = &machine;
+  if (!trace_path_.empty()) {
+    machine.EnableTracing(trace_depth_);
+  }
+  if (metrics_ && kernel != nullptr) {
+    kernel->RegisterMetrics(registry_);
+  }
+}
+
+void ObsSession::Finish() {
+  if (!trace_path_.empty() && machine_ != nullptr && machine_->tracer() != nullptr) {
+    if (obs::WriteChromeTrace(*machine_->tracer(),
+                              static_cast<double>(cksim::kCyclesPerMicrosecond),
+                              trace_path_)) {
+      std::fprintf(stderr, "[obs] wrote trace to %s\n", trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] failed to write trace to %s\n", trace_path_.c_str());
+    }
+  }
+  if (metrics_) {
+    std::printf("\n-- metrics --\n");
+    registry_.DumpText(stdout);
+  }
+  // Finish is a one-shot: the registry's callbacks and the machine pointer
+  // reference objects the caller may destroy right after, so drop them.
+  machine_ = nullptr;
+  trace_path_.clear();
+  metrics_ = false;
+  registry_ = obs::Registry();
+}
+
+}  // namespace ck

@@ -1,0 +1,74 @@
+// Command-line observability session for benches and examples.
+//
+// ObsSession gives every binary the same two flags:
+//
+//   --trace=<file>        enable per-CPU event tracing and write a Chrome
+//                         trace_event JSON file on Finish() (load it in
+//                         chrome://tracing or https://ui.perfetto.dev)
+//   --trace-depth=<n>     per-CPU ring capacity in events (default 65536)
+//   --metrics             dump the metrics registry (counters + latency
+//                         histograms) to stdout on Finish()
+//
+// Usage:
+//   ck::ObsSession obs(argc, argv);
+//   cksim::Machine machine(...);
+//   ck::CacheKernel ck(machine, config);
+//   obs.Attach(machine, &ck);
+//   ... run ...
+//   obs.Finish();
+//
+// When neither flag is given, Attach() and Finish() are no-ops and the
+// simulation runs untraced (the CK_TRACE ring pointer stays null).
+
+#ifndef SRC_CK_OBSERVABILITY_H_
+#define SRC_CK_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace cksim {
+class Machine;
+}
+
+namespace ck {
+
+class CacheKernel;
+
+class ObsSession {
+ public:
+  // Consumes --trace/--trace-depth/--metrics from argv (compacting it so the
+  // binary's own argument parsing never sees them).
+  ObsSession(int& argc, char** argv);
+
+  // Enables tracing on the machine (if --trace was given) and registers the
+  // kernel's metrics (if --metrics was given). First attach wins: calls after
+  // the first are no-ops, so in multi-world benches the first world built is
+  // the observed one.
+  void Attach(cksim::Machine& machine, CacheKernel* kernel);
+
+  // True if `machine` is the one this session attached to (and Finish has
+  // not run yet). Lets the machine's owner flush the session before dying.
+  bool attached(const cksim::Machine& machine) const { return machine_ == &machine; }
+
+  // Writes the trace file and/or dumps metrics, then detaches. One-shot:
+  // call it before the traced machine / registered kernel are destroyed;
+  // later calls are no-ops. Safe to call when nothing was enabled.
+  void Finish();
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return metrics_; }
+  obs::Registry& registry() { return registry_; }
+
+ private:
+  std::string trace_path_;
+  uint32_t trace_depth_ = 1u << 16;
+  bool metrics_ = false;
+  cksim::Machine* machine_ = nullptr;
+  obs::Registry registry_;
+};
+
+}  // namespace ck
+
+#endif  // SRC_CK_OBSERVABILITY_H_

@@ -1,0 +1,141 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cinttypes>
+
+namespace obs {
+namespace {
+
+void AppendEvent(std::string* out, const char* name, const char* ph, double ts_us,
+                 double dur_us, uint8_t cpu, const TraceEvent* args, bool* first) {
+  if (!*first) {
+    out->push_back(',');
+  }
+  *first = false;
+  char buf[256];
+  if (ph[0] == 'X') {
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                  "\"tid\":%u",
+                  name, ts_us, dur_us, cpu);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"s\":\"t\",\"pid\":0,"
+                  "\"tid\":%u",
+                  name, ph, ts_us, cpu);
+  }
+  out->append(buf);
+  if (args != nullptr) {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg16\":%u,\"arg32\":%" PRIu32 "}",
+                  args->arg16, args->arg32);
+    out->append(buf);
+  }
+  out->push_back('}');
+}
+
+// Pairs the four fault-step instants on one CPU track into duration spans.
+struct FaultSpan {
+  bool open = false;
+  double trap = 0, handler = 0, loaded = 0;
+  uint32_t vaddr = 0;
+  uint16_t fault_type = 0;
+};
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer, double cycles_per_us) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+
+  for (uint32_t c = 0; c < tracer.cpu_count(); ++c) {
+    // Name the track.
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                  "\"args\":{\"name\":\"cpu %u\"}}",
+                  c, c);
+    out.append(buf);
+
+    const TraceRing& ring = tracer.ring(c);
+    FaultSpan span;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const TraceEvent& e = ring.at(i);
+      EventType type = static_cast<EventType>(e.type);
+      double ts = static_cast<double>(e.when) / cycles_per_us;
+      switch (type) {
+        case EventType::kFaultTrapEntry:
+          span.open = true;
+          span.trap = ts;
+          span.handler = span.loaded = 0;
+          span.vaddr = e.arg32;
+          span.fault_type = e.arg16;
+          break;
+        case EventType::kFaultHandlerStart:
+          if (span.open) {
+            span.handler = ts;
+          }
+          break;
+        case EventType::kFaultMappingLoaded:
+          if (span.open) {
+            span.loaded = ts;
+          }
+          break;
+        case EventType::kFaultResumed:
+          if (span.open) {
+            TraceEvent args = e;
+            args.arg16 = span.fault_type;
+            args.arg32 = span.vaddr;
+            AppendEvent(&out, "fault", "X", span.trap, ts - span.trap, e.cpu, &args, &first);
+            if (span.handler > 0) {
+              AppendEvent(&out, "fault.redirect", "X", span.trap, span.handler - span.trap,
+                          e.cpu, nullptr, &first);
+              if (span.loaded > 0) {
+                AppendEvent(&out, "fault.handle+load", "X", span.handler,
+                            span.loaded - span.handler, e.cpu, nullptr, &first);
+                AppendEvent(&out, "fault.resume", "X", span.loaded, ts - span.loaded, e.cpu,
+                            nullptr, &first);
+              } else {
+                AppendEvent(&out, "fault.handle", "X", span.handler, ts - span.handler, e.cpu,
+                            nullptr, &first);
+              }
+            }
+            span.open = false;
+          } else {
+            AppendEvent(&out, EventTypeName(type), "i", ts, 0, e.cpu, &e, &first);
+          }
+          break;
+        default:
+          AppendEvent(&out, EventTypeName(type), "i", ts, 0, e.cpu, &e, &first);
+          break;
+      }
+    }
+    // A fault still open at the end of the ring (blocked/terminated thread or
+    // truncated capture) exports as an instant so nothing is silently lost.
+    if (span.open) {
+      TraceEvent args;
+      args.arg16 = span.fault_type;
+      args.arg32 = span.vaddr;
+      AppendEvent(&out, "fault.unfinished", "i", span.trap, 0, static_cast<uint8_t>(c), &args,
+                  &first);
+    }
+  }
+
+  out.append("\n]}");
+  return out;
+}
+
+bool WriteChromeTrace(const Tracer& tracer, double cycles_per_us, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = ChromeTraceJson(tracer, cycles_per_us);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace obs

@@ -1,0 +1,30 @@
+// Chrome trace_event JSON exporter.
+//
+// Serializes a Tracer's per-CPU rings into the Trace Event Format understood
+// by chrome://tracing and ui.perfetto.dev: one process, one track (tid) per
+// CPU. Most events export as instants; the four Figure 2 fault-forwarding
+// steps are paired into nested duration spans ("fault", "fault.redirect",
+// "fault.handle+load", "fault.resume") so a whole run's fault activity reads
+// as a flame chart.
+
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace obs {
+
+// Serialize to a string. `cycles_per_us` converts cycle stamps to the
+// microsecond timestamps the format requires (25 for the simulated 25 MHz
+// machine).
+std::string ChromeTraceJson(const Tracer& tracer, double cycles_per_us);
+
+// Write to `path`. Returns false if the file cannot be written.
+bool WriteChromeTrace(const Tracer& tracer, double cycles_per_us, const std::string& path);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

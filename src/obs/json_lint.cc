@@ -1,0 +1,249 @@
+#include "src/obs/json_lint.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace obs {
+namespace {
+
+class Lint {
+ public:
+  explicit Lint(const std::string& text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Fail(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      message_ = "trailing data after document";
+      Fail(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Fail(std::string* error) {
+    if (error != nullptr) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s at offset %zu",
+                    message_.empty() ? "parse error" : message_.c_str(), pos_);
+      *error = buf;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') {
+      len++;
+    }
+    if (text_.compare(pos_, len, word) != 0) {
+      message_ = "bad literal";
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool String() {
+    pos_++;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        pos_++;
+        return true;
+      }
+      if (c == '\\') {
+        pos_++;
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            pos_++;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              message_ = "bad \\u escape";
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          message_ = "bad escape";
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        message_ = "control character in string";
+        return false;
+      }
+      pos_++;
+    }
+    message_ = "unterminated string";
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      pos_++;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      message_ = "bad number";
+      return false;
+    }
+    size_t int_start = text_[start] == '-' ? start + 1 : start;
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      message_ = "leading zero";
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      pos_++;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        message_ = "bad fraction";
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        pos_++;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        pos_++;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        message_ = "bad exponent";
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        pos_++;
+      }
+    }
+    return true;
+  }
+
+  bool Array() {
+    pos_++;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        message_ = "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      if (text_[pos_] != ',') {
+        message_ = "expected ',' or ']'";
+        return false;
+      }
+      pos_++;
+      SkipWs();
+    }
+  }
+
+  bool Object() {
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !String()) {
+        message_ = message_.empty() ? "expected object key" : message_;
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        message_ = "expected ':'";
+        return false;
+      }
+      pos_++;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        message_ = "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      if (text_[pos_] != ',') {
+        message_ = "expected ',' or '}'";
+        return false;
+      }
+      pos_++;
+      SkipWs();
+    }
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      message_ = "unexpected end of input";
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return Object();
+    }
+    if (c == '[') {
+      return Array();
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return Number();
+    }
+    message_ = "unexpected character";
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool JsonLint(const std::string& text, std::string* error) {
+  return Lint(text).Run(error);
+}
+
+}  // namespace obs

@@ -1,0 +1,22 @@
+// Minimal JSON syntax validator.
+//
+// Used by tests and the bench smoke target to verify that emitted Chrome
+// traces and metric dumps are well-formed without pulling in a JSON library.
+// Checks structure only (braces, strings, numbers, literals); it does not
+// build a document.
+
+#ifndef SRC_OBS_JSON_LINT_H_
+#define SRC_OBS_JSON_LINT_H_
+
+#include <string>
+
+namespace obs {
+
+// Returns true iff `text` is one complete, syntactically valid JSON value.
+// On failure, *error (if non-null) describes the first problem and its
+// byte offset.
+bool JsonLint(const std::string& text, std::string* error = nullptr);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_JSON_LINT_H_

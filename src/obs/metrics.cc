@@ -1,0 +1,100 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+
+namespace obs {
+namespace {
+
+// Minimal JSON string escaping; metric names are ASCII identifiers but a
+// stray quote or backslash must not corrupt the document.
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+void Registry::DumpText(std::FILE* out) const {
+  size_t width = 0;
+  for (const Counter& c : counters_) {
+    width = std::max(width, c.name.size());
+  }
+  for (const Histogram& h : histograms_) {
+    width = std::max(width, h.name.size());
+  }
+  int w = static_cast<int>(width);
+  for (const Counter& c : counters_) {
+    std::fprintf(out, "%-*s %12" PRIu64 "\n", w, c.name.c_str(), c.value());
+  }
+  for (const Histogram& h : histograms_) {
+    ckbase::Stats s = h.snapshot();
+    std::fprintf(out, "%-*s count=%zu mean=%.2f p50=%.2f p95=%.2f max=%.2f\n", w,
+                 h.name.c_str(), s.count(), s.Mean(), s.Percentile(50), s.Percentile(95),
+                 s.Max());
+  }
+}
+
+std::string Registry::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const Counter& c : counters_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendEscaped(&out, c.name);
+    out.push_back(':');
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value());
+    out.append(buf);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const Histogram& h : histograms_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    ckbase::Stats s = h.snapshot();
+    AppendEscaped(&out, h.name);
+    out.append(":{\"count\":");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu", s.count());
+    out.append(buf);
+    out.append(",\"mean\":");
+    AppendDouble(&out, s.Mean());
+    out.append(",\"p50\":");
+    AppendDouble(&out, s.Percentile(50));
+    out.append(",\"p95\":");
+    AppendDouble(&out, s.Percentile(95));
+    out.append(",\"min\":");
+    AppendDouble(&out, s.Min());
+    out.append(",\"max\":");
+    AppendDouble(&out, s.Max());
+    out.append(",\"stddev\":");
+    AppendDouble(&out, s.StdDev());
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace obs

@@ -1,0 +1,59 @@
+// Metrics registry: one enumerable namespace for every counter and latency
+// histogram the system maintains, dumpable as aligned text or JSON.
+//
+// The registry does not own any state and never polls: producers register a
+// name plus a closure that reads the live value (a CkStats field, a TLB
+// hit counter, a fault-step Stats). Dumps snapshot through the closures at
+// call time, so one registry can be dumped repeatedly as a run progresses.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+
+namespace obs {
+
+class Registry {
+ public:
+  using CounterFn = std::function<uint64_t()>;
+  using HistogramFn = std::function<ckbase::Stats()>;
+
+  void AddCounter(std::string name, CounterFn value) {
+    counters_.push_back({std::move(name), std::move(value)});
+  }
+  void AddHistogram(std::string name, HistogramFn snapshot) {
+    histograms_.push_back({std::move(name), std::move(snapshot)});
+  }
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  // Aligned "name value" lines; histograms report count/mean/p50/p95/max.
+  void DumpText(std::FILE* out) const;
+
+  // {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
+  std::string DumpJson() const;
+
+ private:
+  struct Counter {
+    std::string name;
+    CounterFn value;
+  };
+  struct Histogram {
+    std::string name;
+    HistogramFn snapshot;
+  };
+
+  std::vector<Counter> counters_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,86 @@
+#include "src/obs/trace.h"
+
+namespace obs {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kObjectLoad:
+      return "object.load";
+    case EventType::kObjectWriteback:
+      return "object.writeback";
+    case EventType::kObjectReclaim:
+      return "object.reclaim";
+    case EventType::kFaultTrapEntry:
+      return "fault.trap_entry";
+    case EventType::kFaultHandlerStart:
+      return "fault.handler_start";
+    case EventType::kFaultMappingLoaded:
+      return "fault.mapping_loaded";
+    case EventType::kFaultResumed:
+      return "fault.resumed";
+    case EventType::kTrapForward:
+      return "trap.forward";
+    case EventType::kSignalFast:
+      return "signal.fast";
+    case EventType::kSignalSlow:
+      return "signal.slow";
+    case EventType::kSignalQueued:
+      return "signal.queued";
+    case EventType::kSignalDropped:
+      return "signal.dropped";
+    case EventType::kContextSwitch:
+      return "sched.context_switch";
+    case EventType::kPreemption:
+      return "sched.preemption";
+    case EventType::kQuotaDegrade:
+      return "sched.quota_degrade";
+    case EventType::kTlbMiss:
+      return "hw.tlb_miss";
+    case EventType::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(uint32_t capacity, uint8_t cpu)
+    : capacity_(capacity == 0 ? 1 : capacity), cpu_(cpu) {
+  events_.resize(capacity_);
+}
+
+void TraceRing::Push(EventType type, uint64_t when, uint16_t arg16, uint32_t arg32) {
+  TraceEvent& slot = events_[pushed_ % capacity_];
+  slot.when = when;
+  slot.type = static_cast<uint8_t>(type);
+  slot.cpu = cpu_;
+  slot.arg16 = arg16;
+  slot.arg32 = arg32;
+  pushed_++;
+}
+
+size_t TraceRing::size() const {
+  return pushed_ < capacity_ ? static_cast<size_t>(pushed_) : capacity_;
+}
+
+const TraceEvent& TraceRing::at(size_t i) const {
+  size_t oldest = pushed_ <= capacity_ ? 0 : static_cast<size_t>(pushed_ % capacity_);
+  return events_[(oldest + i) % capacity_];
+}
+
+void TraceRing::Clear() { pushed_ = 0; }
+
+Tracer::Tracer(uint32_t cpu_count, uint32_t capacity_per_cpu) {
+  rings_.reserve(cpu_count);
+  for (uint32_t i = 0; i < cpu_count; ++i) {
+    rings_.emplace_back(capacity_per_cpu, static_cast<uint8_t>(i));
+  }
+}
+
+uint64_t Tracer::total_pushed() const {
+  uint64_t total = 0;
+  for (const TraceRing& ring : rings_) {
+    total += ring.pushed();
+  }
+  return total;
+}
+
+}  // namespace obs

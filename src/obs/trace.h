@@ -1,0 +1,132 @@
+// Per-CPU trace event ring buffers.
+//
+// The Cache Kernel, the scheduler, the signal-delivery path and the simulated
+// MMU all emit compact cycle-stamped events through the CK_TRACE macro. Each
+// CPU owns one fixed-capacity ring, so recording is a bump-and-store with no
+// allocation and no cross-CPU interference; when a ring fills, the oldest
+// events are overwritten (newest data wins, like a flight recorder).
+//
+// Tracing has two off switches:
+//   * compile time: build with -DCK_TRACE_ENABLED=0 and CK_TRACE(...) expands
+//     to nothing -- arguments are not even evaluated;
+//   * run time: rings exist only after Machine::EnableTracing(); the macro's
+//     only cost on an untraced run is one null-pointer test.
+//
+// Events carry a type, the emitting CPU, a 16-bit and a 32-bit argument whose
+// meaning depends on the type (see docs/OBSERVABILITY.md for the taxonomy).
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace obs {
+
+enum class EventType : uint8_t {
+  // Object lifecycle. arg16 = ObjectType index, arg32 = descriptor id/slot.
+  kObjectLoad = 0,
+  kObjectWriteback,
+  kObjectReclaim,
+  // Figure 2 fault-forwarding steps. arg16 = fault type, arg32 = fault vaddr.
+  kFaultTrapEntry,     // step 1: hardware trap into the Cache Kernel
+  kFaultHandlerStart,  // step 2: thread redirected into the app kernel
+  kFaultMappingLoaded, // step 4: new mapping descriptor loaded
+  kFaultResumed,       // step 6: faulting thread resumed
+  // Trap forwarding. arg16 = trap number.
+  kTrapForward,
+  // Signal delivery. arg32 = message vaddr (or pframe for drops).
+  kSignalFast,    // reverse-TLB hit to the active thread
+  kSignalSlow,    // two-stage pmap lookup
+  kSignalQueued,  // receiver already in its signal function
+  kSignalDropped, // per-thread queue overflow
+  // Scheduling. arg32 = thread id (when known).
+  kContextSwitch,
+  kPreemption,
+  kQuotaDegrade,  // arg32 = kernel slot driven over quota
+  // Simulated hardware. arg16 = asid, arg32 = vaddr.
+  kTlbMiss,
+  kCount,
+};
+
+// Stable short names for exporters and dumps.
+const char* EventTypeName(EventType type);
+
+struct TraceEvent {
+  uint64_t when = 0;  // simulated cycles on the emitting CPU
+  uint8_t type = 0;   // EventType
+  uint8_t cpu = 0;
+  uint16_t arg16 = 0;
+  uint32_t arg32 = 0;
+};
+static_assert(sizeof(TraceEvent) == 16, "trace events must stay compact");
+
+// Fixed-capacity overwrite-oldest ring of TraceEvents for one CPU.
+class TraceRing {
+ public:
+  TraceRing(uint32_t capacity, uint8_t cpu);
+
+  void Push(EventType type, uint64_t when, uint16_t arg16, uint32_t arg32);
+
+  uint32_t capacity() const { return capacity_; }
+  uint8_t cpu() const { return cpu_; }
+  // Events currently retained (<= capacity).
+  size_t size() const;
+  // Total events ever pushed / overwritten since construction or Clear().
+  uint64_t pushed() const { return pushed_; }
+  uint64_t dropped() const { return pushed_ > capacity_ ? pushed_ - capacity_ : 0; }
+
+  // i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& at(size_t i) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint32_t capacity_;
+  uint8_t cpu_;
+  uint64_t pushed_ = 0;
+};
+
+// One ring per CPU of a machine.
+class Tracer {
+ public:
+  Tracer(uint32_t cpu_count, uint32_t capacity_per_cpu);
+
+  uint32_t cpu_count() const { return static_cast<uint32_t>(rings_.size()); }
+  TraceRing& ring(uint32_t cpu) { return rings_[cpu]; }
+  const TraceRing& ring(uint32_t cpu) const { return rings_[cpu]; }
+
+  uint64_t total_pushed() const;
+
+ private:
+  std::vector<TraceRing> rings_;
+};
+
+}  // namespace obs
+
+// CK_TRACE(ring_ptr, type, when, arg16, arg32): record one event if tracing
+// is compiled in and `ring_ptr` is non-null. With CK_TRACE_ENABLED=0 the
+// macro expands to nothing and its arguments are never evaluated, so hot
+// paths carry zero cost.
+#ifndef CK_TRACE_ENABLED
+#define CK_TRACE_ENABLED 1
+#endif
+
+#if CK_TRACE_ENABLED
+#define CK_TRACE(ring_ptr, type, when, arg16, arg32)                          \
+  do {                                                                        \
+    obs::TraceRing* ck_trace_ring_ = (ring_ptr);                              \
+    if (ck_trace_ring_ != nullptr) {                                          \
+      ck_trace_ring_->Push((type), (when), static_cast<uint16_t>(arg16),      \
+                           static_cast<uint32_t>(arg32));                     \
+    }                                                                         \
+  } while (0)
+#else
+#define CK_TRACE(ring_ptr, type, when, arg16, arg32) \
+  do {                                               \
+  } while (0)
+#endif
+
+#endif  // SRC_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/obs/trace.h"
 #include "src/sim/cost.h"
 #include "src/sim/mmu.h"
 #include "src/sim/reverse_tlb.h"
@@ -37,6 +38,14 @@ class Cpu {
   Mmu& mmu() { return mmu_; }
   ReverseTlb& reverse_tlb() { return reverse_tlb_; }
 
+  // Tracing: the machine hands each CPU its ring when tracing is enabled;
+  // the MMU stamps its events off this CPU's clock.
+  void AttachTrace(obs::TraceRing* ring) {
+    trace_ring_ = ring;
+    mmu_.AttachTrace(ring, &clock_);
+  }
+  obs::TraceRing* trace_ring() { return trace_ring_; }
+
   // Scratch slot for the kernel: which thread descriptor currently runs here.
   // Opaque to the sim layer.
   void* current_thread = nullptr;
@@ -49,6 +58,7 @@ class Cpu {
   Cycles clock_ = 0;
   Mmu mmu_;
   ReverseTlb reverse_tlb_;
+  obs::TraceRing* trace_ring_ = nullptr;
 };
 
 }  // namespace cksim

@@ -8,6 +8,16 @@ Machine::Machine(const MachineConfig& config) : config_(config), memory_(config.
   }
 }
 
+void Machine::EnableTracing(uint32_t capacity_per_cpu) {
+  if (tracer_ != nullptr) {
+    return;
+  }
+  tracer_ = std::make_unique<obs::Tracer>(cpu_count(), capacity_per_cpu);
+  for (uint32_t i = 0; i < cpu_count(); ++i) {
+    cpus_[i]->AttachTrace(&tracer_->ring(i));
+  }
+}
+
 bool Machine::DeliverDoorbell(PhysAddr addr, Cycles when) {
   for (Device* device : devices_) {
     if (addr >= device->region_base() && addr < device->region_base() + device->region_size()) {

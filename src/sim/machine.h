@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/cost.h"
 #include "src/sim/cpu.h"
 #include "src/sim/physmem.h"
@@ -107,6 +108,16 @@ class Machine {
   void Halt() { halted_ = true; }
   bool halted() const { return halted_; }
 
+  // ---- tracing ----
+  // Allocate one trace ring per CPU and start recording. Idempotent; until
+  // called, trace_ring() returns nullptr and CK_TRACE emission is one null
+  // test. `capacity_per_cpu` events are retained per CPU (oldest dropped).
+  void EnableTracing(uint32_t capacity_per_cpu = 1u << 16);
+  obs::Tracer* tracer() { return tracer_.get(); }
+  obs::TraceRing* trace_ring(uint32_t cpu) {
+    return tracer_ != nullptr ? &tracer_->ring(cpu) : nullptr;
+  }
+
  private:
   MachineConfig config_;
   PhysicalMemory memory_;
@@ -114,6 +125,7 @@ class Machine {
   std::vector<Device*> devices_;
   MachineClient* client_ = nullptr;
   bool halted_ = false;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace cksim

@@ -27,6 +27,8 @@ Mmu::TranslateResult Mmu::Translate(PhysAddr root_paddr, uint16_t asid, VirtAddr
     flags = hit.flags;
     pframe = hit.pframe;
   } else {
+    CK_TRACE(trace_ring_, obs::EventType::kTlbMiss,
+             trace_clock_ != nullptr ? *trace_clock_ : 0, asid, vaddr);
     // Hardware table walk. No root table means no space is active.
     if (root_paddr == 0) {
       result.fault = MakeFault(FaultType::kNoMapping, vaddr, access);

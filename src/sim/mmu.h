@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "src/obs/trace.h"
 #include "src/sim/cost.h"
 #include "src/sim/pagetable.h"
 #include "src/sim/physmem.h"
@@ -41,10 +42,19 @@ class Mmu {
   Tlb& tlb() { return tlb_; }
   const Tlb& tlb() const { return tlb_; }
 
+  // Tracing: misses that start a hardware table walk emit kTlbMiss stamped
+  // off the owning CPU's clock. Wired by Cpu::AttachTrace.
+  void AttachTrace(obs::TraceRing* ring, const Cycles* clock) {
+    trace_ring_ = ring;
+    trace_clock_ = clock;
+  }
+
  private:
   PhysicalMemory& memory_;
   const CostModel& cost_;
   Tlb tlb_;
+  obs::TraceRing* trace_ring_ = nullptr;
+  const Cycles* trace_clock_ = nullptr;
 };
 
 }  // namespace cksim

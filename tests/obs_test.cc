@@ -1,0 +1,370 @@
+// Observability subsystem tests: trace rings, the metrics registry, the
+// bounded Stats histogram, Chrome trace export, and the Cache Kernel's
+// fault-step accounting. The compile-time-disabled CK_TRACE path is exercised
+// by obs_trace_disabled.cc, a separate translation unit built with
+// -DCK_TRACE_ENABLED=0 and linked into this binary.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/base/histogram.h"
+#include "src/ck/cache_kernel.h"
+#include "src/isa/assembler.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/json_lint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/machine.h"
+#include "src/srm/srm.h"
+
+// Implemented in obs_trace_disabled.cc (compiled with CK_TRACE_ENABLED=0).
+// Returns the number of times CK_TRACE evaluated its argument expressions
+// there; must be zero.
+int DisabledTraceEvaluations();
+
+namespace {
+
+// --- TraceRing ---
+
+TEST(TraceRing, RecordsInOrder) {
+  obs::TraceRing ring(8, /*cpu=*/3);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ring.Push(obs::EventType::kObjectLoad, 100 + i, static_cast<uint16_t>(i),
+              static_cast<uint32_t>(i * 10));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).when, 100 + i);
+    EXPECT_EQ(ring.at(i).arg32, i * 10);
+    EXPECT_EQ(ring.at(i).cpu, 3u);
+  }
+}
+
+TEST(TraceRing, WraparoundDropsOldest) {
+  obs::TraceRing ring(4, 0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Push(obs::EventType::kTlbMiss, i, 0, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Retained events are the newest four, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.at(i).when, 6 + i);
+    EXPECT_EQ(ring.at(i).arg32, 6 + i);
+  }
+}
+
+TEST(TraceRing, ClearResets) {
+  obs::TraceRing ring(4, 0);
+  ring.Push(obs::EventType::kContextSwitch, 1, 0, 0);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+  ring.Push(obs::EventType::kContextSwitch, 2, 0, 0);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).when, 2u);
+}
+
+TEST(Tracer, PerCpuIsolation) {
+  obs::Tracer tracer(/*cpu_count=*/4, /*capacity_per_cpu=*/16);
+  tracer.ring(0).Push(obs::EventType::kObjectLoad, 1, 0, 0);
+  tracer.ring(2).Push(obs::EventType::kObjectLoad, 2, 0, 0);
+  tracer.ring(2).Push(obs::EventType::kObjectLoad, 3, 0, 0);
+  EXPECT_EQ(tracer.ring(0).size(), 1u);
+  EXPECT_EQ(tracer.ring(1).size(), 0u);
+  EXPECT_EQ(tracer.ring(2).size(), 2u);
+  EXPECT_EQ(tracer.ring(3).size(), 0u);
+  EXPECT_EQ(tracer.total_pushed(), 3u);
+  EXPECT_EQ(tracer.ring(2).cpu(), 2u);
+}
+
+TEST(TraceMacro, NullRingIsSafe) {
+  // Runtime-off path: with a null ring the macro is a no-op and -- because
+  // the payload expressions sit inside the null test -- they are not even
+  // evaluated, so an untraced run pays only the pointer check.
+  int evaluations = 0;
+  auto arg = [&] {
+    ++evaluations;
+    return 7u;
+  };
+  CK_TRACE(nullptr, obs::EventType::kObjectLoad, 1, 0, arg());
+  EXPECT_EQ(evaluations, 0);
+  obs::TraceRing ring(4, 0);
+  CK_TRACE(&ring, obs::EventType::kObjectLoad, 1, 0, arg());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0).arg32, 7u);
+}
+
+TEST(TraceMacro, CompiledOutEvaluatesNothing) { EXPECT_EQ(DisabledTraceEvaluations(), 0); }
+
+TEST(EventTypeNames, AllNamed) {
+  std::set<std::string> names;
+  for (uint32_t t = 0; t < static_cast<uint32_t>(obs::EventType::kCount); ++t) {
+    std::string name = obs::EventTypeName(static_cast<obs::EventType>(t));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  // Names are distinct (an exporter can round-trip them).
+  EXPECT_EQ(names.size(), static_cast<size_t>(obs::EventType::kCount));
+}
+
+// --- Stats (bounded streaming histogram) ---
+
+TEST(Stats, MomentsExactUnderDecimation) {
+  ckbase::Stats s;
+  double sum = 0;
+  for (int i = 1; i <= 100000; ++i) {
+    s.Add(i);
+    sum += i;
+  }
+  EXPECT_EQ(s.count(), 100000u);
+  EXPECT_DOUBLE_EQ(s.Sum(), sum);
+  EXPECT_DOUBLE_EQ(s.Mean(), sum / 100000.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100000.0);
+  // Reservoir is bounded no matter how many samples stream through.
+  EXPECT_LE(s.reservoir_size(), ckbase::Stats::kReservoirCap);
+  // Percentiles come from the decimated reservoir: approximate, but they
+  // must land in the right region for a uniform ramp.
+  EXPECT_NEAR(s.Percentile(50), 50000.0, 5000.0);
+  EXPECT_NEAR(s.Percentile(95), 95000.0, 5000.0);
+  // Streamed stddev of 1..N uniform ramp: N/sqrt(12) ~ 28868.
+  EXPECT_NEAR(s.StdDev(), 28867.7, 30.0);
+}
+
+TEST(Stats, MergeMatchesCombinedStream) {
+  ckbase::Stats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    a.Add(i);
+    combined.Add(i);
+  }
+  for (int i = 500; i < 800; ++i) {
+    b.Add(i * 2);
+    combined.Add(i * 2);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.Sum(), combined.Sum());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+  EXPECT_NEAR(a.StdDev(), combined.StdDev(), 1e-9);
+  EXPECT_LE(a.reservoir_size(), ckbase::Stats::kReservoirCap);
+}
+
+TEST(Stats, MergeEmptySides) {
+  ckbase::Stats a, empty;
+  a.Add(3);
+  a.Add(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 4.0);
+  ckbase::Stats c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.Max(), 5.0);
+}
+
+// --- Registry ---
+
+TEST(Registry, DumpJsonIsValid) {
+  obs::Registry registry;
+  uint64_t hits = 42;
+  registry.AddCounter("test.hits", [&] { return hits; });
+  registry.AddCounter("test.with\"quote", [] { return uint64_t{1}; });
+  ckbase::Stats lat;
+  lat.Add(1.5);
+  lat.Add(2.5);
+  registry.AddHistogram("test.latency_us", [&] { return lat; });
+
+  std::string json = registry.DumpJson();
+  std::string error;
+  EXPECT_TRUE(obs::JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"test.hits\":42"), std::string::npos) << json;
+  // Dumps read through the closures at call time.
+  hits = 43;
+  EXPECT_NE(registry.DumpJson().find("\"test.hits\":43"), std::string::npos);
+  EXPECT_EQ(registry.counter_count(), 2u);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+// --- integration: a faulting world, end to end ---
+
+class ObsWorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cksim::MachineConfig machine_config;
+    machine_config.cpu_count = 2;
+    machine_ = std::make_unique<cksim::Machine>(machine_config);
+    ck_ = std::make_unique<ck::CacheKernel>(*machine_, ck::CacheKernelConfig());
+    srm_ = std::make_unique<cksrm::Srm>(*ck_);
+    srm_->Boot();
+  }
+
+  // Run a guest that touches `pages` unmapped pages, forwarding one fault
+  // each, with tracing enabled.
+  void RunFaultingGuest(uint32_t pages) {
+    machine_->EnableTracing(/*capacity_per_cpu=*/4096);
+    app_ = std::make_unique<ckapp::AppKernelBase>("obs-test", 64);
+    cksrm::LaunchParams params;
+    params.page_groups = 4;
+    params.max_priority = 30;
+    ASSERT_TRUE(srm_->Launch(*app_, params).ok());
+    ck::CkApi api(*ck_, app_->self(), machine_->cpu(0));
+    uint32_t space = app_->CreateSpace(api);
+    app_->DefineZeroRegion(space, 0x00400000, pages, /*writable=*/true);
+    for (uint32_t i = 0; i < pages; ++i) {
+      cksim::VirtAddr vaddr = 0x00400000 + i * cksim::kPageSize;
+      ckapp::PageRecord* page = app_->space(space).FindPage(vaddr);
+      app_->MaterializePage(api, app_->space(space), *page, vaddr);
+    }
+    ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+        li   t0, 0x00400000
+        li   t1, )" + std::to_string(pages) + R"(
+        li   t3, 4096
+      loop:
+        lw   t2, 0(t0)
+        add  t0, t0, t3
+        addi t1, t1, -1
+        bne  t1, r0, loop
+        halt
+    )", 0x10000);
+    ASSERT_TRUE(assembled.ok) << assembled.error;
+    app_->LoadProgramImage(space, assembled.program, /*writable=*/false);
+    ckapp::GuestThreadParams tparams;
+    tparams.space_index = space;
+    tparams.entry = 0x10000;
+    tparams.cpu_hint = 0;
+    uint32_t guest = app_->CreateGuestThread(api, tparams);
+    for (uint64_t turn = 0; turn < 2000000 && !app_->thread(guest).finished; ++turn) {
+      machine_->Step();
+    }
+    ASSERT_TRUE(app_->thread(guest).finished);
+  }
+
+  std::unique_ptr<cksim::Machine> machine_;
+  std::unique_ptr<ck::CacheKernel> ck_;
+  std::unique_ptr<cksrm::Srm> srm_;
+  std::unique_ptr<ckapp::AppKernelBase> app_;
+};
+
+TEST_F(ObsWorldTest, KernelEmitsFaultEvents) {
+  RunFaultingGuest(8);
+  ASSERT_NE(machine_->tracer(), nullptr);
+  const obs::TraceRing& ring = machine_->tracer()->ring(0);
+  uint32_t trap_entries = 0, resumed = 0, loads = 0;
+  uint64_t last_when = 0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const obs::TraceEvent& event = ring.at(i);
+    EXPECT_GE(event.when, last_when);  // per-CPU timestamps are monotone
+    last_when = event.when;
+    switch (static_cast<obs::EventType>(event.type)) {
+      case obs::EventType::kFaultTrapEntry:
+        trap_entries++;
+        break;
+      case obs::EventType::kFaultResumed:
+        resumed++;
+        break;
+      case obs::EventType::kObjectLoad:
+        loads++;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GE(trap_entries, 8u);
+  EXPECT_GE(resumed, 8u);
+  EXPECT_GE(loads, 8u);
+}
+
+TEST_F(ObsWorldTest, FaultHistoryAccumulatesEveryFault) {
+  RunFaultingGuest(8);
+  // Not just the most recent fault: the per-step histograms saw the whole
+  // population and the ring retains the last N.
+  const ck::FaultStepStats& steps = ck_->fault_step_stats();
+  EXPECT_GE(steps.total.count(), 8u);
+  EXPECT_EQ(steps.transfer.count(), steps.total.count());
+  EXPECT_GE(steps.handle_load.count(), 8u);
+  EXPECT_GT(steps.total.Mean(), 0.0);
+  EXPECT_GE(ck_->fault_traces_recorded(), 8u);
+
+  std::vector<ck::FaultTrace> history = ck_->FaultHistory();
+  ASSERT_GE(history.size(), 8u);
+  for (const ck::FaultTrace& t : history) {
+    EXPECT_GT(t.trap_entry, 0u);
+    EXPECT_GE(t.handler_start, t.trap_entry);
+    EXPECT_GE(t.resumed, t.handler_start);
+  }
+  // The last history entry matches the legacy most-recent accessor.
+  EXPECT_EQ(history.back().trap_entry, ck_->last_fault_trace().trap_entry);
+  EXPECT_EQ(history.back().resumed, ck_->last_fault_trace().resumed);
+}
+
+TEST_F(ObsWorldTest, FaultHistoryRingIsBounded) {
+  // Tiny history depth: ring keeps only the newest faults, histograms all.
+  ck::CacheKernelConfig config;
+  config.fault_history_depth = 4;
+  machine_ = std::make_unique<cksim::Machine>(cksim::MachineConfig{});
+  ck_ = std::make_unique<ck::CacheKernel>(*machine_, config);
+  srm_ = std::make_unique<cksrm::Srm>(*ck_);
+  srm_->Boot();
+  RunFaultingGuest(12);
+  EXPECT_EQ(ck_->FaultHistory().size(), 4u);
+  EXPECT_GE(ck_->fault_traces_recorded(), 12u);
+  EXPECT_GE(ck_->fault_step_stats().total.count(), 12u);
+  // Ring holds the newest traces: strictly increasing trap stamps.
+  std::vector<ck::FaultTrace> history = ck_->FaultHistory();
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i].trap_entry, history[i - 1].trap_entry);
+  }
+}
+
+TEST_F(ObsWorldTest, ChromeTraceExportsValidJsonWithFaultSpans) {
+  RunFaultingGuest(8);
+  std::string json =
+      obs::ChromeTraceJson(*machine_->tracer(), static_cast<double>(cksim::kCyclesPerMicrosecond));
+  std::string error;
+  ASSERT_TRUE(obs::JsonLint(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("fault.handle+load"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // duration spans
+  EXPECT_NE(json.find("thread_name"), std::string::npos);   // per-CPU tracks
+}
+
+TEST_F(ObsWorldTest, RegisterMetricsExposesKernelState) {
+  RunFaultingGuest(8);
+  obs::Registry registry;
+  ck_->RegisterMetrics(registry);
+  EXPECT_GT(registry.counter_count(), 20u);
+  EXPECT_EQ(registry.histogram_count(), 4u);
+  std::string json = registry.DumpJson();
+  std::string error;
+  ASSERT_TRUE(obs::JsonLint(json, &error)) << error;
+  EXPECT_NE(json.find("\"ck.faults_forwarded\""), std::string::npos);
+  EXPECT_NE(json.find("\"ck.fault_us.total\""), std::string::npos);
+  EXPECT_NE(json.find("\"hw.tlb.misses.cpu0\""), std::string::npos);
+}
+
+// --- JsonLint itself ---
+
+TEST(JsonLint, AcceptsValidRejectsBroken) {
+  std::string error;
+  EXPECT_TRUE(obs::JsonLint("{}", &error));
+  EXPECT_TRUE(obs::JsonLint(R"({"a": [1, 2.5, -3e4], "b": {"c": "d\n"}, "e": null})", &error));
+  EXPECT_FALSE(obs::JsonLint("{", &error));
+  EXPECT_FALSE(obs::JsonLint(R"({"a": })", &error));
+  EXPECT_FALSE(obs::JsonLint(R"({"a": 1} trailing)", &error));
+  EXPECT_FALSE(obs::JsonLint(R"({"a": 01})", &error));
+}
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Compiled with CK_TRACE_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// trace macro really vanishes. CK_TRACE's arguments carry side effects; if
+// the disabled macro evaluated any of them, the counter would move.
+
+#include "src/obs/trace.h"
+
+#if CK_TRACE_ENABLED
+#error "this translation unit must be built with -DCK_TRACE_ENABLED=0"
+#endif
+
+int DisabledTraceEvaluations() {
+  int evaluations = 0;
+  obs::TraceRing ring(4, 0);
+  auto effect = [&evaluations](uint32_t v) {
+    ++evaluations;
+    return v;
+  };
+  (void)effect;  // referenced only from the (compiled-out) macro below
+  CK_TRACE(&ring, static_cast<obs::EventType>(effect(0)), effect(1), effect(2), effect(3));
+  CK_TRACE(nullptr, obs::EventType::kObjectLoad, effect(4), 0, 0);
+  // The ring itself still works when driven directly -- only the macro is
+  // compiled out.
+  ring.Push(obs::EventType::kObjectLoad, 1, 2, 3);
+  if (ring.size() != 1) {
+    return -1;
+  }
+  return evaluations;
+}

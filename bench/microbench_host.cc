@@ -7,11 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/base/fixed_pool.h"
 #include "src/base/intrusive_list.h"
 #include "src/base/rng.h"
 #include "src/ck/physmap.h"
 #include "src/isa/assembler.h"
+#include "src/isa/fastpath.h"
 #include "src/isa/interpreter.h"
 #include "src/sim/tlb.h"
 
@@ -57,6 +59,79 @@ void BM_TlbLookupHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TlbLookupHit);
+
+void BM_MicroTlbHit(benchmark::State& state) {
+  // The fast path's whole translation: direct-mapped hint lookup, two
+  // compares, re-validation against the live hardware-TLB entry, and the
+  // LRU/hit bookkeeping a slow Lookup would have done. Compare against
+  // BM_TlbLookupHit (the set scan it replaces).
+  cksim::Tlb tlb(64, 4);
+  ckisa::MicroTlb mtlb;
+  for (uint32_t i = 0; i < 32; ++i) {
+    tlb.Insert(1, i, 100 + i, 0);
+    mtlb.Fill(cksim::Access::kRead, 1, i, tlb.Probe(1, i));
+  }
+  uint32_t page = 0;
+  for (auto _ : state) {
+    uint32_t vpage = page++ % 32;
+    ckisa::MicroTlbEntry& e = mtlb.At(cksim::Access::kRead, vpage);
+    uint32_t pframe = 0;
+    if (e.vpage == vpage && e.asid == 1) {
+      const cksim::TlbEntry& t = tlb.EntryAt(e.tlb_index);
+      if (t.valid && t.asid == 1 && t.vpage == vpage) {
+        tlb.TouchFastHit(e.tlb_index);
+        pframe = t.pframe;
+      }
+    }
+    benchmark::DoNotOptimize(pframe);
+  }
+}
+BENCHMARK(BM_MicroTlbHit);
+
+void BM_GuestMips(benchmark::State& state) {
+  // End-to-end guest execution throughput through the full simulator stack
+  // (scheduler turns, MMU, cost model), in guest instructions per host
+  // second. Arg(0) forces the fast path off; Arg(1) is the default on.
+  ck::CacheKernelConfig cfg;
+  cfg.fastpath = state.range(0) != 0;
+  // One CPU: every Step is a guest dispatch turn, not an idle-CPU turn, so
+  // the measurement is interpreter throughput rather than idle scheduling.
+  ckbench::World world(cfg, 16u << 20, /*cpus=*/1);
+  ckapp::AppKernelBase app("mips", 64);
+  world.Launch(app);
+  ck::CkApi api = world.ApiFor(app);
+
+  uint32_t space = app.CreateSpace(api);
+  ckisa::AssembleResult assembled = ckisa::Assemble(R"(
+      li   t3, 0x00400000
+    loop:
+      addi t0, t0, 1
+      add  t1, t1, t0
+      sw   t1, 0(t3)
+      lw   t2, 4(t3)
+      slt  t4, t2, t1
+      bne  t0, r0, loop
+      halt
+  )", 0x10000);
+  app.LoadProgramImage(space, assembled.program, /*writable=*/false);
+  app.DefineZeroRegion(space, 0x00400000, 1, /*writable=*/true);
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  app.CreateGuestThread(api, params);
+
+  // Fault the working set in so the measured loop is steady-state execution.
+  for (int i = 0; i < 4000; ++i) {
+    world.machine().Step();
+  }
+  uint64_t start = world.ck().stats().guest_instructions;
+  for (auto _ : state) {
+    world.machine().Step();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(world.ck().stats().guest_instructions - start));
+}
+BENCHMARK(BM_GuestMips)->Arg(0)->Arg(1);
 
 void BM_FixedPoolAllocateRelease(benchmark::State& state) {
   struct Item {
@@ -133,4 +208,14 @@ BENCHMARK(BM_AssembleSmallProgram);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+  ckbench::ObsSlot() = &obs;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

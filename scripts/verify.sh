@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow:
+#   1. default build + full ctest (the seed gate), and
+#   2. a Release (-O2 -DNDEBUG) build + ctest leg, because the guest-execution
+#      fast path is only meaningfully exercised at -O2 and the differential
+#      suite (fastpath_test) must hold under the optimizer too.
+#
+# Usage: scripts/verify.sh [--release-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+release_only=false
+if [[ "${1:-}" == "--release-only" ]]; then
+  release_only=true
+fi
+
+if ! $release_only; then
+  echo "== tier-1: default build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+echo "== tier-1: Release (-O2 -DNDEBUG) build + ctest =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j
+ctest --test-dir build-release --output-on-failure -j "$(nproc)"
+
+echo "== fast-path speedup (Release) =="
+./build-release/bench/microbench_host --benchmark_filter='BM_GuestMips' \
+    --benchmark_min_time=0.5
+
+echo "verify: OK"

@@ -31,6 +31,9 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
   }
   pending_signals_.resize(machine.cpu_count());
   quota_window_start_.assign(machine.cpu_count(), 0);
+  remote_frame_bits_.assign(machine.memory().page_count(), 0);
+  micro_tlbs_.resize(machine.cpu_count());
+  exec_cache_ = std::make_unique<ckisa::ExecCache>(machine.memory());
   machine.AttachKernel(this);
 }
 
@@ -1323,6 +1326,12 @@ void CacheKernel::MarkFrameRemote(uint32_t pframe, bool remote) {
     remote_frames_.insert(pframe);
   } else {
     remote_frames_.erase(pframe);
+  }
+  // Keep the O(1) probe vector in lockstep. Frames beyond local memory can be
+  // marked (a peer node's address) but can never be reached by a local
+  // translation, so they need no probe bit.
+  if (pframe < remote_frame_bits_.size()) {
+    remote_frame_bits_[pframe] = remote ? 1 : 0;
   }
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "src/ck/objects.h"
 #include "src/ck/physmap.h"
 #include "src/ck/table_arena.h"
+#include "src/isa/fastpath.h"
 #include "src/isa/interpreter.h"
 #include "src/sim/devices.h"
 #include "src/sim/machine.h"
@@ -64,6 +66,7 @@ struct CkStats {
   uint64_t signals_queued = 0;
   uint64_t signals_dropped = 0;
   uint64_t consistency_faults = 0;
+  uint64_t guest_instructions = 0;  // guest instructions retired (all CPUs)
   uint64_t context_switches = 0;
   uint64_t preemptions = 0;
   uint64_t idle_turns = 0;
@@ -243,6 +246,9 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void RegisterMetrics(obs::Registry& registry);
   cksim::Machine& machine() { return machine_; }
   const CacheKernelConfig& config() const { return config_; }
+  // Toggle the guest-execution fast path at runtime (tests/benches). Safe at
+  // any point: the flag is consulted once per dispatched guest quantum.
+  void set_fastpath(bool enabled) { config_.fastpath = enabled; }
 
   uint32_t loaded_count(ObjectType type) const;
   uint32_t capacity(ObjectType type) const;
@@ -361,6 +367,14 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // -- access checks --
   bool CheckPhysicalAccess(KernelObject* kernel, cksim::PhysAddr addr, uint32_t len, bool write);
 
+  // O(1) remote-frame probe on the guest memory hot paths. Frames beyond
+  // local memory (markable, never translatable-to without an abort) fall back
+  // to the set.
+  bool FrameIsRemote(uint32_t pframe) const {
+    return pframe < remote_frame_bits_.size() ? remote_frame_bits_[pframe] != 0
+                                              : remote_frames_.count(pframe) != 0;
+  }
+
   void FlushTlbPageAllCpus(uint16_t asid, uint32_t vpage, cksim::Cpu& cpu);
   void FlushReverseTlbFrameAllCpus(uint32_t pframe);
 
@@ -383,7 +397,18 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   std::vector<cksim::Cycles> quota_window_start_;           // [cpu]
 
   std::vector<AppEvent> app_events_;  // kept sorted by `at`
+  // Frames held on remote nodes / failed modules. The set is the source of
+  // truth (iterable for validation); the byte vector is the O(1) per-access
+  // probe the guest memory paths and the fast path use. MarkFrameRemote
+  // keeps them in lockstep (ValidateInvariants cross-checks).
   std::unordered_set<uint32_t> remote_frames_;
+  std::vector<uint8_t> remote_frame_bits_;  // [pframe] -> 0/1
+
+  // Guest-execution fast path state (src/isa/fastpath.h): one micro-TLB per
+  // CPU (mirrors the per-CPU hardware TLB) and one decoded-instruction cache
+  // per machine (keyed by physical frame, like the memory it shadows).
+  std::vector<ckisa::MicroTlb> micro_tlbs_;
+  std::unique_ptr<ckisa::ExecCache> exec_cache_;
 
   uint32_t next_cpu_rr_ = 0;  // round-robin thread placement
   // Clock hands for victim scans, so reclamation cycles through the pools

@@ -13,7 +13,24 @@ using cksim::VirtAddr;
 class GuestBusImpl : public ckisa::GuestBus {
  public:
   GuestBusImpl(CacheKernel& ck, cksim::Cpu& cpu, AddressSpaceObject* space, uint16_t asid)
-      : ck_(ck), cpu_(cpu), space_(space), asid_(asid) {}
+      : ck_(ck), cpu_(cpu), space_(space), asid_(asid),
+        fast_enabled_(ck.config_.fastpath) {
+    if (fast_enabled_) {
+      fp_.mtlb = &ck.micro_tlbs_[cpu.id()];
+      fp_.tlb = &cpu.mmu().tlb();
+      fp_.exec_cache = ck.exec_cache_.get();
+      fp_.mem = &ck.machine_.memory();
+      fp_.remote_frame_bits = ck.remote_frame_bits_.data();
+      fp_.frame_count = static_cast<uint32_t>(ck.remote_frame_bits_.size());
+      fp_.cpu = &cpu;
+      fp_.asid = asid;
+      fp_.cost_tlb_hit = ck.machine_.cost().tlb_hit;
+      fp_.cost_mem_word = ck.machine_.cost().mem_word;
+      fp_.cost_instruction = ck.machine_.cost().instruction;
+    }
+  }
+
+  ckisa::FastPath* fast_path() override { return fast_enabled_ ? &fp_ : nullptr; }
 
   MemResult Fetch(uint32_t vaddr) override {
     return Access(vaddr, cksim::Access::kExecute, 0, 4);
@@ -59,7 +76,8 @@ class GuestBusImpl : public ckisa::GuestBus {
       result.fault = t.fault;
       return result;
     }
-    if (ck_.remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+    uint32_t pframe = cksim::PageFrame(t.paddr);
+    if (ck_.FrameIsRemote(pframe)) {
       // Consistency fault: the line is held on a remote node or the memory
       // module failed (section 2.1).
       ck_.stats_.consistency_faults++;
@@ -81,6 +99,13 @@ class GuestBusImpl : public ckisa::GuestBus {
       result.value = size == 4 ? mem.ReadWord(t.paddr) : mem.ReadByte(t.paddr);
     }
     result.ok = true;
+    // Seed the micro-TLB so the next access to this page takes the fast
+    // path. Probe is side-effect free; the TLB entry is resident (the
+    // translation above just hit or filled it).
+    if (fast_enabled_) {
+      fp_.mtlb->Fill(access, asid_, vaddr >> cksim::kPageShift,
+                     fp_.tlb->Probe(asid_, vaddr >> cksim::kPageShift));
+    }
     return result;
   }
 
@@ -88,6 +113,8 @@ class GuestBusImpl : public ckisa::GuestBus {
   cksim::Cpu& cpu_;
   AddressSpaceObject* space_;
   uint16_t asid_;
+  bool fast_enabled_;
+  ckisa::FastPath fp_;
 };
 
 // ---------------------------------------------------------------------------
@@ -112,7 +139,7 @@ Result<uint32_t> CacheKernel::GuestLoad(KernelId caller, cksim::Cpu& cpu, Thread
         cksim::Access::kRead);
     cpu.Advance(t.cycles);
     if (t.ok) {
-      if (remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+      if (FrameIsRemote(cksim::PageFrame(t.paddr))) {
         stats_.consistency_faults++;
         cksim::Fault fault;
         fault.type = cksim::FaultType::kConsistency;
@@ -150,7 +177,7 @@ CkStatus CacheKernel::GuestStore(KernelId caller, cksim::Cpu& cpu, ThreadId thre
         cksim::Access::kWrite);
     cpu.Advance(t.cycles);
     if (t.ok) {
-      if (remote_frames_.count(cksim::PageFrame(t.paddr)) != 0) {
+      if (FrameIsRemote(cksim::PageFrame(t.paddr))) {
         stats_.consistency_faults++;
         cksim::Fault fault;
         fault.type = cksim::FaultType::kConsistency;
@@ -371,6 +398,7 @@ void CacheKernel::RunGuest(ThreadObject* thread, cksim::Cpu& cpu) {
   GuestBusImpl bus(*this, cpu, space, static_cast<uint16_t>(thread->space_slot));
   ckisa::RunResult run = ckisa::Run(thread->vm, bus, config_.dispatch_budget);
   ChargeThread(thread, cpu, cpu.clock() - before);
+  stats_.guest_instructions += run.instructions;
 
   switch (run.event) {
     case ckisa::RunEvent::kBudgetExhausted:

@@ -166,6 +166,20 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
   // through any CPU must agree with the tables. Exhaustive TLB dumping is
   // not exposed by the hardware model, as on the real machine.)
 
+  // --- remote-frame set and probe vector agree ---
+  // The guest access paths consult the O(1) bit vector; failure injection
+  // maintains both. Disagreement would let fast and slow paths diverge.
+  for (uint32_t frame : remote_frames_) {
+    if (frame < remote_frame_bits_.size() && remote_frame_bits_[frame] == 0) {
+      fail("remote frame missing its probe bit");
+    }
+  }
+  for (uint32_t frame = 0; frame < remote_frame_bits_.size(); ++frame) {
+    if (remote_frame_bits_[frame] != 0 && remote_frames_.count(frame) == 0) {
+      fail("remote probe bit set for non-remote frame");
+    }
+  }
+
   return violations;
 }
 

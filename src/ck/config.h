@@ -35,6 +35,13 @@ struct CacheKernelConfig {
                                     // means senders signal explicitly
   uint32_t signal_queue_depth = 8;  // per-thread pending signal ring
 
+  // Guest-execution fast path (src/isa/fastpath.h): per-CPU micro-TLB,
+  // decoded-instruction cache and batched cycle accounting. Simulated results
+  // are identical either way (tests/fastpath_test.cc enforces this); the
+  // escape hatch exists for differential testing and debugging
+  // (--fastpath=off on any bench/example).
+  bool fastpath = true;
+
   // Physical memory reserved for the Cache Kernel's page tables, carved from
   // the top of the machine's memory.
   uint32_t page_table_arena_bytes = 1u << 20;

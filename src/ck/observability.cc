@@ -24,6 +24,10 @@ ObsSession::ObsSession(int& argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics_ = true;
+    } else if (std::strcmp(arg, "--fastpath=on") == 0) {
+      fastpath_override_ = 1;
+    } else if (std::strcmp(arg, "--fastpath=off") == 0) {
+      fastpath_override_ = 0;
     } else {
       argv[out++] = argv[i];
     }
@@ -41,6 +45,9 @@ void ObsSession::Attach(cksim::Machine& machine, CacheKernel* kernel) {
   }
   if (metrics_ && kernel != nullptr) {
     kernel->RegisterMetrics(registry_);
+  }
+  if (fastpath_override_ >= 0 && kernel != nullptr) {
+    kernel->set_fastpath(fastpath_override_ == 1);
   }
 }
 

@@ -8,6 +8,9 @@
 //   --trace-depth=<n>     per-CPU ring capacity in events (default 65536)
 //   --metrics             dump the metrics registry (counters + latency
 //                         histograms) to stdout on Finish()
+//   --fastpath=on|off     force the guest-execution fast path on or off
+//                         (default: the kernel's config; results are
+//                         identical either way, see docs/PERFORMANCE.md)
 //
 // Usage:
 //   ck::ObsSession obs(argc, argv);
@@ -65,6 +68,7 @@ class ObsSession {
   std::string trace_path_;
   uint32_t trace_depth_ = 1u << 16;
   bool metrics_ = false;
+  int fastpath_override_ = -1;  // -1 = leave config alone, else 0/1
   cksim::Machine* machine_ = nullptr;
   obs::Registry registry_;
 };

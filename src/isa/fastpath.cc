@@ -1,0 +1,17 @@
+#include "src/isa/fastpath.h"
+
+#include <cstring>
+
+namespace ckisa {
+
+void ExecCache::Refill(DecodedPage& page, uint32_t frame, uint64_t generation) {
+  const uint8_t* base = mem_.raw() + cksim::FrameBase(frame);
+  for (uint32_t i = 0; i < cksim::kPageSize / 4; ++i) {
+    uint32_t word;
+    std::memcpy(&word, base + i * 4, 4);
+    page.insns[i] = Decode(word);
+  }
+  page.generation = generation;
+}
+
+}  // namespace ckisa

@@ -1,0 +1,147 @@
+// Host-side guest-execution fast path: per-CPU micro-TLB and per-frame
+// decoded-instruction cache.
+//
+// These structures make the simulator execute guest instructions several
+// times faster on the host WITHOUT changing a single simulated cycle count
+// (the cycle-exactness invariant; see docs/PERFORMANCE.md). They are pure
+// host-side acceleration: nothing here charges or observes simulated time.
+//
+// The micro-TLB is a small direct-mapped hint cache over the simulated
+// hardware TLB, one entry array per access kind (read/write/execute). An
+// entry names a resident cksim::TlbEntry by index; the interpreter
+// re-validates that entry on every use (valid + asid + vpage compare), so the
+// existing TLB invalidation surface -- FlushPage/FlushAsid/FlushFrame/
+// FlushAll and LRU eviction by Insert -- invalidates micro-TLB state
+// implicitly and strictly. A hit is an index, a compare and an array read:
+// no virtual dispatch, no set scan, no hash probe.
+//
+// The decoded-instruction cache is keyed by physical page frame with a
+// per-frame generation (PhysicalMemory::frame_generation) bumped on any
+// store to that frame, so Decode runs once per resident instruction page
+// instead of once per executed instruction. Self-modifying code bumps the
+// generation and falls back to a re-decode of the frame.
+
+#ifndef SRC_ISA_FASTPATH_H_
+#define SRC_ISA_FASTPATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/physmem.h"
+#include "src/sim/tlb.h"
+#include "src/sim/types.h"
+
+namespace cksim {
+class Cpu;
+}
+
+namespace ckisa {
+
+// One micro-TLB hint: (asid, vpage) resolved to a hardware-TLB entry index.
+// The payload (frame, flags) is always read from the named TlbEntry after
+// re-validation, never cached here, so a stale hint is harmless -- it either
+// re-validates against live state or misses.
+struct MicroTlbEntry {
+  static constexpr uint32_t kInvalidVpage = 0xffffffffu;
+
+  uint32_t vpage = kInvalidVpage;
+  uint16_t asid = 0;
+  uint16_t tlb_index = 0;
+};
+
+// Per-CPU. Direct-mapped by virtual page, one array per access kind, so the
+// hot lookup is a single indexed load and two compares.
+class MicroTlb {
+ public:
+  static constexpr uint32_t kEntriesPerKind = 64;
+
+  MicroTlbEntry& At(cksim::Access kind, uint32_t vpage) {
+    return entries_[static_cast<uint32_t>(kind)][vpage & (kEntriesPerKind - 1)];
+  }
+
+  // Record a hint after a successful slow-path translation. tlb_index < 0
+  // (entry not resident, e.g. raced out) leaves the hint untouched.
+  void Fill(cksim::Access kind, uint16_t asid, uint32_t vpage, int32_t tlb_index) {
+    if (tlb_index < 0) {
+      return;
+    }
+    MicroTlbEntry& e = At(kind, vpage);
+    e.vpage = vpage;
+    e.asid = asid;
+    e.tlb_index = static_cast<uint16_t>(tlb_index);
+  }
+
+  void InvalidateAll() {
+    for (auto& kind : entries_) {
+      for (MicroTlbEntry& e : kind) {
+        e.vpage = MicroTlbEntry::kInvalidVpage;
+      }
+    }
+  }
+
+ private:
+  MicroTlbEntry entries_[3][kEntriesPerKind];  // indexed by cksim::Access
+};
+
+// Decoded image of one physical page frame.
+struct DecodedPage {
+  uint64_t generation = ~0ull;
+  Decoded insns[cksim::kPageSize / 4];
+};
+
+// Per-machine cache of decoded page frames, allocated lazily per executed
+// frame and refreshed when the frame's store generation moves.
+class ExecCache {
+ public:
+  explicit ExecCache(cksim::PhysicalMemory& mem) : mem_(mem), pages_(mem.page_count()) {}
+
+  // Decoded instructions for `frame`. The caller guarantees
+  // frame < mem.page_count() (the fast path checks this before committing).
+  const DecodedPage* Get(uint32_t frame) {
+    DecodedPage* page = pages_[frame].get();
+    uint64_t generation = mem_.frame_generation(frame);
+    if (page == nullptr) {
+      pages_[frame] = std::make_unique<DecodedPage>();
+      page = pages_[frame].get();
+      Refill(*page, frame, generation);
+    } else if (page->generation != generation) {
+      Refill(*page, frame, generation);
+    }
+    return page;
+  }
+
+ private:
+  void Refill(DecodedPage& page, uint32_t frame, uint64_t generation);
+
+  cksim::PhysicalMemory& mem_;
+  std::vector<std::unique_ptr<DecodedPage>> pages_;
+};
+
+// Everything the interpreter needs to serve a hot access inline. A GuestBus
+// that can expose one returns it from fast_path(); the interpreter then
+// bypasses the virtual interface for clean hits and falls back to the bus
+// for anything unusual (TLB miss, fault, remote frame, message write, first
+// write to a page, misalignment).
+struct FastPath {
+  MicroTlb* mtlb = nullptr;
+  cksim::Tlb* tlb = nullptr;
+  ExecCache* exec_cache = nullptr;
+  cksim::PhysicalMemory* mem = nullptr;
+  // Per-frame remote/failed bit (CacheKernel::remote_frame_bits_), checked
+  // live on every fast access, so MarkFrameRemote needs no invalidation hook.
+  const uint8_t* remote_frame_bits = nullptr;
+  uint32_t frame_count = 0;
+  cksim::Cpu* cpu = nullptr;  // flush target for batched cycle charges
+  uint16_t asid = 0;
+  // Cycle charges of a clean hit, accumulated locally and flushed to
+  // Cpu::Advance at block boundaries (see interpreter.cc).
+  cksim::Cycles cost_tlb_hit = 0;
+  cksim::Cycles cost_mem_word = 0;
+  cksim::Cycles cost_instruction = 0;
+};
+
+}  // namespace ckisa
+
+#endif  // SRC_ISA_FASTPATH_H_

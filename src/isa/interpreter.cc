@@ -1,5 +1,11 @@
 #include "src/isa/interpreter.h"
 
+#include <cstring>
+
+#include "src/isa/fastpath.h"
+#include "src/sim/cpu.h"
+#include "src/sim/pagetable.h"
+
 namespace ckisa {
 namespace {
 
@@ -19,22 +25,210 @@ cksim::Fault Misaligned(uint32_t addr, cksim::Access access) {
   return f;
 }
 
-}  // namespace
+// Slow policy: every access goes through the virtual GuestBus and charges the
+// CPU clock immediately. This is exactly the pre-fast-path interpreter and
+// the reference behavior the differential tests compare against
+// (--fastpath=off selects it).
+struct SlowPolicy {
+  GuestBus& bus;
 
-RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
+  bool FetchDecoded(uint32_t pc, Decoded& d, GuestBus::MemResult& fail) {
+    GuestBus::MemResult fetch = bus.Fetch(pc);
+    if (!fetch.ok) {
+      fail = fetch;
+      return false;
+    }
+    d = Decode(fetch.value);
+    return true;
+  }
+  GuestBus::MemResult Load32(uint32_t vaddr) { return bus.Load32(vaddr); }
+  GuestBus::MemResult Load8(uint32_t vaddr) { return bus.Load8(vaddr); }
+  GuestBus::MemResult Store32(uint32_t vaddr, uint32_t value) {
+    return bus.Store32(vaddr, value);
+  }
+  GuestBus::MemResult Store8(uint32_t vaddr, uint8_t value) { return bus.Store8(vaddr, value); }
+  void ChargeInstruction() { bus.ChargeInstruction(); }
+  void OnMessageWrite(uint32_t vaddr) { bus.OnMessageWrite(vaddr); }
+  void Flush() {}
+};
+
+// Fast policy: accesses whose translation hits the micro-TLB (and whose
+// target frame is local and needs no PTE side effects) are served straight
+// from host memory, with their cycle charges accumulated in `acc` and flushed
+// to Cpu::Advance in batches. Anything unusual falls back to the virtual bus.
+//
+// Cycle-exactness rules (see docs/PERFORMANCE.md):
+//  * A fast hit performs exactly the simulated-state updates the slow path
+//    would: Tlb::TouchFastHit mirrors the Lookup hit bookkeeping (LRU age,
+//    hit counter), and the charges added to `acc` are the same tlb_hit /
+//    mem_word / instruction costs the bus would have charged.
+//  * `acc` is flushed before ANY virtual bus call, so every point that can
+//    observe the CPU clock (signal delivery, trace stamping inside the MMU,
+//    run termination) sees the fully charged clock.
+//  * The precondition checks commit no state: only when an access is known
+//    to stay on the fast path does it touch the TLB or the accumulator, so a
+//    fallback replays through the bus exactly once.
+struct FastPolicy {
+  GuestBus& bus;
+  FastPath& fp;
+  cksim::Cycles acc = 0;
+
+  void Flush() {
+    if (acc != 0) {
+      fp.cpu->Advance(acc);
+      acc = 0;
+    }
+  }
+
+  // Translate `vaddr` for `kind` via the micro-TLB without falling back.
+  // On success commits the TLB hit (LRU + counter), returns the physical
+  // address and the live PTE flags. Fails -- with no simulated side effects --
+  // whenever the slow path would do anything beyond "hit, charge, access":
+  // TLB miss, fault, remote frame, first write / COW / read-only write.
+  bool TryTranslate(cksim::Access kind, uint32_t vaddr, uint32_t* paddr, uint8_t* flags) {
+    uint32_t vpage = vaddr >> cksim::kPageShift;
+    const MicroTlbEntry& hint = fp.mtlb->At(kind, vpage);
+    if (hint.vpage != vpage || hint.asid != fp.asid) {
+      return false;
+    }
+    const cksim::TlbEntry& t = fp.tlb->EntryAt(hint.tlb_index);
+    // Re-validate against the live TLB entry: flushes and LRU evictions make
+    // this compare fail, which is how micro-TLB invalidation works.
+    if (!t.valid || t.asid != fp.asid || t.vpage != vpage) {
+      return false;
+    }
+    if (kind == cksim::Access::kWrite) {
+      // The slow path write also checks COW, write protection and the
+      // modified bit (with a PTE write-through on first store). Require the
+      // exact flag state where it does none of that.
+      constexpr uint8_t kWriteMask =
+          cksim::kPteWritable | cksim::kPteModified | cksim::kPteCopyOnWrite;
+      constexpr uint8_t kWriteReady = cksim::kPteWritable | cksim::kPteModified;
+      if ((t.flags & kWriteMask) != kWriteReady) {
+        return false;
+      }
+    }
+    if (t.pframe >= fp.frame_count || fp.remote_frame_bits[t.pframe] != 0) {
+      return false;  // consistency fault territory: let the bus handle it
+    }
+    // Committed: from here the access completes on the fast path.
+    fp.tlb->TouchFastHit(hint.tlb_index);
+    acc += fp.cost_tlb_hit;
+    *paddr = cksim::FrameBase(t.pframe) | (vaddr & cksim::kPageOffsetMask);
+    *flags = t.flags;
+    return true;
+  }
+
+  bool FetchDecoded(uint32_t pc, Decoded& d, GuestBus::MemResult& fail) {
+    uint32_t paddr;
+    uint8_t flags;
+    if ((pc & 3u) == 0 && TryTranslate(cksim::Access::kExecute, pc, &paddr, &flags)) {
+      acc += fp.cost_mem_word;
+      const DecodedPage* page = fp.exec_cache->Get(paddr >> cksim::kPageShift);
+      d = page->insns[(paddr & cksim::kPageOffsetMask) >> 2];
+      return true;
+    }
+    Flush();
+    GuestBus::MemResult fetch = bus.Fetch(pc);
+    if (!fetch.ok) {
+      fail = fetch;
+      return false;
+    }
+    d = Decode(fetch.value);
+    return true;
+  }
+
+  GuestBus::MemResult Load32(uint32_t vaddr) {
+    uint32_t paddr;
+    uint8_t flags;
+    // The interpreter already rejected misaligned word loads.
+    if (TryTranslate(cksim::Access::kRead, vaddr, &paddr, &flags)) {
+      acc += fp.cost_mem_word;
+      GuestBus::MemResult m;
+      m.ok = true;
+      std::memcpy(&m.value, fp.mem->raw() + paddr, 4);
+      return m;
+    }
+    Flush();
+    return bus.Load32(vaddr);
+  }
+
+  GuestBus::MemResult Load8(uint32_t vaddr) {
+    uint32_t paddr;
+    uint8_t flags;
+    if (TryTranslate(cksim::Access::kRead, vaddr, &paddr, &flags)) {
+      acc += fp.cost_mem_word;
+      GuestBus::MemResult m;
+      m.ok = true;
+      m.value = fp.mem->raw()[paddr];
+      return m;
+    }
+    Flush();
+    return bus.Load8(vaddr);
+  }
+
+  GuestBus::MemResult Store32(uint32_t vaddr, uint32_t value) {
+    uint32_t paddr;
+    uint8_t flags;
+    if (TryTranslate(cksim::Access::kWrite, vaddr, &paddr, &flags)) {
+      acc += fp.cost_mem_word;
+      std::memcpy(fp.mem->raw() + paddr, &value, 4);
+      fp.mem->BumpFrameGeneration(paddr);  // keep the decoded cache honest
+      GuestBus::MemResult m;
+      m.ok = true;
+      m.message_write = (flags & cksim::kPteMessage) != 0;
+      return m;
+    }
+    Flush();
+    return bus.Store32(vaddr, value);
+  }
+
+  GuestBus::MemResult Store8(uint32_t vaddr, uint8_t value) {
+    uint32_t paddr;
+    uint8_t flags;
+    if (TryTranslate(cksim::Access::kWrite, vaddr, &paddr, &flags)) {
+      acc += fp.cost_mem_word;
+      fp.mem->raw()[paddr] = value;
+      fp.mem->BumpFrameGeneration(paddr);
+      GuestBus::MemResult m;
+      m.ok = true;
+      m.message_write = (flags & cksim::kPteMessage) != 0;
+      return m;
+    }
+    Flush();
+    return bus.Store8(vaddr, value);
+  }
+
+  void ChargeInstruction() { acc += fp.cost_instruction; }
+
+  void OnMessageWrite(uint32_t vaddr) {
+    // Signal delivery stamps the CPU clock; it must see all batched charges.
+    Flush();
+    bus.OnMessageWrite(vaddr);
+  }
+};
+
+// The interpreter core, shared by both policies. Instruction semantics and
+// the fault/trap/halt protocol are policy-independent; the policy only decides
+// how fetches, loads, stores and cycle charges are performed. Policy::Flush()
+// runs before every return so batched charges always land on the CPU clock
+// before the caller (the dispatch loop) reads it.
+template <typename Policy>
+RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
   RunResult result;
 
   for (uint32_t n = 0; n < budget; ++n) {
-    GuestBus::MemResult fetch = bus.Fetch(ctx.pc);
-    if (!fetch.ok) {
+    Decoded d;
+    GuestBus::MemResult fetch_fail;
+    if (!p.FetchDecoded(ctx.pc, d, fetch_fail)) {
       result.event = RunEvent::kFault;
-      result.fault = fetch.fault;
+      result.fault = fetch_fail.fault;
       result.instructions = n;
+      p.Flush();
       return result;
     }
-    bus.ChargeInstruction();
+    p.ChargeInstruction();
 
-    Decoded d = Decode(fetch.value);
     uint32_t* r = ctx.regs;
     r[0] = 0;
     uint32_t next_pc = ctx.pc + 4;
@@ -46,6 +240,7 @@ RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
         ctx.pc = next_pc;
         result.event = RunEvent::kHalt;
         result.instructions = n + 1;
+        p.Flush();
         return result;
 
       case Op::kAdd:
@@ -119,24 +314,27 @@ RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = Misaligned(addr, cksim::Access::kRead);
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
-        GuestBus::MemResult m = bus.Load32(addr);
+        GuestBus::MemResult m = p.Load32(addr);
         if (!m.ok) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
         r[d.rd] = m.value;
         break;
       }
       case Op::kLb: {
-        GuestBus::MemResult m = bus.Load8(r[d.rs1] + static_cast<uint32_t>(d.imm));
+        GuestBus::MemResult m = p.Load8(r[d.rs1] + static_cast<uint32_t>(d.imm));
         if (!m.ok) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
         r[d.rd] = m.value;
@@ -148,31 +346,34 @@ RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = Misaligned(addr, cksim::Access::kWrite);
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
-        GuestBus::MemResult m = bus.Store32(addr, r[d.rd]);
+        GuestBus::MemResult m = p.Store32(addr, r[d.rd]);
         if (!m.ok) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
         if (m.message_write) {
-          bus.OnMessageWrite(addr);
+          p.OnMessageWrite(addr);
         }
         break;
       }
       case Op::kSb: {
         uint32_t addr = r[d.rs1] + static_cast<uint32_t>(d.imm);
-        GuestBus::MemResult m = bus.Store8(addr, static_cast<uint8_t>(r[d.rd]));
+        GuestBus::MemResult m = p.Store8(addr, static_cast<uint8_t>(r[d.rd]));
         if (!m.ok) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
+          p.Flush();
           return result;
         }
         if (m.message_write) {
-          bus.OnMessageWrite(addr);
+          p.OnMessageWrite(addr);
         }
         break;
       }
@@ -214,12 +415,14 @@ RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
         result.event = RunEvent::kTrap;
         result.trap_number = static_cast<uint16_t>(d.imm & 0xffff);
         result.instructions = n + 1;
+        p.Flush();
         return result;
 
       default:
         result.event = RunEvent::kFault;
         result.fault = BadInstruction(ctx.pc);
         result.instructions = n + 1;
+        p.Flush();
         return result;
     }
 
@@ -229,7 +432,20 @@ RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
 
   result.event = RunEvent::kBudgetExhausted;
   result.instructions = budget;
+  p.Flush();
   return result;
+}
+
+}  // namespace
+
+RunResult Run(VmContext& ctx, GuestBus& bus, uint32_t budget) {
+  FastPath* fp = bus.fast_path();
+  if (fp != nullptr) {
+    FastPolicy p{bus, *fp};
+    return RunLoop(ctx, p, budget);
+  }
+  SlowPolicy p{bus};
+  return RunLoop(ctx, p, budget);
 }
 
 }  // namespace ckisa

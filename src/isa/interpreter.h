@@ -16,6 +16,8 @@
 
 namespace ckisa {
 
+struct FastPath;
+
 // Architectural state of one guest thread (lives inside the Cache Kernel's
 // thread descriptor; loaded/saved on thread load/writeback).
 struct VmContext {
@@ -48,6 +50,12 @@ class GuestBus {
   // A store hit a message-mode page: with the signal-on-write hardware
   // assist enabled, the kernel generates the address-valued signal here.
   virtual void OnMessageWrite(uint32_t vaddr) = 0;
+
+  // Optional host-side acceleration (src/isa/fastpath.h). When non-null the
+  // interpreter serves micro-TLB hits inline and batches their cycle charges;
+  // simulated results (cycle counts, TLB state, faults, signals) are
+  // guaranteed identical to running everything through the virtual methods.
+  virtual FastPath* fast_path() { return nullptr; }
 };
 
 enum class RunEvent : uint8_t {

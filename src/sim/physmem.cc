@@ -9,6 +9,7 @@ PhysicalMemory::PhysicalMemory(uint32_t size_bytes) {
   // Round up to a whole number of page groups.
   uint32_t rounded = ((size_bytes + kPageGroupBytes - 1) / kPageGroupBytes) * kPageGroupBytes;
   bytes_.assign(rounded, 0);
+  frame_gen_.assign(rounded / kPageSize, 0);
 }
 
 void PhysicalMemory::Check(PhysAddr addr, uint32_t len) const {
@@ -28,6 +29,7 @@ uint32_t PhysicalMemory::ReadWord(PhysAddr addr) const {
 void PhysicalMemory::WriteWord(PhysAddr addr, uint32_t value) {
   Check(addr, 4);
   std::memcpy(bytes_.data() + addr, &value, 4);
+  BumpFrameGeneration(addr);
 }
 
 uint8_t PhysicalMemory::ReadByte(PhysAddr addr) const {
@@ -38,6 +40,7 @@ uint8_t PhysicalMemory::ReadByte(PhysAddr addr) const {
 void PhysicalMemory::WriteByte(PhysAddr addr, uint8_t value) {
   Check(addr, 1);
   bytes_[addr] = value;
+  BumpFrameGeneration(addr);
 }
 
 void PhysicalMemory::Read(PhysAddr addr, void* out, uint32_t len) const {
@@ -48,11 +51,13 @@ void PhysicalMemory::Read(PhysAddr addr, void* out, uint32_t len) const {
 void PhysicalMemory::Write(PhysAddr addr, const void* data, uint32_t len) {
   Check(addr, len);
   std::memcpy(bytes_.data() + addr, data, len);
+  BumpFrameGenerationRange(addr, len);
 }
 
 void PhysicalMemory::Zero(PhysAddr addr, uint32_t len) {
   Check(addr, len);
   std::memset(bytes_.data() + addr, 0, len);
+  BumpFrameGenerationRange(addr, len);
 }
 
 }  // namespace cksim

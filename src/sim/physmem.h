@@ -47,13 +47,30 @@ class PhysicalMemory {
   void Zero(PhysAddr addr, uint32_t len);
 
   // Raw view for the interpreter's fast path (bounds already translated).
+  // Writers through this pointer must call BumpFrameGeneration themselves.
   const uint8_t* raw() const { return bytes_.data(); }
   uint8_t* raw() { return bytes_.data(); }
 
+  // Per-frame store generation, bumped by every write path (word, byte,
+  // bulk, zero). The decoded-instruction cache keys its validity on this, so
+  // self-modifying code, page copies/zeroing and device writes all force a
+  // re-decode of the affected frame.
+  uint64_t frame_generation(uint32_t frame) const { return frame_gen_[frame]; }
+  void BumpFrameGeneration(PhysAddr addr) { frame_gen_[addr >> kPageShift]++; }
+
  private:
   void Check(PhysAddr addr, uint32_t len) const;
+  void BumpFrameGenerationRange(PhysAddr addr, uint32_t len) {
+    if (len == 0) {
+      return;
+    }
+    for (uint32_t f = addr >> kPageShift; f <= (addr + len - 1) >> kPageShift; ++f) {
+      frame_gen_[f]++;
+    }
+  }
 
   std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> frame_gen_;
 };
 
 }  // namespace cksim

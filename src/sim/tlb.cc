@@ -45,6 +45,17 @@ void Tlb::Insert(uint16_t asid, uint32_t vpage, uint32_t pframe, uint8_t flags) 
   *victim = TlbEntry{true, asid, vpage, pframe, flags, ++tick_};
 }
 
+int32_t Tlb::Probe(uint16_t asid, uint32_t vpage) const {
+  uint32_t base = SetOf(asid, vpage);
+  for (uint32_t w = 0; w < ways_; ++w) {
+    const TlbEntry& e = entries_[base + w];
+    if (e.valid && e.asid == asid && e.vpage == vpage) {
+      return static_cast<int32_t>(base + w);
+    }
+  }
+  return -1;
+}
+
 void Tlb::FlushPage(uint16_t asid, uint32_t vpage) {
   uint32_t base = SetOf(asid, vpage);
   for (uint32_t w = 0; w < ways_; ++w) {

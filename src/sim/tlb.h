@@ -23,7 +23,10 @@ struct TlbEntry {
   uint32_t vpage = 0;   // virtual page number
   uint32_t pframe = 0;  // physical page frame number
   uint8_t flags = 0;    // PTE flag bits (writable/message/cow/cache-inhibit)
-  uint32_t lru = 0;     // replacement timestamp
+  // Replacement timestamp. 64-bit: a 32-bit tick wraps after ~4B lookups,
+  // which silently corrupts victim selection on long runs (freshly touched
+  // entries look ancient and get evicted first).
+  uint64_t lru = 0;
 };
 
 class Tlb {
@@ -53,13 +56,36 @@ class Tlb {
   uint64_t misses() const { return misses_; }
   void ResetStats() { hits_ = misses_ = 0; }
 
+  // ---- micro-TLB (host fast path) support ----
+  // A micro-TLB entry is a verified hint naming a resident TlbEntry by index
+  // (entries_ never reallocates). The fast path re-validates the entry on
+  // every use, so TLB flushes and LRU evictions invalidate micro-TLB state
+  // implicitly; see docs/PERFORMANCE.md.
+  //
+  // Index of the resident entry for (asid, vpage), or -1. Unlike Lookup this
+  // has no side effects on the LRU clock or the hit/miss counters.
+  int32_t Probe(uint16_t asid, uint32_t vpage) const;
+  const TlbEntry& EntryAt(uint32_t index) const { return entries_[index]; }
+  // Bookkeeping for an access served by the micro-TLB: exactly what a
+  // Lookup hit does, so fast-path and slow-path runs age entries (and count
+  // hits) identically.
+  void TouchFastHit(uint32_t index) {
+    entries_[index].lru = ++tick_;
+    ++hits_;
+  }
+
+  // Test hook: place the LRU clock near a chosen value (e.g. just below
+  // 2^32) to exercise wraparound behavior without 4B warm-up lookups.
+  void SetTickForTesting(uint64_t tick) { tick_ = tick; }
+  uint64_t tick() const { return tick_; }
+
  private:
   uint32_t SetOf(uint16_t asid, uint32_t vpage) const;
 
   std::vector<TlbEntry> entries_;
   uint32_t sets_;
   uint32_t ways_;
-  uint32_t tick_ = 0;
+  uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -107,6 +107,30 @@ TEST(TlbTest, LruReplacementWithinSet) {
   EXPECT_GE(present, 1);
 }
 
+TEST(TlbTest, LruTickSurvives32BitWrap) {
+  Tlb tlb(4, 4);  // one set, four ways: every page competes on LRU alone
+  // Park the LRU clock just below 2^32 so the inserts straddle it. With a
+  // 32-bit tick, page 10's stamp (2^32 - 1) would be the LARGEST value in
+  // the set while the post-wrap stamps restart near zero -- so the oldest
+  // entry would look newest and a recently-inserted page would be evicted.
+  tlb.SetTickForTesting((1ull << 32) - 2);
+  tlb.Insert(1, 10, 100, 0);  // tick 2^32 - 1: the true LRU from here on
+  tlb.Insert(1, 11, 101, 0);  // tick 2^32     (a 32-bit clock wraps to 0)
+  tlb.Insert(1, 12, 102, 0);  // tick 2^32 + 1
+  tlb.Insert(1, 13, 103, 0);  // tick 2^32 + 2
+  tlb.Lookup(1, 11);          // touching across the wrap must also work
+  EXPECT_GT(tlb.tick(), 1ull << 32);
+  // Set full; the insert must evict page 10, the genuinely oldest entry.
+  // The wrapped clock would have evicted page 12 (smallest wrapped stamp
+  // once 11 was re-touched) and kept 10 forever.
+  tlb.Insert(1, 14, 104, 0);
+  EXPECT_FALSE(tlb.Lookup(1, 10).hit) << "true LRU entry survived the wrap";
+  EXPECT_TRUE(tlb.Lookup(1, 11).hit);
+  EXPECT_TRUE(tlb.Lookup(1, 12).hit) << "post-wrap entry evicted as false LRU";
+  EXPECT_TRUE(tlb.Lookup(1, 13).hit);
+  EXPECT_TRUE(tlb.Lookup(1, 14).hit);
+}
+
 class MmuTest : public ::testing::Test {
  protected:
   MmuTest() : mem_(4 << 20), mmu_(mem_, cost_) {}

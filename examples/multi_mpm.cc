@@ -3,19 +3,25 @@
 //
 //   $ ./multi_mpm
 //
-// Node A's application kernel farms work items to node B over the RPC
-// facility. Mid-run, node A's MPM is halted (a simulated hardware failure);
+// Act 1: node A's application kernel farms work items to node B over the RPC
+// facility. Act 2: node A's MPM is halted (a simulated hardware failure);
 // node B keeps running -- "a failure in one MPM does not need to impact
-// other kernels" (section 3).
+// other kernels" (section 3). Act 3: crash failover -- a UNIX emulator that
+// was running on node A, periodically checkpointed to stable store, is
+// restarted by node B's SRM from the last image; its guest processes resume
+// with stable pids and only the work since that checkpoint is redone
+// (docs/CHECKPOINT.md).
 
 #include <cstdio>
 #include <cstring>
 
 #include "src/appkernel/channel.h"
+#include "src/isa/assembler.h"
 #include "src/sim/devices.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
 #include "src/ck/observability.h"
+#include "src/unixemu/unix_emulator.h"
 
 namespace {
 
@@ -27,6 +33,53 @@ struct Node {
   ck::CacheKernel ck;
   cksrm::Srm srm;
 };
+
+ckisa::Program MustAssemble(const char* source, uint32_t base = 0x10000) {
+  ckisa::AssembleResult result = ckisa::Assemble(source, base);
+  if (!result.ok) {
+    std::fprintf(stderr, "assemble error: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  return result.program;
+}
+
+// Guest workload for the failover act: a ticker that writes and sleeps, and
+// a spawner that waits on a child. Output is deterministic per process.
+constexpr const char* kTickerSrc = R"(
+      addi s0, r0, 4
+  loop:
+      la   a0, msg
+      addi a1, r0, 4
+      trap 18         ; write "tik."
+      li   a0, 12000
+      trap 20         ; sleep 12ms
+      addi s0, s0, -1
+      beq  s0, r0, done
+      j    loop
+  done:
+      addi a0, r0, 7
+      trap 17
+  msg:
+      .word 0x2e6b6974
+)";
+
+constexpr const char* kChildSrc = R"(
+      la   a0, msg
+      addi a1, r0, 3
+      trap 18         ; write "c!\n"
+      addi a0, r0, 9
+      trap 17
+  msg:
+      .word 0x000a2163
+)";
+
+constexpr const char* kSpawnerSrc = R"(
+      addi a0, r0, 0
+      trap 24         ; spawn(program 0)
+      trap 25         ; waitpid -> child exit code
+      addi a0, a0, 1
+      trap 17
+)";
 
 }  // namespace
 
@@ -120,6 +173,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(answer));
   }
 
+  // A UNIX emulator on node A, checkpointed periodically to stable store
+  // (simulated NVRAM reachable from both MPMs).
+  std::printf("\nstarting UNIX emulator on node A, checkpointing to stable store...\n");
+  cksim::StableStore store;
+  ckunix::UnixEmulator emu_a(a.ck);
+  cksrm::LaunchParams unix_params;
+  unix_params.page_groups = 8;
+  unix_params.max_priority = 31;
+  unix_params.locked_kernel_object = true;
+  a.srm.Launch(emu_a, unix_params);
+  ck::CkApi unix_api(a.ck, emu_a.self(), a.machine.cpu(0));
+  emu_a.Start(unix_api);
+  emu_a.RegisterProgram(MustAssemble(kChildSrc));
+  int ticker = emu_a.Exec(unix_api, MustAssemble(kTickerSrc));
+  int spawner = emu_a.Exec(unix_api, MustAssemble(kSpawnerSrc));
+
+  // Run until the ticker is mid-sequence, checkpointing as it goes.
+  for (size_t target : {4u, 8u}) {
+    run_both([&] { return emu_a.process(ticker).console.size() >= target; }, 3000000);
+    if (a.srm.CheckpointToStore(emu_a, store, "unix-emulator") != ckbase::CkStatus::kOk) {
+      std::printf("  checkpoint FAILED\n");
+      return 1;
+    }
+    std::printf("  checkpoint at console=\"%s\" (%zu bytes to stable store)\n",
+                emu_a.process(ticker).console.c_str(), store.bytes_written());
+  }
+
   // Kill node A's MPM. Node B keeps serving local work.
   std::printf("\nsimulating MPM failure on node A (halt)...\n");
   a.machine.Halt();
@@ -142,7 +222,35 @@ int main(int argc, char** argv) {
   std::printf("node B executed %llu work units after node A failed\n",
               static_cast<unsigned long long>(counter.count));
   std::printf("node A dead: %s\n", a.machine.Step() ? "NO (bug)" : "yes, contained");
+
+  // Failover: the surviving SRM restarts the lost UNIX emulator from the
+  // last stable-store image. Processes keep their pids; work done after the
+  // checkpoint is redone from the captured state.
+  std::printf("\nfailover: node B restores the UNIX emulator from the last checkpoint...\n");
+  ckunix::UnixEmulator emu_b(b.ck);
+  std::string error;
+  if (b.srm.RestoreFromStore(emu_b, store, "unix-emulator", ckckpt::RestoreOptions{}, &error) !=
+      ckbase::CkStatus::kOk) {
+    std::printf("  restore FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("  restored %u processes; resuming on node B\n", emu_b.process_count());
+  if (!run_both([&] { return emu_b.AllExited(); }, 5000000)) {
+    std::printf("  guest processes TIMED OUT on node B\n");
+    return 1;
+  }
+  bool pids_stable = emu_b.process(ticker).pid == ticker && emu_b.process(spawner).pid == spawner;
+  for (uint32_t p = 1; p <= emu_b.process_count(); ++p) {
+    const ckunix::Process& proc = emu_b.process(p);
+    std::printf("  pid %d: exit %d console \"%s\"\n", proc.pid, proc.exit_code,
+                proc.console.c_str());
+  }
+  if (!pids_stable || emu_b.process(ticker).console != "tik.tik.tik.tik." ||
+      emu_b.process(spawner).exit_code != 10) {
+    std::printf("failover output WRONG\n");
+    return 1;
+  }
   obs.Finish();
-  std::printf("multi-MPM OK: failure contained to one Cache Kernel instance\n");
+  std::printf("multi-MPM OK: failure contained, lost kernel restarted from checkpoint\n");
   return 0;
 }

@@ -3,32 +3,53 @@
 #   1. default build + full ctest (the seed gate), and
 #   2. a Release (-O2 -DNDEBUG) build + ctest leg, because the guest-execution
 #      fast path is only meaningfully exercised at -O2 and the differential
-#      suite (fastpath_test) must hold under the optimizer too.
+#      suite (fastpath_test) must hold under the optimizer too, and
+#   3. an ASan+UBSan build + ctest leg — the checkpoint/restore paths move
+#      raw byte buffers across kernels and must be clean under both
+#      sanitizers.
 #
-# Usage: scripts/verify.sh [--release-only]
+# Usage: scripts/verify.sh [--release-only] [--san-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-release_only=false
-if [[ "${1:-}" == "--release-only" ]]; then
-  release_only=true
-fi
+run_default=true
+run_release=true
+run_san=true
+case "${1:-}" in
+  --release-only) run_default=false; run_san=false ;;
+  --san-only)     run_default=false; run_release=false ;;
+  "") ;;
+  *) echo "usage: scripts/verify.sh [--release-only|--san-only]" >&2; exit 2 ;;
+esac
 
-if ! $release_only; then
+if $run_default; then
   echo "== tier-1: default build + ctest =="
   cmake -B build -S .
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 fi
 
-echo "== tier-1: Release (-O2 -DNDEBUG) build + ctest =="
-cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j
-ctest --test-dir build-release --output-on-failure -j "$(nproc)"
+if $run_release; then
+  echo "== tier-1: Release (-O2 -DNDEBUG) build + ctest =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j
+  ctest --test-dir build-release --output-on-failure -j "$(nproc)"
 
-echo "== fast-path speedup (Release) =="
-./build-release/bench/microbench_host --benchmark_filter='BM_GuestMips' \
-    --benchmark_min_time=0.5
+  echo "== fast-path speedup (Release) =="
+  ./build-release/bench/microbench_host --benchmark_filter='BM_GuestMips' \
+      --benchmark_min_time=0.5
+fi
+
+if $run_san; then
+  echo "== tier-1: ASan+UBSan build + ctest =="
+  cmake -B build-san -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-san -j
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+      ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+fi
 
 echo "verify: OK"

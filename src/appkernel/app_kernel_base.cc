@@ -162,6 +162,7 @@ uint32_t AppKernelBase::CreateNativeThread(CkApi& api, uint32_t space_index,
   rec->cpu_hint = cpu_hint;
   rec->locked = locked;
   rec->native = program;
+  rec->native_record = true;
   threads_.push_back(std::move(rec));
   uint32_t index = static_cast<uint32_t>(threads_.size() - 1);
   EnsureThreadLoaded(api, index);
@@ -510,6 +511,9 @@ HandlerAction AppKernelBase::ResolvePageFault(const ck::FaultForward& fault, VSp
           // Cache Kernel identifier: the descriptor may be reclaimed and
           // reloaded (new identifier) while the I/O is in flight.
           uint32_t waiter_index = static_cast<uint32_t>(fault.thread_cookie);
+          if (waiter_index < threads_.size()) {
+            threads_[waiter_index]->paging_blocked = true;
+          }
           page.frame = frame;  // reserved; contents arrive with the event
           api.ScheduleAfter(backing_.latency(), [this, space_index, page_vaddr, backing_page,
                                                  frame, waiter_index](CkApi& later) {
@@ -533,6 +537,7 @@ HandlerAction AppKernelBase::ResolvePageFault(const ck::FaultForward& fault, VSp
             }
             if (waiter_index < threads_.size()) {
               ThreadRec& rec = *threads_[waiter_index];
+              rec.paging_blocked = false;
               if (!rec.loaded && !rec.finished) {
                 rec.was_blocked = true;
                 EnsureThreadLoaded(later, waiter_index);
@@ -643,6 +648,16 @@ void AppKernelBase::OnSpaceWriteback(const ck::SpaceWriteback& record, CkApi& ap
   for (auto& [vaddr, page] : sp.pages) {
     page.mapping_loaded = false;
   }
+}
+
+void AppKernelBase::CaptureExtra(ckckpt::Writer& w, CkApi& api) {
+  (void)w;
+  (void)api;
+}
+
+void AppKernelBase::RestoreExtra(ckckpt::Reader& r, CkApi& api) {
+  (void)r;
+  (void)api;
 }
 
 void AppKernelBase::OnThreadHalt(ck::ThreadId thread, uint64_t cookie, CkApi& api) {

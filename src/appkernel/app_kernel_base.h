@@ -27,6 +27,12 @@
 #include "src/ck/cache_kernel.h"
 #include "src/isa/assembler.h"
 
+namespace ckckpt {
+class AppKernelState;
+class Writer;
+class Reader;
+}  // namespace ckckpt
+
 namespace ckapp {
 
 struct GuestThreadParams {
@@ -130,6 +136,32 @@ class AppKernelBase : public ck::AppKernel {
   void OnSpaceWriteback(const ck::SpaceWriteback& record, ck::CkApi& api) override;
   void OnThreadHalt(ck::ThreadId thread, uint64_t cookie, ck::CkApi& api) override;
 
+  // ---- checkpoint/restore hooks (src/ckpt, docs/CHECKPOINT.md) ----
+  // Serialize subclass state (process tables, query engine state, ...) into
+  // a checkpoint's kAppExtra record. Runs on a quiesced (fully written-back)
+  // kernel. Default: nothing.
+  virtual void CaptureExtra(ckckpt::Writer& w, ck::CkApi& api);
+  // Rebuild subclass state from the kAppExtra record. Runs after the base
+  // records are restored and before any thread reloads; rebind native
+  // programs here via RebindNativeProgram and re-arm pending timers. Call
+  // `r.Fail(...)` on any semantic mismatch to abort the restore.
+  virtual void RestoreExtra(ckckpt::Reader& r, ck::CkApi& api);
+  // Whether ResumeRestored should reload this (unfinished) thread eagerly.
+  // Default: yes. The UNIX emulator skips swapped-out processes.
+  virtual bool ShouldReloadOnRestore(uint32_t thread_index) {
+    (void)thread_index;
+    return true;
+  }
+  // Reattach a native program to a restored native thread record.
+  void RebindNativeProgram(uint32_t thread_index, ck::NativeProgram* program) {
+    threads_[thread_index]->native = program;
+  }
+  // The SRM swapped this kernel back in (after a plain SwapOut or a
+  // Checkpoint). Records are intact but every thread is unloaded and any
+  // ThreadId captured before the swap is stale; subclasses reload what must
+  // run eagerly. Default: nothing (threads reload on demand).
+  virtual void OnSwappedIn(ck::CkApi& api) { (void)api; }
+
  protected:
   // ---- policy hooks ----
   // Replacement: which resident page of `sp` to evict when the frame pool is
@@ -173,6 +205,11 @@ class AppKernelBase : public ck::AppKernel {
   std::vector<std::unique_ptr<ThreadRec>> threads_;
   PagingStats paging_stats_;
   uint32_t halted_threads_ = 0;
+
+ private:
+  // The checkpoint subsystem serializes/rebuilds the protected record state
+  // without widening the public API (src/ckpt/checkpoint.cc).
+  friend class ckckpt::AppKernelState;
 };
 
 }  // namespace ckapp

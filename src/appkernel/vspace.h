@@ -67,6 +67,14 @@ struct ThreadRec {
   bool loaded = false;
   bool finished = false;
   bool was_blocked = false;
+  // Blocked on an in-flight asynchronous page-in. A checkpoint taken in this
+  // window restores the thread runnable: its saved PC re-executes the
+  // faulting instruction, which simply re-faults on the restored records.
+  bool paging_blocked = false;
+  // This record is backed by a NativeProgram (set at create time and by
+  // restore). `native` itself is a host pointer and never serialized; the
+  // subclass's RestoreExtra must rebind it before the thread reloads.
+  bool native_record = false;
 
   uint32_t space_index = 0;
   uint8_t priority = 0;

@@ -1363,6 +1363,34 @@ uint32_t CacheKernel::loaded_count(ObjectType type) const {
   return 0;
 }
 
+std::array<uint32_t, kObjectTypeCount> CacheKernel::LoadedCountsFor(KernelId kernel) {
+  std::array<uint32_t, kObjectTypeCount> counts{};
+  KernelObject* k = GetKernel(kernel);
+  if (k == nullptr) {
+    return counts;
+  }
+  uint32_t slot = kernel.id.slot;
+  counts[static_cast<uint32_t>(ObjectType::kKernel)] = 1;
+  counts[static_cast<uint32_t>(ObjectType::kSpace)] = k->space_count;
+  counts[static_cast<uint32_t>(ObjectType::kThread)] = k->thread_count;
+  // Mappings are recorded per space; walk the pmap once and attribute each
+  // pv record through its space's owning kernel.
+  uint32_t mappings = 0;
+  for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
+    const MemMapEntry& rec = pmap_.record(i);
+    if (rec.type() != RecordType::kPhysToVirt) {
+      continue;
+    }
+    uint32_t space_slot = rec.pv_space_slot();
+    if (space_slot < spaces_.capacity() && spaces_.IsAllocated(space_slot) &&
+        spaces_.SlotAt(space_slot)->kernel_slot == slot) {
+      ++mappings;
+    }
+  }
+  counts[static_cast<uint32_t>(ObjectType::kMapping)] = mappings;
+  return counts;
+}
+
 uint32_t CacheKernel::capacity(ObjectType type) const {
   switch (type) {
     case ObjectType::kKernel:

@@ -21,6 +21,7 @@
 #ifndef SRC_CK_CACHE_KERNEL_H_
 #define SRC_CK_CACHE_KERNEL_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -252,6 +253,12 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
 
   uint32_t loaded_count(ObjectType type) const;
   uint32_t capacity(ObjectType type) const;
+  // Writeback enumeration for the checkpoint subsystem: how many loaded
+  // objects of each type `kernel` currently owns (the population the
+  // dependency-ordered unloader will write back on quiesce; all-zero
+  // afterwards -- the quiescence assertion). A stale/unloaded kernel id
+  // reports zero everywhere: nothing references it, so nothing is loaded.
+  std::array<uint32_t, kObjectTypeCount> LoadedCountsFor(KernelId kernel);
 
   // Thread/space state peeking for tests.
   bool IsThreadLoaded(ThreadId id) { return threads_.Lookup(id.id) != nullptr; }

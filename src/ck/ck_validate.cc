@@ -5,8 +5,10 @@
 // wrong; this is enforced by flush-before-remove, which the storm tests
 // hammer).
 
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ck/cache_kernel.h"
@@ -20,6 +22,11 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
 
   // --- physical memory map records ---
   std::vector<uint32_t> pv_count_per_space(spaces_.capacity(), 0);
+  // Restore remaps frames; a bad translation map would surface here as a pv
+  // record pointing outside local memory or as two records claiming the same
+  // (space, vaddr) translation.
+  const uint32_t local_frames = cksim::PageFrame(static_cast<cksim::PhysAddr>(mem.size()));
+  std::set<std::pair<uint32_t, cksim::VirtAddr>> pv_seen;
   for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
     const MemMapEntry& rec = pmap_.record(i);
     switch (rec.type()) {
@@ -31,6 +38,18 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
           fail("pv record " + std::to_string(i) + " names unallocated space slot " +
                std::to_string(slot));
           break;
+        }
+        if (rec.pv_frame() >= local_frames && remote_frames_.count(rec.pv_frame()) == 0) {
+          std::ostringstream os;
+          os << "pv record " << i << " frame " << rec.pv_frame()
+             << " outside local memory (bad restore frame remap?)";
+          fail(os.str());
+        }
+        if (!pv_seen.insert({slot, rec.pv_vaddr()}).second) {
+          std::ostringstream os;
+          os << "duplicate pv record for space slot " << slot << " vaddr " << std::hex
+             << rec.pv_vaddr();
+          fail(os.str());
         }
         pv_count_per_space[slot]++;
         AddressSpaceObject* space = spaces_.SlotAt(slot);

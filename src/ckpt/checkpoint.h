@@ -1,0 +1,85 @@
+// Capture and restore of application-kernel state (the tentpole of
+// docs/CHECKPOINT.md).
+//
+// The caching model makes this almost free conceptually: once a kernel is
+// quiesced (its kernel object unloaded, which cascades the dependency-ordered
+// writeback of Figure 6 over every space, thread and mapping), the
+// application kernel's own records ARE its complete state -- "writeback
+// completeness". Capture therefore serializes:
+//   * the VSpace / PageRecord / ThreadRec tables (including saved register
+//     contexts written back by the Cache Kernel),
+//   * the backing store (non-zero pages only),
+//   * the contents of every resident owned frame (read out of physical
+//     memory) plus any referenced shared frames (deferred-copy sources),
+//   * the paging statistics and a subclass blob (CaptureExtra).
+//
+// Restore rebuilds the records in a fresh kernel instance, drawing new
+// physical frames from the target's pool and translating every captured
+// frame address through old->new remaps; fixed frames (devices, message
+// channels) translate through caller-supplied RestoreOptions so channel
+// bindings survive migration to a machine with a different device placement.
+// Restore never loads a Cache Kernel object, so a failed restore cannot leave
+// a partially-loaded kernel: Resume() is the separate step that reloads
+// threads and lets execution continue.
+
+#ifndef SRC_CKPT_CHECKPOINT_H_
+#define SRC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/appkernel/app_kernel_base.h"
+#include "src/ckpt/image.h"
+#include "src/ckpt/serializer.h"
+
+namespace ckckpt {
+
+// Translate a contiguous run of captured frame addresses to the target
+// machine (fixed device/channel regions that live at a different physical
+// base there). Frames not covered by any remap translate identically.
+struct FrameRemap {
+  cksim::PhysAddr old_base = 0;
+  cksim::PhysAddr new_base = 0;
+  uint32_t pages = 0;
+};
+
+struct RestoreOptions {
+  std::vector<FrameRemap> frame_remaps;
+};
+
+class AppKernelState {
+ public:
+  // Serialize the complete written-back state of `app` into `image`. The
+  // kernel must be quiesced first (SRM SwapOut / UnloadKernel); `api` needs
+  // physical read access to the app's frames (the SRM's api qualifies).
+  static void Capture(ckapp::AppKernelBase& app, ck::CkApi& api, CkptImage* image);
+
+  // Rebuild `app`'s records from `image`. `app` must be a freshly
+  // constructed instance of the same kernel type (no spaces or threads yet),
+  // already launched and granted memory; new frames come from its pool.
+  // Returns false with `error` set on any mismatch; no Cache Kernel objects
+  // have been loaded in that case and the target must be discarded.
+  static bool Restore(ckapp::AppKernelBase& app, ck::CkApi& api, const CkptImage& image,
+                      const RestoreOptions& options, std::string* error);
+
+  // Reload the restored threads into the Cache Kernel (skipping finished
+  // ones and those the subclass vetoes) so execution resumes. Threads that
+  // were blocked on an in-flight page-in restart runnable: their saved PC
+  // re-executes the faulting access, which simply re-faults.
+  static bool Resume(ckapp::AppKernelBase& app, ck::CkApi& api, std::string* error);
+
+  // Named observables over the record state: every space, page, thread and
+  // counter, with page/backing contents folded in as CRCs. Physical frame
+  // addresses are deliberately excluded -- they legitimately differ across
+  // machines; everything observable through them (contents, flags, order)
+  // is included. This is the differential comparator's input (the
+  // fastpath_test.cc pattern).
+  static std::vector<std::pair<std::string, uint64_t>> Digest(ckapp::AppKernelBase& app,
+                                                              ck::CkApi& api);
+};
+
+}  // namespace ckckpt
+
+#endif  // SRC_CKPT_CHECKPOINT_H_

@@ -1,0 +1,37 @@
+#include "src/ckpt/serializer.h"
+
+namespace ckckpt {
+
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const CrcTable& Table() {
+  static const CrcTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const CrcTable& table = Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ckckpt

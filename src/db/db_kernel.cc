@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/ckpt/serializer.h"
+
 namespace ckdb {
 
 using ck::CkApi;
@@ -69,6 +71,14 @@ class DbKernel::EngineProgram : public ck::NativeProgram {
     }
     outcome.action = ck::NativeOutcome::Action::kYield;
     return outcome;
+  }
+
+  // Mid-job progress, externalized for checkpointing.
+  uint32_t cursor() const { return cursor_; }
+  uint64_t sum() const { return sum_; }
+  void RestoreProgress(uint32_t cursor, uint64_t sum) {
+    cursor_ = cursor;
+    sum_ = sum;
   }
 
  private:
@@ -148,6 +158,81 @@ VirtAddr DbKernel::ChooseVictim(ckapp::VSpace& sp) {
       break;
   }
   return AppKernelBase::ChooseVictim(sp);  // FIFO fallback
+}
+
+void DbKernel::CaptureExtra(ckckpt::Writer& w, CkApi& api) {
+  (void)api;
+  w.U32(config_.table_pages);
+  w.U32(config_.buffer_pages);
+  w.U8(static_cast<uint8_t>(config_.policy));
+  w.U32(config_.seed);
+  w.U32(config_.table_base);
+  w.U32(space_index_);
+  w.U32(engine_thread_);
+  w.U32(engine_ != nullptr ? engine_->cursor() : 0);
+  w.U64(engine_ != nullptr ? engine_->sum() : 0);
+  w.U32(static_cast<uint32_t>(jobs_.size()));
+  for (const Job& job : jobs_) {
+    w.U8(static_cast<uint8_t>(job.kind));
+    w.U32(job.count);
+  }
+  w.U64(job_result_);
+  w.Bool(job_done_);
+  w.U32(static_cast<uint32_t>(recency_.size()));
+  for (VirtAddr vaddr : recency_) {
+    w.U32(vaddr);
+  }
+  w.U64(stats_.rows_read);
+  w.U64(stats_.queries);
+  w.U64(stats_.buffer_hits);
+  w.U64(stats_.buffer_misses);
+}
+
+void DbKernel::RestoreExtra(ckckpt::Reader& r, CkApi& api) {
+  (void)api;
+  if (r.U32() != config_.table_pages || r.U32() != config_.buffer_pages ||
+      r.U8() != static_cast<uint8_t>(config_.policy) || r.U32() != config_.seed ||
+      r.U32() != config_.table_base) {
+    r.Fail("db config mismatch between image and target instance");
+    return;
+  }
+  if (engine_ != nullptr) {
+    r.Fail("db target is not a fresh instance");
+    return;
+  }
+  space_index_ = r.U32();
+  engine_thread_ = r.U32();
+  uint32_t cursor = r.U32();
+  uint64_t sum = r.U64();
+  jobs_.clear();
+  uint32_t job_count = r.U32();
+  for (uint32_t i = 0; i < job_count && r.ok(); ++i) {
+    Job job;
+    job.kind = static_cast<Job::Kind>(r.U8());
+    job.count = r.U32();
+    jobs_.push_back(job);
+  }
+  job_result_ = r.U64();
+  job_done_ = r.Bool();
+  recency_.clear();
+  uint32_t recency_count = r.U32();
+  for (uint32_t i = 0; i < recency_count && r.ok(); ++i) {
+    recency_.push_back(r.U32());
+  }
+  stats_.rows_read = r.U64();
+  stats_.queries = r.U64();
+  stats_.buffer_hits = r.U64();
+  stats_.buffer_misses = r.U64();
+  if (!r.ok()) {
+    return;
+  }
+  if (engine_thread_ >= thread_count() || space_index_ >= space_count()) {
+    r.Fail("db engine thread or space not in the image");
+    return;
+  }
+  engine_ = std::make_unique<EngineProgram>(*this);
+  engine_->RestoreProgress(cursor, sum);
+  RebindNativeProgram(engine_thread_, engine_.get());
 }
 
 void DbKernel::FinishJob(uint64_t result) {

@@ -66,6 +66,14 @@ class DbKernel : public ckapp::AppKernelBase {
   // The application-controlled replacement policy.
   cksim::VirtAddr ChooseVictim(ckapp::VSpace& sp) override;
 
+  // ---- checkpoint hooks (docs/CHECKPOINT.md) ----
+  // Query state, the access-recency list (the replacement policy's input)
+  // and the engine's mid-job progress ride in the kAppExtra record. The rng
+  // stream position is not captured: restored point lookups draw from a
+  // fresh seed-determined stream.
+  void CaptureExtra(ckckpt::Writer& w, ck::CkApi& api) override;
+  void RestoreExtra(ckckpt::Reader& r, ck::CkApi& api) override;
+
  private:
   class EngineProgram;
   friend class EngineProgram;

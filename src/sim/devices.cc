@@ -93,6 +93,34 @@ void FiberChannelDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
   }
 }
 
+void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when) {
+  if (peer_ == nullptr) {
+    return;
+  }
+  Cycles due = when + wire_latency_ + BulkWireCycles(payload.size());
+  ++bulk_sent_;
+  // Keep the peer's bulk queue ordered by due time (clock skew between the
+  // connected machines).
+  auto& queue = peer_->bulk_inbound_;
+  BulkInbound in{std::move(payload), due};
+  auto it = queue.end();
+  while (it != queue.begin() && (it - 1)->due > in.due) {
+    --it;
+  }
+  queue.insert(it, std::move(in));
+}
+
+bool FiberChannelDevice::PollBulk(std::vector<uint8_t>* out, Cycles now) {
+  if (bulk_inbound_.empty() || bulk_inbound_.front().due > now) {
+    return false;
+  }
+  *out = std::move(bulk_inbound_.front().payload);
+  bulk_inbound_.pop_front();
+  ++bulk_received_;
+  bulk_bytes_received_ += out->size();
+  return true;
+}
+
 // --- EthernetDevice / EthernetHub ---
 
 void EthernetDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
@@ -114,6 +142,29 @@ void EthernetHub::Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_
       device->EnqueueInbound(payload, when);
     }
   }
+}
+
+// --- StableStore ---
+
+Cycles StableStore::Put(const std::string& key, std::vector<uint8_t> blob) {
+  Cycles cost = TransferCost(blob.size());
+  bytes_written_ += blob.size();
+  ++puts_;
+  blobs_[key] = std::move(blob);
+  return cost;
+}
+
+bool StableStore::Get(const std::string& key, std::vector<uint8_t>* out, Cycles* cost) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return false;
+  }
+  ++gets_;
+  *out = it->second;
+  if (cost != nullptr) {
+    *cost = TransferCost(it->second.size());
+  }
+  return true;
 }
 
 }  // namespace cksim

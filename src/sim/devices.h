@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "src/sim/machine.h"
@@ -123,11 +125,39 @@ class FiberChannelDevice : public PacketDevice {
     b.peer_ = &a;
   }
 
+  // ---- bulk streaming (checkpoint migration) ----
+  // Ship an arbitrary-size payload to the peer, bypassing the page-sized
+  // packet slots: models the driver's scatter-gather streaming mode for
+  // whole-image transfers. The blob becomes available to the peer's
+  // PollBulk once the wire latency plus serialization time (the 266 Mb/s
+  // link moves ~4/3 bytes per 25 MHz cycle) has elapsed.
+  void SendBulk(std::vector<uint8_t> payload, Cycles when);
+  // Claim the oldest delivered bulk payload, if one is due by `now`.
+  bool PollBulk(std::vector<uint8_t>* out, Cycles now);
+
+  // Cycles a payload of `bytes` occupies the wire (excludes base latency).
+  static Cycles BulkWireCycles(size_t bytes) {
+    return static_cast<Cycles>((bytes * 3 + 3) / 4);
+  }
+
+  uint64_t bulk_sent() const { return bulk_sent_; }
+  uint64_t bulk_received() const { return bulk_received_; }
+  uint64_t bulk_bytes_received() const { return bulk_bytes_received_; }
+
  protected:
   void Transmit(std::vector<uint8_t> payload, Cycles when) override;
 
  private:
+  struct BulkInbound {
+    std::vector<uint8_t> payload;
+    Cycles due;
+  };
+
   FiberChannelDevice* peer_ = nullptr;
+  std::deque<BulkInbound> bulk_inbound_;
+  uint64_t bulk_sent_ = 0;
+  uint64_t bulk_received_ = 0;
+  uint64_t bulk_bytes_received_ = 0;
 };
 
 // Hub connecting any number of EthernetDevices. Destination is the first
@@ -162,6 +192,41 @@ class EthernetHub {
 
  private:
   std::vector<EthernetDevice*> stations_;
+};
+
+// Simulated stable store: a dual-ported NVRAM module on the interconnect
+// that survives MPM failures (the crash-failover substrate). Keyed blobs
+// with size-proportional access cost; the caller charges the returned cycles
+// to whichever CPU drives the transfer. Deliberately not a Device: it has no
+// event loop or doorbell protocol, and -- the point -- it is shared between
+// machines, so a surviving SRM can read checkpoints a dead MPM wrote.
+class StableStore {
+ public:
+  explicit StableStore(Cycles base_latency = 2500 /* 100 us */)
+      : base_latency_(base_latency) {}
+
+  // Overwrites any previous blob under `key`. Returns the simulated cost.
+  Cycles Put(const std::string& key, std::vector<uint8_t> blob);
+  // Copies the blob under `key` into `out`; false if absent. `cost` (if
+  // non-null) receives the simulated read cost.
+  bool Get(const std::string& key, std::vector<uint8_t>* out, Cycles* cost = nullptr) const;
+  bool Contains(const std::string& key) const { return blobs_.count(key) != 0; }
+
+  uint64_t puts() const { return puts_; }
+  uint64_t gets() const { return gets_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Cycles TransferCost(size_t bytes) const {
+    // Same 266 Mb/s interconnect model as the fiber channel bulk path.
+    return base_latency_ + static_cast<Cycles>((bytes * 3 + 3) / 4);
+  }
+
+  Cycles base_latency_;
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+  uint64_t puts_ = 0;
+  mutable uint64_t gets_ = 0;
+  uint64_t bytes_written_ = 0;
 };
 
 }  // namespace cksim

@@ -231,7 +231,15 @@ CkStatus Srm::SwapIn(ckapp::AppKernelBase& app) {
   reg->id = loaded.value();
   reg->loaded = true;
   app.Attach(reg->id);
-  return ApplyGrants(*reg);
+  CkStatus status = ApplyGrants(*reg);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  // Let the kernel reload whatever must run without waiting for a fault or
+  // wakeup (scheduler threads whose pre-swap wakeups are now stale, etc.).
+  CkApi app_api(ck_, app.self(), ck_.machine().cpu(0));
+  app.OnSwappedIn(app_api);
+  return CkStatus::kOk;
 }
 
 bool Srm::IsSwappedOut(const ckapp::AppKernelBase& app) const {
@@ -254,6 +262,179 @@ CkStatus Srm::AdjustQuota(ckapp::AppKernelBase& app, const uint8_t percent[ck::k
   }
   CkApi api = Api();
   return api.SetCpuQuota(reg->id, percent, max_priority);
+}
+
+CkStatus Srm::CaptureQuiesced(Registered& reg, ckapp::AppKernelBase& app,
+                              ckckpt::CkptImage* image) {
+  // Enumerate what the cascade is about to write back, then quiesce. After
+  // UnloadKernel the id is stale and every count must read zero: nothing
+  // loaded in the Cache Kernel belongs to this kernel any more, so the
+  // application kernel's records are the complete state ("writeback
+  // completeness", docs/CHECKPOINT.md).
+  auto before = ck_.LoadedCountsFor(reg.id);
+  CkStatus status = SwapOut(app);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  auto after = ck_.LoadedCountsFor(reg.id);
+  for (uint32_t count : after) {
+    if (count != 0) {
+      CKLOG(kError) << "srm: kernel '" << app.name() << "' not quiesced after unload";
+      return CkStatus::kBusy;
+    }
+  }
+  CKLOG(kInfo) << "srm: capturing '" << app.name() << "' (" << before[0] << " kernel, "
+               << before[1] << " spaces, " << before[2] << " threads, " << before[3]
+               << " mappings written back)";
+
+  CkApi api = Api();
+  ckckpt::AppKernelState::Capture(app, api, image);
+
+  // Record the resource grant so a peer SRM can recreate the kernel with
+  // fresh page-group and CPU grants on its own machine.
+  ckckpt::Writer w;
+  w.U32(reg.params.page_groups);
+  for (uint32_t c = 0; c < ck::kMaxCpus; ++c) {
+    w.U8(reg.params.cpu_percent[c]);
+  }
+  w.U8(reg.params.max_priority);
+  for (uint32_t t = 0; t < ck::kObjectTypeCount; ++t) {
+    w.U8(reg.params.lock_limits[t]);
+  }
+  w.Bool(reg.params.locked_kernel_object);
+  image->Append(ckckpt::RecordType::kLaunchParams, w.Take());
+  return CkStatus::kOk;
+}
+
+CkStatus Srm::Checkpoint(ckapp::AppKernelBase& app, ckckpt::CkptImage* image) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  CkStatus status = CaptureQuiesced(*reg, app, image);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  // Reload in place: the kernel resumes from exactly the captured state.
+  return SwapIn(app);
+}
+
+CkStatus Srm::Restore(ckapp::AppKernelBase& app, const ckckpt::CkptImage& image,
+                      const ckckpt::RestoreOptions& options, std::string* error) {
+  const ckckpt::CkptRecord* lp = image.Find(ckckpt::RecordType::kLaunchParams);
+  if (lp == nullptr) {
+    *error = "image has no launch-params record";
+    return CkStatus::kInvalidArgument;
+  }
+  ckckpt::Reader r(lp->payload);
+  LaunchParams params;
+  params.page_groups = r.U32();
+  for (uint32_t c = 0; c < ck::kMaxCpus; ++c) {
+    params.cpu_percent[c] = r.U8();
+  }
+  params.max_priority = r.U8();
+  for (uint32_t t = 0; t < ck::kObjectTypeCount; ++t) {
+    params.lock_limits[t] = r.U8();
+  }
+  params.locked_kernel_object = r.Bool();
+  if (!r.Done()) {
+    *error = "malformed launch-params record";
+    return CkStatus::kInvalidArgument;
+  }
+
+  Result<KernelId> launched = Launch(app, params);
+  if (!launched.ok()) {
+    *error = "relaunch failed";
+    return launched.status();
+  }
+  // Each remap target names a fixed region on this machine (device registers,
+  // message-channel pages). Grant the restored kernel shared access to those
+  // groups, as the source SRM did at original setup, so the record rebuild
+  // can carry the captured channel payloads across.
+  for (const ckckpt::FrameRemap& remap : options.frame_remaps) {
+    if (remap.pages == 0) {
+      continue;
+    }
+    uint32_t first = cksim::PageGroupOf(remap.new_base);
+    uint32_t last = cksim::PageGroupOf(remap.new_base + remap.pages * cksim::kPageSize - 1);
+    CkStatus granted = GrantSharedGroups(app, first, last - first + 1, ck::GroupAccess::kReadWrite);
+    if (granted != CkStatus::kOk) {
+      *error = "cannot grant restored kernel access to remapped frame region";
+      return granted;
+    }
+  }
+  // Record rebuild and thread reload run with the app's own authority: the
+  // restored kernel may only touch frames it has been granted.
+  CkApi app_api(ck_, app.self(), ck_.machine().cpu(0));
+  if (!ckckpt::AppKernelState::Restore(app, app_api, image, options, error)) {
+    return CkStatus::kInvalidArgument;
+  }
+  if (!ckckpt::AppKernelState::Resume(app, app_api, error)) {
+    return CkStatus::kInvalidArgument;
+  }
+  CKLOG(kInfo) << "srm: restored kernel '" << app.name() << "'";
+  return CkStatus::kOk;
+}
+
+CkStatus Srm::Migrate(ckapp::AppKernelBase& app, cksim::FiberChannelDevice& fc) {
+  Registered* reg = FindRegistration(app);
+  if (reg == nullptr) {
+    return CkStatus::kNotFound;
+  }
+  ckckpt::CkptImage image;
+  CkStatus status = CaptureQuiesced(*reg, app, &image);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  std::vector<uint8_t> bytes = image.Serialize();
+  CKLOG(kInfo) << "srm: migrating '" << app.name() << "' (" << bytes.size() << " bytes)";
+  fc.SendBulk(std::move(bytes), ck_.machine().Now());
+  // The source stays swapped out; the kernel's next instruction executes on
+  // the target machine.
+  return CkStatus::kOk;
+}
+
+CkStatus Srm::AcceptMigration(cksim::FiberChannelDevice& fc, ckapp::AppKernelBase& app,
+                              const ckckpt::RestoreOptions& options, std::string* error) {
+  std::vector<uint8_t> bytes;
+  if (!fc.PollBulk(&bytes, ck_.machine().Now())) {
+    return CkStatus::kRetry;  // still on the wire
+  }
+  ckckpt::CkptImage image;
+  if (!ckckpt::CkptImage::Parse(bytes, &image, error)) {
+    return CkStatus::kInvalidArgument;
+  }
+  return Restore(app, image, options, error);
+}
+
+CkStatus Srm::CheckpointToStore(ckapp::AppKernelBase& app, cksim::StableStore& store,
+                                const std::string& key) {
+  ckckpt::CkptImage image;
+  CkStatus status = Checkpoint(app, &image);
+  if (status != CkStatus::kOk) {
+    return status;
+  }
+  CkApi api = Api();
+  api.Charge(store.Put(key, image.Serialize()));
+  return CkStatus::kOk;
+}
+
+CkStatus Srm::RestoreFromStore(ckapp::AppKernelBase& app, const cksim::StableStore& store,
+                               const std::string& key, const ckckpt::RestoreOptions& options,
+                               std::string* error) {
+  std::vector<uint8_t> bytes;
+  cksim::Cycles cost = 0;
+  if (!store.Get(key, &bytes, &cost)) {
+    *error = "no checkpoint in stable store under key '" + key + "'";
+    return CkStatus::kNotFound;
+  }
+  CkApi api = Api();
+  api.Charge(cost);
+  ckckpt::CkptImage image;
+  if (!ckckpt::CkptImage::Parse(bytes, &image, error)) {
+    return CkStatus::kInvalidArgument;
+  }
+  return Restore(app, image, options, error);
 }
 
 void Srm::OnKernelWriteback(const ck::KernelWriteback& record, CkApi& api) {

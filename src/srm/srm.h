@@ -22,6 +22,9 @@
 
 #include "src/appkernel/app_kernel_base.h"
 #include "src/appkernel/channel.h"
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/image.h"
+#include "src/sim/devices.h"
 
 namespace cksrm {
 
@@ -73,6 +76,45 @@ class Srm : public ckapp::AppKernelBase {
 
   uint32_t free_groups() const;
 
+  // ---- checkpoint / migration / failover (docs/CHECKPOINT.md) ----
+  // Quiesce `app` (kernel-object unload cascades the dependency-ordered
+  // writeback of every space, thread and mapping), capture its complete
+  // written-back state into `image` -- including the launch grant a peer SRM
+  // needs to recreate it -- then swap it back in and let it continue. The
+  // captured image is observably bit-exact with the running kernel.
+  ckbase::CkStatus Checkpoint(ckapp::AppKernelBase& app, ckckpt::CkptImage* image);
+
+  // Launch a fresh `app` instance from `image` on this SRM's machine (using
+  // the grant recorded at capture) and resume its threads. `options`
+  // translates fixed frames -- device regions, message-channel pages -- to
+  // their placement on this machine. On failure nothing of `app` has been
+  // loaded into the Cache Kernel and the instance must be discarded.
+  ckbase::CkStatus Restore(ckapp::AppKernelBase& app, const ckckpt::CkptImage& image,
+                           const ckckpt::RestoreOptions& options, std::string* error);
+
+  // Live migration: quiesce + capture `app`, then ship the image to the peer
+  // SRM over the fiber channel's bulk-transfer path. The source instance is
+  // left swapped out (its grants stay reserved until the registry entry is
+  // torn down); the kernel continues on the target after AcceptMigration.
+  ckbase::CkStatus Migrate(ckapp::AppKernelBase& app, cksim::FiberChannelDevice& fc);
+
+  // Poll `fc` for a migrated image; if one has been delivered, launch `app`
+  // from it. Returns kRetry while the image is still in flight.
+  ckbase::CkStatus AcceptMigration(cksim::FiberChannelDevice& fc, ckapp::AppKernelBase& app,
+                                   const ckckpt::RestoreOptions& options, std::string* error);
+
+  // Crash failover, capture side: checkpoint `app` to the stable store under
+  // `key`, charging the simulated transfer cost to this SRM's CPU. Called
+  // periodically; each call overwrites the previous image.
+  ckbase::CkStatus CheckpointToStore(ckapp::AppKernelBase& app, cksim::StableStore& store,
+                                     const std::string& key);
+
+  // Crash failover, recovery side: restart a kernel lost with its MPM from
+  // the last image under `key`. Work done after that checkpoint is lost.
+  ckbase::CkStatus RestoreFromStore(ckapp::AppKernelBase& app, const cksim::StableStore& store,
+                                    const std::string& key,
+                                    const ckckpt::RestoreOptions& options, std::string* error);
+
   // ---- kernel-object writeback (we are the managing kernel) ----
   void OnKernelWriteback(const ck::KernelWriteback& record, ck::CkApi& api) override;
 
@@ -100,6 +142,10 @@ class Srm : public ckapp::AppKernelBase {
   Registered* FindRegistration(const ckapp::AppKernelBase& app);
   const Registered* FindRegistration(const ckapp::AppKernelBase& app) const;
   ckbase::CkStatus ApplyGrants(Registered& reg);
+  // Swap out + verify quiescence + capture + record the launch grant. The
+  // kernel is left swapped out; callers SwapIn (Checkpoint) or not (Migrate).
+  ckbase::CkStatus CaptureQuiesced(Registered& reg, ckapp::AppKernelBase& app,
+                                   ckckpt::CkptImage* image);
 
   ck::CacheKernel& ck_;
   std::vector<std::unique_ptr<Registered>> registry_;

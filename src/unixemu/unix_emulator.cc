@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/ckpt/serializer.h"
 
 namespace ckunix {
 
@@ -117,6 +118,7 @@ void UnixEmulator::Start(CkApi& api) {
                                         /*priority=*/30, /*locked=*/true,
                                         /*cpu_hint=*/static_cast<uint8_t>(c));
     sched->set_thread_index(index);
+    scheduler_threads_.push_back(index);
     schedulers_.push_back(std::move(sched));
   }
 }
@@ -221,6 +223,7 @@ TrapAction UnixEmulator::HandleTrap(const ck::TrapForward& trap, CkApi& api) {
       cksim::Cycles duration =
           static_cast<cksim::Cycles>(trap.args[0]) * cksim::kCyclesPerMicrosecond;
       proc->state = Process::State::kSleeping;
+      proc->sleep_until = api.now() + duration;
       int pid = proc->pid;
       ckapp::ThreadRec& rec = thread(proc->thread_index);
       if (duration >= kUnloadSleepThreshold) {
@@ -394,6 +397,7 @@ void UnixEmulator::FinishSleep(CkApi& api, int pid) {
     return;
   }
   proc.state = Process::State::kRunnable;
+  proc.sleep_until = 0;
   ckapp::ThreadRec& rec = thread(proc.thread_index);
   if (!rec.loaded) {
     // Reload the descriptor (~230us in the paper; charged by the load path)
@@ -435,6 +439,214 @@ void UnixEmulator::OnGuestFinished(uint32_t thread_index, CkApi& api) {
     proc->exit_code = 0;
     NotifyExit(*proc, api);
   }
+}
+
+void UnixEmulator::CaptureExtra(ckckpt::Writer& w, CkApi& api) {
+  // Config fingerprint: the restored instance must be constructed with the
+  // same policy knobs or its paging/scheduling behavior would silently
+  // diverge from the captured kernel's.
+  w.U32(config_.backing_pages);
+  w.U64(config_.backing_latency);
+  w.Bool(config_.async_paging);
+  w.U8(config_.default_priority);
+  w.U8(config_.batch_priority);
+  w.U64(config_.sched_interval);
+  w.Bool(config_.run_scheduler_thread);
+  w.U32(config_.stack_pages);
+  w.U32(config_.heap_base);
+  w.U32(config_.stack_top);
+
+  w.U64(total_syscalls_);
+  w.U32(static_cast<uint32_t>(last_consumed_.size()));
+  for (uint64_t consumed : last_consumed_) {
+    w.U64(consumed);
+  }
+  w.U32(static_cast<uint32_t>(scheduler_threads_.size()));
+  for (uint32_t index : scheduler_threads_) {
+    w.U32(index);
+  }
+
+  w.U32(static_cast<uint32_t>(registered_programs_.size()));
+  for (const ckisa::Program& prog : registered_programs_) {
+    w.U32(prog.base);
+    w.U32(static_cast<uint32_t>(prog.words.size()));
+    for (uint32_t word : prog.words) {
+      w.U32(word);
+    }
+    w.U32(static_cast<uint32_t>(prog.labels.size()));
+    for (const auto& [name, addr] : prog.labels) {
+      w.Str(name);
+      w.U32(addr);
+    }
+  }
+
+  w.U32(static_cast<uint32_t>(processes_.size()));
+  for (const auto& proc : processes_) {
+    w.U32(static_cast<uint32_t>(proc->pid));
+    w.U8(static_cast<uint8_t>(proc->state));
+    w.U32(static_cast<uint32_t>(proc->exit_code));
+    w.Bool(proc->segv_fault);
+    w.U32(proc->space_index);
+    w.U32(proc->thread_index);
+    w.U32(proc->brk);
+    w.U32(proc->segv_handler);
+    w.Str(proc->console);
+    w.U64(proc->syscalls);
+    w.Bool(proc->swapped);
+    w.U32(static_cast<uint32_t>(proc->waiters.size()));
+    for (int waiter : proc->waiters) {
+      w.U32(static_cast<uint32_t>(waiter));
+    }
+    w.U32(static_cast<uint32_t>(proc->inbox.size()));
+    for (const std::vector<uint8_t>& message : proc->inbox) {
+      w.U32(static_cast<uint32_t>(message.size()));
+      w.Bytes(message.data(), message.size());
+    }
+    w.Bool(proc->recv_blocked);
+    w.U32(proc->recv_buf);
+    w.U32(proc->recv_max);
+    // Pending sleeps become a relative deadline: the ScheduleAfter callback
+    // dies with the source machine and is re-armed against the target clock.
+    cksim::Cycles remaining =
+        proc->sleep_until > api.now() ? proc->sleep_until - api.now() : 0;
+    w.U64(remaining);
+  }
+}
+
+void UnixEmulator::RestoreExtra(ckckpt::Reader& r, CkApi& api) {
+  if (r.U32() != config_.backing_pages || r.U64() != config_.backing_latency ||
+      r.Bool() != config_.async_paging || r.U8() != config_.default_priority ||
+      r.U8() != config_.batch_priority || r.U64() != config_.sched_interval ||
+      r.Bool() != config_.run_scheduler_thread || r.U32() != config_.stack_pages ||
+      r.U32() != config_.heap_base || r.U32() != config_.stack_top) {
+    r.Fail("unix emulator config mismatch between image and target instance");
+    return;
+  }
+  if (!processes_.empty() || !schedulers_.empty()) {
+    r.Fail("unix emulator target is not a fresh instance");
+    return;
+  }
+
+  total_syscalls_ = r.U64();
+  last_consumed_.assign(r.U32(), 0);
+  for (uint64_t& consumed : last_consumed_) {
+    consumed = r.U64();
+  }
+  std::vector<uint32_t> sched_indexes(r.U32(), 0);
+  for (uint32_t& index : sched_indexes) {
+    index = r.U32();
+  }
+
+  registered_programs_.clear();
+  uint32_t program_count = r.U32();
+  for (uint32_t i = 0; i < program_count && r.ok(); ++i) {
+    ckisa::Program prog;
+    prog.base = r.U32();
+    prog.words.assign(r.U32(), 0);
+    for (uint32_t& word : prog.words) {
+      word = r.U32();
+    }
+    uint32_t label_count = r.U32();
+    for (uint32_t l = 0; l < label_count && r.ok(); ++l) {
+      std::string name = r.Str();
+      prog.labels[name] = r.U32();
+    }
+    registered_programs_.push_back(std::move(prog));
+  }
+
+  uint32_t process_count = r.U32();
+  for (uint32_t i = 0; i < process_count && r.ok(); ++i) {
+    auto proc = std::make_unique<Process>();
+    proc->pid = static_cast<int>(r.U32());
+    proc->state = static_cast<Process::State>(r.U8());
+    proc->exit_code = static_cast<int>(r.U32());
+    proc->segv_fault = r.Bool();
+    proc->space_index = r.U32();
+    proc->thread_index = r.U32();
+    proc->brk = r.U32();
+    proc->segv_handler = r.U32();
+    proc->console = r.Str();
+    proc->syscalls = r.U64();
+    proc->swapped = r.Bool();
+    proc->waiters.assign(r.U32(), 0);
+    for (int& waiter : proc->waiters) {
+      waiter = static_cast<int>(r.U32());
+    }
+    uint32_t inbox_count = r.U32();
+    for (uint32_t m = 0; m < inbox_count && r.ok(); ++m) {
+      std::vector<uint8_t> message(r.U32());
+      r.Bytes(message.data(), message.size());
+      proc->inbox.push_back(std::move(message));
+    }
+    proc->recv_blocked = r.Bool();
+    proc->recv_buf = r.U32();
+    proc->recv_max = r.U32();
+    cksim::Cycles remaining = r.U64();
+    if (proc->state == Process::State::kSleeping) {
+      // Re-arm the wakeup against this machine's clock. A deadline that
+      // passed in flight fires on the next cycle.
+      remaining = std::max<cksim::Cycles>(remaining, 1);
+      proc->sleep_until = api.now() + remaining;
+      int pid = proc->pid;
+      api.ScheduleAfter(remaining, [this, pid](CkApi& later) { FinishSleep(later, pid); });
+    }
+    if (proc->thread_index >= thread_count() || proc->space_index >= space_count()) {
+      r.Fail("process references a thread or space not in the image");
+      return;
+    }
+    processes_.push_back(std::move(proc));
+  }
+  if (!r.ok()) {
+    return;
+  }
+
+  // Recreate the per-processor scheduler threads: the native program objects
+  // are host-side and cannot be serialized, so fresh ones rebind to the
+  // restored (locked, high-priority) thread records.
+  for (uint32_t index : sched_indexes) {
+    if (index >= thread_count()) {
+      r.Fail("scheduler thread index not in the image");
+      return;
+    }
+    ckapp::ThreadRec& rec = thread(index);
+    uint32_t cpu = std::min<uint32_t>(rec.cpu_hint, ck_.machine().cpu_count() - 1);
+    auto sched = std::make_unique<SchedulerProgram>(*this, cpu);
+    sched->set_thread_index(index);
+    RebindNativeProgram(index, sched.get());
+    // The ScheduleAfter that would have woken the blocked scheduler died
+    // with the source machine; start it runnable so Step() re-arms it.
+    rec.was_blocked = false;
+    scheduler_threads_.push_back(index);
+    schedulers_.push_back(std::move(sched));
+  }
+}
+
+void UnixEmulator::OnSwappedIn(CkApi& api) {
+  for (uint32_t index : scheduler_threads_) {
+    ckapp::ThreadRec& rec = thread(index);
+    // The ScheduleAfter wakeup armed before the swap names the old (stale)
+    // thread id; restart the scheduler runnable so its Step() re-arms.
+    rec.was_blocked = false;
+    EnsureThreadLoaded(api, index);
+  }
+  for (const auto& proc : processes_) {
+    if (proc->state == Process::State::kZombie || proc->swapped) {
+      continue;
+    }
+    ckapp::ThreadRec& rec = thread(proc->thread_index);
+    if (!rec.finished) {
+      EnsureThreadLoaded(api, proc->thread_index);
+    }
+  }
+}
+
+bool UnixEmulator::ShouldReloadOnRestore(uint32_t thread_index) {
+  for (const auto& proc : processes_) {
+    if (proc->thread_index == thread_index) {
+      return !proc->swapped;
+    }
+  }
+  return true;
 }
 
 void UnixEmulator::SwapOutProcess(CkApi& api, int pid) {

@@ -70,6 +70,7 @@ struct Process {
   bool recv_blocked = false;
   cksim::VirtAddr recv_buf = 0;
   uint32_t recv_max = 0;
+  cksim::Cycles sleep_until = 0;    // absolute wakeup time while kSleeping
 };
 
 struct UnixConfig {
@@ -117,6 +118,21 @@ class UnixEmulator : public ckapp::AppKernelBase {
   // ---- AppKernel overrides ----
   ck::TrapAction HandleTrap(const ck::TrapForward& trap, ck::CkApi& api) override;
 
+  // ---- checkpoint hooks (docs/CHECKPOINT.md) ----
+  // The emulator's whole process table plus registered program images,
+  // scheduler bookkeeping and pending sleep deadlines go into the kAppExtra
+  // record; pids are part of the records, which is why they survive
+  // migration ("processes resume with stable pids").
+  void CaptureExtra(ckckpt::Writer& w, ck::CkApi& api) override;
+  void RestoreExtra(ckckpt::Reader& r, ck::CkApi& api) override;
+  // Swapped-out processes stay swapped after a restore; WakeProcess reloads
+  // their threads on demand, exactly as on the source machine.
+  bool ShouldReloadOnRestore(uint32_t thread_index) override;
+  // After a whole-kernel swap-in (SwapIn / Checkpoint): restart the
+  // scheduler threads -- their pre-swap wakeups hold stale ids -- and
+  // reload the live process threads so execution continues promptly.
+  void OnSwappedIn(ck::CkApi& api) override;
+
  protected:
   ck::HandlerAction OnIllegalAccess(const ck::FaultForward& fault, ck::CkApi& api) override;
   bool UseAsyncPaging() const override { return config_.async_paging; }
@@ -136,6 +152,7 @@ class UnixEmulator : public ckapp::AppKernelBase {
   ck::CacheKernel& ck_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<SchedulerProgram>> schedulers_;
+  std::vector<uint32_t> scheduler_threads_;  // thread index per scheduler
   std::vector<uint64_t> last_consumed_;  // per thread-index, for aging
   std::vector<ckisa::Program> registered_programs_;
   uint64_t total_syscalls_ = 0;

@@ -1,0 +1,631 @@
+// Checkpoint/restore subsystem (src/ckpt, docs/CHECKPOINT.md):
+//   * serializer and image framing round-trips, CRC corruption detection
+//     ("never load a partial kernel");
+//   * writeback -> serialize -> deserialize -> reload round-trips bit-exact
+//     for every object type (kernel grant, spaces, threads, page records of
+//     every residency class) on a generic application kernel;
+//   * same-MPM checkpoint transparency (differential against an untouched
+//     control world, the fastpath_test.cc pattern);
+//   * cross-MPM live migration of the UNIX emulator with stable pids;
+//   * crash failover from the last stable-store image;
+//   * database kernel round-trip (app-extra state: recency list, query
+//     engine progress).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/image.h"
+#include "src/ckpt/serializer.h"
+#include "src/db/db_kernel.h"
+#include "src/isa/assembler.h"
+#include "src/sim/devices.h"
+#include "src/unixemu/unix_emulator.h"
+#include "tests/test_harness.h"
+
+namespace {
+
+using ckbase::CkStatus;
+using ckckpt::AppKernelState;
+using ckckpt::CkptImage;
+using ckckpt::FrameRemap;
+using ckckpt::Reader;
+using ckckpt::RecordType;
+using ckckpt::RestoreOptions;
+using ckckpt::Writer;
+using ckunix::Process;
+using ckunix::UnixConfig;
+using ckunix::UnixEmulator;
+using cktest::TestWorld;
+
+ckisa::Program MustAssemble(const char* source, uint32_t base = 0x10000) {
+  ckisa::AssembleResult result = ckisa::Assemble(source, base);
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.program;
+}
+
+using Digest = std::vector<std::pair<std::string, uint64_t>>;
+
+void ExpectDigestsEqual(const Digest& a, const Digest& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "digest key order diverges at " << i;
+    EXPECT_EQ(a[i].second, b[i].second) << "observable '" << a[i].first << "' differs";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer.
+// ---------------------------------------------------------------------------
+
+TEST(CkptSerializer, RoundTripAllTypes) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.Bool(true);
+  w.Bool(false);
+  w.Str("writeback completeness");
+  const uint8_t raw[4] = {1, 2, 3, 4};
+  w.Bytes(raw, sizeof(raw));
+
+  Reader r(w.data());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0xbeef);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_EQ(r.Str(), "writeback completeness");
+  uint8_t out[4] = {0};
+  r.Bytes(out, sizeof(out));
+  EXPECT_EQ(std::memcmp(out, raw, sizeof(raw)), 0);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(CkptSerializer, CrcMatchesKnownVector) {
+  // The standard CRC-32 (IEEE, reflected) check value.
+  EXPECT_EQ(ckckpt::Crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(CkptSerializer, ReaderOverrunIsSticky) {
+  Writer w;
+  w.U16(7);
+  Reader r(w.data());
+  r.U32();                  // overrun
+  EXPECT_EQ(r.U64(), 0u);   // sticky: subsequent reads return zeros
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "record truncated");
+  EXPECT_FALSE(r.Done());
+}
+
+// ---------------------------------------------------------------------------
+// Image container.
+// ---------------------------------------------------------------------------
+
+CkptImage SmallImage() {
+  CkptImage image;
+  Writer header;
+  header.U32(0x1234);
+  header.Str("tiny");
+  image.Append(RecordType::kHeader, header.Take());
+  Writer extra;
+  for (uint8_t i = 0; i < 16; ++i) {
+    extra.U8(i);
+  }
+  image.Append(RecordType::kAppExtra, extra.Take());
+  image.Append(RecordType::kEnd, {});
+  return image;
+}
+
+TEST(CkptImage, SerializeParseRoundTrip) {
+  CkptImage image = SmallImage();
+  std::vector<uint8_t> bytes = image.Serialize();
+  EXPECT_EQ(bytes.size(), image.SizeBytes());
+
+  CkptImage out;
+  std::string error;
+  ASSERT_TRUE(CkptImage::Parse(bytes, &out, &error)) << error;
+  ASSERT_EQ(out.records().size(), image.records().size());
+  for (size_t i = 0; i < out.records().size(); ++i) {
+    EXPECT_EQ(out.records()[i].type, image.records()[i].type);
+    EXPECT_EQ(out.records()[i].payload, image.records()[i].payload);
+  }
+  EXPECT_NE(out.Find(RecordType::kAppExtra), nullptr);
+  EXPECT_EQ(out.Find(RecordType::kThread), nullptr);
+}
+
+TEST(CkptImage, EveryFlippedByteIsDetected) {
+  std::vector<uint8_t> bytes = SmallImage().Serialize();
+  {
+    CkptImage ok_image;
+    std::string error;
+    ASSERT_TRUE(CkptImage::Parse(bytes, &ok_image, &error)) << error;
+  }
+  // One flipped bit anywhere -- magic, version, framing, payload, CRC --
+  // must fail Parse and leave the output image untouched.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t bit : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupt = bytes;
+      corrupt[i] ^= bit;
+      CkptImage out;
+      std::string error;
+      EXPECT_FALSE(CkptImage::Parse(corrupt, &out, &error))
+          << "flip of bit " << int(bit) << " at offset " << i << " went undetected";
+      EXPECT_TRUE(out.records().empty()) << "output mutated on failure at offset " << i;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact round trip of a generic kernel exercising every object type.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kWorkerSrc = R"(
+      li   t0, 0x40000000
+  loop:
+      lw   t1, 0(t0)
+      addi t1, t1, 1
+      sw   t1, 0(t0)
+      j    loop
+)";
+
+constexpr const char* kFinisherSrc = R"(
+      addi s0, r0, 7
+      halt
+)";
+
+TEST(CkptRoundTrip, RichKernelBitExactAcrossMachines) {
+  TestWorld a;
+  // A fixed device/channel region on A (the SRM controls device placement).
+  uint32_t group_a = a.srm().ReserveGroups(1).value();
+  cksim::PhysAddr fixed_a = group_a * cksim::kPageGroupBytes;
+
+  ckapp::AppKernelBase app_a("rich", 64);
+  cksrm::LaunchParams params;
+  params.page_groups = 4;
+  params.max_priority = 30;
+  ASSERT_TRUE(a.srm().Launch(app_a, params).ok());
+  ASSERT_EQ(a.srm().GrantSharedGroups(app_a, group_a, 1, ck::GroupAccess::kReadWrite),
+            CkStatus::kOk);
+  ck::CkApi api_a(a.ck(), app_a.self(), a.machine().cpu(0));
+
+  uint32_t sp0 = app_a.CreateSpace(api_a);
+  uint32_t sp1 = app_a.CreateSpace(api_a);
+
+  // Zero-fill region: touch three pages (resident dirty owned frames).
+  app_a.DefineZeroRegion(sp0, 0x40000000, 8, /*writable=*/true);
+  for (uint32_t p = 0; p < 3; ++p) {
+    uint32_t value = 0xabc00000u + p;
+    ASSERT_TRUE(app_a.WriteGuest(api_a, sp0, 0x40000000 + p * cksim::kPageSize, &value, 4));
+  }
+
+  // Backing-store region: preload distinctive bytes, fault two pages in.
+  uint32_t backed_first = 32;
+  for (uint32_t p = 0; p < 4; ++p) {
+    std::vector<uint8_t> data(cksim::kPageSize);
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(p * 31 + i);
+    }
+    app_a.backing().WriteBytes(backed_first + p, 0, data.data(),
+                               static_cast<uint32_t>(data.size()));
+  }
+  app_a.DefineBackedRegion(sp0, 0x41000000, 4, backed_first, /*writable=*/true);
+  uint32_t probe = 0;
+  ASSERT_TRUE(app_a.ReadGuest(api_a, sp0, 0x41000000, &probe, 4));
+  ASSERT_TRUE(app_a.ReadGuest(api_a, sp0, 0x41000000 + cksim::kPageSize, &probe, 4));
+
+  // Guest threads: a worker that loops forever and a finisher that halts.
+  app_a.DefineZeroRegion(sp0, 0x70000000, 4, /*writable=*/true);  // stacks
+  ckisa::Program worker = MustAssemble(kWorkerSrc, 0x10000);
+  ckisa::Program finisher = MustAssemble(kFinisherSrc, 0x14000);
+  app_a.LoadProgramImage(sp0, worker, /*writable=*/false);
+  app_a.LoadProgramImage(sp0, finisher, /*writable=*/false);
+  ckapp::GuestThreadParams worker_params;
+  worker_params.space_index = sp0;
+  worker_params.entry = worker.base;
+  worker_params.stack_top = 0x70002000;
+  uint32_t worker_index = app_a.CreateGuestThread(api_a, worker_params);
+  ckapp::GuestThreadParams fin_params;
+  fin_params.space_index = sp0;
+  fin_params.entry = finisher.base;
+  fin_params.stack_top = 0x70004000;
+  uint32_t fin_index = app_a.CreateGuestThread(api_a, fin_params);
+
+  // Message page on the fixed frame, signalling the worker; carries payload.
+  app_a.DefineFrameRegion(sp1, 0x50000000, 1, fixed_a, /*writable=*/true,
+                          /*message=*/true, /*signal_thread=*/worker_index);
+  const char payload[] = "channel payload survives migration";
+  ASSERT_EQ(api_a.WritePhys(fixed_a, payload, sizeof(payload)), CkStatus::kOk);
+
+  // Deferred-copy region off a template frame in the fixed region: write one
+  // page (forces the copy), leave the other deferred (kSharedFrame record).
+  cksim::PhysAddr template_frame = fixed_a + cksim::kPageSize;
+  const char template_data[] = "cow template";
+  ASSERT_EQ(api_a.WritePhys(template_frame, template_data, sizeof(template_data)),
+            CkStatus::kOk);
+  app_a.DefineCowRegion(sp0, 0x60000000, 2, template_frame);
+  uint32_t cow_touch = 0x5a5a5a5a;
+  ASSERT_TRUE(app_a.WriteGuest(api_a, sp0, 0x60000000 + 64, &cow_touch, 4));
+
+  // Run until the finisher halts and the worker has made progress.
+  ASSERT_TRUE(a.RunUntil([&] { return app_a.thread(fin_index).finished; }));
+  a.RunUntil([] { return false; }, 20000);
+  uint32_t counter_at_capture = 0;
+  ASSERT_TRUE(app_a.ReadGuest(api_a, sp0, 0x40000000, &counter_at_capture, 4));
+  ASSERT_GT(counter_at_capture, 0u);
+
+  // Checkpoint in place; the image is observably bit-exact with the kernel.
+  CkptImage image;
+  ASSERT_EQ(a.srm().Checkpoint(app_a, &image), CkStatus::kOk);
+  ck::CkApi srm_api_a = a.Api();
+  Digest digest_a = AppKernelState::Digest(app_a, srm_api_a);
+
+  // Ship through the serialized form (what migration/failover moves).
+  std::vector<uint8_t> bytes = image.Serialize();
+  CkptImage shipped;
+  std::string error;
+  ASSERT_TRUE(CkptImage::Parse(bytes, &shipped, &error)) << error;
+
+  // Target machine: the fixed region lives at a different physical base.
+  TestWorld b;
+  ASSERT_TRUE(b.srm().ReserveGroups(1).ok());
+  uint32_t group_b = b.srm().ReserveGroups(1).value();
+  cksim::PhysAddr fixed_b = group_b * cksim::kPageGroupBytes;
+  ASSERT_NE(fixed_b, fixed_a);
+
+  ckapp::AppKernelBase app_b("rich", 64);
+  RestoreOptions options;
+  options.frame_remaps.push_back(FrameRemap{fixed_a, fixed_b, 2});
+  ASSERT_EQ(b.srm().Restore(app_b, shipped, options, &error), CkStatus::kOk) << error;
+
+  ck::CkApi srm_api_b = b.Api();
+  Digest digest_b = AppKernelState::Digest(app_b, srm_api_b);
+  ExpectDigestsEqual(digest_a, digest_b);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+
+  // The migrated channel payload is readable at the remapped fixed frame.
+  char migrated[sizeof(payload)] = {0};
+  ASSERT_EQ(srm_api_b.ReadPhys(fixed_b, migrated, sizeof(migrated)), CkStatus::kOk);
+  EXPECT_STREQ(migrated, payload);
+
+  // Execution continues on the target: the worker keeps counting.
+  b.RunUntil([] { return false; }, 20000);
+  ck::CkApi api_b(b.ck(), app_b.self(), b.machine().cpu(0));
+  uint32_t counter_after = 0;
+  ASSERT_TRUE(app_b.ReadGuest(api_b, sp0, 0x40000000, &counter_after, 4));
+  EXPECT_GT(counter_after, counter_at_capture);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption and mismatch: a bad image never loads a partial kernel.
+// ---------------------------------------------------------------------------
+
+TEST(CkptCorruption, CorruptStoreImageRestoresNothing) {
+  TestWorld a;
+  ckapp::AppKernelBase app_a("victim", 16);
+  ASSERT_TRUE(a.srm().Launch(app_a, cksrm::LaunchParams{}).ok());
+  ck::CkApi api_a(a.ck(), app_a.self(), a.machine().cpu(0));
+  uint32_t sp = app_a.CreateSpace(api_a);
+  app_a.DefineZeroRegion(sp, 0x40000000, 2, true);
+  uint32_t v = 0x11223344;
+  ASSERT_TRUE(app_a.WriteGuest(api_a, sp, 0x40000000, &v, 4));
+
+  CkptImage image;
+  ASSERT_EQ(a.srm().Checkpoint(app_a, &image), CkStatus::kOk);
+  std::vector<uint8_t> bytes = image.Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;  // one flipped bit, mid-payload
+
+  cksim::StableStore store;
+  store.Put("victim", bytes);
+
+  TestWorld b;
+  ckapp::AppKernelBase app_b("victim", 16);
+  std::string error;
+  EXPECT_EQ(b.srm().RestoreFromStore(app_b, store, "victim", RestoreOptions{}, &error),
+            CkStatus::kInvalidArgument);
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+  // Clean failure: nothing of the kernel was created, let alone loaded.
+  EXPECT_EQ(app_b.space_count(), 0u);
+  EXPECT_EQ(app_b.thread_count(), 0u);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+
+  std::string missing_error;
+  EXPECT_EQ(b.srm().RestoreFromStore(app_b, store, "absent", RestoreOptions{}, &missing_error),
+            CkStatus::kNotFound);
+}
+
+TEST(CkptCorruption, MismatchedTargetLoadsNoObjects) {
+  TestWorld a;
+  UnixEmulator emu_a(a.ck());
+  cksrm::LaunchParams params;
+  params.page_groups = 8;
+  params.max_priority = 31;
+  params.locked_kernel_object = true;
+  ASSERT_TRUE(a.srm().Launch(emu_a, params).ok());
+  ck::CkApi api_a(a.ck(), emu_a.self(), a.machine().cpu(0));
+  emu_a.Start(api_a);
+  int pid = emu_a.Exec(api_a, MustAssemble(R"(
+      addi a0, r0, 3
+      trap 17
+  )"));
+  ASSERT_TRUE(a.RunUntil(
+      [&] { return emu_a.process(pid).state == Process::State::kZombie; }));
+
+  CkptImage image;
+  ASSERT_EQ(a.srm().Checkpoint(emu_a, &image), CkStatus::kOk);
+
+  // A target instance configured differently is rejected by the emulator's
+  // RestoreExtra; the Cache Kernel ends up with no objects for it.
+  TestWorld b;
+  UnixConfig other;
+  other.default_priority = 5;  // != default fingerprint
+  UnixEmulator emu_b(b.ck(), other);
+  std::string error;
+  EXPECT_EQ(b.srm().Restore(emu_b, image, RestoreOptions{}, &error),
+            CkStatus::kInvalidArgument);
+  EXPECT_NE(error.find("config mismatch"), std::string::npos) << error;
+  for (uint32_t i = 0; i < emu_b.thread_count(); ++i) {
+    EXPECT_FALSE(emu_b.thread(i).loaded) << "thread " << i << " loaded on failed restore";
+  }
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+}
+
+// ---------------------------------------------------------------------------
+// UNIX emulator: checkpoint transparency, migration, failover.
+// ---------------------------------------------------------------------------
+
+// Deterministic per-process workload (console output and exit codes do not
+// depend on cross-process timing, so a checkpoint-induced delay is invisible).
+constexpr const char* kTickerSrc = R"(
+      addi s0, r0, 3
+  loop:
+      la   a0, msg
+      addi a1, r0, 4
+      trap 18         ; write "tik."
+      li   a0, 12000
+      trap 20         ; sleep 12ms (crosses the thread-unload threshold)
+      addi s0, s0, -1
+      beq  s0, r0, done
+      j    loop
+  done:
+      addi a0, r0, 7
+      trap 17
+  msg:
+      .word 0x2e6b6974  ; "tik."
+)";
+
+constexpr const char* kChildSrc = R"(
+      la   a0, msg
+      addi a1, r0, 3
+      trap 18         ; write "c!\n"
+      addi a0, r0, 9
+      trap 17
+  msg:
+      .word 0x000a2163
+)";
+
+constexpr const char* kSpawnerSrc = R"(
+      addi a0, r0, 0
+      trap 24         ; spawn(registered program 0)
+      trap 25         ; waitpid(child) -> exit code
+      addi a0, a0, 1
+      trap 17         ; exit(child code + 1)
+)";
+
+constexpr const char* kReceiverSrc = R"(
+      addi a0, r0, 1
+      trap 19         ; sbrk(1 page) -> buffer
+      mv   s1, a0
+      mv   a0, s1
+      addi a1, r0, 16
+      trap 27         ; recv -> len
+      mv   a1, a0
+      mv   a0, s1
+      trap 18         ; echo the received bytes to the console
+      addi a0, r0, 0
+      trap 17
+)";
+
+constexpr const char* kSenderSrc = R"(
+      li   a0, 4000
+      trap 20         ; let the receiver block first
+      addi a0, r0, 3  ; receiver pid (third exec)
+      la   a1, msg
+      addi a2, r0, 4
+      trap 26         ; send "ping"
+      addi a0, r0, 0
+      trap 17
+  msg:
+      .word 0x676e6970
+)";
+
+// One world running the full workload. pids: ticker=1, spawner=2,
+// receiver=3, sender=4, spawned child=5.
+struct UnixWorld {
+  explicit UnixWorld(const UnixConfig& config = UnixConfig()) : emu(world.ck(), config) {
+    cksrm::LaunchParams params;
+    params.page_groups = 8;
+    params.max_priority = 31;
+    params.locked_kernel_object = true;
+    EXPECT_TRUE(world.srm().Launch(emu, params).ok());
+    ck::CkApi api = Api();
+    emu.Start(api);
+  }
+
+  ck::CkApi Api() { return ck::CkApi(world.ck(), emu.self(), world.machine().cpu(0)); }
+
+  void ExecWorkload() {
+    ck::CkApi api = Api();
+    emu.RegisterProgram(MustAssemble(kChildSrc));
+    EXPECT_EQ(emu.Exec(api, MustAssemble(kTickerSrc)), 1);
+    EXPECT_EQ(emu.Exec(api, MustAssemble(kSpawnerSrc)), 2);
+    EXPECT_EQ(emu.Exec(api, MustAssemble(kReceiverSrc)), 3);
+    EXPECT_EQ(emu.Exec(api, MustAssemble(kSenderSrc)), 4);
+  }
+
+  TestWorld world;
+  UnixEmulator emu;
+};
+
+void ExpectWorkloadComplete(UnixEmulator& emu) {
+  ASSERT_EQ(emu.process_count(), 5u);
+  EXPECT_EQ(emu.process(1).console, "tik.tik.tik.");
+  EXPECT_EQ(emu.process(1).exit_code, 7);
+  EXPECT_EQ(emu.process(2).exit_code, 10);  // child's 9 + 1, via waitpid
+  EXPECT_EQ(emu.process(3).console, "ping");
+  EXPECT_EQ(emu.process(3).exit_code, 0);
+  EXPECT_EQ(emu.process(4).exit_code, 0);
+  EXPECT_EQ(emu.process(5).console, "c!\n");
+  EXPECT_EQ(emu.process(5).exit_code, 9);
+  for (uint32_t p = 1; p <= emu.process_count(); ++p) {
+    EXPECT_EQ(emu.process(p).pid, static_cast<int>(p)) << "pid not stable";
+    EXPECT_EQ(emu.process(p).state, Process::State::kZombie);
+  }
+}
+
+TEST(CkptUnix, SameMpmCheckpointIsTransparent) {
+  UnixWorld control;
+  UnixWorld probed;
+  control.ExecWorkload();
+  probed.ExecWorkload();
+
+  // Checkpoint the probed world mid-run (the ticker is mid-sequence, the
+  // spawner/receiver are blocked in syscalls).
+  ASSERT_TRUE(probed.world.RunUntil([&] { return probed.emu.process(1).console.size() >= 8; }));
+  CkptImage image;
+  ASSERT_EQ(probed.world.srm().Checkpoint(probed.emu, &image), CkStatus::kOk);
+  EXPECT_GT(image.SizeBytes(), 0u);
+
+  ASSERT_TRUE(control.world.RunUntil([&] { return control.emu.AllExited(); }));
+  ASSERT_TRUE(probed.world.RunUntil([&] { return probed.emu.AllExited(); }));
+
+  // Differential: every process observable matches the untouched control.
+  ExpectWorkloadComplete(control.emu);
+  ExpectWorkloadComplete(probed.emu);
+  ASSERT_EQ(control.emu.process_count(), probed.emu.process_count());
+  for (uint32_t p = 1; p <= control.emu.process_count(); ++p) {
+    EXPECT_EQ(control.emu.process(p).console, probed.emu.process(p).console);
+    EXPECT_EQ(control.emu.process(p).exit_code, probed.emu.process(p).exit_code);
+  }
+  EXPECT_TRUE(probed.world.ck().ValidateInvariants().empty());
+}
+
+TEST(CkptUnix, CrossMpmMigrationPreservesPids) {
+  UnixWorld a;
+  TestWorld b;
+
+  // Fiber channel between the MPMs (device regions placed by each SRM).
+  uint32_t group_a = a.world.srm().ReserveGroups(1).value();
+  uint32_t group_b = b.srm().ReserveGroups(1).value();
+  cksim::FiberChannelDevice fc_a(a.world.machine().memory(), &a.world.ck(),
+                                 group_a * cksim::kPageGroupBytes, 4, 4, 2500);
+  cksim::FiberChannelDevice fc_b(b.machine().memory(), &b.ck(),
+                                 group_b * cksim::kPageGroupBytes, 4, 4, 2500);
+  cksim::FiberChannelDevice::Connect(fc_a, fc_b);
+  a.world.machine().AttachDevice(&fc_a);
+  b.machine().AttachDevice(&fc_b);
+
+  a.ExecWorkload();
+  ASSERT_TRUE(a.world.RunUntil([&] { return a.emu.process(1).console.size() >= 8; }));
+
+  // Quiesce, capture and ship. The source instance stays swapped out.
+  ASSERT_EQ(a.world.srm().Migrate(a.emu, fc_a), CkStatus::kOk);
+  EXPECT_TRUE(a.world.srm().IsSwappedOut(a.emu));
+  EXPECT_EQ(fc_a.bulk_sent(), 1u);
+
+  // Target emulator: fresh instance, same configuration; its schedulers and
+  // process table come from the image (Start is NOT called).
+  UnixEmulator emu_b(b.ck());
+  std::string error;
+  CkStatus accepted = CkStatus::kRetry;
+  for (uint64_t i = 0; i < 200000 && accepted == CkStatus::kRetry; ++i) {
+    b.machine().Step();
+    accepted = b.srm().AcceptMigration(fc_b, emu_b, RestoreOptions{}, &error);
+  }
+  ASSERT_EQ(accepted, CkStatus::kOk) << error;
+  EXPECT_EQ(fc_b.bulk_received(), 1u);
+
+  // All guest processes resume on B and run to completion with stable pids.
+  ASSERT_TRUE(b.RunUntil([&] { return emu_b.AllExited(); }));
+  ExpectWorkloadComplete(emu_b);
+  // Pre-migration output was preserved, not replayed from scratch: the part
+  // the source had already produced is a prefix of the final console.
+  EXPECT_EQ(emu_b.process(1).console.compare(0, 8, a.emu.process(1).console, 0, 8), 0);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+}
+
+TEST(CkptUnix, FailoverRestartsFromLastCheckpoint) {
+  cksim::StableStore store;
+  UnixWorld a;
+  a.ExecWorkload();
+
+  // Periodic checkpoints to stable store while A runs.
+  ASSERT_TRUE(a.world.RunUntil([&] { return a.emu.process(1).console.size() >= 4; }));
+  ASSERT_EQ(a.world.srm().CheckpointToStore(a.emu, store, "unix"), CkStatus::kOk);
+  ASSERT_TRUE(a.world.RunUntil([&] { return a.emu.process(1).console.size() >= 8; }));
+  ASSERT_EQ(a.world.srm().CheckpointToStore(a.emu, store, "unix"), CkStatus::kOk);
+  EXPECT_EQ(store.puts(), 2u);
+  std::string console_at_last_checkpoint = a.emu.process(1).console;
+
+  // Post-checkpoint progress, then the MPM fails.
+  a.world.RunUntil([] { return false; }, 5000);
+  a.world.machine().Halt();
+
+  // The surviving SRM restarts the lost kernel from the last image; only
+  // work since that checkpoint is lost (and is deterministically redone).
+  TestWorld b;
+  UnixEmulator emu_b(b.ck());
+  std::string error;
+  ASSERT_EQ(b.srm().RestoreFromStore(emu_b, store, "unix", RestoreOptions{}, &error),
+            CkStatus::kOk) << error;
+  EXPECT_GE(emu_b.process(1).console.size(), console_at_last_checkpoint.size());
+
+  ASSERT_TRUE(b.RunUntil([&] { return emu_b.AllExited(); }));
+  ExpectWorkloadComplete(emu_b);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Database kernel: app-extra state (recency list, engine progress, stats).
+// ---------------------------------------------------------------------------
+
+TEST(CkptDb, RoundTripPreservesEngineState) {
+  TestWorld a;
+  ckdb::DbConfig config;
+  config.table_pages = 48;
+  config.buffer_pages = 16;
+  ckdb::DbKernel db_a(a.ck(), config);
+  a.Launch(db_a, /*page_groups=*/2);
+  ck::CkApi api_a(a.ck(), db_a.self(), a.machine().cpu(0));
+  db_a.Setup(api_a);
+  uint64_t sum = db_a.RunScan();
+  db_a.RunPointLookups(32);  // builds up recency + stats state
+
+  CkptImage image;
+  ASSERT_EQ(a.srm().Checkpoint(db_a, &image), CkStatus::kOk);
+  ck::CkApi srm_api_a = a.Api();
+  Digest digest_a = AppKernelState::Digest(db_a, srm_api_a);
+
+  TestWorld b;
+  ckdb::DbKernel db_b(b.ck(), config);
+  std::string error;
+  ASSERT_EQ(b.srm().Restore(db_b, image, RestoreOptions{}, &error), CkStatus::kOk) << error;
+  ck::CkApi srm_api_b = b.Api();
+  Digest digest_b = AppKernelState::Digest(db_b, srm_api_b);
+  ExpectDigestsEqual(digest_a, digest_b);
+
+  // Query history carried over; the restored engine still answers correctly.
+  EXPECT_EQ(db_b.query_stats().queries, db_a.query_stats().queries);
+  EXPECT_EQ(db_b.query_stats().rows_read, db_a.query_stats().rows_read);
+  EXPECT_EQ(db_b.RunScan(), sum);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+}
+
+}  // namespace

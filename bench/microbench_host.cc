@@ -211,6 +211,15 @@ BENCHMARK(BM_AssembleSmallProgram);
 int main(int argc, char** argv) {
   ck::ObsSession obs(argc, argv);
   ckbench::ObsSlot() = &obs;
+  // The system libbenchmark may itself be a debug build (its context reports
+  // "library_build_type"); what decides whether these numbers are meaningful
+  // is the build type of THIS binary, where all measured code and the
+  // header-inlined timing loop live. scripts/bench.sh gates recording on it.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -124,6 +124,78 @@ int main(int argc, char** argv) {
   ckbench::Note("shape checks: tens of microseconds end-to-end; delivery dominated by the");
   ckbench::Note("IPI + rescheduling of the receiving thread; reverse-TLB hits make repeat");
   ckbench::Note("deliveries cheaper than the first (sections 4.1, 5.3).");
+
+  // --- Addendum: thread-teardown signal-record reclaim ---
+  //
+  // Unloading a thread frees its Signal records. The records are chained per
+  // thread (through their spare context bits, heads in a kernel side array),
+  // so teardown walks O(registrations) records regardless of how full the
+  // 65536-entry memory map is. Before the chain, teardown scanned the whole
+  // record arena -- O(capacity) host work per thread unload, growing with
+  // occupancy. The simulated cost is one hash_op per removed record either
+  // way; the win is host-side. The table sweeps map occupancy with filler
+  // PhysToVirt records and shows teardown host time staying flat.
+  class NopProgram : public ck::NativeProgram {
+   public:
+    ck::NativeOutcome Step(ck::NativeCtx& ctx) override {
+      ctx.Charge(100);
+      ck::NativeOutcome outcome;
+      outcome.action = ck::NativeOutcome::Action::kYield;
+      return outcome;
+    }
+  };
+  NopProgram nop;
+  constexpr uint32_t kRegistrations = 4;
+  constexpr int kReps = 5;
+  // Filler mappings rotate over a few frames so no single pmap hash chain
+  // degenerates; each (frame, vaddr) pair is a distinct record.
+  constexpr uint32_t kFillerFrames = 64;
+  std::vector<cksim::PhysAddr> filler_frames;
+  for (uint32_t i = 0; i < kFillerFrames; ++i) {
+    filler_frames.push_back(app.frames().Allocate());
+  }
+
+  ckbench::Title("Section 5.3 addendum: signal-record reclaim at thread teardown");
+  std::printf("  %-22s %-16s %18s %16s\n", "filler pv records", "registrations",
+              "teardown host ns", "sim cycles");
+  ckbench::Rule();
+
+  uint32_t filler_loaded = 0;
+  uint32_t next_vpage = 0;
+  // One warmup teardown so the first measured row isn't cold-cache noise.
+  app.UnloadThreadByIndex(api, app.CreateNativeThread(api, space, &nop, 5));
+  for (uint32_t occupancy : {0u, 8192u, 32768u}) {
+    // Top the map up to `occupancy` filler records (same few frames, fresh
+    // virtual pages; teardown never visits them -- that is the point).
+    while (filler_loaded < occupancy) {
+      cksim::VirtAddr va = 0x01000000 + (next_vpage++) * cksim::kPageSize;
+      app.DefineFrameRegion(space, va, 1, filler_frames[filler_loaded % kFillerFrames],
+                            /*writable=*/false, /*message=*/false);
+      app.EnsureMappingLoaded(api, space, va);
+      ++filler_loaded;
+    }
+
+    double total_ns = 0;
+    cksim::Cycles total_cycles = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      uint32_t victim = app.CreateNativeThread(api, space, &nop, 5);
+      for (uint32_t r = 0; r < kRegistrations; ++r) {
+        cksim::VirtAddr va = 0x02000000 + (next_vpage++) * cksim::kPageSize;
+        app.DefineFrameRegion(space, va, 1, filler_frames[r % kFillerFrames],
+                              /*writable=*/false, /*message=*/true, victim);
+        app.EnsureMappingLoaded(api, space, va);
+      }
+      total_cycles += ckbench::MeasureCycles(world.machine().cpu(0), [&] {
+        total_ns += ckbench::MeasureHostNs([&] { app.UnloadThreadByIndex(api, victim); });
+      });
+    }
+    std::printf("  %-22u %-16u %18.0f %16.0f\n", occupancy, kRegistrations, total_ns / kReps,
+                static_cast<double>(total_cycles) / kReps);
+  }
+  ckbench::Rule();
+  ckbench::Note("host ns flat across occupancy = O(registrations) chain walk; the previous");
+  ckbench::Note("arena scan grew linearly with the 65536-record map. sim cycles unchanged");
+  ckbench::Note("by design: one hash_op per removed record (plus the thread writeback).");
   obs.Finish();
   return 0;
 }

@@ -1,7 +1,8 @@
 // Multi-MPM example: two machines, one Cache Kernel each, fiber-channel
 // interconnect, cross-machine RPC, and fault containment (Figures 4 and 5).
 //
-//   $ ./multi_mpm
+//   $ ./multi_mpm            # machines on parallel host threads (default)
+//   $ ./multi_mpm --serial   # single-threaded reference driver
 //
 // Act 1: node A's application kernel farms work items to node B over the RPC
 // facility. Act 2: node A's MPM is halted (a simulated hardware failure);
@@ -11,12 +12,18 @@
 // restarted by node B's SRM from the last image; its guest processes resume
 // with stable pids and only the work since that checkpoint is redone
 // (docs/CHECKPOINT.md).
+//
+// Both machines are driven by the conservative parallel cluster driver
+// (src/sim/cluster.h): the fiber channel's wire latency is the lookahead, and
+// the two modes produce bit-exact results (tests/cluster_test.cc,
+// docs/PERFORMANCE.md "Cluster parallelism").
 
 #include <cstdio>
 #include <cstring>
 
 #include "src/appkernel/channel.h"
 #include "src/isa/assembler.h"
+#include "src/sim/cluster.h"
 #include "src/sim/devices.h"
 #include "src/sim/machine.h"
 #include "src/srm/srm.h"
@@ -85,20 +92,34 @@ constexpr const char* kSpawnerSrc = R"(
 
 int main(int argc, char** argv) {
   ck::ObsSession obs(argc, argv);
+  bool parallel = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serial") == 0) {
+      parallel = false;
+    }
+  }
   Node a, b;
   obs.Attach(a.machine, &a.ck);
 
-  // Fiber channel: one device per node, connected; device regions reserved
-  // by each SRM.
+  // Fiber channel: one device per node; the cluster connects the endpoints,
+  // switches them to barrier-exchanged delivery and derives its lookahead
+  // from the wire latency. Device regions are reserved by each SRM.
   uint32_t group_a = a.srm.ReserveGroups(1).value();
   uint32_t group_b = b.srm.ReserveGroups(1).value();
   cksim::FiberChannelDevice fc_a(a.machine.memory(), &a.ck, group_a * cksim::kPageGroupBytes, 4,
                                  4, 2500);
   cksim::FiberChannelDevice fc_b(b.machine.memory(), &b.ck, group_b * cksim::kPageGroupBytes, 4,
                                  4, 2500);
-  cksim::FiberChannelDevice::Connect(fc_a, fc_b);
+  cksim::Cluster cluster;
+  cluster.AddMachine(&a.machine);
+  cluster.AddMachine(&b.machine);
+  cluster.Link(fc_a, fc_b);
+  cluster.set_parallel(parallel);
   a.machine.AttachDevice(&fc_a);
   b.machine.AttachDevice(&fc_b);
+  std::printf("cluster: %u machines, %s driver, lookahead %llu cycles\n",
+              cluster.machine_count(), parallel ? "parallel" : "serial reference",
+              static_cast<unsigned long long>(cluster.lookahead()));
 
   // One app kernel per node.
   ckapp::AppKernelBase app_a("dispatcher", 64), app_b("compute-node", 64);
@@ -141,19 +162,10 @@ int main(int argc, char** argv) {
   requests.PrimeReceiver(api_b);
   replies.PrimeReceiver(api_a);
 
-  auto run_both = [&](const std::function<bool()>& done, uint64_t max_turns) {
-    for (uint64_t i = 0; i < max_turns; ++i) {
-      if (done()) {
-        return true;
-      }
-      if (!a.machine.halted()) {
-        a.machine.Step();
-      }
-      if (!b.machine.halted()) {
-        b.machine.Step();
-      }
-    }
-    return done();
+  // Drive both machines through the cluster's window protocol. The predicate
+  // is evaluated at barriers, where cross-machine state is quiescent.
+  auto run_both = [&](const std::function<bool()>& done, cksim::Cycles max_cycles) {
+    return cluster.RunUntilDone(done, max_cycles);
   };
 
   // Dispatch three jobs to node B.
@@ -165,7 +177,7 @@ int main(int argc, char** argv) {
     client.Call(api_a, 1, arg, [&answer](const std::vector<uint8_t>& reply, ck::CkApi&) {
       std::memcpy(&answer, reply.data(), 8);
     });
-    if (!run_both([&] { return answer != 0; }, 3000000)) {
+    if (!run_both([&] { return answer != 0; }, cksim::Cycles{200000000})) {
       std::printf("  job n=%u: TIMED OUT\n", n);
       return 1;
     }
@@ -191,7 +203,7 @@ int main(int argc, char** argv) {
 
   // Run until the ticker is mid-sequence, checkpointing as it goes.
   for (size_t target : {4u, 8u}) {
-    run_both([&] { return emu_a.process(ticker).console.size() >= target; }, 3000000);
+    run_both([&] { return emu_a.process(ticker).console.size() >= target; }, cksim::Cycles{200000000});
     if (a.srm.CheckpointToStore(emu_a, store, "unix-emulator") != ckbase::CkStatus::kOk) {
       std::printf("  checkpoint FAILED\n");
       return 1;
@@ -217,7 +229,7 @@ int main(int argc, char** argv) {
   };
   LocalCounter counter;
   app_b.CreateNativeThread(api_b, space_b, &counter, 10);
-  run_both([&] { return counter.count >= 1000; }, 3000000);
+  run_both([&] { return counter.count >= 1000; }, cksim::Cycles{200000000});
 
   std::printf("node B executed %llu work units after node A failed\n",
               static_cast<unsigned long long>(counter.count));
@@ -235,7 +247,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("  restored %u processes; resuming on node B\n", emu_b.process_count());
-  if (!run_both([&] { return emu_b.AllExited(); }, 5000000)) {
+  if (!run_both([&] { return emu_b.AllExited(); }, cksim::Cycles{400000000})) {
     std::printf("  guest processes TIMED OUT on node B\n");
     return 1;
   }

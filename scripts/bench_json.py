@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate and record google-benchmark JSON results.
+
+Recorded BENCH_*.json files at the repo root use an append-only wrapper:
+
+    {"schema": "ck-bench-runs-v1", "runs": [<google-benchmark output>, ...]}
+
+so re-recording keeps history instead of silently replacing numbers whose
+context (host, build type, load) differed.
+
+Subcommands:
+  check  <file> [--require-release] [--require-counter NAME]...
+      Validate one google-benchmark JSON output (or every run of a recorded
+      wrapper file). --require-release fails unless the run was built for
+      release: either the benchmark library itself reports
+      context.library_build_type == "release", or the benchmark binary was
+      compiled with NDEBUG and says so via the custom context key
+      binary_build_type (all measured code lives in the binary; see
+      bench/microbench_host.cc).
+
+  append <file> <run.json> [--require-release]
+      Validate run.json, then append it to the wrapper file <file>.
+      A legacy single-run file is converted to the wrapper format first;
+      legacy runs that fail validation are dropped with a warning (that is
+      the point: they were recorded without the gate).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ck-bench-runs-v1"
+
+
+def is_release(run):
+    ctx = run.get("context", {})
+    if ctx.get("library_build_type") == "release":
+        return True
+    # google-benchmark >= 1.6 merges AddCustomContext entries into context.
+    return ctx.get("binary_build_type") == "release"
+
+
+def validate_run(run, require_release, require_counters, label):
+    errors = []
+    ctx = run.get("context")
+    if not isinstance(ctx, dict):
+        errors.append(f"{label}: missing context object")
+        ctx = {}
+    benches = run.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        errors.append(f"{label}: missing or empty benchmarks array")
+        benches = []
+    for b in benches:
+        if "error_occurred" in b and b["error_occurred"]:
+            errors.append(f"{label}: benchmark {b.get('name')} reported an error: "
+                          f"{b.get('error_message')}")
+        if "name" not in b:
+            errors.append(f"{label}: benchmark entry without a name")
+    for counter in require_counters:
+        present = [b for b in benches if counter in b]
+        if not present:
+            errors.append(f"{label}: no benchmark carries required counter '{counter}'")
+    if require_release and not is_release(run):
+        errors.append(
+            f"{label}: context is not a release build "
+            f"(library_build_type={ctx.get('library_build_type')!r}, "
+            f"binary_build_type={ctx.get('binary_build_type')!r}); refusing")
+    return errors
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and doc.get("schema") == SCHEMA:
+        return doc.get("runs", []), True
+    # Legacy: a bare google-benchmark output object.
+    return [doc], False
+
+
+def cmd_check(args):
+    runs, _ = load_runs(args.file)
+    errors = []
+    for i, run in enumerate(runs):
+        errors += validate_run(run, args.require_release, args.require_counter,
+                               f"{args.file} run[{i}]")
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    if not errors:
+        print(f"OK: {args.file}: {len(runs)} valid run(s)")
+    return 1 if errors else 0
+
+
+def cmd_append(args):
+    with open(args.run) as f:
+        new_run = json.load(f)
+    errors = validate_run(new_run, args.require_release, [], args.run)
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        print(f"FAIL: {args.run} NOT recorded into {args.file}", file=sys.stderr)
+        return 1
+
+    runs = []
+    try:
+        old_runs, wrapped = load_runs(args.file)
+    except FileNotFoundError:
+        old_runs, wrapped = [], True
+    for i, run in enumerate(old_runs):
+        old_errors = validate_run(run, args.require_release, [], f"existing run[{i}]")
+        if old_errors:
+            kind = "recorded" if wrapped else "legacy"
+            print(f"WARN: dropping {kind} run[{i}] from {args.file}:", file=sys.stderr)
+            for e in old_errors:
+                print(f"WARN:   {e}", file=sys.stderr)
+        else:
+            runs.append(run)
+    runs.append(new_run)
+    with open(args.file, "w") as f:
+        json.dump({"schema": SCHEMA, "runs": runs}, f, indent=1)
+        f.write("\n")
+    print(f"OK: {args.file}: now {len(runs)} run(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_check = sub.add_parser("check")
+    p_check.add_argument("file")
+    p_check.add_argument("--require-release", action="store_true")
+    p_check.add_argument("--require-counter", action="append", default=[])
+    p_check.set_defaults(func=cmd_check)
+
+    p_append = sub.add_parser("append")
+    p_append.add_argument("file")
+    p_append.add_argument("run")
+    p_append.add_argument("--require-release", action="store_true")
+    p_append.set_defaults(func=cmd_append)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,13 @@
 #      suite (fastpath_test) must hold under the optimizer too, and
 #   3. an ASan+UBSan build + ctest leg — the checkpoint/restore paths move
 #      raw byte buffers across kernels and must be clean under both
-#      sanitizers.
+#      sanitizers, and
+#   4. a ThreadSanitizer build running the cluster suite — the parallel
+#      cluster driver (src/sim/cluster.h) runs machines on host worker
+#      threads, and its isolation contract (machines share nothing during a
+#      window; exchanges happen only at barriers) must be clean under TSan.
 #
-# Usage: scripts/verify.sh [--release-only] [--san-only]
+# Usage: scripts/verify.sh [--release-only] [--san-only] [--tsan-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,11 +20,13 @@ cd "$(dirname "$0")/.."
 run_default=true
 run_release=true
 run_san=true
+run_tsan=true
 case "${1:-}" in
-  --release-only) run_default=false; run_san=false ;;
-  --san-only)     run_default=false; run_release=false ;;
+  --release-only) run_default=false; run_san=false; run_tsan=false ;;
+  --san-only)     run_default=false; run_release=false; run_tsan=false ;;
+  --tsan-only)    run_default=false; run_release=false; run_san=false ;;
   "") ;;
-  *) echo "usage: scripts/verify.sh [--release-only|--san-only]" >&2; exit 2 ;;
+  *) echo "usage: scripts/verify.sh [--release-only|--san-only|--tsan-only]" >&2; exit 2 ;;
 esac
 
 if $run_default; then
@@ -50,6 +56,18 @@ if $run_san; then
   cmake --build build-san -j
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
       ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+fi
+
+if $run_tsan; then
+  echo "== ThreadSanitizer build + cluster suite =="
+  cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target cluster_test sim_test cluster_scaling
+  TSAN_OPTIONS=halt_on_error=1 \
+      ctest --test-dir build-tsan -R 'cluster_test|sim_test|cluster_scaling' \
+      --output-on-failure
 fi
 
 echo "verify: OK"

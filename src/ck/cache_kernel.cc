@@ -31,6 +31,7 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
   }
   pending_signals_.resize(machine.cpu_count());
   quota_window_start_.assign(machine.cpu_count(), 0);
+  signal_reg_head_.assign(config.thread_slots, kNilSignalChain);
   remote_frame_bits_.assign(machine.memory().page_count(), 0);
   micro_tlbs_.resize(machine.cpu_count());
   exec_cache_ = std::make_unique<ckisa::ExecCache>(machine.memory());
@@ -352,6 +353,7 @@ Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
   thread->signal_head = 0;
   thread->signal_count = 0;
   thread->signal_reg_count = 0;
+  signal_reg_head_[threads_.SlotOf(thread)] = kNilSignalChain;
   thread->slice_remaining = config_.time_slice;
   thread->cpu_consumed = 0;
   thread->signals_taken = 0;
@@ -616,7 +618,10 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
 
     if (signal_thread != nullptr) {
       uint32_t gen24 = threads_.IdOf(signal_thread).generation & 0xffffffu;
-      pmap_.Insert(pv, (gen24 << 8) | threads_.SlotOf(signal_thread), 0, RecordType::kSignal);
+      uint32_t sig_slot = threads_.SlotOf(signal_thread);
+      uint32_t sig = pmap_.Insert(pv, (gen24 << 8) | sig_slot, signal_reg_head_[sig_slot],
+                                  RecordType::kSignal);
+      signal_reg_head_[sig_slot] = sig;
       signal_thread->signal_reg_count++;
       cpu.Advance(cost.hash_op);
       // New signal mapping invalidates stale reverse-TLB entries for the frame.
@@ -1006,10 +1011,7 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeb
     MemMapEntry& dep = pmap_.record(cur);
     if (dep.type() == RecordType::kSignal) {
       had_signal = true;
-      ThreadObject* t = threads_.SlotAt(dep.signal_thread_slot());
-      if (t->signal_reg_count > 0) {
-        t->signal_reg_count--;
-      }
+      UnlinkSignalRecord(cur);
       pmap_.Remove(cur);
       cpu.Advance(cost.hash_op);
     } else if (dep.type() == RecordType::kCopyOnWrite) {

@@ -370,6 +370,11 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void DrainPendingSignals(cksim::Cpu& cpu);
   void MaybeEnterSignalHandler(ThreadObject* thread, cksim::Cpu& cpu);
   void RemoveSignalRecordsForThread(ThreadObject* thread, cksim::Cpu& cpu);
+  // Unlink a signal record from its thread's registration chain (and drop
+  // the thread's count) before the record is removed for a reason other than
+  // thread teardown (mapping unload). Stale records naming a previous slot
+  // occupant are left alone.
+  void UnlinkSignalRecord(uint32_t index);
 
   // -- access checks --
   bool CheckPhysicalAccess(KernelObject* kernel, cksim::PhysAddr addr, uint32_t len, bool write);
@@ -402,6 +407,11 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
 
   std::vector<std::deque<PendingSignal>> pending_signals_;  // [cpu]
   std::vector<cksim::Cycles> quota_window_start_;           // [cpu]
+
+  // Head of each thread slot's signal-registration chain (records linked
+  // through MemMapEntry::signal_next). Kept beside the pool rather than in
+  // ThreadObject so the descriptor keeps its Table 1 shape.
+  std::vector<uint32_t> signal_reg_head_;  // [thread slot]
 
   std::vector<AppEvent> app_events_;  // kept sorted by `at`
   // Frames held on remote nodes / failed modules. The set is the source of

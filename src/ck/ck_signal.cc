@@ -228,20 +228,59 @@ void CacheKernel::MaybeEnterSignalHandler(ThreadObject* thread, cksim::Cpu& cpu)
 }
 
 void CacheKernel::RemoveSignalRecordsForThread(ThreadObject* thread, cksim::Cpu& cpu) {
-  if (thread->signal_reg_count == 0) {
-    return;
-  }
+  // Walk the thread's registration chain (linked through the records' spare
+  // context bits) instead of scanning the whole pmap arena: teardown is
+  // O(registrations), independent of map capacity or occupancy. The cost
+  // model is unchanged -- one hash_op per removed record, as before; the
+  // arena scan was pure host-side overhead.
   const cksim::CostModel& cost = machine_.cost();
   uint32_t slot = threads_.SlotOf(thread);
   uint32_t gen24 = threads_.IdOf(thread).generation & 0xffffffu;
-  for (uint32_t i = 0; i < pmap_.capacity() && thread->signal_reg_count > 0; ++i) {
-    const MemMapEntry& rec = pmap_.record(i);
+  uint32_t cur = signal_reg_head_[slot];
+  while (cur != kNilSignalChain) {
+    const MemMapEntry& rec = pmap_.record(cur);
+    uint32_t next = rec.signal_next();
+    // Chain integrity is enforced by ValidateInvariants; re-check the record
+    // before freeing it anyway so a stale head can never free a reused slot.
     if (rec.type() == RecordType::kSignal && rec.signal_thread_slot() == slot &&
         rec.signal_thread_gen24() == gen24) {
-      pmap_.Remove(i);
+      pmap_.Remove(cur);
       cpu.Advance(cost.hash_op);
-      thread->signal_reg_count--;
+      if (thread->signal_reg_count > 0) {
+        thread->signal_reg_count--;
+      }
     }
+    cur = next;
+  }
+  signal_reg_head_[slot] = kNilSignalChain;
+  thread->signal_reg_count = 0;
+}
+
+void CacheKernel::UnlinkSignalRecord(uint32_t index) {
+  const MemMapEntry& rec = pmap_.record(index);
+  uint32_t slot = rec.signal_thread_slot();
+  if (slot >= threads_.capacity() || !threads_.IsAllocated(slot)) {
+    return;
+  }
+  ThreadObject* thread = threads_.SlotAt(slot);
+  if ((threads_.IdOf(thread).generation & 0xffffffu) != rec.signal_thread_gen24()) {
+    return;  // names a previous occupant; its chain ended with that thread
+  }
+  uint32_t cur = signal_reg_head_[slot];
+  if (cur == index) {
+    signal_reg_head_[slot] = rec.signal_next();
+  } else {
+    while (cur != kNilSignalChain) {
+      MemMapEntry& link = pmap_.record(cur);
+      if (link.signal_next() == index) {
+        link.set_signal_next(rec.signal_next());
+        break;
+      }
+      cur = link.signal_next();
+    }
+  }
+  if (thread->signal_reg_count > 0) {
+    thread->signal_reg_count--;
   }
 }
 

@@ -27,6 +27,7 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
   // (space, vaddr) translation.
   const uint32_t local_frames = cksim::PageFrame(static_cast<cksim::PhysAddr>(mem.size()));
   std::set<std::pair<uint32_t, cksim::VirtAddr>> pv_seen;
+  uint32_t signal_records = 0;
   for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
     const MemMapEntry& rec = pmap_.record(i);
     switch (rec.type()) {
@@ -77,6 +78,7 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
         break;
       }
       case RecordType::kSignal: {
+        ++signal_records;
         uint32_t pv = rec.key;
         if (pv >= pmap_.capacity() || pmap_.record(pv).type() != RecordType::kPhysToVirt) {
           fail("signal record keyed by non-pv record");
@@ -127,6 +129,7 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
   // --- threads ---
   std::vector<uint32_t> threads_per_kernel(kernels_.capacity(), 0);
   std::vector<uint32_t> spaces_per_kernel(kernels_.capacity(), 0);
+  uint32_t total_chained_signals = 0;
   for (uint32_t slot = 0; slot < threads_.capacity(); ++slot) {
     if (!threads_.IsAllocated(slot)) {
       continue;
@@ -154,6 +157,37 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
     if (t->signal_count > ThreadObject::kSignalQueueDepth) {
       fail("signal queue count exceeds depth");
     }
+
+    // The signal-registration chain must reach exactly signal_reg_count
+    // records, each a kSignal record naming this (slot, generation). Every
+    // signal record is reachable from some chain (the total cross-check
+    // below), so O(registrations) teardown frees exactly the records the
+    // arena scan used to find.
+    uint32_t gen24 = threads_.IdOf(t).generation & 0xffffffu;
+    uint32_t chain_len = 0;
+    for (uint32_t cur = signal_reg_head_[slot];
+         cur != kNilSignalChain && chain_len <= pmap_.capacity();
+         cur = pmap_.record(cur).signal_next()) {
+      const MemMapEntry& rec = pmap_.record(cur);
+      if (cur >= pmap_.capacity() || rec.type() != RecordType::kSignal) {
+        fail("signal chain entry is not a live signal record");
+        break;
+      }
+      if (rec.signal_thread_slot() != slot || rec.signal_thread_gen24() != gen24) {
+        fail("signal chain entry names a different thread");
+        break;
+      }
+      ++chain_len;
+    }
+    if (chain_len > pmap_.capacity()) {
+      fail("signal chain does not terminate (cycle)");
+    } else if (chain_len != t->signal_reg_count) {
+      fail("signal chain length disagrees with signal_reg_count");
+    }
+    total_chained_signals += chain_len;
+  }
+  if (total_chained_signals != signal_records) {
+    fail("signal records not all reachable from a thread chain");
   }
 
   // --- kernels ---

@@ -71,8 +71,11 @@ struct ThreadObject {
   uint8_t signal_count = 0;
 
   // Number of live signal-registration records naming this thread; unloading
-  // the thread must remove them (Figure 6 dependency), and zero lets the
-  // unloader skip the scan entirely.
+  // the thread must remove them (Figure 6 dependency). The records form a
+  // singly-linked chain threaded through their spare context bits
+  // (MemMapEntry::signal_next), headed in the kernel's per-slot side array
+  // (the descriptor itself keeps its Table 1 shape), so teardown is
+  // O(registrations), not an arena scan.
   uint16_t signal_reg_count = 0;
 
   // Scheduling accounting.

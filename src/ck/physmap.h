@@ -35,6 +35,11 @@ namespace ck {
 
 inline constexpr uint32_t kNilRecord = 0xffffffffu;
 
+// Tail sentinel for the per-thread signal-registration chain, which lives in
+// the 28 spare context bits of signal records (so it bounds the map capacity
+// a chain can index, far above any configured arena).
+inline constexpr uint32_t kNilSignalChain = 0x0fffffffu;
+
 // Record type tags (context bits 31..28).
 enum class RecordType : uint8_t { kFree = 0, kPhysToVirt = 1, kSignal = 2, kCopyOnWrite = 3 };
 
@@ -68,6 +73,15 @@ struct MemMapEntry {
   // staleness checking.
   uint32_t signal_thread_slot() const { return dependent & 0xffu; }
   uint32_t signal_thread_gen24() const { return dependent >> 8; }
+
+  // Signal records additionally thread a per-thread registration chain
+  // through their spare context bits (low 28): the index of the next signal
+  // record naming the same thread, kNilSignalChain at the tail. Thread
+  // teardown walks this chain instead of scanning the arena.
+  uint32_t signal_next() const { return context & 0x0fffffffu; }
+  void set_signal_next(uint32_t next) {
+    context = (context & 0xf0000000u) | (next & 0x0fffffffu);
+  }
 
   // CopyOnWrite accessor.
   uint32_t cow_source_frame() const { return dependent; }

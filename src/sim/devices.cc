@@ -88,9 +88,15 @@ void PacketDevice::EnqueueInbound(std::vector<uint8_t> payload, Cycles when) {
 // --- FiberChannelDevice ---
 
 void FiberChannelDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
-  if (peer_ != nullptr) {
-    peer_->EnqueueInbound(std::move(payload), when + wire_latency_);
+  if (peer_ == nullptr) {
+    return;
   }
+  Cycles due = when + wire_latency_;
+  if (deferred_) {
+    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/false});
+    return;
+  }
+  peer_->EnqueueInbound(std::move(payload), due);
 }
 
 void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when) {
@@ -99,15 +105,35 @@ void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when) {
   }
   Cycles due = when + wire_latency_ + BulkWireCycles(payload.size());
   ++bulk_sent_;
-  // Keep the peer's bulk queue ordered by due time (clock skew between the
+  if (deferred_) {
+    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/true});
+    return;
+  }
+  peer_->EnqueueBulkInbound(std::move(payload), due);
+}
+
+void FiberChannelDevice::EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due) {
+  // Keep the bulk queue ordered by due time (clock skew between the
   // connected machines).
-  auto& queue = peer_->bulk_inbound_;
   BulkInbound in{std::move(payload), due};
-  auto it = queue.end();
-  while (it != queue.begin() && (it - 1)->due > in.due) {
+  auto it = bulk_inbound_.end();
+  while (it != bulk_inbound_.begin() && (it - 1)->due > in.due) {
     --it;
   }
-  queue.insert(it, std::move(in));
+  bulk_inbound_.insert(it, std::move(in));
+}
+
+size_t FiberChannelDevice::FlushOutbox() {
+  size_t flushed = outbox_.size();
+  for (Outbound& out : outbox_) {
+    if (out.bulk) {
+      peer_->EnqueueBulkInbound(std::move(out.payload), out.due);
+    } else {
+      peer_->EnqueueInbound(std::move(out.payload), out.due);
+    }
+  }
+  outbox_.clear();
+  return flushed;
 }
 
 bool FiberChannelDevice::PollBulk(std::vector<uint8_t>* out, Cycles now) {

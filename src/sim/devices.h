@@ -81,6 +81,11 @@ class PacketDevice : public Device {
   void Run(Cycles now) override;
   void OnDoorbell(PhysAddr addr, Cycles when) override;
 
+  // Base latency a packet spends on the wire. For cross-machine links this is
+  // the conservative-PDES lookahead: no send made at time t can be observed
+  // by the peer before t + wire_latency().
+  Cycles wire_latency() const { return wire_latency_; }
+
   uint64_t packets_sent() const { return sent_; }
   uint64_t packets_received() const { return received_; }
   uint64_t packets_dropped() const { return dropped_; }
@@ -125,6 +130,26 @@ class FiberChannelDevice : public PacketDevice {
     b.peer_ = &a;
   }
 
+  // ---- deferred cross-machine delivery (cluster mode) ----
+  // When deferred (set by Cluster::Link), Transmit/SendBulk stage deliveries
+  // in a local outbox instead of touching the peer's queues, so the two
+  // endpoint machines can run on different host threads without sharing any
+  // mutable state mid-window. Due times are computed at send time, so
+  // delivery timing in simulated cycles is unchanged; Cluster drains the
+  // outboxes at window barriers, always before the peer's clock can reach
+  // the earliest staged due time (window <= lookahead).
+  void set_deferred_delivery(bool on) { deferred_ = on; }
+  bool deferred_delivery() const { return deferred_; }
+
+  // Move staged entries into the peer's inbound queues, preserving their
+  // send-time-stamped due times. Call only while neither endpoint's machine
+  // is running (a window barrier). Returns the number of entries delivered.
+  size_t FlushOutbox();
+
+  // Insert a bulk payload into this device's inbound bulk queue, ordered by
+  // due time (senders' clocks can be skewed).
+  void EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due);
+
   // ---- bulk streaming (checkpoint migration) ----
   // Ship an arbitrary-size payload to the peer, bypassing the page-sized
   // packet slots: models the driver's scatter-gather streaming mode for
@@ -152,9 +177,16 @@ class FiberChannelDevice : public PacketDevice {
     std::vector<uint8_t> payload;
     Cycles due;
   };
+  struct Outbound {
+    std::vector<uint8_t> payload;
+    Cycles due;
+    bool bulk;
+  };
 
   FiberChannelDevice* peer_ = nullptr;
   std::deque<BulkInbound> bulk_inbound_;
+  std::deque<Outbound> outbox_;
+  bool deferred_ = false;
   uint64_t bulk_sent_ = 0;
   uint64_t bulk_received_ = 0;
   uint64_t bulk_bytes_received_ = 0;

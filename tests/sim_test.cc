@@ -374,4 +374,71 @@ TEST(DeviceTest, EthernetHubRoutesByStation) {
   EXPECT_EQ(s1.addrs.size(), 0u) << "sender does not hear its own broadcast";
 }
 
+// Minimal device that just records the doorbells routed to it.
+class RecordingDoorbellDevice : public Device {
+ public:
+  RecordingDoorbellDevice(PhysAddr base, uint32_t size) : base_(base), size_(size) {}
+  PhysAddr region_base() const override { return base_; }
+  uint32_t region_size() const override { return size_; }
+  Cycles NextEventAt() const override { return kNoEvent; }
+  void Run(Cycles) override {}
+  void OnDoorbell(PhysAddr addr, Cycles when) override {
+    addrs.push_back(addr);
+    times.push_back(when);
+  }
+  std::vector<PhysAddr> addrs;
+  std::vector<Cycles> times;
+
+ private:
+  PhysAddr base_;
+  uint32_t size_;
+};
+
+TEST(MachineTest, DeliverDoorbellRoutesAmongMultipleDevices) {
+  MachineConfig config;
+  Machine m(config);
+  RecordingDoorbellDevice d1(0x10000, 0x1000);
+  RecordingDoorbellDevice d2(0x20000, 0x2000);
+  RecordingDoorbellDevice d3(0x22000, 0x1000);  // adjacent to d2's end
+  m.AttachDevice(&d1);
+  m.AttachDevice(&d2);
+  m.AttachDevice(&d3);
+
+  // Interior of the second device's region.
+  EXPECT_TRUE(m.DeliverDoorbell(0x20800, 100));
+  // Both ends of a region are inclusive of the first byte, exclusive of the
+  // limit: the last byte of d2 belongs to d2, the next byte to d3.
+  EXPECT_TRUE(m.DeliverDoorbell(0x20000, 200));
+  EXPECT_TRUE(m.DeliverDoorbell(0x21fff, 300));
+  EXPECT_TRUE(m.DeliverDoorbell(0x22000, 400));
+
+  ASSERT_EQ(d2.addrs.size(), 3u);
+  EXPECT_EQ(d2.addrs[0], 0x20800u);
+  EXPECT_EQ(d2.times[0], 100u);
+  EXPECT_EQ(d2.addrs[1], 0x20000u);
+  EXPECT_EQ(d2.addrs[2], 0x21fffu);
+  ASSERT_EQ(d3.addrs.size(), 1u);
+  EXPECT_EQ(d3.addrs[0], 0x22000u);
+  EXPECT_TRUE(d1.addrs.empty()) << "doorbell leaked to an unrelated device";
+}
+
+TEST(MachineTest, DeliverDoorbellMissesOutsideEveryRegion) {
+  MachineConfig config;
+  Machine m(config);
+  RecordingDoorbellDevice d1(0x10000, 0x1000);
+  RecordingDoorbellDevice d2(0x20000, 0x1000);
+  m.AttachDevice(&d1);
+  m.AttachDevice(&d2);
+
+  EXPECT_FALSE(m.DeliverDoorbell(0xf000, 10));   // below every region
+  EXPECT_FALSE(m.DeliverDoorbell(0x11000, 20));  // gap between regions
+  EXPECT_FALSE(m.DeliverDoorbell(0x30000, 30));  // above every region
+  EXPECT_TRUE(d1.addrs.empty());
+  EXPECT_TRUE(d2.addrs.empty());
+
+  // And with no devices attached at all, nothing claims anything.
+  Machine bare(config);
+  EXPECT_FALSE(bare.DeliverDoorbell(0x10000, 40));
+}
+
 }  // namespace

@@ -1,0 +1,188 @@
+// Working-set sweep over the mapping cache's replacement policies.
+//
+// The descriptor caches default to the paper's clock scan; the ObjectCache
+// layer (src/ck/object_cache.h) also offers FIFO and second-chance. This
+// bench drives the policy that actually has a hardware referenced bit -- the
+// mapping cache -- with the canonical workload that separates them: a small
+// hot set re-accessed every round plus a cold stream cycling through a
+// larger working set, against a fixed mapping-cache capacity.
+//
+//   hot_miss_pct        % of hot-page accesses that found the mapping evicted
+//   writebacks_per_1k   Figure-6 writebacks per 1000 accesses (hot + cold)
+//   scan_per_reclaim    mean clock-hand candidates examined per eviction
+//
+// Shape being demonstrated (recorded in BENCH_cache_replacement.json,
+// discussed in docs/PERFORMANCE.md and EXPERIMENTS.md X6): once the working
+// set exceeds capacity, FIFO evicts by load age alone and so displaces the
+// hot set every cycle, while clock observes the referenced bits the hot
+// accesses keep setting and sheds cold stream pages instead. Below capacity
+// every policy is equivalent (no reclamation at all) -- policy only matters
+// past the capacity cliff, which is the working-set model's claim.
+//
+// Each round begins by flushing the space's TLB entries, the same
+// referenced-bit harvesting a real kernel performs: translations must go
+// through the table walk for the MMU to re-set the referenced bits the clock
+// hand consumes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "src/ck/cache_kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CkApi;
+using ck::MappingSpec;
+using ckbase::CkStatus;
+
+constexpr uint32_t kMappingSlots = 64;  // cache capacity C
+constexpr uint32_t kHotPages = 16;      // re-accessed every round
+constexpr uint32_t kColdPerRound = 32;  // cold-stream accesses per round
+constexpr uint32_t kRounds = 256;
+constexpr uint32_t kVbase = 0x400;                           // hot pages at vpage 0x400..
+constexpr uint32_t kFrameBase = 0x100000 / cksim::kPageSize;  // backing frames
+
+// Writeback sink: the bench never faults (residency is checked before every
+// access) and mappings carry no thread state, so the handlers are empty.
+class SinkKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward&, CkApi&) override {
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward&, CkApi&) override { return {}; }
+  void OnMappingWriteback(const ck::MappingWriteback&, CkApi&) override {}
+  void OnThreadWriteback(const ck::ThreadWriteback&, CkApi&) override {}
+  void OnSpaceWriteback(const ck::SpaceWriteback&, CkApi&) override {}
+};
+
+struct Totals {
+  uint64_t accesses = 0;
+  uint64_t hot_accesses = 0;
+  uint64_t hot_misses = 0;
+  uint64_t writebacks = 0;
+  uint64_t reclamations = 0;
+  uint64_t scan_steps = 0;
+};
+
+// One full run: fixed capacity, `working_set` distinct pages, kRounds rounds
+// of (hot sweep + cold stream segment) under `policy`.
+Totals Run(ck::ReplacementPolicy policy, uint32_t working_set) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 8u << 20;
+  cksim::Machine machine(mc);
+  ck::CacheKernelConfig config;
+  config.mapping_slots = kMappingSlots;
+  config.replacement[static_cast<uint32_t>(ck::ObjectType::kMapping)] = policy;
+  CacheKernel ck(machine, config);
+  SinkKernel sink;
+  ck::KernelId kid = ck.BootFirstKernel(&sink, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  ck::SpaceId space = api.LoadSpace(0, false).value();
+  ck::ThreadSpec tspec;
+  tspec.space = space;
+  tspec.start_blocked = true;
+  ck::ThreadId thread = api.LoadThread(tspec).value();
+  uint16_t asid = static_cast<uint16_t>(space.id.slot);
+
+  Totals totals;
+  // Touch one page: reload the mapping if it was evicted, then access it
+  // through the real translation path so the MMU sets the referenced bit.
+  auto touch = [&](uint32_t vpage, bool hot) {
+    ++totals.accesses;
+    if (hot) {
+      ++totals.hot_accesses;
+    }
+    cksim::VirtAddr vaddr = vpage * cksim::kPageSize;
+    if (!api.QueryMapping(space, vaddr).ok()) {
+      if (hot) {
+        ++totals.hot_misses;
+      }
+      MappingSpec spec;
+      spec.space = space;
+      spec.vaddr = vaddr;
+      spec.paddr = (kFrameBase + (vpage - kVbase)) * cksim::kPageSize;
+      if (api.LoadMapping(spec) != CkStatus::kOk) {
+        return;  // counted as load_failures by the CK; never happens here
+      }
+    }
+    ck.GuestLoad(kid, machine.cpu(0), thread, vaddr);
+  };
+
+  uint32_t cold_pages = working_set - kHotPages;
+  uint32_t cold_cursor = 0;
+  for (uint32_t round = 0; round < kRounds; ++round) {
+    // Referenced-bit harvest: force the next accesses through the table walk.
+    machine.cpu(0).mmu().tlb().FlushAsid(asid);
+    for (uint32_t h = 0; h < kHotPages; ++h) {
+      touch(kVbase + h, /*hot=*/true);
+    }
+    for (uint32_t c = 0; c < kColdPerRound; ++c) {
+      touch(kVbase + kHotPages + (cold_cursor++ % cold_pages), /*hot=*/false);
+    }
+  }
+
+  uint32_t t = static_cast<uint32_t>(ck::ObjectType::kMapping);
+  totals.writebacks = ck.stats().writebacks[t];
+  totals.reclamations = ck.stats().reclamations[t];
+  totals.scan_steps = ck.stats().reclaim_scan_steps[t];
+  return totals;
+}
+
+void BM_WorkingSet(benchmark::State& state, ck::ReplacementPolicy policy) {
+  uint32_t working_set = static_cast<uint32_t>(state.range(0));
+  Totals totals;
+  for (auto _ : state) {
+    totals = Run(policy, working_set);
+  }
+  state.counters["working_set"] = static_cast<double>(working_set);
+  state.counters["capacity"] = static_cast<double>(kMappingSlots);
+  state.counters["hot_miss_pct"] =
+      100.0 * static_cast<double>(totals.hot_misses) / static_cast<double>(totals.hot_accesses);
+  state.counters["writebacks_per_1k"] =
+      1000.0 * static_cast<double>(totals.writebacks) / static_cast<double>(totals.accesses);
+  state.counters["scan_per_reclaim"] =
+      totals.reclamations == 0 ? 0.0
+                               : static_cast<double>(totals.scan_steps) /
+                                     static_cast<double>(totals.reclamations);
+}
+
+// Working sets: comfortably under capacity (48 < 64: no reclamation at all),
+// just over (96), and 3x over (192). The hot set is 16 pages throughout.
+BENCHMARK_CAPTURE(BM_WorkingSet, clock, ck::ReplacementPolicy::kClock)
+    ->Arg(48)
+    ->Arg(96)
+    ->Arg(192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WorkingSet, fifo, ck::ReplacementPolicy::kFifo)
+    ->Arg(48)
+    ->Arg(96)
+    ->Arg(192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WorkingSet, second_chance, ck::ReplacementPolicy::kSecondChance)
+    ->Arg(48)
+    ->Arg(96)
+    ->Arg(192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Record the repo-root BENCH_*.json files from a Release build.
 #
-#   scripts/bench.sh [host_mips] [cluster_scaling]     # default: all
+#   scripts/bench.sh [host_mips] [cluster_scaling] [cache_replacement]   # default: all
 #
 # Guarantees enforced here (scripts/bench_json.py does the checking):
 #   * Bench binaries are built with CMAKE_BUILD_TYPE=Release. If google-
@@ -75,4 +75,5 @@ want() {
 TARGETS=("${@:-all}")
 want host_mips && record BENCH_host_mips.json microbench_host
 want cluster_scaling && record BENCH_cluster_scaling.json cluster_scaling
+want cache_replacement && record BENCH_cache_replacement.json cache_replacement
 echo "== done"

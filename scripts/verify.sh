@@ -10,9 +10,13 @@
 #   4. a ThreadSanitizer build running the cluster suite — the parallel
 #      cluster driver (src/sim/cluster.h) runs machines on host worker
 #      threads, and its isolation contract (machines share nothing during a
-#      window; exchanges happen only at barriers) must be clean under TSan.
+#      window; exchanges happen only at barriers) must be clean under TSan,
+#      and
+#   5. a formatting lint (clang-format --dry-run --Werror against the
+#      repo-root .clang-format) over src/, tests/ and bench/ — skipped with
+#      a warning when clang-format is not installed.
 #
-# Usage: scripts/verify.sh [--release-only] [--san-only] [--tsan-only]
+# Usage: scripts/verify.sh [--release-only] [--san-only] [--tsan-only] [--lint-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,13 +25,39 @@ run_default=true
 run_release=true
 run_san=true
 run_tsan=true
+run_lint=true
 case "${1:-}" in
-  --release-only) run_default=false; run_san=false; run_tsan=false ;;
-  --san-only)     run_default=false; run_release=false; run_tsan=false ;;
-  --tsan-only)    run_default=false; run_release=false; run_san=false ;;
+  --release-only) run_default=false; run_san=false; run_tsan=false; run_lint=false ;;
+  --san-only)     run_default=false; run_release=false; run_tsan=false; run_lint=false ;;
+  --tsan-only)    run_default=false; run_release=false; run_san=false; run_lint=false ;;
+  --lint-only)    run_default=false; run_release=false; run_san=false; run_tsan=false ;;
   "") ;;
-  *) echo "usage: scripts/verify.sh [--release-only|--san-only|--tsan-only]" >&2; exit 2 ;;
+  *) echo "usage: scripts/verify.sh [--release-only|--san-only|--tsan-only|--lint-only]" >&2; exit 2 ;;
 esac
+
+# Files held to the .clang-format contract. Grow this list with each change
+# that formats a file cleanly; the goal is eventually `git ls-files '*.cc'
+# '*.h'`.
+LINT_FILES=(
+  bench/cache_replacement.cc
+  src/base/bitmap.h
+  src/ck/cache_kernel.h
+  src/ck/config.h
+  src/ck/object_cache.h
+  src/ck/physmap.h
+  tests/base_test.cc
+  tests/object_cache_test.cc
+  tests/property_test.cc
+)
+
+if $run_lint; then
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== lint: clang-format --dry-run --Werror (${#LINT_FILES[@]} files) =="
+    clang-format --dry-run --Werror "${LINT_FILES[@]}"
+  else
+    echo "== lint: clang-format not installed; skipping format check ==" >&2
+  fi
+fi
 
 if $run_default; then
   echo "== tier-1: default build + ctest =="

@@ -1,0 +1,83 @@
+// Iterable membership bitmap with an O(1) dense probe.
+//
+// Built for the Cache Kernel's remote-frame set: the guest memory hot paths
+// (including the fast-path interpreter, which captures a raw pointer to the
+// dense region) probe a byte per index, while failure injection and the
+// validator need insertion, removal, counting and ordered iteration. Indices
+// below the dense limit live in a byte vector whose storage never moves;
+// indices at or above it (a peer node's frames -- markable but never
+// reachable by a local translation) spill into a small sorted vector.
+
+#ifndef SRC_BASE_BITMAP_H_
+#define SRC_BASE_BITMAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ckbase {
+
+class IterableBitmap {
+ public:
+  explicit IterableBitmap(uint32_t dense_limit) : dense_(dense_limit, 0) {}
+
+  // O(1) for indices below the dense limit (the hot-path case); O(log n) in
+  // the sparse overflow otherwise.
+  bool Test(uint32_t index) const {
+    if (index < dense_.size()) {
+      return dense_[index] != 0;
+    }
+    auto it = std::lower_bound(sparse_.begin(), sparse_.end(), index);
+    return it != sparse_.end() && *it == index;
+  }
+
+  void Assign(uint32_t index, bool value) {
+    if (index < dense_.size()) {
+      if ((dense_[index] != 0) != value) {
+        dense_[index] = value ? 1 : 0;
+        count_ += value ? 1 : -1;
+      }
+      return;
+    }
+    auto it = std::lower_bound(sparse_.begin(), sparse_.end(), index);
+    bool present = it != sparse_.end() && *it == index;
+    if (value && !present) {
+      sparse_.insert(it, index);
+      ++count_;
+    } else if (!value && present) {
+      sparse_.erase(it);
+      --count_;
+    }
+  }
+
+  uint32_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Visit every set index in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t i = 0; i < dense_.size(); ++i) {
+      if (dense_[i] != 0) {
+        fn(i);
+      }
+    }
+    for (uint32_t i : sparse_) {
+      fn(i);
+    }
+  }
+
+  // The dense probe region, for consumers that test membership without a
+  // function call (the fast-path interpreter). The pointer is stable for the
+  // bitmap's lifetime; indices >= dense_limit() must fall back to Test().
+  const uint8_t* dense_data() const { return dense_.data(); }
+  uint32_t dense_limit() const { return static_cast<uint32_t>(dense_.size()); }
+
+ private:
+  std::vector<uint8_t> dense_;     // [index] -> 0/1, storage never reallocates
+  std::vector<uint32_t> sparse_;   // sorted indices >= dense_.size()
+  uint32_t count_ = 0;
+};
+
+}  // namespace ckbase
+
+#endif  // SRC_BASE_BITMAP_H_

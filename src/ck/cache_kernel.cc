@@ -24,7 +24,12 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
       pmap_(config.mapping_slots),
       table_arena_(machine.memory(),
                    machine.memory().size() - config.page_table_arena_bytes,
-                   config.page_table_arena_bytes) {
+                   config.page_table_arena_bytes),
+      remote_frames_(machine.memory().page_count()) {
+  knobs_.fastpath = config.fastpath;
+  for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
+    knobs_.replacement[t] = config.replacement[t];
+  }
   ready_.resize(machine.cpu_count());
   for (auto& queues : ready_) {
     queues = std::vector<ReadyQueue>(config.priority_levels);
@@ -32,7 +37,6 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
   pending_signals_.resize(machine.cpu_count());
   quota_window_start_.assign(machine.cpu_count(), 0);
   signal_reg_head_.assign(config.thread_slots, kNilSignalChain);
-  remote_frame_bits_.assign(machine.memory().page_count(), 0);
   micro_tlbs_.resize(machine.cpu_count());
   exec_cache_ = std::make_unique<ckisa::ExecCache>(machine.memory());
   machine.AttachKernel(this);
@@ -84,7 +88,7 @@ Result<KernelId> CacheKernel::LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKe
     return CkStatus::kDenied;
   }
   if (kernels_.full()) {
-    if (!ReclaimKernel(cpu)) {
+    if (!ReclaimVictim(ObjectType::kKernel, cpu)) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -127,8 +131,7 @@ CkStatus CacheKernel::UnloadKernel(KernelId caller, cksim::Cpu& cpu, KernelId ke
   if (kernel == first_kernel_) {
     return CkStatus::kDenied;  // the SRM never unloads itself
   }
-  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kKernel)]++;
-  UnloadKernelInternal(k, cpu, /*writeback=*/true);
+  UnloadKernelInternal(k, cpu, UnloadCause::kExplicit);
   cpu.Advance(cost.trap_exit);
   return CkStatus::kOk;
 }
@@ -176,7 +179,7 @@ CkStatus CacheKernel::GrantPageGroups(KernelId caller, cksim::Cpu& cpu, KernelId
       }
       for (uint32_t pv : victims) {
         if (pmap_.record(pv).type() == RecordType::kPhysToVirt) {
-          UnloadPvRecord(pv, cpu, /*writeback=*/true);
+          UnloadPvRecord(pv, cpu, UnloadCause::kCascade);
         }
       }
     }
@@ -239,7 +242,7 @@ Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_
     return CkStatus::kStale;
   }
   if (spaces_.full()) {
-    if (!ReclaimSpace(cpu)) {
+    if (!ReclaimVictim(ObjectType::kSpace, cpu)) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -286,8 +289,7 @@ CkStatus CacheKernel::UnloadSpace(KernelId caller, cksim::Cpu& cpu, SpaceId spac
   if (kernels_.SlotAt(space->kernel_slot) != owner) {
     return CkStatus::kDenied;
   }
-  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kSpace)]++;
-  UnloadSpaceInternal(space, cpu, /*writeback=*/true);
+  UnloadSpaceInternal(space, cpu, UnloadCause::kExplicit);
   cpu.Advance(cost.trap_exit);
   return CkStatus::kOk;
 }
@@ -319,7 +321,7 @@ Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
     return CkStatus::kDenied;  // priority cap, section 4.3
   }
   if (threads_.full()) {
-    if (!ReclaimThread(cpu)) {
+    if (!ReclaimVictim(ObjectType::kThread, cpu)) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -387,8 +389,7 @@ CkStatus CacheKernel::UnloadThread(KernelId caller, cksim::Cpu& cpu, ThreadId th
   if (kernels_.SlotAt(thread->kernel_slot) != owner) {
     return CkStatus::kDenied;
   }
-  stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kThread)]++;
-  UnloadThreadInternal(thread, cpu, /*writeback=*/true);
+  UnloadThreadInternal(thread, cpu, UnloadCause::kExplicit);
   cpu.Advance(cost.trap_exit);
   return CkStatus::kOk;
 }
@@ -596,14 +597,14 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
       uint32_t old_pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(old_pte)),
                                      spaces_.SlotOf(space), spec.vaddr);
       if (old_pv != kNilRecord) {
-        UnloadPvRecord(old_pv, cpu, /*writeback=*/true);
+        UnloadPvRecord(old_pv, cpu, UnloadCause::kCascade);
       }
     }
 
     // Room for the pv record plus its optional annotation records.
     uint32_t needed = 1 + (signal_thread != nullptr ? 1u : 0u) + (spec.cow_source != 0 ? 1u : 0u);
     while (pmap_.capacity() - pmap_.in_use() < needed) {
-      if (!ReclaimMapping(cpu)) {
+      if (!ReclaimVictim(ObjectType::kMapping, cpu)) {
         stats_.load_failures++;
         return CkStatus::kNoResources;
       }
@@ -702,8 +703,7 @@ CkStatus CacheKernel::UnloadMapping(KernelId caller, cksim::Cpu& cpu, SpaceId sp
     if (pv == kNilRecord) {
       return CkStatus::kNotFound;
     }
-    stats_.explicit_unloads[static_cast<uint32_t>(ObjectType::kMapping)]++;
-    UnloadPvRecord(pv, cpu, /*writeback=*/true);
+    UnloadPvRecord(pv, cpu, UnloadCause::kExplicit);
     return CkStatus::kOk;
   }();
   cpu.Advance(cost.trap_exit);
@@ -853,126 +853,155 @@ bool CacheKernel::MappingEffectivelyLocked(uint32_t pv_index) {
 
 // ---------------------------------------------------------------------------
 // Reclamation (capacity-forced victims)
+//
+// The scans themselves live in ObjectCache::Reclaim (src/ck/object_cache.h);
+// these Ops structs are the per-type glue: occupancy, the section 4.2
+// effective-lock pin chains, pass eligibility, the hardware referenced bit,
+// and eviction (stats + trace + the Figure 6 writeback cascade).
 // ---------------------------------------------------------------------------
 
-bool CacheKernel::ReclaimKernel(cksim::Cpu& cpu) {
-  for (uint32_t step = 0; step < kernels_.capacity(); ++step) {
-    uint32_t slot = kernel_hand_;
-    kernel_hand_ = (kernel_hand_ + 1) % kernels_.capacity();
-    if (!kernels_.IsAllocated(slot)) {
-      continue;
-    }
-    KernelObject* k = kernels_.SlotAt(slot);
-    if (KernelEffectivelyLocked(k)) {
-      continue;
-    }
-    stats_.reclamations[static_cast<uint32_t>(ObjectType::kKernel)]++;
-    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+struct CacheKernel::KernelVictimOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = false;
+  CacheKernel& ck;
+  cksim::Cpu& cpu;
+  bool Occupied(uint32_t slot) const { return ck.kernels_.IsAllocated(slot); }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t slot) { return ck.KernelEffectivelyLocked(ck.kernels_.SlotAt(slot)); }
+  bool TestAndClearReferenced(uint32_t) { return false; }  // no hardware bit
+  void Evict(uint32_t slot) {
+    ck.stats_.reclamations[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    CK_TRACE(ck.Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kKernel), slot);
-    UnloadKernelInternal(k, cpu, /*writeback=*/true);
-    return true;
+    ck.UnloadKernelInternal(ck.kernels_.SlotAt(slot), cpu, UnloadCause::kReclaim);
   }
-  return false;
-}
+};
 
-bool CacheKernel::ReclaimSpace(cksim::Cpu& cpu) {
-  for (uint32_t step = 0; step < spaces_.capacity(); ++step) {
-    uint32_t slot = space_hand_;
-    space_hand_ = (space_hand_ + 1) % spaces_.capacity();
-    if (!spaces_.IsAllocated(slot)) {
-      continue;
-    }
-    AddressSpaceObject* s = spaces_.SlotAt(slot);
-    if (SpaceEffectivelyLocked(s)) {
-      continue;
-    }
-    stats_.reclamations[static_cast<uint32_t>(ObjectType::kSpace)]++;
-    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+struct CacheKernel::SpaceVictimOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = false;
+  CacheKernel& ck;
+  cksim::Cpu& cpu;
+  bool Occupied(uint32_t slot) const { return ck.spaces_.IsAllocated(slot); }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t slot) { return ck.SpaceEffectivelyLocked(ck.spaces_.SlotAt(slot)); }
+  bool TestAndClearReferenced(uint32_t) { return false; }
+  void Evict(uint32_t slot) {
+    ck.stats_.reclamations[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    CK_TRACE(ck.Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kSpace), slot);
-    UnloadSpaceInternal(s, cpu, /*writeback=*/true);
-    return true;
+    ck.UnloadSpaceInternal(ck.spaces_.SlotAt(slot), cpu, UnloadCause::kReclaim);
   }
-  return false;
-}
+};
 
-bool CacheKernel::ReclaimThread(cksim::Cpu& cpu) {
-  // Prefer blocked threads, then ready, then running (a running victim costs
-  // a context switch, section 4.2).
-  for (int pass = 0; pass < 3; ++pass) {
-    for (uint32_t step = 0; step < threads_.capacity(); ++step) {
-      uint32_t slot = (thread_hand_ + step) % threads_.capacity();
-      if (!threads_.IsAllocated(slot)) {
-        continue;
-      }
-      ThreadObject* t = threads_.SlotAt(slot);
-      bool eligible = (pass == 0 && t->state == ThreadState::kBlocked) ||
-                      (pass == 1 && (t->state == ThreadState::kReady ||
-                                     t->state == ThreadState::kHalted)) ||
-                      (pass == 2);
-      if (!eligible || ThreadEffectivelyLocked(t)) {
-        continue;
-      }
-      stats_.reclamations[static_cast<uint32_t>(ObjectType::kThread)]++;
-      CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
-               static_cast<uint32_t>(ObjectType::kThread), slot);
-      thread_hand_ = (slot + 1) % threads_.capacity();
-      UnloadThreadInternal(t, cpu, /*writeback=*/true);
-      return true;
-    }
+struct CacheKernel::ThreadVictimOps {
+  // Prefer blocked threads, then ready/halted, then running (a running
+  // victim costs a context switch, section 4.2).
+  static constexpr int kPasses = 3;
+  static constexpr bool kScanOccupiedSteps = false;
+  CacheKernel& ck;
+  cksim::Cpu& cpu;
+  bool Occupied(uint32_t slot) const { return ck.threads_.IsAllocated(slot); }
+  bool Eligible(uint32_t slot, int pass) const {
+    ThreadObject* t = ck.threads_.SlotAt(slot);
+    return (pass == 0 && t->state == ThreadState::kBlocked) ||
+           (pass == 1 &&
+            (t->state == ThreadState::kReady || t->state == ThreadState::kHalted)) ||
+           pass == 2;
   }
-  return false;
-}
+  bool Pinned(uint32_t slot) { return ck.ThreadEffectivelyLocked(ck.threads_.SlotAt(slot)); }
+  bool TestAndClearReferenced(uint32_t) { return false; }
+  void Evict(uint32_t slot) {
+    ck.stats_.reclamations[static_cast<uint32_t>(ObjectType::kThread)]++;
+    CK_TRACE(ck.Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kThread), slot);
+    ck.UnloadThreadInternal(ck.threads_.SlotAt(slot), cpu, UnloadCause::kReclaim);
+  }
+};
 
-bool CacheKernel::ReclaimMapping(cksim::Cpu& cpu) {
-  const cksim::CostModel& cost = machine_.cost();
-  // Clock scan with second chance on the hardware referenced bit.
-  uint32_t scans = pmap_.capacity();
-  uint32_t forced = kNilRecord;
-  for (uint32_t step = 0; step < scans; ++step) {
-    uint32_t pv = pmap_.ClockNextPv();
-    if (pv == kNilRecord) {
+struct CacheKernel::MappingVictimOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = true;  // budget counts pv visits
+  CacheKernel& ck;
+  cksim::Cpu& cpu;
+  bool Occupied(uint32_t index) const {
+    return ck.pmap_.record(index).type() == RecordType::kPhysToVirt;
+  }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t index) { return ck.MappingEffectivelyLocked(index); }
+  // The mapping caches' referenced bit is the real one in the leaf PTE; the
+  // walk and the clearing write are charged like any other table access.
+  bool TestAndClearReferenced(uint32_t index) {
+    MemMapEntry& rec = ck.pmap_.record(index);
+    AddressSpaceObject* space = ck.spaces_.SlotAt(rec.pv_space_slot());
+    PhysAddr leaf = ck.LeafPteAddr(space, rec.pv_vaddr(), /*create=*/false, cpu);
+    if (leaf == 0) {
       return false;
     }
-    if (MappingEffectivelyLocked(pv)) {
-      continue;
+    uint32_t pte = ck.machine_.memory().ReadWord(leaf);
+    if ((pte & cksim::kPteReferenced) == 0) {
+      return false;
     }
-    if (forced == kNilRecord) {
-      forced = pv;  // fallback if everything stays referenced
-    }
-    MemMapEntry& rec = pmap_.record(pv);
-    AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
-    PhysAddr leaf = LeafPteAddr(space, rec.pv_vaddr(), /*create=*/false, cpu);
-    if (leaf != 0) {
-      uint32_t pte = machine_.memory().ReadWord(leaf);
-      if ((pte & cksim::kPteReferenced) != 0) {
-        // Second chance: clear the bit and move on.
-        machine_.memory().WriteWord(leaf, pte & ~cksim::kPteReferenced);
-        cpu.Advance(cost.pte_write);
-        continue;
-      }
-    }
-    stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
-    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
-             static_cast<uint32_t>(ObjectType::kMapping), rec.pv_vaddr());
-    UnloadPvRecord(pv, cpu, /*writeback=*/true);
+    ck.machine_.memory().WriteWord(leaf, pte & ~cksim::kPteReferenced);
+    cpu.Advance(ck.machine_.cost().pte_write);
     return true;
   }
-  if (forced != kNilRecord && pmap_.record(forced).type() == RecordType::kPhysToVirt) {
-    stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
-    CK_TRACE(Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
-             static_cast<uint32_t>(ObjectType::kMapping),
-             pmap_.record(forced).pv_vaddr());
-    UnloadPvRecord(forced, cpu, /*writeback=*/true);
-    return true;
+  void Evict(uint32_t index) {
+    ck.stats_.reclamations[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    CK_TRACE(ck.Ring(cpu), obs::EventType::kObjectReclaim, cpu.clock(),
+             static_cast<uint32_t>(ObjectType::kMapping), ck.pmap_.record(index).pv_vaddr());
+    ck.UnloadPvRecord(index, cpu, UnloadCause::kReclaim);
   }
-  return false;
+};
+
+bool CacheKernel::ReclaimVictim(ObjectType type, cksim::Cpu& cpu) {
+  uint32_t t = static_cast<uint32_t>(type);
+  ReplacementPolicy policy = knobs_.replacement[t];
+  uint64_t steps = 0;
+  bool evicted = false;
+  switch (type) {
+    case ObjectType::kKernel: {
+      KernelVictimOps ops{*this, cpu};
+      evicted = kernels_.Reclaim(policy, ops, steps);
+      break;
+    }
+    case ObjectType::kSpace: {
+      SpaceVictimOps ops{*this, cpu};
+      evicted = spaces_.Reclaim(policy, ops, steps);
+      break;
+    }
+    case ObjectType::kThread: {
+      ThreadVictimOps ops{*this, cpu};
+      evicted = threads_.Reclaim(policy, ops, steps);
+      break;
+    }
+    case ObjectType::kMapping: {
+      MappingVictimOps ops{*this, cpu};
+      evicted = pmap_.Reclaim(policy, ops, steps);
+      break;
+    }
+  }
+  stats_.reclaim_scan_steps[t] += steps;
+  return evicted;
 }
 
 // ---------------------------------------------------------------------------
 // Cascaded unloads (Figure 6 dependency order)
 // ---------------------------------------------------------------------------
 
-void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeback,
+namespace {
+
+// Dependents of an unloading object are involuntary writebacks; only a
+// kDiscard parent (invariant repair, no writeback) propagates as-is.
+UnloadCause CascadeCause(UnloadCause parent) {
+  return parent == UnloadCause::kDiscard ? UnloadCause::kDiscard : UnloadCause::kCascade;
+}
+
+}  // namespace
+
+// Attribute the unload to exactly one counter, then run the owner's
+// writeback handler (for every cause except kDiscard).
+void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause cause,
                                  bool consistency_cascade) {
   const cksim::CostModel& cost = machine_.cost();
   MemMapEntry& rec = pmap_.record(pv_index);
@@ -1047,14 +1076,19 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeb
     }
     for (uint32_t peer : writable_peers) {
       if (pmap_.record(peer).type() == RecordType::kPhysToVirt) {
-        UnloadPvRecord(peer, cpu, writeback, /*consistency_cascade=*/false);
+        UnloadPvRecord(peer, cpu, CascadeCause(cause), /*consistency_cascade=*/false);
       }
     }
   }
 
-  if (writeback) {
+  if (cause != UnloadCause::kDiscard) {
     cpu.Advance(cost.writeback_record);
-    stats_.writebacks[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    uint32_t t = static_cast<uint32_t>(ObjectType::kMapping);
+    if (cause == UnloadCause::kExplicit) {
+      stats_.explicit_unloads[t]++;
+    } else {
+      stats_.writebacks[t]++;
+    }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kMapping), record.vaddr);
     CkApi api(*this, IdOfKernel(owner), cpu);
@@ -1062,7 +1096,7 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeb
   }
 }
 
-void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bool writeback) {
+void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, UnloadCause cause) {
   const cksim::CostModel& cost = machine_.cost();
   KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
   AddressSpaceObject* space = spaces_.SlotAt(thread->space_slot);
@@ -1102,9 +1136,14 @@ void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bo
   threads_.Release(thread);
   cpu.Advance(cost.context_save + cost.list_op);
 
-  if (writeback) {
+  if (cause != UnloadCause::kDiscard) {
     cpu.Advance(cost.writeback_record + cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
-    stats_.writebacks[static_cast<uint32_t>(ObjectType::kThread)]++;
+    uint32_t t = static_cast<uint32_t>(ObjectType::kThread);
+    if (cause == UnloadCause::kExplicit) {
+      stats_.explicit_unloads[t]++;
+    } else {
+      stats_.writebacks[t]++;
+    }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kThread), record.cookie);
     CkApi api(*this, IdOfKernel(owner), cpu);
@@ -1132,7 +1171,8 @@ void CacheKernel::FreeSpaceTables(AddressSpaceObject* space) {
   space->root_table = 0;
 }
 
-void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu, bool writeback) {
+void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu,
+                                      UnloadCause cause) {
   const cksim::CostModel& cost = machine_.cost();
   KernelObject* owner = kernels_.SlotAt(space->kernel_slot);
   uint32_t space_slot = spaces_.SlotOf(space);
@@ -1140,7 +1180,7 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
   // "Before an address space object is written back, all the page mappings
   // in the address space and all the associated threads are written back."
   while (ThreadObject* t = space->threads.Front()) {
-    UnloadThreadInternal(t, cpu, writeback);
+    UnloadThreadInternal(t, cpu, CascadeCause(cause));
   }
 
   // Walk the page tables to find every loaded mapping of this space.
@@ -1163,7 +1203,7 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
         VirtAddr vaddr = (i1 << 25) | (i2 << 18) | (i3 << cksim::kPageShift);
         uint32_t pv = pmap_.FindPv(cksim::PageFrame(cksim::PteAddress(leaf)), space_slot, vaddr);
         if (pv != kNilRecord) {
-          UnloadPvRecord(pv, cpu, writeback);
+          UnloadPvRecord(pv, cpu, CascadeCause(cause));
         } else {
           mem.WriteWord(cksim::PteAddress(l2) + i3 * 4, 0);
         }
@@ -1189,9 +1229,14 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
   spaces_.Release(space);
   cpu.Advance(cost.descriptor_init);
 
-  if (writeback) {
+  if (cause != UnloadCause::kDiscard) {
     cpu.Advance(cost.writeback_record);
-    stats_.writebacks[static_cast<uint32_t>(ObjectType::kSpace)]++;
+    uint32_t t = static_cast<uint32_t>(ObjectType::kSpace);
+    if (cause == UnloadCause::kExplicit) {
+      stats_.explicit_unloads[t]++;
+    } else {
+      stats_.writebacks[t]++;
+    }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kSpace), record.cookie);
     CkApi api(*this, IdOfKernel(owner), cpu);
@@ -1199,7 +1244,7 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
   }
 }
 
-void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bool writeback) {
+void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, UnloadCause cause) {
   const cksim::CostModel& cost = machine_.cost();
   uint32_t kernel_slot = kernels_.SlotOf(kernel);
 
@@ -1212,7 +1257,7 @@ void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bo
     }
     AddressSpaceObject* space = spaces_.SlotAt(slot);
     if (space->kernel_slot == kernel_slot) {
-      UnloadSpaceInternal(space, cpu, writeback);
+      UnloadSpaceInternal(space, cpu, CascadeCause(cause));
     }
   }
 
@@ -1228,9 +1273,14 @@ void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bo
   kernels_.Release(kernel);
   cpu.Advance(cost.descriptor_init);
 
-  if (writeback) {
+  if (cause != UnloadCause::kDiscard) {
     cpu.Advance(cost.writeback_record);
-    stats_.writebacks[static_cast<uint32_t>(ObjectType::kKernel)]++;
+    uint32_t t = static_cast<uint32_t>(ObjectType::kKernel);
+    if (cause == UnloadCause::kExplicit) {
+      stats_.explicit_unloads[t]++;
+    } else {
+      stats_.writebacks[t]++;
+    }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kKernel), record.cookie);
     CkApi api(*this, IdOfKernel(manager), cpu);
@@ -1324,17 +1374,10 @@ CkStatus CacheKernel::ReadPhys(KernelId caller, cksim::Cpu& cpu, PhysAddr addr, 
 }
 
 void CacheKernel::MarkFrameRemote(uint32_t pframe, bool remote) {
-  if (remote) {
-    remote_frames_.insert(pframe);
-  } else {
-    remote_frames_.erase(pframe);
-  }
-  // Keep the O(1) probe vector in lockstep. Frames beyond local memory can be
-  // marked (a peer node's address) but can never be reached by a local
-  // translation, so they need no probe bit.
-  if (pframe < remote_frame_bits_.size()) {
-    remote_frame_bits_[pframe] = remote ? 1 : 0;
-  }
+  // Frames beyond local memory can be marked (a peer node's address) but can
+  // never be reached by a local translation; the bitmap spills them into its
+  // sparse side, away from the fast path's dense probe region.
+  remote_frames_.Assign(pframe, remote);
 }
 
 void CacheKernel::ScheduleAppEvent(cksim::Cycles at, KernelId kernel,
@@ -1360,7 +1403,9 @@ uint32_t CacheKernel::loaded_count(ObjectType type) const {
     case ObjectType::kThread:
       return threads_.in_use();
     case ObjectType::kMapping:
-      return pmap_.in_use();
+      // Only pv records are cached mapping objects; signal/cow annotation
+      // records occupy pool slots but are loaded/written back with their pv.
+      return pmap_.loaded();
   }
   return 0;
 }
@@ -1509,6 +1554,8 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
     registry.AddCounter("ck.loads." + type, [s, t] { return s->loads[t]; });
     registry.AddCounter("ck.writebacks." + type, [s, t] { return s->writebacks[t]; });
     registry.AddCounter("ck.reclamations." + type, [s, t] { return s->reclamations[t]; });
+    registry.AddCounter("ck.reclaim.scan_steps." + type,
+                        [s, t] { return s->reclaim_scan_steps[t]; });
     registry.AddCounter("ck.explicit_unloads." + type,
                         [s, t] { return s->explicit_unloads[t]; });
   }

@@ -26,9 +26,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/fixed_pool.h"
 #include "src/base/histogram.h"
 #include "src/base/status.h"
@@ -36,6 +36,7 @@
 #include "src/ck/appkernel_iface.h"
 #include "src/ck/config.h"
 #include "src/ck/ids.h"
+#include "src/ck/object_cache.h"
 #include "src/ck/objects.h"
 #include "src/ck/physmap.h"
 #include "src/ck/table_arena.h"
@@ -54,11 +55,20 @@ using ckbase::CkStatus;
 using ckbase::Result;
 
 // Counters exposed to tests and benches.
+//
+// The unload counters partition: every loaded object is unloaded exactly
+// once, as an owner-requested explicit unload OR as an involuntary writeback
+// (a capacity-forced victim or a Figure 6 cascade dependent), so
+//   loads[t] == explicit_unloads[t] + writebacks[t] + loaded_count(t)
+// holds per type at any quiescent point (tests/property_test.cc asserts it
+// after randomized storms). Reclamations count the top-level victims within
+// writebacks (cascade dependents are writebacks but not reclamations).
 struct CkStats {
   uint64_t loads[kObjectTypeCount] = {0};
   uint64_t writebacks[kObjectTypeCount] = {0};       // reclamation + cascade
   uint64_t explicit_unloads[kObjectTypeCount] = {0}; // owner-requested
   uint64_t reclamations[kObjectTypeCount] = {0};     // capacity-forced victims
+  uint64_t reclaim_scan_steps[kObjectTypeCount] = {0};  // candidates examined
   uint64_t load_failures = 0;
   uint64_t faults_forwarded = 0;
   uint64_t traps_forwarded = 0;
@@ -128,6 +138,24 @@ struct MappingInfo {
 };
 
 class CkApi;
+
+// Why an object is leaving its cache; decides which unload counter it lands
+// in (exactly one per object) and whether the owner's writeback handler runs.
+enum class UnloadCause : uint8_t {
+  kExplicit,  // owner-requested unload -> explicit_unloads
+  kReclaim,   // capacity-forced victim -> writebacks (+ reclamations, by Evict)
+  kCascade,   // Figure 6 dependent of another unload -> writebacks
+  kDiscard,   // dropped without writeback (invariant repair) -> uncounted
+};
+
+// Runtime-mutable knobs, separated from CacheKernelConfig so config() stays
+// the immutable boot configuration. Initialized from the config at boot.
+struct RuntimeKnobs {
+  bool fastpath = true;
+  ReplacementPolicy replacement[kObjectTypeCount] = {
+      ReplacementPolicy::kClock, ReplacementPolicy::kClock, ReplacementPolicy::kClock,
+      ReplacementPolicy::kClock};
+};
 
 class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
  public:
@@ -247,9 +275,16 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void RegisterMetrics(obs::Registry& registry);
   cksim::Machine& machine() { return machine_; }
   const CacheKernelConfig& config() const { return config_; }
+  const RuntimeKnobs& knobs() const { return knobs_; }
   // Toggle the guest-execution fast path at runtime (tests/benches). Safe at
   // any point: the flag is consulted once per dispatched guest quantum.
-  void set_fastpath(bool enabled) { config_.fastpath = enabled; }
+  void set_fastpath(bool enabled) { knobs_.fastpath = enabled; }
+  // Switch a descriptor cache's replacement policy at runtime. Consulted
+  // once per reclamation, so this is safe at any point; the soft referenced
+  // bits and load stamps are maintained continuously under every policy.
+  void set_replacement_policy(ObjectType type, ReplacementPolicy policy) {
+    knobs_.replacement[static_cast<uint32_t>(type)] = policy;
+  }
 
   uint32_t loaded_count(ObjectType type) const;
   uint32_t capacity(ObjectType type) const;
@@ -326,16 +361,21 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   bool MappingEffectivelyLocked(uint32_t pv_index);
 
   // -- reclamation (capacity-forced victims) --
-  bool ReclaimKernel(cksim::Cpu& cpu);
-  bool ReclaimSpace(cksim::Cpu& cpu);
-  bool ReclaimThread(cksim::Cpu& cpu);
-  bool ReclaimMapping(cksim::Cpu& cpu);
+  // One generic engine (src/ck/object_cache.h) driven by per-type Ops glue;
+  // the policy comes from knobs_.replacement[type].
+  struct KernelVictimOps;
+  struct SpaceVictimOps;
+  struct ThreadVictimOps;
+  struct MappingVictimOps;
+  bool ReclaimVictim(ObjectType type, cksim::Cpu& cpu);
 
-  // -- cascaded unload (Figure 6 order). Writeback iff wb. --
-  void UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, bool writeback);
-  void UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu, bool writeback);
-  void UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, bool writeback);
-  void UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, bool writeback,
+  // -- cascaded unload (Figure 6 order). Writeback unless kDiscard; the
+  // cause picks the stat counter. Dependents are unloaded with kCascade
+  // (kDiscard propagates). --
+  void UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, UnloadCause cause);
+  void UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu, UnloadCause cause);
+  void UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, UnloadCause cause);
+  void UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause cause,
                       bool consistency_cascade = true);
 
   // -- page table maintenance --
@@ -379,24 +419,23 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // -- access checks --
   bool CheckPhysicalAccess(KernelObject* kernel, cksim::PhysAddr addr, uint32_t len, bool write);
 
-  // O(1) remote-frame probe on the guest memory hot paths. Frames beyond
-  // local memory (markable, never translatable-to without an abort) fall back
-  // to the set.
-  bool FrameIsRemote(uint32_t pframe) const {
-    return pframe < remote_frame_bits_.size() ? remote_frame_bits_[pframe] != 0
-                                              : remote_frames_.count(pframe) != 0;
-  }
+  // O(1) remote-frame probe on the guest memory hot paths (dense region of
+  // the bitmap; frames beyond local memory fall back to its sparse side).
+  bool FrameIsRemote(uint32_t pframe) const { return remote_frames_.Test(pframe); }
 
   void FlushTlbPageAllCpus(uint16_t asid, uint32_t vpage, cksim::Cpu& cpu);
   void FlushReverseTlbFrameAllCpus(uint32_t pframe);
 
   cksim::Machine& machine_;
-  CacheKernelConfig config_;
+  const CacheKernelConfig config_;
+  RuntimeKnobs knobs_;
 
-  ckbase::FixedPool<KernelObject> kernels_;
-  ckbase::FixedPool<AddressSpaceObject> spaces_;
-  ckbase::FixedPool<ThreadObject> threads_;
-  PhysicalMemoryMap pmap_;
+  // The four descriptor caches: one ObjectCache layer over the per-type
+  // stores (the mapping instance wraps the physical memory map).
+  ObjectCache<ckbase::FixedPool<KernelObject>> kernels_;
+  ObjectCache<ckbase::FixedPool<AddressSpaceObject>> spaces_;
+  ObjectCache<ckbase::FixedPool<ThreadObject>> threads_;
+  ObjectCache<PhysicalMemoryMap> pmap_;
   TableArena table_arena_;
 
   KernelId first_kernel_;
@@ -414,12 +453,10 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   std::vector<uint32_t> signal_reg_head_;  // [thread slot]
 
   std::vector<AppEvent> app_events_;  // kept sorted by `at`
-  // Frames held on remote nodes / failed modules. The set is the source of
-  // truth (iterable for validation); the byte vector is the O(1) per-access
-  // probe the guest memory paths and the fast path use. MarkFrameRemote
-  // keeps them in lockstep (ValidateInvariants cross-checks).
-  std::unordered_set<uint32_t> remote_frames_;
-  std::vector<uint8_t> remote_frame_bits_;  // [pframe] -> 0/1
+  // Frames held on remote nodes / failed modules: single source of truth.
+  // The dense region doubles as the O(1) per-access probe the guest memory
+  // paths and the fast-path interpreter use (raw pointer capture).
+  ckbase::IterableBitmap remote_frames_;
 
   // Guest-execution fast path state (src/isa/fastpath.h): one micro-TLB per
   // CPU (mirrors the per-CPU hardware TLB) and one decoded-instruction cache
@@ -428,11 +465,6 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   std::unique_ptr<ckisa::ExecCache> exec_cache_;
 
   uint32_t next_cpu_rr_ = 0;  // round-robin thread placement
-  // Clock hands for victim scans, so reclamation cycles through the pools
-  // instead of re-evicting the most recently refilled slots.
-  uint32_t kernel_hand_ = 0;
-  uint32_t space_hand_ = 0;
-  uint32_t thread_hand_ = 0;
   CkStats stats_;
   FaultTrace fault_trace_;
   // Last-N completed traces (overwrite-oldest) plus per-step distributions.

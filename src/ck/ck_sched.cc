@@ -14,14 +14,14 @@ class GuestBusImpl : public ckisa::GuestBus {
  public:
   GuestBusImpl(CacheKernel& ck, cksim::Cpu& cpu, AddressSpaceObject* space, uint16_t asid)
       : ck_(ck), cpu_(cpu), space_(space), asid_(asid),
-        fast_enabled_(ck.config_.fastpath) {
+        fast_enabled_(ck.knobs_.fastpath) {
     if (fast_enabled_) {
       fp_.mtlb = &ck.micro_tlbs_[cpu.id()];
       fp_.tlb = &cpu.mmu().tlb();
       fp_.exec_cache = ck.exec_cache_.get();
       fp_.mem = &ck.machine_.memory();
-      fp_.remote_frame_bits = ck.remote_frame_bits_.data();
-      fp_.frame_count = static_cast<uint32_t>(ck.remote_frame_bits_.size());
+      fp_.remote_frame_bits = ck.remote_frames_.dense_data();
+      fp_.frame_count = ck.remote_frames_.dense_limit();
       fp_.cpu = &cpu;
       fp_.asid = asid;
       fp_.cost_tlb_hit = ck.machine_.cost().tlb_hit;
@@ -368,6 +368,11 @@ void CacheKernel::OnCpuTurn(cksim::Cpu& cpu) {
     stats_.context_switches++;
     CK_TRACE(Ring(cpu), obs::EventType::kContextSwitch, cpu.clock(), current->priority,
              threads_.IdOf(current).Packed());
+    // Dispatch is the recency signal for descriptor second chance: the
+    // thread, its space and its owning kernel are all in active use.
+    threads_.Touch(threads_.SlotOf(current));
+    spaces_.Touch(current->space_slot);
+    kernels_.Touch(current->kernel_slot);
   }
 
   if (current->native != nullptr) {
@@ -388,7 +393,7 @@ void CacheKernel::RunGuest(ThreadObject* thread, cksim::Cpu& cpu) {
       spaces_.Lookup(ckbase::PoolId{thread->space_slot, thread->space_gen});
   if (space == nullptr) {
     // Invariant violation: threads are unloaded with their space.
-    UnloadThreadInternal(thread, cpu, /*writeback=*/false);
+    UnloadThreadInternal(thread, cpu, UnloadCause::kDiscard);
     return;
   }
 

@@ -127,6 +127,8 @@ void CacheKernel::DrainPendingSignals(cksim::Cpu& cpu) {
 void CacheKernel::DeliverToThread(ThreadObject* thread, VirtAddr vaddr, uint32_t pframe,
                                   cksim::Cpu& cpu) {
   const cksim::CostModel& cost = machine_.cost();
+  // Signal delivery marks the receiver recently used (second-chance policy).
+  threads_.Touch(threads_.SlotOf(thread));
 
   // Fast path: the per-processor reverse-TLB maps the physical frame to the
   // (virtual address, signal function) pair; a hit delivers to the active

@@ -40,7 +40,7 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
                std::to_string(slot));
           break;
         }
-        if (rec.pv_frame() >= local_frames && remote_frames_.count(rec.pv_frame()) == 0) {
+        if (rec.pv_frame() >= local_frames && !remote_frames_.Test(rec.pv_frame())) {
           std::ostringstream os;
           os << "pv record " << i << " frame " << rec.pv_frame()
              << " outside local memory (bad restore frame remap?)";
@@ -219,17 +219,28 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
   // through any CPU must agree with the tables. Exhaustive TLB dumping is
   // not exposed by the hardware model, as on the real machine.)
 
-  // --- remote-frame set and probe vector agree ---
-  // The guest access paths consult the O(1) bit vector; failure injection
-  // maintains both. Disagreement would let fast and slow paths diverge.
-  for (uint32_t frame : remote_frames_) {
-    if (frame < remote_frame_bits_.size() && remote_frame_bits_[frame] == 0) {
-      fail("remote frame missing its probe bit");
+  // --- ObjectCache accounting matches store occupancy ---
+  // Every loaded descriptor carries a nonzero load stamp and every free slot
+  // a zero one; drift would skew FIFO ages and the replacement bookkeeping.
+  for (uint32_t slot = 0; slot < kernels_.capacity(); ++slot) {
+    if (kernels_.IsAllocated(slot) != (kernels_.load_seq(slot) != 0)) {
+      fail("kernel cache load stamp disagrees with pool occupancy");
     }
   }
-  for (uint32_t frame = 0; frame < remote_frame_bits_.size(); ++frame) {
-    if (remote_frame_bits_[frame] != 0 && remote_frames_.count(frame) == 0) {
-      fail("remote probe bit set for non-remote frame");
+  for (uint32_t slot = 0; slot < spaces_.capacity(); ++slot) {
+    if (spaces_.IsAllocated(slot) != (spaces_.load_seq(slot) != 0)) {
+      fail("space cache load stamp disagrees with pool occupancy");
+    }
+  }
+  for (uint32_t slot = 0; slot < threads_.capacity(); ++slot) {
+    if (threads_.IsAllocated(slot) != (threads_.load_seq(slot) != 0)) {
+      fail("thread cache load stamp disagrees with pool occupancy");
+    }
+  }
+  for (uint32_t i = 0; i < pmap_.capacity(); ++i) {
+    bool is_pv = pmap_.record(i).type() == RecordType::kPhysToVirt;
+    if (is_pv != (pmap_.load_seq(i) != 0)) {
+      fail("mapping cache load stamp disagrees with pv occupancy");
     }
   }
 

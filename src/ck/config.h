@@ -14,6 +14,27 @@
 
 namespace ck {
 
+// Victim-selection policy for a descriptor cache (src/ck/object_cache.h).
+// kClock is the paper's behavior and the default: a clock scan with second
+// chance on the hardware referenced bit for mappings (pool scans have no
+// hardware bit, so the clock hand takes the first unpinned slot). kFifo
+// evicts the oldest load. kSecondChance extends the clock scan with soft
+// referenced bits maintained by the Cache Kernel (thread dispatch, signal
+// delivery), giving recently-used descriptors one extra trip of the hand.
+enum class ReplacementPolicy : uint8_t { kClock = 0, kFifo = 1, kSecondChance = 2 };
+
+inline const char* ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kClock:
+      return "clock";
+    case ReplacementPolicy::kFifo:
+      return "fifo";
+    case ReplacementPolicy::kSecondChance:
+      return "second-chance";
+  }
+  return "?";
+}
+
 struct CacheKernelConfig {
   // Descriptor cache capacities (Table 1).
   uint32_t kernel_slots = 16;
@@ -49,6 +70,13 @@ struct CacheKernelConfig {
   // Observability: completed FaultTraces retained in the last-N history ring
   // (the per-step histograms accumulate every fault regardless).
   uint32_t fault_history_depth = 64;
+
+  // Boot-time replacement policy per descriptor cache, indexed by
+  // ck::ObjectType (kernel, space, thread, mapping). Runtime-mutable through
+  // CacheKernel::set_replacement_policy (a RuntimeKnobs field, like
+  // fastpath); this is only the boot default.
+  ReplacementPolicy replacement[4] = {ReplacementPolicy::kClock, ReplacementPolicy::kClock,
+                                      ReplacementPolicy::kClock, ReplacementPolicy::kClock};
 };
 
 }  // namespace ck

@@ -1,0 +1,253 @@
+// The generic descriptor-cache layer.
+//
+// The paper's claim is that the Cache Kernel manages kernels, address
+// spaces, threads and page mappings "exactly the way a hardware cache caches
+// memory lines". This header is that claim as one piece of code: ObjectCache
+// wraps a fixed-capacity store (ckbase::FixedPool for the three object
+// pools, PhysicalMemoryMap for mappings) and adds the cache half of the
+// model -- load/release accounting, the replacement hand, and pluggable
+// victim selection -- so the per-type reclamation scans that used to be
+// written four times in cache_kernel.cc are one engine parameterized by a
+// small per-type Ops struct.
+//
+// The store is inherited publicly: every existing Lookup/SlotAt/record call
+// site keeps working, while Allocate/Release (pools) and Insert/Remove (the
+// map) are shadowed so the cache's accounting can never drift from the
+// store's occupancy (ValidateInvariants cross-checks slot-by-slot).
+//
+// Victim selection (Reclaim) is generic over:
+//   * Ops -- the per-type glue defined by CacheKernel: occupancy, the
+//     effective-lock pin chain of section 4.2, pass eligibility (threads
+//     prefer blocked victims), the hardware referenced bit (mappings), and
+//     eviction itself (stats + trace + the Figure 6 dependency-ordered
+//     writeback cascade).
+//   * ReplacementPolicy -- clock (the paper's behavior, default), FIFO
+//     (oldest load first), or second-chance (clock extended with the soft
+//     referenced bits this layer maintains).
+//
+// Two scan shapes exist, chosen by Ops::kScanOccupiedSteps:
+//   * false (pools): the hand walks slots, one budget unit per slot per
+//     pass; the hand only commits when a victim is evicted.
+//   * true (mappings): the hand walks occupied records -- the budget counts
+//     occupied visits, so a sparsely occupied map can revisit a record and
+//     evict it after its second chance is spent; the first unpinned record
+//     seen is remembered as a forced fallback. This reproduces the historic
+//     ReclaimMapping/ClockNextPv semantics bit-exactly.
+
+#ifndef SRC_CK_OBJECT_CACHE_H_
+#define SRC_CK_OBJECT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ck/config.h"
+
+namespace ck {
+
+inline constexpr uint32_t kNoVictim = 0xffffffffu;
+
+template <typename Store>
+class ObjectCache : public Store {
+ public:
+  explicit ObjectCache(uint32_t capacity)
+      : Store(capacity), load_seq_(capacity, 0), soft_ref_(capacity, 0) {}
+
+  // ---- loaded/free accounting ----
+  // Every load stamps the slot with a monotonic sequence number (FIFO age)
+  // and an initial soft referenced bit; release clears both. The shadowing
+  // wrappers below keep this automatic for every allocation path.
+  void OnLoad(uint32_t slot) {
+    if (load_seq_[slot] == 0) {
+      ++loaded_;
+    }
+    load_seq_[slot] = ++load_clock_;
+    soft_ref_[slot] = 1;
+  }
+  void OnRelease(uint32_t slot) {
+    if (load_seq_[slot] != 0) {
+      --loaded_;
+    }
+    load_seq_[slot] = 0;
+    soft_ref_[slot] = 0;
+  }
+  // Cached objects currently loaded. For the pool instantiations this equals
+  // in_use(); for the mapping instance it counts only PhysToVirt records --
+  // signal/cow annotations occupy slots but are not cached objects.
+  uint32_t loaded() const { return loaded_; }
+  // Recency hint for kSecondChance (thread dispatch, signal delivery, ...).
+  // Host-side bookkeeping: no simulated cost, ignored by the other policies.
+  void Touch(uint32_t slot) { soft_ref_[slot] = 1; }
+
+  uint64_t load_seq(uint32_t slot) const { return load_seq_[slot]; }
+  uint32_t hand() const { return hand_; }
+
+  // ---- store shadows (only instantiated for stores that have them) ----
+  auto* Allocate() {
+    auto* item = Store::Allocate();
+    if (item != nullptr) {
+      OnLoad(Store::SlotOf(item));
+    }
+    return item;
+  }
+  template <typename T>
+  void Release(T* item) {
+    uint32_t slot = Store::SlotOf(item);
+    Store::Release(item);
+    OnRelease(slot);
+  }
+  template <typename RecordTypeT>
+  uint32_t Insert(uint32_t key, uint32_t dependent, uint32_t context_low, RecordTypeT type) {
+    uint32_t index = Store::Insert(key, dependent, context_low, type);
+    if (index != kNoVictim && type == RecordTypeT::kPhysToVirt) {
+      OnLoad(index);
+    }
+    return index;
+  }
+  void Remove(uint32_t index) {
+    Store::Remove(index);
+    OnRelease(index);
+  }
+
+  // ---- victim selection ----
+  // Returns true after ops.Evict() ran on the chosen victim; false when
+  // every candidate is pinned (the caller fails the load cleanly with
+  // kNoResources). `scan_steps` accumulates candidates examined, for the
+  // per-type scan-length counters in CkStats.
+  template <typename Ops>
+  bool Reclaim(ReplacementPolicy policy, Ops& ops, uint64_t& scan_steps) {
+    switch (policy) {
+      case ReplacementPolicy::kFifo:
+        return ReclaimFifo(ops, scan_steps);
+      case ReplacementPolicy::kSecondChance:
+        return ReclaimClock(ops, scan_steps, /*soft=*/true);
+      case ReplacementPolicy::kClock:
+        break;
+    }
+    return ReclaimClock(ops, scan_steps, /*soft=*/false);
+  }
+
+ private:
+  // FIFO: evict the oldest-loaded unpinned object. Ignores referenced bits
+  // and pass preference -- that indifference is the policy's failure mode the
+  // working-set sweep measures. The hand is untouched.
+  template <typename Ops>
+  bool ReclaimFifo(Ops& ops, uint64_t& scan_steps) {
+    uint32_t cap = Store::capacity();
+    uint32_t best = kNoVictim;
+    uint64_t best_seq = 0;
+    for (uint32_t slot = 0; slot < cap; ++slot) {
+      if (!ops.Occupied(slot)) {
+        continue;
+      }
+      ++scan_steps;
+      if (ops.Pinned(slot)) {
+        continue;
+      }
+      if (best == kNoVictim || load_seq_[slot] < best_seq) {
+        best = slot;
+        best_seq = load_seq_[slot];
+      }
+    }
+    if (best == kNoVictim) {
+      return false;
+    }
+    ops.Evict(best);
+    return true;
+  }
+
+  // Clock scan; with `soft` the Cache Kernel's soft referenced bits join the
+  // hardware bit (both are consumed -- a referenced victim survives exactly
+  // one trip of the hand).
+  template <typename Ops>
+  bool ReclaimClock(Ops& ops, uint64_t& scan_steps, bool soft) {
+    uint32_t cap = Store::capacity();
+    uint32_t forced = kNoVictim;
+    if constexpr (Ops::kScanOccupiedSteps) {
+      // Mapping-shaped scan: budget in occupied visits, mutating hand.
+      for (uint32_t step = 0; step < cap; ++step) {
+        uint32_t slot = NextOccupied(ops);
+        if (slot == kNoVictim) {
+          break;
+        }
+        ++scan_steps;
+        if (ops.Pinned(slot)) {
+          continue;
+        }
+        if (forced == kNoVictim) {
+          forced = slot;  // fallback if everything stays referenced
+        }
+        bool hw = ops.TestAndClearReferenced(slot);
+        bool sw = soft && TestAndClearSoftRef(slot);
+        if (hw || sw) {
+          continue;  // second chance
+        }
+        ops.Evict(slot);
+        return true;
+      }
+    } else {
+      // Pool-shaped scan: budget in slots per pass, hand commits on evict.
+      for (int pass = 0; pass < Ops::kPasses; ++pass) {
+        for (uint32_t step = 0; step < cap; ++step) {
+          uint32_t slot = (hand_ + step) % cap;
+          ++scan_steps;
+          if (!ops.Occupied(slot) || !ops.Eligible(slot, pass)) {
+            continue;
+          }
+          if (ops.Pinned(slot)) {
+            continue;
+          }
+          if (forced == kNoVictim) {
+            forced = slot;
+          }
+          bool hw = ops.TestAndClearReferenced(slot);
+          bool sw = soft && TestAndClearSoftRef(slot);
+          if (hw || sw) {
+            continue;
+          }
+          hand_ = (slot + 1) % cap;
+          ops.Evict(slot);
+          return true;
+        }
+      }
+    }
+    if (forced != kNoVictim && ops.Occupied(forced)) {
+      if constexpr (!Ops::kScanOccupiedSteps) {
+        hand_ = (forced + 1) % cap;
+      }
+      ops.Evict(forced);
+      return true;
+    }
+    return false;
+  }
+
+  // Advance the hand to the next occupied slot (wrapping), consuming it.
+  // Returns kNoVictim when a full revolution finds nothing occupied.
+  template <typename Ops>
+  uint32_t NextOccupied(Ops& ops) {
+    uint32_t cap = Store::capacity();
+    for (uint32_t i = 0; i < cap; ++i) {
+      uint32_t slot = hand_;
+      hand_ = (hand_ + 1) % cap;
+      if (ops.Occupied(slot)) {
+        return slot;
+      }
+    }
+    return kNoVictim;
+  }
+
+  bool TestAndClearSoftRef(uint32_t slot) {
+    bool was = soft_ref_[slot] != 0;
+    soft_ref_[slot] = 0;
+    return was;
+  }
+
+  uint32_t hand_ = 0;               // replacement hand (per-cache, was per-type)
+  uint32_t loaded_ = 0;             // slots with a nonzero load stamp
+  uint64_t load_clock_ = 0;         // monotonic load counter for FIFO age
+  std::vector<uint64_t> load_seq_;  // [slot] -> load stamp, 0 when free
+  std::vector<uint8_t> soft_ref_;   // [slot] -> soft referenced bit
+};
+
+}  // namespace ck
+
+#endif  // SRC_CK_OBJECT_CACHE_H_

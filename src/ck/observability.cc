@@ -28,6 +28,17 @@ ObsSession::ObsSession(int& argc, char** argv) {
       fastpath_override_ = 1;
     } else if (std::strcmp(arg, "--fastpath=off") == 0) {
       fastpath_override_ = 0;
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      const char* name = arg + 9;
+      if (std::strcmp(name, "clock") == 0) {
+        policy_override_ = static_cast<int>(ReplacementPolicy::kClock);
+      } else if (std::strcmp(name, "fifo") == 0) {
+        policy_override_ = static_cast<int>(ReplacementPolicy::kFifo);
+      } else if (std::strcmp(name, "second-chance") == 0) {
+        policy_override_ = static_cast<int>(ReplacementPolicy::kSecondChance);
+      } else {
+        std::fprintf(stderr, "[obs] unknown --policy=%s (clock|fifo|second-chance)\n", name);
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -48,6 +59,12 @@ void ObsSession::Attach(cksim::Machine& machine, CacheKernel* kernel) {
   }
   if (fastpath_override_ >= 0 && kernel != nullptr) {
     kernel->set_fastpath(fastpath_override_ == 1);
+  }
+  if (policy_override_ >= 0 && kernel != nullptr) {
+    for (uint32_t type = 0; type < kObjectTypeCount; ++type) {
+      kernel->set_replacement_policy(static_cast<ObjectType>(type),
+                                     static_cast<ReplacementPolicy>(policy_override_));
+    }
   }
 }
 

@@ -11,6 +11,9 @@
 //   --fastpath=on|off     force the guest-execution fast path on or off
 //                         (default: the kernel's config; results are
 //                         identical either way, see docs/PERFORMANCE.md)
+//   --policy=<name>       descriptor-cache replacement policy for all four
+//                         object types: clock (default), fifo, second-chance
+//                         (see src/ck/object_cache.h)
 //
 // Usage:
 //   ck::ObsSession obs(argc, argv);
@@ -69,6 +72,7 @@ class ObsSession {
   uint32_t trace_depth_ = 1u << 16;
   bool metrics_ = false;
   int fastpath_override_ = -1;  // -1 = leave config alone, else 0/1
+  int policy_override_ = -1;    // -1 = leave config alone, else ReplacementPolicy
   cksim::Machine* machine_ = nullptr;
   obs::Registry registry_;
 };

@@ -107,19 +107,4 @@ uint32_t PhysicalMemoryMap::FindPv(uint32_t frame, uint32_t space_slot,
   return kNilRecord;
 }
 
-uint32_t PhysicalMemoryMap::ClockNextPv() {
-  if (in_use_ == 0) {
-    return kNilRecord;
-  }
-  uint32_t n = capacity();
-  for (uint32_t step = 0; step < n; ++step) {
-    uint32_t index = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    if (records_[index].type() == RecordType::kPhysToVirt) {
-      return index;
-    }
-  }
-  return kNilRecord;
-}
-
 }  // namespace ck

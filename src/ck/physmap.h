@@ -19,8 +19,8 @@
 // keyed by each of those records.
 //
 // sizeof(MemMapEntry) == 16 is asserted; the free list reuses the hash link,
-// so the pool carries no per-record overhead beyond a side bitmap used by the
-// clock replacement scan.
+// so the pool carries no per-record overhead. Replacement over pv records
+// lives in the ObjectCache wrapper (src/ck/object_cache.h), not here.
 
 #ifndef SRC_CK_PHYSMAP_H_
 #define SRC_CK_PHYSMAP_H_
@@ -116,11 +116,6 @@ class PhysicalMemoryMap {
   // records of `frame`. kNilRecord if absent.
   uint32_t FindPv(uint32_t frame, uint32_t space_slot, cksim::VirtAddr vaddr) const;
 
-  // Clock-scan support for replacement: advances the hand over pv records.
-  // Returns the next in-use PhysToVirt record index at or after the hand
-  // (wrapping), or kNilRecord if none exist at all.
-  uint32_t ClockNextPv();
-
   // Version counter (non-blocking synchronization, section 4.2). Readers of
   // derived caches (reverse TLB) validate against it.
   ckbase::VersionLock& version() { return version_; }
@@ -136,7 +131,6 @@ class PhysicalMemoryMap {
   std::vector<uint32_t> buckets_;  // head record index per bucket
   uint32_t free_head_ = kNilRecord;
   uint32_t in_use_ = 0;
-  uint32_t clock_hand_ = 0;
   ckbase::VersionLock version_;
 };
 

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "src/base/rng.h"
+#include "src/ck/object_cache.h"
 #include "src/ck/objects.h"
 #include "src/ck/physmap.h"
 #include "src/ck/table_arena.h"
@@ -102,20 +103,49 @@ TEST(PhysMapTest, ExhaustionReturnsNil) {
   EXPECT_NE(pmap.Insert(99, 0, 0, RecordType::kPhysToVirt), kNilRecord);
 }
 
-TEST(PhysMapTest, ClockNextPvSkipsNonPvRecords) {
-  PhysicalMemoryMap pmap(8);
+// Minimal Ops glue for driving ObjectCache's mapping-shaped clock scan
+// directly against a bare PhysicalMemoryMap (no CacheKernel).
+struct MapScanOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = true;
+  ck::ObjectCache<PhysicalMemoryMap>& map;
+  uint32_t evicted = kNilRecord;
+  bool Occupied(uint32_t index) const {
+    return map.record(index).type() == RecordType::kPhysToVirt;
+  }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t) const { return false; }
+  bool TestAndClearReferenced(uint32_t) { return false; }
+  void Evict(uint32_t index) {
+    evicted = index;
+    map.Remove(index);
+  }
+};
+
+TEST(PhysMapTest, MappingScanSkipsNonPvRecords) {
+  ck::ObjectCache<PhysicalMemoryMap> pmap(8);
   uint32_t pv1 = pmap.Insert(1, 0, 0, RecordType::kPhysToVirt);
   uint32_t sig = pmap.Insert(pv1, 5, 0, RecordType::kSignal);
   uint32_t pv2 = pmap.Insert(2, 0, 0, RecordType::kPhysToVirt);
-  (void)sig;
+  EXPECT_EQ(pmap.load_seq(sig), 0u) << "only pv records participate in replacement";
+  EXPECT_NE(pmap.load_seq(pv1), 0u);
+
+  // The clock scan visits only pv records, evicting in hand order.
   std::set<uint32_t> seen;
-  for (int i = 0; i < 4; ++i) {
-    uint32_t got = pmap.ClockNextPv();
-    ASSERT_NE(got, kNilRecord);
-    EXPECT_EQ(pmap.record(got).type(), RecordType::kPhysToVirt);
-    seen.insert(got);
+  for (int i = 0; i < 2; ++i) {
+    MapScanOps ops{pmap};
+    uint64_t steps = 0;
+    ASSERT_TRUE(pmap.Reclaim(ck::ReplacementPolicy::kClock, ops, steps));
+    ASSERT_NE(ops.evicted, kNilRecord);
+    EXPECT_EQ(steps, 1u) << "first occupied record is unreferenced and unpinned";
+    seen.insert(ops.evicted);
   }
   EXPECT_EQ(seen, (std::set<uint32_t>{pv1, pv2}));
+
+  // Only the signal record remains: no pv candidates left.
+  MapScanOps ops{pmap};
+  uint64_t steps = 0;
+  EXPECT_FALSE(pmap.Reclaim(ck::ReplacementPolicy::kClock, ops, steps));
 }
 
 TEST(PhysMapTest, VersionBumpsOnEveryMutation) {

@@ -1,0 +1,405 @@
+// The generic descriptor-cache layer (src/ck/object_cache.h): policy
+// semantics at the unit level, and capacity-forced reclamation against the
+// Cache Kernel with section 4.2 effective-lock chains pinning victims, under
+// every replacement policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/fixed_pool.h"
+#include "src/ck/cache_kernel.h"
+#include "src/ck/object_cache.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CacheKernelConfig;
+using ck::CkApi;
+using ck::KernelId;
+using ck::MappingSpec;
+using ck::ObjectType;
+using ck::ReplacementPolicy;
+using ck::SpaceId;
+using ck::ThreadId;
+using ck::ThreadSpec;
+using ckbase::CkStatus;
+
+// ---------------------------------------------------------------------------
+// Unit level: ObjectCache over a bare FixedPool
+// ---------------------------------------------------------------------------
+
+struct TestObj {
+  ckbase::ListNode pool_node;
+  bool pinned = false;
+};
+
+using TestCache = ck::ObjectCache<ckbase::FixedPool<TestObj>>;
+
+struct PoolOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = false;
+  TestCache& pool;
+  uint32_t evicted = ck::kNoVictim;
+  bool Occupied(uint32_t slot) const { return pool.IsAllocated(slot); }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t slot) { return pool.SlotAt(slot)->pinned; }
+  bool TestAndClearReferenced(uint32_t) { return false; }  // pools have no hw bit
+  void Evict(uint32_t slot) {
+    evicted = slot;
+    pool.Release(pool.SlotAt(slot));
+  }
+};
+
+uint32_t ReclaimOnce(TestCache& pool, ReplacementPolicy policy, uint64_t* steps_out = nullptr) {
+  PoolOps ops{pool};
+  uint64_t steps = 0;
+  if (!pool.Reclaim(policy, ops, steps)) {
+    return ck::kNoVictim;
+  }
+  if (steps_out != nullptr) {
+    *steps_out = steps;
+  }
+  return ops.evicted;
+}
+
+TEST(ObjectCacheTest, LoadStampsTrackOccupancy) {
+  TestCache pool(4);
+  TestObj* a = pool.Allocate();
+  TestObj* b = pool.Allocate();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(pool.load_seq(pool.SlotOf(a)), 0u);
+  EXPECT_LT(pool.load_seq(pool.SlotOf(a)), pool.load_seq(pool.SlotOf(b)));
+  uint32_t slot_a = pool.SlotOf(a);
+  pool.Release(a);
+  EXPECT_EQ(pool.load_seq(slot_a), 0u);
+}
+
+TEST(ObjectCacheTest, FifoEvictsOldestLoadNotHandPosition) {
+  // Slots 0..3 hold A,B,C,D; A is released and its slot refilled with the
+  // NEWEST object E. The clock hand (still at 0) would take E; FIFO must
+  // take B, the oldest surviving load.
+  TestCache fifo_pool(4);
+  TestObj* a = fifo_pool.Allocate();
+  fifo_pool.Allocate();  // B -> slot 1
+  fifo_pool.Allocate();  // C -> slot 2
+  fifo_pool.Allocate();  // D -> slot 3
+  fifo_pool.Release(a);
+  TestObj* e = fifo_pool.Allocate();
+  ASSERT_EQ(fifo_pool.SlotOf(e), 0u);
+  EXPECT_EQ(ReclaimOnce(fifo_pool, ReplacementPolicy::kFifo), 1u) << "oldest load is B";
+
+  TestCache clock_pool(4);
+  a = clock_pool.Allocate();
+  clock_pool.Allocate();
+  clock_pool.Allocate();
+  clock_pool.Allocate();
+  clock_pool.Release(a);
+  e = clock_pool.Allocate();
+  ASSERT_EQ(clock_pool.SlotOf(e), 0u);
+  EXPECT_EQ(ReclaimOnce(clock_pool, ReplacementPolicy::kClock), 0u) << "hand takes slot 0";
+}
+
+TEST(ObjectCacheTest, FifoSkipsPinnedOldest) {
+  TestCache pool(3);
+  TestObj* a = pool.Allocate();
+  pool.Allocate();
+  pool.Allocate();
+  a->pinned = true;
+  EXPECT_EQ(ReclaimOnce(pool, ReplacementPolicy::kFifo), 1u) << "oldest unpinned";
+}
+
+TEST(ObjectCacheTest, SecondChanceProtectsTouchedSlot) {
+  TestCache pool(3);
+  pool.Allocate();  // A -> slot 0
+  pool.Allocate();  // B -> slot 1
+  pool.Allocate();  // C -> slot 2
+  // First reclaim: every soft bit is fresh from load, so the scan consumes
+  // all three and falls back to the forced victim A; the hand ends at 1.
+  uint64_t steps = 0;
+  EXPECT_EQ(ReclaimOnce(pool, ReplacementPolicy::kSecondChance, &steps), 0u);
+  EXPECT_EQ(steps, 3u) << "every slot got its second chance before the forced fallback";
+  // B and C now have spent soft bits. Touch B: the hand reaches B first but
+  // must pass it by and evict untouched C.
+  pool.Touch(1);
+  EXPECT_EQ(ReclaimOnce(pool, ReplacementPolicy::kSecondChance), 2u);
+  // Under plain clock the same touch would have been ignored.
+  TestCache clock_pool(3);
+  clock_pool.Allocate();
+  clock_pool.Allocate();
+  clock_pool.Allocate();
+  EXPECT_EQ(ReclaimOnce(clock_pool, ReplacementPolicy::kClock), 0u);
+  clock_pool.Touch(1);
+  EXPECT_EQ(ReclaimOnce(clock_pool, ReplacementPolicy::kClock), 1u);
+}
+
+TEST(ObjectCacheTest, AllPinnedFailsForEveryPolicy) {
+  for (ReplacementPolicy policy : {ReplacementPolicy::kClock, ReplacementPolicy::kFifo,
+                                   ReplacementPolicy::kSecondChance}) {
+    TestCache pool(2);
+    pool.Allocate()->pinned = true;
+    pool.Allocate()->pinned = true;
+    EXPECT_EQ(ReclaimOnce(pool, policy), ck::kNoVictim)
+        << ck::ReplacementPolicyName(policy);
+    EXPECT_EQ(pool.in_use(), 2u) << "a failed scan must not evict";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel level: capacity-forced reclamation with effective-lock pin chains
+// ---------------------------------------------------------------------------
+
+class SinkKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward&, CkApi&) override {
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward&, CkApi&) override {
+    ck::TrapAction action;
+    action.action = ck::HandlerAction::kTerminate;
+    return action;
+  }
+  void OnThreadWriteback(const ck::ThreadWriteback& record, CkApi&) override {
+    thread_writebacks.push_back(record.cookie);
+  }
+  void OnSpaceWriteback(const ck::SpaceWriteback& record, CkApi&) override {
+    space_writebacks.push_back(record.cookie);
+  }
+  void OnKernelWriteback(const ck::KernelWriteback& record, CkApi&) override {
+    kernel_writebacks.push_back(record.cookie);
+  }
+  void OnMappingWriteback(const ck::MappingWriteback& record, CkApi&) override {
+    mapping_writebacks.push_back(record.vaddr);
+  }
+  std::vector<uint64_t> thread_writebacks;
+  std::vector<uint64_t> space_writebacks;
+  std::vector<uint64_t> kernel_writebacks;
+  std::vector<uint64_t> mapping_writebacks;
+};
+
+class ReclaimPolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {
+ protected:
+  void Init(CacheKernelConfig config) {
+    for (uint32_t type = 0; type < ck::kObjectTypeCount; ++type) {
+      config.replacement[type] = GetParam();
+    }
+    cksim::MachineConfig mc;
+    mc.memory_bytes = 8u << 20;
+    machine_ = std::make_unique<cksim::Machine>(mc);
+    ck_ = std::make_unique<CacheKernel>(*machine_, config);
+    first_id_ = ck_->BootFirstKernel(&first_, 0);
+  }
+
+  CkApi Api() { return CkApi(*ck_, first_id_, machine_->cpu(0)); }
+  cksim::PhysAddr Frame(uint32_t n) { return 0x100000 + n * cksim::kPageSize; }
+
+  void ExpectClean() {
+    std::vector<std::string> violations = ck_->ValidateInvariants();
+    EXPECT_TRUE(violations.empty()) << violations.size() << " violations, first: "
+                                    << (violations.empty() ? "" : violations[0]);
+  }
+
+  std::unique_ptr<cksim::Machine> machine_;
+  std::unique_ptr<CacheKernel> ck_;
+  SinkKernel first_;
+  KernelId first_id_;
+};
+
+TEST_P(ReclaimPolicyTest, AllPinnedThreadsFailCleanly) {
+  CacheKernelConfig config;
+  config.thread_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.start_blocked = true;
+  spec.locked = true;
+  spec.cookie = 1;
+  ASSERT_TRUE(api.LoadThread(spec).ok());
+  spec.cookie = 2;
+  ASSERT_TRUE(api.LoadThread(spec).ok());
+
+  uint64_t failures_before = ck_->stats().load_failures;
+  spec.cookie = 3;
+  spec.locked = false;
+  ckbase::Result<ThreadId> overflow = api.LoadThread(spec);
+  EXPECT_EQ(overflow.status(), CkStatus::kNoResources);
+  EXPECT_EQ(ck_->stats().load_failures, failures_before + 1);
+  EXPECT_EQ(ck_->loaded_count(ObjectType::kThread), 2u);
+  EXPECT_TRUE(first_.thread_writebacks.empty()) << "a failed scan must not evict";
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, PinnedThreadSkippedForUnpinnedVictim) {
+  CacheKernelConfig config;
+  config.thread_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.start_blocked = true;
+  spec.locked = true;  // pinned through the locked space + locked kernel chain
+  spec.cookie = 1;
+  ASSERT_TRUE(api.LoadThread(spec).ok());
+  spec.locked = false;
+  spec.cookie = 2;
+  ASSERT_TRUE(api.LoadThread(spec).ok());
+
+  spec.cookie = 3;
+  ASSERT_TRUE(api.LoadThread(spec).ok()) << "unpinned thread 2 is reclaimable";
+  ASSERT_EQ(first_.thread_writebacks.size(), 1u);
+  EXPECT_EQ(first_.thread_writebacks[0], 2u);
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, BrokenLockChainExposesThreadVictim) {
+  // A locked thread in an UNLOCKED space is not effectively locked (section
+  // 4.2): the pin chain must reach a locked kernel, so the scan may take it.
+  CacheKernelConfig config;
+  config.thread_slots = 1;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/false);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.start_blocked = true;
+  spec.locked = true;
+  spec.cookie = 1;
+  ASSERT_TRUE(api.LoadThread(spec).ok());
+  spec.cookie = 2;
+  ASSERT_TRUE(api.LoadThread(spec).ok()) << "chain broken at the unlocked space";
+  ASSERT_EQ(first_.thread_writebacks.size(), 1u);
+  EXPECT_EQ(first_.thread_writebacks[0], 1u);
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, AllPinnedSpacesFailCleanly) {
+  CacheKernelConfig config;
+  config.space_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ASSERT_TRUE(api.LoadSpace(1, /*locked=*/true).ok());
+  ASSERT_TRUE(api.LoadSpace(2, /*locked=*/true).ok());
+  uint64_t failures_before = ck_->stats().load_failures;
+  EXPECT_EQ(api.LoadSpace(3).status(), CkStatus::kNoResources);
+  EXPECT_EQ(ck_->stats().load_failures, failures_before + 1);
+  EXPECT_EQ(ck_->loaded_count(ObjectType::kSpace), 2u);
+  EXPECT_TRUE(first_.space_writebacks.empty());
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, AllPinnedKernelsFailCleanly) {
+  CacheKernelConfig config;
+  config.kernel_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  SinkKernel second;
+  ASSERT_TRUE(api.LoadKernel(&second, 1, /*locked=*/true).ok());
+  SinkKernel third;
+  uint64_t failures_before = ck_->stats().load_failures;
+  EXPECT_EQ(api.LoadKernel(&third, 2).status(), CkStatus::kNoResources);
+  EXPECT_EQ(ck_->stats().load_failures, failures_before + 1);
+  EXPECT_EQ(ck_->loaded_count(ObjectType::kKernel), 2u);
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, AllPinnedMappingsFailCleanly) {
+  CacheKernelConfig config;
+  config.mapping_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.locked = true;
+  spec.vaddr = 0x4000;
+  spec.paddr = Frame(1);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  spec.vaddr = 0x5000;
+  spec.paddr = Frame(2);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+
+  uint64_t failures_before = ck_->stats().load_failures;
+  spec.locked = false;
+  spec.vaddr = 0x6000;
+  spec.paddr = Frame(3);
+  EXPECT_EQ(api.LoadMapping(spec), CkStatus::kNoResources);
+  EXPECT_EQ(ck_->stats().load_failures, failures_before + 1);
+  EXPECT_EQ(ck_->loaded_count(ObjectType::kMapping), 2u);
+  EXPECT_TRUE(first_.mapping_writebacks.empty());
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, PinnedMappingSkippedForUnpinnedVictim) {
+  CacheKernelConfig config;
+  config.mapping_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1, /*locked=*/true);
+  ASSERT_TRUE(space.ok());
+  MappingSpec spec;
+  spec.space = space.value();
+  spec.locked = true;
+  spec.vaddr = 0x4000;
+  spec.paddr = Frame(1);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+  spec.locked = false;
+  spec.vaddr = 0x5000;
+  spec.paddr = Frame(2);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk);
+
+  spec.vaddr = 0x6000;
+  spec.paddr = Frame(3);
+  ASSERT_EQ(api.LoadMapping(spec), CkStatus::kOk) << "unpinned mapping is reclaimable";
+  ASSERT_EQ(first_.mapping_writebacks.size(), 1u);
+  EXPECT_EQ(first_.mapping_writebacks[0], 0x5000u);
+  ckbase::Result<ck::MappingInfo> pinned = api.QueryMapping(space.value(), 0x4000);
+  EXPECT_TRUE(pinned.ok()) << "pinned mapping survived";
+  ExpectClean();
+}
+
+TEST_P(ReclaimPolicyTest, ScanStepCountersAdvance) {
+  CacheKernelConfig config;
+  config.thread_slots = 2;
+  Init(config);
+  CkApi api = Api();
+  ckbase::Result<SpaceId> space = api.LoadSpace(1);
+  ASSERT_TRUE(space.ok());
+  ThreadSpec spec;
+  spec.space = space.value();
+  spec.start_blocked = true;
+  for (uint64_t i = 0; i < 4; ++i) {
+    spec.cookie = i;
+    ASSERT_TRUE(api.LoadThread(spec).ok());
+  }
+  uint32_t t = static_cast<uint32_t>(ObjectType::kThread);
+  EXPECT_EQ(ck_->stats().reclamations[t], 2u);
+  EXPECT_GT(ck_->stats().reclaim_scan_steps[t], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ReclaimPolicyTest,
+                         ::testing::Values(ReplacementPolicy::kClock, ReplacementPolicy::kFifo,
+                                           ReplacementPolicy::kSecondChance),
+                         [](const ::testing::TestParamInfo<ReplacementPolicy>& info) {
+                           switch (info.param) {
+                             case ReplacementPolicy::kClock:
+                               return "Clock";
+                             case ReplacementPolicy::kFifo:
+                               return "Fifo";
+                             case ReplacementPolicy::kSecondChance:
+                               return "SecondChance";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -55,7 +56,9 @@ class ModelKernel : public ck::AppKernel {
   std::vector<uint64_t> unloaded_spaces;
 };
 
-class StormTest : public ::testing::TestWithParam<uint64_t> {};
+// Storms run under every replacement policy: victim choice differs, but the
+// Figure 6 invariants and the load/unload conservation identity may not.
+class StormTest : public ::testing::TestWithParam<std::tuple<uint64_t, ck::ReplacementPolicy>> {};
 
 TEST_P(StormTest, RandomObjectChurnPreservesInvariants) {
   cksim::MachineConfig mc;
@@ -66,12 +69,15 @@ TEST_P(StormTest, RandomObjectChurnPreservesInvariants) {
   config.space_slots = 8;
   config.thread_slots = 16;
   config.mapping_slots = 96;
+  for (uint32_t type = 0; type < ck::kObjectTypeCount; ++type) {
+    config.replacement[type] = std::get<1>(GetParam());
+  }
   CacheKernel ck(machine, config);
   ModelKernel model;
   KernelId kid = ck.BootFirstKernel(&model, 0);
   CkApi api(ck, kid, machine.cpu(0));
 
-  ckbase::Rng rng(GetParam());
+  ckbase::Rng rng(std::get<0>(GetParam()));
 
   std::vector<SpaceId> spaces;
   std::vector<ThreadId> threads;
@@ -199,10 +205,22 @@ TEST_P(StormTest, RandomObjectChurnPreservesInvariants) {
                 ck.stats().reclamations[static_cast<int>(ck::ObjectType::kThread)] +
                 ck.stats().reclamations[static_cast<int>(ck::ObjectType::kSpace)],
             0u);
+  // Conservation: every load ends in exactly one of {still loaded, explicit
+  // unload, writeback} -- no unload is double-counted or dropped.
+  for (uint32_t type = 0; type < ck::kObjectTypeCount; ++type) {
+    EXPECT_EQ(ck.stats().loads[type],
+              ck.stats().explicit_unloads[type] + ck.stats().writebacks[type] +
+                  ck.loaded_count(static_cast<ck::ObjectType>(type)))
+        << "conservation violated for object type " << type;
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, StormTest,
-                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StormTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u),
+                       ::testing::Values(ck::ReplacementPolicy::kClock,
+                                         ck::ReplacementPolicy::kFifo,
+                                         ck::ReplacementPolicy::kSecondChance)));
 
 class CapacitySweepTest : public ::testing::TestWithParam<uint32_t> {};
 

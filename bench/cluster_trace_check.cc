@@ -1,0 +1,153 @@
+// Validates a merged multi-machine trace produced by the multi-MPM example
+// (or any cluster binary) under --trace:
+//
+//   * the document is valid JSON (same lint as trace_check);
+//   * it contains at least two exported processes (one per machine);
+//   * every causal flow finish ("ph":"f") has a matching flow start
+//     ("ph":"s") with the same span id -- i.e. every cross-machine span has
+//     a parent;
+//   * at least one flow pair actually crosses machines (start and finish on
+//     different pids);
+//   * the profiler section ("ckProfile") is present when expected.
+//
+// Any additional arguments are flight-recorder files; each must decode
+// CRC-clean (src/obs/flight_recorder.h) and carry trace events.
+//
+//   $ ./multi_mpm --trace=/tmp/mm.json --profile --flight-recorder=/tmp/fr
+//   $ ./cluster_trace_check /tmp/mm.json /tmp/fr/flight-m0-failover.ckfr ...
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json_lint.h"
+
+namespace {
+
+// Extract the integer value of `"key":` in `line`, or -1 if absent. The
+// exporter emits one event object per line with fixed key order, so a line
+// scan is sufficient (the whole document is JsonLinted first).
+long long FindInt(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [flight-record.ckfr ...]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cluster_trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  std::string error;
+  if (!obs::JsonLint(text, &error)) {
+    std::fprintf(stderr, "cluster_trace_check: %s: invalid JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (text.find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "cluster_trace_check: %s: no traceEvents key\n", argv[1]);
+    return 1;
+  }
+  if (text.find("\"ckProfile\"") == std::string::npos) {
+    std::fprintf(stderr, "cluster_trace_check: %s: no ckProfile section\n", argv[1]);
+    return 1;
+  }
+
+  // One event object per line; collect pids and causal flow endpoints.
+  std::set<long long> pids;
+  std::map<long long, long long> flow_start_pid;   // span id -> sender pid
+  std::map<long long, long long> flow_finish_pid;  // span id -> receiver pid
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    long long pid = FindInt(line, "pid");
+    if (pid < 0) {
+      continue;
+    }
+    pids.insert(pid);
+    if (line.find("\"cat\":\"span\"") == std::string::npos) {
+      continue;
+    }
+    long long id = FindInt(line, "id");
+    if (id < 0) {
+      continue;
+    }
+    if (line.find("\"ph\":\"s\"") != std::string::npos) {
+      flow_start_pid[id] = pid;
+    } else if (line.find("\"ph\":\"f\"") != std::string::npos) {
+      flow_finish_pid[id] = pid;
+    }
+  }
+
+  if (pids.size() < 2) {
+    std::fprintf(stderr, "cluster_trace_check: %s: expected >=2 machine processes, got %zu\n",
+                 argv[1], pids.size());
+    return 1;
+  }
+  size_t cross_machine = 0;
+  for (const auto& [id, pid] : flow_finish_pid) {
+    auto it = flow_start_pid.find(id);
+    if (it == flow_start_pid.end()) {
+      std::fprintf(stderr,
+                   "cluster_trace_check: %s: span %lld received on pid %lld has no parent send\n",
+                   argv[1], id, pid);
+      return 1;
+    }
+    if (it->second != pid) {
+      ++cross_machine;
+    }
+  }
+  if (flow_finish_pid.empty()) {
+    std::fprintf(stderr, "cluster_trace_check: %s: no causal flow events at all\n", argv[1]);
+    return 1;
+  }
+  if (cross_machine == 0) {
+    std::fprintf(stderr, "cluster_trace_check: %s: no flow pair crosses machines\n", argv[1]);
+    return 1;
+  }
+
+  // Flight records, if any, must decode CRC-clean.
+  for (int i = 2; i < argc; ++i) {
+    std::vector<uint8_t> bytes;
+    if (!obs::ReadFlightRecordFile(argv[i], &bytes)) {
+      std::fprintf(stderr, "cluster_trace_check: cannot read %s\n", argv[i]);
+      return 1;
+    }
+    obs::FlightRecordData record;
+    if (!obs::DecodeFlightRecord(bytes, &record, &error)) {
+      std::fprintf(stderr, "cluster_trace_check: %s: %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    if (record.events.empty()) {
+      std::fprintf(stderr, "cluster_trace_check: %s: no trace events captured\n", argv[i]);
+      return 1;
+    }
+    std::printf("cluster_trace_check: %s OK (reason \"%s\", %zu events, %zu metrics bytes)\n",
+                argv[i], record.reason.c_str(), record.events.size(),
+                record.metrics_text.size());
+  }
+
+  std::printf(
+      "cluster_trace_check: %s OK (%zu bytes, %zu machines, %zu spans, %zu cross-machine)\n",
+      argv[1], text.size(), pids.size(), flow_finish_pid.size(), cross_machine);
+  return 0;
+}

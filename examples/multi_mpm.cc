@@ -91,7 +91,7 @@ constexpr const char* kSpawnerSrc = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
-  ck::ObsSession obs(argc, argv);
+  ck::ObsSession obs(argc, argv, {"--serial"});
   bool parallel = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serial") == 0) {
@@ -100,6 +100,11 @@ int main(int argc, char** argv) {
   }
   Node a, b;
   obs.Attach(a.machine, &a.ck);
+  obs.Attach(b.machine, &b.ck);
+  // SRM lifecycle events (failover, failed restore preflights) trigger a
+  // flight record when --flight-recorder=<dir> is armed.
+  a.srm.set_event_hook([&obs](const std::string& what) { obs.DumpFlightRecord(what); });
+  b.srm.set_event_hook([&obs](const std::string& what) { obs.DumpFlightRecord(what); });
 
   // Fiber channel: one device per node; the cluster connects the endpoints,
   // switches them to barrier-exchanged delivery and derives its lookahead

@@ -64,6 +64,13 @@ if $run_default; then
   cmake -B build -S .
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+  # Explicit re-run of the cluster-trace fixture (also part of the full ctest
+  # above): multi-MPM with tracing + profiler + flight recorder, then the
+  # causal-span/flight-record checker. Kept visible here because it is the
+  # end-to-end gate on the observability pipeline.
+  echo "== cluster trace fixture (multi-MPM causal trace + flight recorder) =="
+  ctest --test-dir build -R 'cluster_trace' --output-on-failure
 fi
 
 if $run_release; then

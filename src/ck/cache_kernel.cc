@@ -27,8 +27,17 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
                    config.page_table_arena_bytes),
       remote_frames_(machine.memory().page_count()) {
   knobs_.fastpath = config.fastpath;
+  knobs_.profile_period = config.profile_period;
   for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
     knobs_.replacement[t] = config.replacement[t];
+  }
+  tenant_.resize(config.kernel_slots);
+  profile_pcs_.resize(config.kernel_slots);
+  samplers_.resize(machine.cpu_count());
+  if (knobs_.profile_period != 0) {
+    for (uint32_t c = 0; c < machine.cpu_count(); ++c) {
+      samplers_[c].Arm(machine.cpu(c).clock(), knobs_.profile_period);
+    }
   }
   ready_.resize(machine.cpu_count());
   for (auto& queues : ready_) {
@@ -67,6 +76,8 @@ KernelId CacheKernel::BootFirstKernel(AppKernel* handlers, uint64_t cookie) {
   k->manager_slot = kernels_.SlotOf(k);
   first_kernel_ = KernelId{kernels_.IdOf(k)};
   stats_.loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  // The first kernel loads itself: the boot load lands on its own account.
+  Tenant(kernels_.SlotOf(k)).loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
   return first_kernel_;
 }
 
@@ -88,7 +99,7 @@ Result<KernelId> CacheKernel::LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKe
     return CkStatus::kDenied;
   }
   if (kernels_.full()) {
-    if (!ReclaimVictim(ObjectType::kKernel, cpu)) {
+    if (!ReclaimVictim(ObjectType::kKernel, cpu, kernels_.SlotOf(mgr))) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -108,6 +119,7 @@ Result<KernelId> CacheKernel::LoadKernel(KernelId caller, cksim::Cpu& cpu, AppKe
   k->manager_slot = kernels_.SlotOf(mgr);
   cpu.Advance(cost.descriptor_init + cost.mem_word * (cksim::kAccessArrayBytes / 4));
   stats_.loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
+  Tenant(kernels_.SlotOf(mgr)).loads[static_cast<uint32_t>(ObjectType::kKernel)]++;
   CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
            static_cast<uint32_t>(ObjectType::kKernel), kernels_.SlotOf(k));
   cpu.Advance(cost.trap_exit);
@@ -242,7 +254,7 @@ Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_
     return CkStatus::kStale;
   }
   if (spaces_.full()) {
-    if (!ReclaimVictim(ObjectType::kSpace, cpu)) {
+    if (!ReclaimVictim(ObjectType::kSpace, cpu, kernels_.SlotOf(owner))) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -271,6 +283,7 @@ Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_
   cpu.Advance(cost.descriptor_init + cost.table_alloc +
               cost.mem_word * (cksim::kL1TableBytes / 4));
   stats_.loads[static_cast<uint32_t>(ObjectType::kSpace)]++;
+  Tenant(space->kernel_slot).loads[static_cast<uint32_t>(ObjectType::kSpace)]++;
   CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
            static_cast<uint32_t>(ObjectType::kSpace), spaces_.SlotOf(space));
   cpu.Advance(cost.trap_exit);
@@ -321,7 +334,7 @@ Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
     return CkStatus::kDenied;  // priority cap, section 4.3
   }
   if (threads_.full()) {
-    if (!ReclaimVictim(ObjectType::kThread, cpu)) {
+    if (!ReclaimVictim(ObjectType::kThread, cpu, kernels_.SlotOf(owner))) {
       stats_.load_failures++;
       return CkStatus::kNoResources;
     }
@@ -371,6 +384,7 @@ Result<ThreadId> CacheKernel::LoadThread(KernelId caller, cksim::Cpu& cpu,
   cpu.Advance(cost.descriptor_init + cost.context_restore + cost.list_op +
               cost.mem_word * (sizeof(ThreadObject) / 4 / 2));
   stats_.loads[static_cast<uint32_t>(ObjectType::kThread)]++;
+  Tenant(thread->kernel_slot).loads[static_cast<uint32_t>(ObjectType::kThread)]++;
   CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
            static_cast<uint32_t>(ObjectType::kThread), threads_.SlotOf(thread));
   cpu.Advance(cost.trap_exit);
@@ -604,7 +618,7 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
     // Room for the pv record plus its optional annotation records.
     uint32_t needed = 1 + (signal_thread != nullptr ? 1u : 0u) + (spec.cow_source != 0 ? 1u : 0u);
     while (pmap_.capacity() - pmap_.in_use() < needed) {
-      if (!ReclaimVictim(ObjectType::kMapping, cpu)) {
+      if (!ReclaimVictim(ObjectType::kMapping, cpu, space->kernel_slot)) {
         stats_.load_failures++;
         return CkStatus::kNoResources;
       }
@@ -642,6 +656,7 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
     cpu.Advance(cost.pte_write);
     space->mapping_count++;
     stats_.loads[static_cast<uint32_t>(ObjectType::kMapping)]++;
+    Tenant(space->kernel_slot).loads[static_cast<uint32_t>(ObjectType::kMapping)]++;
     CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kMapping), spec.vaddr);
     return CkStatus::kOk;
@@ -954,7 +969,7 @@ struct CacheKernel::MappingVictimOps {
   }
 };
 
-bool CacheKernel::ReclaimVictim(ObjectType type, cksim::Cpu& cpu) {
+bool CacheKernel::ReclaimVictim(ObjectType type, cksim::Cpu& cpu, uint32_t requester_slot) {
   uint32_t t = static_cast<uint32_t>(type);
   ReplacementPolicy policy = knobs_.replacement[t];
   uint64_t steps = 0;
@@ -982,6 +997,9 @@ bool CacheKernel::ReclaimVictim(ObjectType type, cksim::Cpu& cpu) {
     }
   }
   stats_.reclaim_scan_steps[t] += steps;
+  // The scan was forced by the requester's load, not by whoever owns the
+  // victims examined, so it bills the loading kernel.
+  Tenant(requester_slot).reclaim_scan_steps[t] += steps;
   return evicted;
 }
 
@@ -1086,8 +1104,10 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause
     uint32_t t = static_cast<uint32_t>(ObjectType::kMapping);
     if (cause == UnloadCause::kExplicit) {
       stats_.explicit_unloads[t]++;
+      Tenant(kernels_.SlotOf(owner)).explicit_unloads[t]++;
     } else {
       stats_.writebacks[t]++;
+      Tenant(kernels_.SlotOf(owner)).writebacks[t]++;
     }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kMapping), record.vaddr);
@@ -1141,8 +1161,10 @@ void CacheKernel::UnloadThreadInternal(ThreadObject* thread, cksim::Cpu& cpu, Un
     uint32_t t = static_cast<uint32_t>(ObjectType::kThread);
     if (cause == UnloadCause::kExplicit) {
       stats_.explicit_unloads[t]++;
+      Tenant(kernels_.SlotOf(owner)).explicit_unloads[t]++;
     } else {
       stats_.writebacks[t]++;
+      Tenant(kernels_.SlotOf(owner)).writebacks[t]++;
     }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kThread), record.cookie);
@@ -1234,8 +1256,10 @@ void CacheKernel::UnloadSpaceInternal(AddressSpaceObject* space, cksim::Cpu& cpu
     uint32_t t = static_cast<uint32_t>(ObjectType::kSpace);
     if (cause == UnloadCause::kExplicit) {
       stats_.explicit_unloads[t]++;
+      Tenant(kernels_.SlotOf(owner)).explicit_unloads[t]++;
     } else {
       stats_.writebacks[t]++;
+      Tenant(kernels_.SlotOf(owner)).writebacks[t]++;
     }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kSpace), record.cookie);
@@ -1276,10 +1300,14 @@ void CacheKernel::UnloadKernelInternal(KernelObject* kernel, cksim::Cpu& cpu, Un
   if (cause != UnloadCause::kDiscard) {
     cpu.Advance(cost.writeback_record);
     uint32_t t = static_cast<uint32_t>(ObjectType::kKernel);
+    // A kernel object's unload is charged to its own slot (captured before
+    // the release; the slot index survives the descriptor).
     if (cause == UnloadCause::kExplicit) {
       stats_.explicit_unloads[t]++;
+      Tenant(kernel_slot).explicit_unloads[t]++;
     } else {
       stats_.writebacks[t]++;
+      Tenant(kernel_slot).writebacks[t]++;
     }
     CK_TRACE(Ring(cpu), obs::EventType::kObjectWriteback, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kKernel), record.cookie);
@@ -1587,6 +1615,53 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
   registry.AddHistogram("ck.fault_us.handle_load", [f] { return f->handle_load; });
   registry.AddHistogram("ck.fault_us.resume", [f] { return f->resume; });
   registry.AddHistogram("ck.fault_us.total", [f] { return f->total; });
+
+  // Per-kernel cost attribution, one counter family per kernel slot
+  // (ck.tenant.<slot>.*). Summing a family across slots reproduces the
+  // matching machine-level ck.* counter. reclaim_scan_steps/loads/... are
+  // summed over object types here; the per-type split is available through
+  // tenant_accounts() for tests.
+  const std::vector<CostAccount>* tenants = &tenant_;
+  for (uint32_t slot = 0; slot < config_.kernel_slots; ++slot) {
+    std::string prefix = "ck.tenant." + std::to_string(slot) + ".";
+    auto sum = [tenants, slot](const uint64_t(CostAccount::*field)[kObjectTypeCount]) {
+      const CostAccount& a = (*tenants)[slot];
+      uint64_t total = 0;
+      for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
+        total += (a.*field)[t];
+      }
+      return total;
+    };
+    registry.AddCounter(prefix + "loads", [sum] { return sum(&CostAccount::loads); });
+    registry.AddCounter(prefix + "writebacks", [sum] { return sum(&CostAccount::writebacks); });
+    registry.AddCounter(prefix + "explicit_unloads",
+                        [sum] { return sum(&CostAccount::explicit_unloads); });
+    registry.AddCounter(prefix + "reclaim_scan_steps",
+                        [sum] { return sum(&CostAccount::reclaim_scan_steps); });
+    registry.AddCounter(prefix + "guest_instructions",
+                        [tenants, slot] { return (*tenants)[slot].guest_instructions; });
+    registry.AddCounter(prefix + "guest_cycles",
+                        [tenants, slot] { return (*tenants)[slot].guest_cycles; });
+    registry.AddCounter(prefix + "faults",
+                        [tenants, slot] { return (*tenants)[slot].faults_forwarded; });
+    registry.AddCounter(prefix + "prof_samples",
+                        [tenants, slot] { return (*tenants)[slot].prof_samples; });
+  }
+}
+
+void CacheKernel::set_profile_period(cksim::Cycles period) {
+  knobs_.profile_period = period;
+  for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    samplers_[c].Arm(machine_.cpu(c).clock(), period);
+  }
+}
+
+void CacheKernel::RecordPcSample(uint32_t kernel_slot, uint32_t pc, cksim::Cpu& cpu) {
+  profile_pcs_[kernel_slot][pc]++;
+  profile_samples_total_++;
+  Tenant(kernel_slot).prof_samples++;
+  CK_TRACE(Ring(cpu), obs::EventType::kProfSample, cpu.clock(),
+           static_cast<uint16_t>(kernel_slot), pc);
 }
 
 }  // namespace ck

@@ -25,7 +25,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/bitmap.h"
@@ -83,6 +85,30 @@ struct CkStats {
   uint64_t idle_turns = 0;
   uint64_t quota_degradations = 0;
   uint64_t stale_id_errors = 0;
+};
+
+// Per-app-kernel cost attribution, indexed by kernel slot. Every increment
+// mirrors a CkStats increment (or a guest-execution charge), attributed to
+// the kernel that caused the work, so summing any field across slots equals
+// the corresponding machine-level CkStats total (tests/tenant_test.cc checks
+// this conservation). Slots are reused without resetting the account --
+// attribution is "work done by whoever held the slot", and conservation is
+// over sums, so reuse is harmless. POD on purpose: the cluster differential
+// memcmp-compares whole accounts.
+//
+// Attribution rules: loads charge the calling kernel; writebacks and explicit
+// unloads charge the object's owner (a kernel object is its own owner);
+// reclaim scan steps charge the kernel whose load forced the scan; guest
+// instructions/cycles and forwarded faults charge the running thread's owner.
+struct CostAccount {
+  uint64_t loads[kObjectTypeCount] = {0};
+  uint64_t writebacks[kObjectTypeCount] = {0};
+  uint64_t explicit_unloads[kObjectTypeCount] = {0};
+  uint64_t reclaim_scan_steps[kObjectTypeCount] = {0};
+  uint64_t guest_instructions = 0;
+  uint64_t guest_cycles = 0;       // cycles charged to this kernel's threads
+  uint64_t faults_forwarded = 0;
+  uint64_t prof_samples = 0;       // profiler PC samples harvested
 };
 
 // Timestamps of the Figure 2 steps for one forwarded fault. The most recent
@@ -152,6 +178,9 @@ enum class UnloadCause : uint8_t {
 // the immutable boot configuration. Initialized from the config at boot.
 struct RuntimeKnobs {
   bool fastpath = true;
+  // Profiler sampling period in cycles; 0 disables sampling. Samples are
+  // taken only at fast-path flush points (see ckisa::PcSampler).
+  cksim::Cycles profile_period = 0;
   ReplacementPolicy replacement[kObjectTypeCount] = {
       ReplacementPolicy::kClock, ReplacementPolicy::kClock, ReplacementPolicy::kClock,
       ReplacementPolicy::kClock};
@@ -279,6 +308,21 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // Toggle the guest-execution fast path at runtime (tests/benches). Safe at
   // any point: the flag is consulted once per dispatched guest quantum.
   void set_fastpath(bool enabled) { knobs_.fastpath = enabled; }
+  // Set the profiler sampling period (cycles between guest-PC samples);
+  // 0 disables. Takes effect at the next dispatched guest quantum.
+  void set_profile_period(cksim::Cycles period);
+  // Per-kernel-slot cost attribution (always on; see CostAccount).
+  const std::vector<CostAccount>& tenant_accounts() const { return tenant_; }
+  // Profiler PC histograms: profile_pcs()[slot] maps guest PC -> sample
+  // count for the kernel that held `slot` when the samples were taken.
+  const std::vector<std::map<uint32_t, uint64_t>>& profile_pcs() const { return profile_pcs_; }
+  uint64_t profile_samples_total() const { return profile_samples_total_; }
+  // Invoked when a forwarded fault terminates its thread (the owning kernel
+  // declined to handle it) -- the flight-recorder trigger. The argument is a
+  // short reason string.
+  void set_fatal_hook(std::function<void(const std::string&)> hook) {
+    fatal_hook_ = std::move(hook);
+  }
   // Switch a descriptor cache's replacement policy at runtime. Consulted
   // once per reclamation, so this is safe at any point; the soft referenced
   // bits and load stamps are maintained continuously under every policy.
@@ -367,7 +411,9 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   struct SpaceVictimOps;
   struct ThreadVictimOps;
   struct MappingVictimOps;
-  bool ReclaimVictim(ObjectType type, cksim::Cpu& cpu);
+  // `requester_slot` is the kernel slot whose load forced the scan; the scan
+  // steps are charged to its cost account.
+  bool ReclaimVictim(ObjectType type, cksim::Cpu& cpu, uint32_t requester_slot);
 
   // -- cascaded unload (Figure 6 order). Writeback unless kDiscard; the
   // cause picks the stat counter. Dependents are unloaded with kCascade
@@ -464,8 +510,18 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   std::vector<ckisa::MicroTlb> micro_tlbs_;
   std::unique_ptr<ckisa::ExecCache> exec_cache_;
 
+  // -- cost attribution / profiler --
+  CostAccount& Tenant(uint32_t slot) { return tenant_[slot]; }
+  // Harvest a pending profiler sample into the owning kernel's histogram.
+  void RecordPcSample(uint32_t kernel_slot, uint32_t pc, cksim::Cpu& cpu);
+
   uint32_t next_cpu_rr_ = 0;  // round-robin thread placement
   CkStats stats_;
+  std::vector<CostAccount> tenant_;                       // [kernel slot]
+  std::vector<std::map<uint32_t, uint64_t>> profile_pcs_; // [kernel slot] pc -> samples
+  std::vector<ckisa::PcSampler> samplers_;                // [cpu]
+  uint64_t profile_samples_total_ = 0;
+  std::function<void(const std::string&)> fatal_hook_;
   FaultTrace fault_trace_;
   // Last-N completed traces (overwrite-oldest) plus per-step distributions.
   std::vector<FaultTrace> fault_history_;

@@ -27,6 +27,9 @@ class GuestBusImpl : public ckisa::GuestBus {
       fp_.cost_tlb_hit = ck.machine_.cost().tlb_hit;
       fp_.cost_mem_word = ck.machine_.cost().mem_word;
       fp_.cost_instruction = ck.machine_.cost().instruction;
+      if (ck.knobs_.profile_period != 0) {
+        fp_.sampler = &ck.samplers_[cpu.id()];
+      }
     }
   }
 
@@ -278,6 +281,7 @@ void CacheKernel::ChargeThread(ThreadObject* thread, cksim::Cpu& cpu, Cycles cyc
                                 ? thread->slice_remaining - cycles
                                 : 0;
   cpu.busy_cycles += cycles;
+  Tenant(thread->kernel_slot).guest_cycles += cycles;
 
   KernelObject* owner = kernels_.SlotAt(thread->kernel_slot);
   // Graduated charging (section 4.3): a premium for high-priority execution,
@@ -404,6 +408,15 @@ void CacheKernel::RunGuest(ThreadObject* thread, cksim::Cpu& cpu) {
   ckisa::RunResult run = ckisa::Run(thread->vm, bus, config_.dispatch_budget);
   ChargeThread(thread, cpu, cpu.clock() - before);
   stats_.guest_instructions += run.instructions;
+  Tenant(thread->kernel_slot).guest_instructions += run.instructions;
+
+  // Harvest the quantum's profiler sample (if one came due) while the owning
+  // kernel slot is still known -- the interpreter only latched the PC.
+  ckisa::PcSampler& sampler = samplers_[cpu.id()];
+  if (sampler.pending) {
+    sampler.pending = false;
+    RecordPcSample(thread->kernel_slot, sampler.last_pc, cpu);
+  }
 
   switch (run.event) {
     case ckisa::RunEvent::kBudgetExhausted:
@@ -491,8 +504,15 @@ void CacheKernel::RunNative(ThreadObject* thread, cksim::Cpu& cpu) {
 void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksim::Fault& fault) {
   const cksim::CostModel& cost = machine_.cost();
   stats_.faults_forwarded++;
+  Tenant(thread->kernel_slot).faults_forwarded++;
+  // Every forwarded fault opens a causal span. Allocation is unconditional
+  // (the counter is machine-local deterministic state), so enabling tracing
+  // never changes the id sequence the differential suites compare.
+  uint32_t fault_span = machine_.AllocSpanId();
   fault_trace_ = FaultTrace{};
   fault_trace_.trap_entry = cpu.clock();
+  CK_TRACE(Ring(cpu), obs::EventType::kSpanBegin, cpu.clock(),
+           static_cast<uint16_t>(fault.type), fault_span);
   CK_TRACE(Ring(cpu), obs::EventType::kFaultTrapEntry, cpu.clock(),
            static_cast<uint32_t>(fault.type), fault.address);
 
@@ -568,6 +588,11 @@ void CacheKernel::ForwardFault(ThreadObject* thread, cksim::Cpu& cpu, const cksi
       }
       thread->state = ThreadState::kHalted;
       owner->handlers->OnThreadHalt(id, forward.thread_cookie, api);
+      // The owning kernel declined to handle the fault: a fatal fault. Let
+      // the observability layer dump a flight record before state moves on.
+      if (fatal_hook_) {
+        fatal_hook_("fatal-fault");
+      }
       break;
   }
 }

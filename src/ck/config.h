@@ -71,6 +71,11 @@ struct CacheKernelConfig {
   // (the per-step histograms accumulate every fault regardless).
   uint32_t fault_history_depth = 64;
 
+  // Boot-time profiler sampling period in cycles between guest-PC samples;
+  // 0 (the default) disables sampling. Runtime-mutable through
+  // CacheKernel::set_profile_period (a RuntimeKnobs field, like fastpath).
+  cksim::Cycles profile_period = 0;
+
   // Boot-time replacement policy per descriptor cache, indexed by
   // ck::ObjectType (kernel, space, thread, mapping). Runtime-mutable through
   // CacheKernel::set_replacement_policy (a RuntimeKnobs field, like

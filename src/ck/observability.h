@@ -1,13 +1,30 @@
 // Command-line observability session for benches and examples.
 //
-// ObsSession gives every binary the same two flags:
+// ObsSession gives every binary the same observability flags:
 //
 //   --trace=<file>        enable per-CPU event tracing and write a Chrome
 //                         trace_event JSON file on Finish() (load it in
-//                         chrome://tracing or https://ui.perfetto.dev)
+//                         chrome://tracing or https://ui.perfetto.dev). With
+//                         several attached machines the traces merge into one
+//                         document, one process per machine, and causal span
+//                         ids render cross-machine RPC/migration as flow
+//                         arrows between processes.
 //   --trace-depth=<n>     per-CPU ring capacity in events (default 65536)
 //   --metrics             dump the metrics registry (counters + latency
 //                         histograms) to stdout on Finish()
+//   --metrics-out=<file>  write the registry in Prometheus-style text
+//                         exposition format to <file> on Finish()
+//   --profile[=<cycles>]  enable the guest-PC sampling profiler (default
+//                         period 50000 cycles = 2 ms at 25 MHz). Histograms
+//                         are embedded in the trace file under "ckProfile".
+//                         Samples are taken at fast-path cycle-accounting
+//                         flush points, so --fastpath=off collects none.
+//   --flight-recorder=<dir>  arm the crash flight recorder: on a fatal fault
+//                         (or any event reported via DumpFlightRecord) each
+//                         attached machine dumps its last trace-ring events,
+//                         a metrics snapshot and its CkStats into
+//                         <dir>/flight-m<i>-<reason>.ckfr (CRC-framed, see
+//                         src/obs/flight_recorder.h)
 //   --fastpath=on|off     force the guest-execution fast path on or off
 //                         (default: the kernel's config; results are
 //                         identical either way, see docs/PERFORMANCE.md)
@@ -15,24 +32,37 @@
 //                         object types: clock (default), fifo, second-chance
 //                         (see src/ck/object_cache.h)
 //
+// Unknown `--` flags are rejected with a usage message and exit code 2 (a
+// typo like --polcy=fifo must not silently run the default policy). Binaries
+// with flags of their own list them in `passthrough`; anything there (prefix
+// match) is left in argv untouched, as are non-flag arguments and the
+// --gtest_*/--benchmark_* families.
+//
 // Usage:
-//   ck::ObsSession obs(argc, argv);
+//   ck::ObsSession obs(argc, argv, {"--serial"});
 //   cksim::Machine machine(...);
 //   ck::CacheKernel ck(machine, config);
 //   obs.Attach(machine, &ck);
 //   ... run ...
 //   obs.Finish();
 //
-// When neither flag is given, Attach() and Finish() are no-ops and the
-// simulation runs untraced (the CK_TRACE ring pointer stays null).
+// Attach may be called once per machine of a cluster: tracing, the profiler
+// and the fatal-fault hook apply to every attached machine, while metrics
+// registration keeps the PR-1 first-attach-wins rule (the registry's flat
+// names would collide across kernels). When no flag is given, Attach() and
+// Finish() are no-ops and the simulation runs unobserved (the CK_TRACE ring
+// pointer stays null).
 
 #ifndef SRC_CK_OBSERVABILITY_H_
 #define SRC_CK_OBSERVABILITY_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/sim/types.h"
 
 namespace cksim {
 class Machine;
@@ -44,36 +74,56 @@ class CacheKernel;
 
 class ObsSession {
  public:
-  // Consumes --trace/--trace-depth/--metrics from argv (compacting it so the
-  // binary's own argument parsing never sees them).
-  ObsSession(int& argc, char** argv);
+  // Consumes the observability flags from argv (compacting it so the
+  // binary's own argument parsing never sees them). `passthrough` lists the
+  // binary's own flags (exact strings or prefixes like "--steps="); any
+  // other `--` argument prints usage to stderr and exits with code 2.
+  ObsSession(int& argc, char** argv, std::initializer_list<const char*> passthrough = {});
 
-  // Enables tracing on the machine (if --trace was given) and registers the
-  // kernel's metrics (if --metrics was given). First attach wins: calls after
-  // the first are no-ops, so in multi-world benches the first world built is
-  // the observed one.
+  // Enables tracing on the machine (if --trace was given), arms the profiler
+  // and the fatal-fault flight-recorder hook (if requested), and registers
+  // the kernel's metrics (first attach only). Call once per machine; calling
+  // again with an already-attached machine is a no-op.
   void Attach(cksim::Machine& machine, CacheKernel* kernel);
 
-  // True if `machine` is the one this session attached to (and Finish has
-  // not run yet). Lets the machine's owner flush the session before dying.
-  bool attached(const cksim::Machine& machine) const { return machine_ == &machine; }
+  // True if `machine` is one this session attached (and Finish has not run
+  // yet). Lets the machine's owner flush the session before dying.
+  bool attached(const cksim::Machine& machine) const;
 
-  // Writes the trace file and/or dumps metrics, then detaches. One-shot:
-  // call it before the traced machine / registered kernel are destroyed;
-  // later calls are no-ops. Safe to call when nothing was enabled.
+  // Writes the trace file (all attached machines merged, profiler histograms
+  // embedded) and/or dumps metrics, then detaches. One-shot: call it before
+  // the traced machines / registered kernel are destroyed; later calls are
+  // no-ops. Safe to call when nothing was enabled.
   void Finish();
+
+  // Dump a flight record for every attached machine into the
+  // --flight-recorder directory (no-op when the flag was not given). Wired
+  // automatically to each kernel's fatal-fault hook; call it directly from
+  // SRM event hooks (restore preflight failures, failover) or anywhere else
+  // a post-mortem snapshot is warranted.
+  void DumpFlightRecord(const std::string& reason);
 
   bool tracing() const { return !trace_path_.empty(); }
   bool metrics() const { return metrics_; }
+  bool profiling() const { return profile_period_ != 0; }
+  bool flight_recorder_armed() const { return !flight_dir_.empty(); }
   obs::Registry& registry() { return registry_; }
 
  private:
+  struct Attached {
+    cksim::Machine* machine = nullptr;
+    CacheKernel* kernel = nullptr;
+  };
+
   std::string trace_path_;
   uint32_t trace_depth_ = 1u << 16;
   bool metrics_ = false;
+  std::string metrics_out_;
+  cksim::Cycles profile_period_ = 0;
+  std::string flight_dir_;
   int fastpath_override_ = -1;  // -1 = leave config alone, else 0/1
   int policy_override_ = -1;    // -1 = leave config alone, else ReplacementPolicy
-  cksim::Machine* machine_ = nullptr;
+  std::vector<Attached> attached_;
   obs::Registry registry_;
 };
 

@@ -119,6 +119,33 @@ class ExecCache {
   std::vector<std::unique_ptr<DecodedPage>> pages_;
 };
 
+// Periodic guest-PC sampler for the profiler. Samples are taken only at the
+// interpreter's run-loop exit points -- the places the fast path flushes its
+// batched cycle accumulator anyway -- so arming it costs one compare on that
+// already-cold edge and nothing per instruction. The sampler never touches
+// simulated state: it reads the (fully flushed) CPU clock and latches a PC
+// for the kernel to harvest after ckisa::Run returns.
+struct PcSampler {
+  cksim::Cycles next_due = ~cksim::Cycles{0};
+  cksim::Cycles period = 0;
+  uint32_t last_pc = 0;
+  bool pending = false;
+
+  // (Re)arm with sampling period `p` starting from `now`; 0 disarms.
+  void Arm(cksim::Cycles now, cksim::Cycles p) {
+    period = p;
+    next_due = (p == 0) ? ~cksim::Cycles{0} : now + p;
+  }
+
+  void MaybeSample(cksim::Cycles now, uint32_t pc) {
+    if (now >= next_due) {
+      last_pc = pc;
+      pending = true;
+      next_due = now + period;
+    }
+  }
+};
+
 // Everything the interpreter needs to serve a hot access inline. A GuestBus
 // that can expose one returns it from fast_path(); the interpreter then
 // bypasses the virtual interface for clean hits and falls back to the bus
@@ -134,6 +161,8 @@ struct FastPath {
   const uint8_t* remote_frame_bits = nullptr;
   uint32_t frame_count = 0;
   cksim::Cpu* cpu = nullptr;  // flush target for batched cycle charges
+  // Optional profiler hook, consulted at run-loop exit points only.
+  PcSampler* sampler = nullptr;
   uint16_t asid = 0;
   // Cycle charges of a clean hit, accumulated locally and flushed to
   // Cpu::Advance at block boundaries (see interpreter.cc).

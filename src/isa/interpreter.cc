@@ -50,6 +50,10 @@ struct SlowPolicy {
   void ChargeInstruction() { bus.ChargeInstruction(); }
   void OnMessageWrite(uint32_t vaddr) { bus.OnMessageWrite(vaddr); }
   void Flush() {}
+  // The slow path charges cycles immediately, so run-loop exits have nothing
+  // to flush and take no profiler samples either: keeping this a no-op keeps
+  // the reference interpreter at exactly zero profiling overhead.
+  void FlushAt(uint32_t /*pc*/) {}
 };
 
 // Fast policy: accesses whose translation hits the micro-TLB (and whose
@@ -77,6 +81,16 @@ struct FastPolicy {
     if (acc != 0) {
       fp.cpu->Advance(acc);
       acc = 0;
+    }
+  }
+
+  // Run-loop exit flush: also the profiler's sampling point. The clock is
+  // fully charged after Flush(), so the sample timestamp compare is exact;
+  // the whole addition is one branch on an already-cold edge.
+  void FlushAt(uint32_t pc) {
+    Flush();
+    if (fp.sampler != nullptr) {
+      fp.sampler->MaybeSample(fp.cpu->clock(), pc);
     }
   }
 
@@ -224,7 +238,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
       result.event = RunEvent::kFault;
       result.fault = fetch_fail.fault;
       result.instructions = n;
-      p.Flush();
+      p.FlushAt(ctx.pc);
       return result;
     }
     p.ChargeInstruction();
@@ -240,7 +254,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
         ctx.pc = next_pc;
         result.event = RunEvent::kHalt;
         result.instructions = n + 1;
-        p.Flush();
+        p.FlushAt(ctx.pc);
         return result;
 
       case Op::kAdd:
@@ -314,7 +328,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = Misaligned(addr, cksim::Access::kRead);
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         GuestBus::MemResult m = p.Load32(addr);
@@ -322,7 +336,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         r[d.rd] = m.value;
@@ -334,7 +348,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         r[d.rd] = m.value;
@@ -346,7 +360,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = Misaligned(addr, cksim::Access::kWrite);
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         GuestBus::MemResult m = p.Store32(addr, r[d.rd]);
@@ -354,7 +368,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         if (m.message_write) {
@@ -369,7 +383,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
           result.event = RunEvent::kFault;
           result.fault = m.fault;
           result.instructions = n + 1;
-          p.Flush();
+          p.FlushAt(ctx.pc);
           return result;
         }
         if (m.message_write) {
@@ -415,14 +429,14 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
         result.event = RunEvent::kTrap;
         result.trap_number = static_cast<uint16_t>(d.imm & 0xffff);
         result.instructions = n + 1;
-        p.Flush();
+        p.FlushAt(ctx.pc);
         return result;
 
       default:
         result.event = RunEvent::kFault;
         result.fault = BadInstruction(ctx.pc);
         result.instructions = n + 1;
-        p.Flush();
+        p.FlushAt(ctx.pc);
         return result;
     }
 
@@ -432,7 +446,7 @@ RunResult RunLoop(VmContext& ctx, Policy& p, uint32_t budget) {
 
   result.event = RunEvent::kBudgetExhausted;
   result.instructions = budget;
-  p.Flush();
+  p.FlushAt(ctx.pc);
   return result;
 }
 

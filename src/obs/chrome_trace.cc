@@ -6,7 +6,8 @@ namespace obs {
 namespace {
 
 void AppendEvent(std::string* out, const char* name, const char* ph, double ts_us,
-                 double dur_us, uint8_t cpu, const TraceEvent* args, bool* first) {
+                 double dur_us, uint32_t pid, uint8_t cpu, const TraceEvent* args,
+                 bool* first) {
   if (!*first) {
     out->push_back(',');
   }
@@ -14,14 +15,14 @@ void AppendEvent(std::string* out, const char* name, const char* ph, double ts_u
   char buf[256];
   if (ph[0] == 'X') {
     std::snprintf(buf, sizeof(buf),
-                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,"
                   "\"tid\":%u",
-                  name, ts_us, dur_us, cpu);
+                  name, ts_us, dur_us, pid, cpu);
   } else {
     std::snprintf(buf, sizeof(buf),
-                  "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"s\":\"t\",\"pid\":0,"
+                  "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"s\":\"t\",\"pid\":%u,"
                   "\"tid\":%u",
-                  name, ph, ts_us, cpu);
+                  name, ph, ts_us, pid, cpu);
   }
   out->append(buf);
   if (args != nullptr) {
@@ -30,6 +31,22 @@ void AppendEvent(std::string* out, const char* name, const char* ph, double ts_u
     out->append(buf);
   }
   out->push_back('}');
+}
+
+// Flow events bind the sender's "s" to the receiver's "f" by id, drawing the
+// causal arrow across process (machine) boundaries.
+void AppendFlow(std::string* out, const char* name, bool start, double ts_us, uint32_t pid,
+                uint8_t cpu, uint32_t span, bool* first) {
+  if (!*first) {
+    out->push_back(',');
+  }
+  *first = false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\"%s,\"id\":%" PRIu32
+                ",\"ts\":%.3f,\"pid\":%u,\"tid\":%u}",
+                name, start ? "s" : "f", start ? "" : ",\"bp\":\"e\"", span, ts_us, pid, cpu);
+  out->append(buf);
 }
 
 // Pairs the four fault-step instants on one CPU track into duration spans.
@@ -42,100 +59,151 @@ struct FaultSpan {
 
 }  // namespace
 
-std::string ChromeTraceJson(const Tracer& tracer, double cycles_per_us) {
+std::string ChromeTraceJson(const std::vector<MachineTrace>& machines, double cycles_per_us,
+                            const std::string& extra_top_level) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  char buf[128];
+  char buf[160];
 
-  for (uint32_t c = 0; c < tracer.cpu_count(); ++c) {
-    // Name the track.
-    if (!first) {
-      out.push_back(',');
+  for (const MachineTrace& m : machines) {
+    if (m.tracer == nullptr) {
+      continue;
     }
-    first = false;
-    std::snprintf(buf, sizeof(buf),
-                  "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
-                  "\"args\":{\"name\":\"cpu %u\"}}",
-                  c, c);
-    out.append(buf);
-
-    const TraceRing& ring = tracer.ring(c);
-    FaultSpan span;
-    for (size_t i = 0; i < ring.size(); ++i) {
-      const TraceEvent& e = ring.at(i);
-      EventType type = static_cast<EventType>(e.type);
-      double ts = static_cast<double>(e.when) / cycles_per_us;
-      switch (type) {
-        case EventType::kFaultTrapEntry:
-          span.open = true;
-          span.trap = ts;
-          span.handler = span.loaded = 0;
-          span.vaddr = e.arg32;
-          span.fault_type = e.arg16;
-          break;
-        case EventType::kFaultHandlerStart:
-          if (span.open) {
-            span.handler = ts;
-          }
-          break;
-        case EventType::kFaultMappingLoaded:
-          if (span.open) {
-            span.loaded = ts;
-          }
-          break;
-        case EventType::kFaultResumed:
-          if (span.open) {
-            TraceEvent args = e;
-            args.arg16 = span.fault_type;
-            args.arg32 = span.vaddr;
-            AppendEvent(&out, "fault", "X", span.trap, ts - span.trap, e.cpu, &args, &first);
-            if (span.handler > 0) {
-              AppendEvent(&out, "fault.redirect", "X", span.trap, span.handler - span.trap,
-                          e.cpu, nullptr, &first);
-              if (span.loaded > 0) {
-                AppendEvent(&out, "fault.handle+load", "X", span.handler,
-                            span.loaded - span.handler, e.cpu, nullptr, &first);
-                AppendEvent(&out, "fault.resume", "X", span.loaded, ts - span.loaded, e.cpu,
-                            nullptr, &first);
-              } else {
-                AppendEvent(&out, "fault.handle", "X", span.handler, ts - span.handler, e.cpu,
-                            nullptr, &first);
-              }
-            }
-            span.open = false;
-          } else {
-            AppendEvent(&out, EventTypeName(type), "i", ts, 0, e.cpu, &e, &first);
-          }
-          break;
-        default:
-          AppendEvent(&out, EventTypeName(type), "i", ts, 0, e.cpu, &e, &first);
-          break;
+    const Tracer& tracer = *m.tracer;
+    uint32_t pid = m.pid;
+    if (!m.name.empty()) {
+      if (!first) {
+        out.push_back(',');
       }
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"args\":{\"name\":\"%s\"}}",
+                    pid, m.name.c_str());
+      out.append(buf);
     }
-    // A fault still open at the end of the ring (blocked/terminated thread or
-    // truncated capture) exports as an instant so nothing is silently lost.
-    if (span.open) {
-      TraceEvent args;
-      args.arg16 = span.fault_type;
-      args.arg32 = span.vaddr;
-      AppendEvent(&out, "fault.unfinished", "i", span.trap, 0, static_cast<uint8_t>(c), &args,
-                  &first);
+    for (uint32_t c = 0; c < tracer.cpu_count(); ++c) {
+      // Name the track.
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                    "\"args\":{\"name\":\"cpu %u\"}}",
+                    pid, c, c);
+      out.append(buf);
+
+      const TraceRing& ring = tracer.ring(c);
+      FaultSpan span;
+      for (size_t i = 0; i < ring.size(); ++i) {
+        const TraceEvent& e = ring.at(i);
+        EventType type = static_cast<EventType>(e.type);
+        double ts = static_cast<double>(e.when) / cycles_per_us;
+        switch (type) {
+          case EventType::kFaultTrapEntry:
+            span.open = true;
+            span.trap = ts;
+            span.handler = span.loaded = 0;
+            span.vaddr = e.arg32;
+            span.fault_type = e.arg16;
+            break;
+          case EventType::kFaultHandlerStart:
+            if (span.open) {
+              span.handler = ts;
+            }
+            break;
+          case EventType::kFaultMappingLoaded:
+            if (span.open) {
+              span.loaded = ts;
+            }
+            break;
+          case EventType::kFaultResumed:
+            if (span.open) {
+              TraceEvent args = e;
+              args.arg16 = span.fault_type;
+              args.arg32 = span.vaddr;
+              AppendEvent(&out, "fault", "X", span.trap, ts - span.trap, pid, e.cpu, &args,
+                          &first);
+              if (span.handler > 0) {
+                AppendEvent(&out, "fault.redirect", "X", span.trap, span.handler - span.trap,
+                            pid, e.cpu, nullptr, &first);
+                if (span.loaded > 0) {
+                  AppendEvent(&out, "fault.handle+load", "X", span.handler,
+                              span.loaded - span.handler, pid, e.cpu, nullptr, &first);
+                  AppendEvent(&out, "fault.resume", "X", span.loaded, ts - span.loaded, pid,
+                              e.cpu, nullptr, &first);
+                } else {
+                  AppendEvent(&out, "fault.handle", "X", span.handler, ts - span.handler, pid,
+                              e.cpu, nullptr, &first);
+                }
+              }
+              span.open = false;
+            } else {
+              AppendEvent(&out, EventTypeName(type), "i", ts, 0, pid, e.cpu, &e, &first);
+            }
+            break;
+          case EventType::kIpcSend:
+          case EventType::kBulkSend:
+            AppendEvent(&out, EventTypeName(type), "i", ts, 0, pid, e.cpu, &e, &first);
+            if (e.arg32 != 0) {
+              AppendFlow(&out, type == EventType::kIpcSend ? "ipc" : "bulk", /*start=*/true,
+                         ts, pid, e.cpu, e.arg32, &first);
+            }
+            break;
+          case EventType::kIpcRecv:
+          case EventType::kBulkRecv:
+            AppendEvent(&out, EventTypeName(type), "i", ts, 0, pid, e.cpu, &e, &first);
+            if (e.arg32 != 0) {
+              AppendFlow(&out, type == EventType::kIpcRecv ? "ipc" : "bulk", /*start=*/false,
+                         ts, pid, e.cpu, e.arg32, &first);
+            }
+            break;
+          default:
+            AppendEvent(&out, EventTypeName(type), "i", ts, 0, pid, e.cpu, &e, &first);
+            break;
+        }
+      }
+      // A fault still open at the end of the ring (blocked/terminated thread
+      // or truncated capture) exports as an instant so nothing is silently
+      // lost.
+      if (span.open) {
+        TraceEvent args;
+        args.arg16 = span.fault_type;
+        args.arg32 = span.vaddr;
+        AppendEvent(&out, "fault.unfinished", "i", span.trap, 0, pid, static_cast<uint8_t>(c),
+                    &args, &first);
+      }
     }
   }
 
-  out.append("\n]}");
+  out.append("\n]");
+  if (!extra_top_level.empty()) {
+    out.push_back(',');
+    out.append(extra_top_level);
+  }
+  out.push_back('}');
   return out;
 }
 
-bool WriteChromeTrace(const Tracer& tracer, double cycles_per_us, const std::string& path) {
+std::string ChromeTraceJson(const Tracer& tracer, double cycles_per_us) {
+  return ChromeTraceJson({MachineTrace{&tracer, 0, std::string()}}, cycles_per_us);
+}
+
+bool WriteChromeTrace(const std::vector<MachineTrace>& machines, double cycles_per_us,
+                      const std::string& path, const std::string& extra_top_level) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  std::string json = ChromeTraceJson(tracer, cycles_per_us);
+  std::string json = ChromeTraceJson(machines, cycles_per_us, extra_top_level);
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   bool ok = written == json.size();
   return std::fclose(f) == 0 && ok;
+}
+
+bool WriteChromeTrace(const Tracer& tracer, double cycles_per_us, const std::string& path) {
+  return WriteChromeTrace({MachineTrace{&tracer, 0, std::string()}}, cycles_per_us, path);
 }
 
 }  // namespace obs

@@ -1,28 +1,51 @@
 // Chrome trace_event JSON exporter.
 //
-// Serializes a Tracer's per-CPU rings into the Trace Event Format understood
-// by chrome://tracing and ui.perfetto.dev: one process, one track (tid) per
-// CPU. Most events export as instants; the four Figure 2 fault-forwarding
-// steps are paired into nested duration spans ("fault", "fault.redirect",
-// "fault.handle+load", "fault.resume") so a whole run's fault activity reads
-// as a flame chart.
+// Serializes per-CPU trace rings into the Trace Event Format understood by
+// chrome://tracing and ui.perfetto.dev. Single-machine exports use one
+// process with one track (tid) per CPU; the cluster overload merges several
+// machines into one document, one process (pid) per machine. Most events
+// export as instants; the four Figure 2 fault-forwarding steps are paired
+// into nested duration spans ("fault", "fault.redirect", "fault.handle+load",
+// "fault.resume") so a whole run's fault activity reads as a flame chart, and
+// the causal ipc/bulk span events (kIpcSend/kIpcRecv/kBulkSend/kBulkRecv)
+// additionally emit flow events ("ph":"s" at the sender, "ph":"f" at the
+// receiver, bound by the 32-bit span id) so a cross-machine RPC or migration
+// renders as one causally-linked arrow between processes.
 
 #ifndef SRC_OBS_CHROME_TRACE_H_
 #define SRC_OBS_CHROME_TRACE_H_
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/obs/trace.h"
 
 namespace obs {
 
+// One machine's contribution to a merged cluster trace.
+struct MachineTrace {
+  const Tracer* tracer = nullptr;
+  uint32_t pid = 0;   // exported process id (conventionally the node id)
+  std::string name;   // process_name metadata, e.g. "machine 0"
+};
+
 // Serialize to a string. `cycles_per_us` converts cycle stamps to the
 // microsecond timestamps the format requires (25 for the simulated 25 MHz
-// machine).
+// machine). `extra_top_level`, if non-empty, must be a complete JSON
+// key-value fragment (e.g. "\"ckProfile\":{...}") and is spliced in as an
+// additional top-level member -- Chrome ignores unknown keys, so the trace
+// file can carry the aggregated profiler histograms alongside the events.
+std::string ChromeTraceJson(const std::vector<MachineTrace>& machines, double cycles_per_us,
+                            const std::string& extra_top_level = std::string());
+
+// Single-machine convenience (pid 0), the PR-1 interface.
 std::string ChromeTraceJson(const Tracer& tracer, double cycles_per_us);
 
 // Write to `path`. Returns false if the file cannot be written.
+bool WriteChromeTrace(const std::vector<MachineTrace>& machines, double cycles_per_us,
+                      const std::string& path,
+                      const std::string& extra_top_level = std::string());
 bool WriteChromeTrace(const Tracer& tracer, double cycles_per_us, const std::string& path);
 
 }  // namespace obs

@@ -1,0 +1,186 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "src/ckpt/serializer.h"
+
+namespace obs {
+namespace {
+
+using ckckpt::Crc32;
+using ckckpt::Reader;
+using ckckpt::Writer;
+
+enum SectionType : uint16_t {
+  kSectionHeader = 1,
+  kSectionMetrics = 2,
+  kSectionStats = 3,
+  kSectionTrace = 4,
+  kSectionEnd = 0xffff,
+};
+
+void AppendSection(Writer* out, uint16_t type, const std::vector<uint8_t>& payload) {
+  out->U16(type);
+  out->U16(0);  // flags, reserved
+  out->U32(static_cast<uint32_t>(payload.size()));
+  out->Bytes(payload.data(), payload.size());
+  out->U32(Crc32(payload.data(), payload.size()));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFlightRecord(const std::string& reason, uint64_t when,
+                                        const Tracer* tracer, size_t last_n_per_cpu,
+                                        const std::string& metrics_text,
+                                        const std::vector<uint8_t>& stats_blob) {
+  Writer out;
+  out.U32(kFlightRecordMagic);
+  out.U32(kFlightRecordVersion);
+
+  {
+    Writer header;
+    header.Str(reason);
+    header.U64(when);
+    AppendSection(&out, kSectionHeader, header.data());
+  }
+  if (!metrics_text.empty()) {
+    Writer metrics;
+    metrics.Str(metrics_text);
+    AppendSection(&out, kSectionMetrics, metrics.data());
+  }
+  if (!stats_blob.empty()) {
+    AppendSection(&out, kSectionStats, stats_blob);
+  }
+  if (tracer != nullptr) {
+    Writer trace;
+    trace.U32(tracer->cpu_count());
+    for (uint32_t c = 0; c < tracer->cpu_count(); ++c) {
+      const TraceRing& ring = tracer->ring(c);
+      size_t n = ring.size() < last_n_per_cpu ? ring.size() : last_n_per_cpu;
+      size_t start = ring.size() - n;  // newest n, oldest first
+      trace.U32(static_cast<uint32_t>(n));
+      for (size_t i = 0; i < n; ++i) {
+        const TraceEvent& e = ring.at(start + i);
+        trace.U64(e.when);
+        trace.U8(e.type);
+        trace.U8(e.cpu);
+        trace.U16(e.arg16);
+        trace.U32(e.arg32);
+      }
+    }
+    AppendSection(&out, kSectionTrace, trace.data());
+  }
+  out.U16(kSectionEnd);
+  return out.Take();
+}
+
+bool DecodeFlightRecord(const std::vector<uint8_t>& bytes, FlightRecordData* out,
+                        std::string* error) {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  *out = FlightRecordData();  // absent sections must not leave stale data
+  Reader r(bytes);
+  if (r.U32() != kFlightRecordMagic) {
+    return fail("bad magic");
+  }
+  if (r.U32() != kFlightRecordVersion) {
+    return fail("unsupported version");
+  }
+  bool saw_header = false;
+  while (true) {
+    uint16_t type = r.U16();
+    if (!r.ok()) {
+      return fail("truncated section header");
+    }
+    if (type == kSectionEnd) {
+      break;
+    }
+    r.U16();  // flags
+    uint32_t length = r.U32();
+    if (!r.ok() || r.remaining() < static_cast<size_t>(length) + 4) {
+      return fail("truncated section");
+    }
+    std::vector<uint8_t> payload(length);
+    r.Bytes(payload.data(), length);
+    uint32_t crc = r.U32();
+    if (crc != Crc32(payload.data(), payload.size())) {
+      return fail("section crc mismatch");
+    }
+    Reader section(payload);
+    switch (type) {
+      case kSectionHeader:
+        out->reason = section.Str();
+        out->when = section.U64();
+        if (!section.Done()) {
+          return fail("malformed header section");
+        }
+        saw_header = true;
+        break;
+      case kSectionMetrics:
+        out->metrics_text = section.Str();
+        if (!section.Done()) {
+          return fail("malformed metrics section");
+        }
+        break;
+      case kSectionStats:
+        out->stats_blob = std::move(payload);
+        break;
+      case kSectionTrace: {
+        uint32_t cpus = section.U32();
+        for (uint32_t c = 0; c < cpus && section.ok(); ++c) {
+          uint32_t count = section.U32();
+          for (uint32_t i = 0; i < count && section.ok(); ++i) {
+            TraceEvent e;
+            e.when = section.U64();
+            e.type = section.U8();
+            e.cpu = section.U8();
+            e.arg16 = section.U16();
+            e.arg32 = section.U32();
+            out->events.push_back(e);
+          }
+        }
+        if (!section.Done()) {
+          return fail("malformed trace section");
+        }
+        break;
+      }
+      default:
+        break;  // unknown sections are skipped (forward compatibility)
+    }
+  }
+  if (!saw_header) {
+    return fail("missing header section");
+  }
+  return true;
+}
+
+bool WriteFlightRecordFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool ReadFlightRecordFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs

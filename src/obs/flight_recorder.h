@@ -1,0 +1,67 @@
+// Crash flight recorder: post-mortem capture of the observability state.
+//
+// On a fatal fault, a failed restore preflight, or a crash failover, the
+// system dumps what a post-mortem needs into one CRC-framed file: the last-N
+// trace-ring events per CPU (the ring already overwrites oldest, flight-
+// recorder style), a plain-text metrics snapshot, and an opaque stats blob
+// supplied by the caller (the Cache Kernel serializes its CkStats into it).
+//
+// The container reuses the ckckpt Writer/Reader/Crc32 machinery and the
+// checkpoint image's record framing so the same tooling disciplines apply:
+// little-endian, no padding, every section CRC-protected, parse fails loudly
+// on corruption.
+//
+// File layout:
+//   u32 magic "CKFR", u32 version
+//   sections, each: u16 type, u16 flags(0), u32 length, payload, u32 crc32
+//     1 header   { Str reason, U64 when_cycles }
+//     2 metrics  { Str text }               (Registry::WriteText output)
+//     3 stats    { raw bytes }              (opaque to this layer)
+//     4 trace    { U32 cpu_count, per cpu: U32 count,
+//                  count x { U64 when, U8 type, U8 cpu, U16 arg16, U32 arg32 } }
+//   u16 0xffff end marker
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace obs {
+
+inline constexpr uint32_t kFlightRecordMagic = 0x52464b43;  // "CKFR"
+inline constexpr uint32_t kFlightRecordVersion = 1;
+
+// A decoded flight record (see DecodeFlightRecord).
+struct FlightRecordData {
+  std::string reason;
+  uint64_t when = 0;              // simulated cycles at capture
+  std::string metrics_text;
+  std::vector<uint8_t> stats_blob;
+  std::vector<TraceEvent> events;  // all CPUs, ring order per CPU
+};
+
+// Encode a flight record. `tracer` may be null (no trace section); at most
+// `last_n_per_cpu` of the newest retained events per CPU are captured.
+std::vector<uint8_t> EncodeFlightRecord(const std::string& reason, uint64_t when,
+                                        const Tracer* tracer, size_t last_n_per_cpu,
+                                        const std::string& metrics_text,
+                                        const std::vector<uint8_t>& stats_blob);
+
+// Decode and CRC-verify. Returns false (with *error set) on any framing or
+// checksum problem.
+bool DecodeFlightRecord(const std::vector<uint8_t>& bytes, FlightRecordData* out,
+                        std::string* error);
+
+// Write `bytes` to `path`. Returns false if the file cannot be written.
+bool WriteFlightRecordFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+// Read a whole file into `out`. Returns false if unreadable.
+bool ReadFlightRecordFile(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

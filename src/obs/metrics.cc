@@ -52,6 +52,43 @@ void Registry::DumpText(std::FILE* out) const {
   }
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; fold everything else to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void Registry::WriteText(std::FILE* out) const {
+  for (const Counter& c : counters_) {
+    std::string name = PromName(c.name);
+    std::fprintf(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(),
+                 c.value());
+  }
+  for (const Histogram& h : histograms_) {
+    std::string name = PromName(h.name);
+    ckbase::Stats s = h.snapshot();
+    std::fprintf(out, "# TYPE %s summary\n", name.c_str());
+    std::fprintf(out, "%s_count %zu\n", name.c_str(), s.count());
+    std::fprintf(out, "%s_sum %.6g\n", name.c_str(), s.Sum());
+    std::fprintf(out, "%s{quantile=\"0.5\"} %.6g\n", name.c_str(), s.Percentile(50));
+    std::fprintf(out, "%s{quantile=\"0.95\"} %.6g\n", name.c_str(), s.Percentile(95));
+    std::fprintf(out, "%s{quantile=\"1\"} %.6g\n", name.c_str(), s.Max());
+  }
+}
+
 std::string Registry::DumpJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;

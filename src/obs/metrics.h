@@ -40,6 +40,14 @@ class Registry {
   // {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
   std::string DumpJson() const;
 
+  // Prometheus-style exposition: one `name value` line per counter plus
+  // `_count`/`_sum` and quantile lines per histogram, each preceded by a
+  // `# TYPE` comment. Dots (and any other non-identifier characters) in
+  // registered names become underscores, so `ck.tenant.3.loads` exposes as
+  // `ck_tenant_3_loads`. Lines are diffable between runs without JSON
+  // tooling (the --metrics-out=<file> path in ck::ObsSession).
+  void WriteText(std::FILE* out) const;
+
  private:
   struct Counter {
     std::string name;

@@ -36,6 +36,20 @@ const char* EventTypeName(EventType type) {
       return "sched.quota_degrade";
     case EventType::kTlbMiss:
       return "hw.tlb_miss";
+    case EventType::kSpanBegin:
+      return "span.begin";
+    case EventType::kIpcSend:
+      return "ipc.send";
+    case EventType::kIpcRecv:
+      return "ipc.recv";
+    case EventType::kBulkSend:
+      return "bulk.send";
+    case EventType::kBulkRecv:
+      return "bulk.recv";
+    case EventType::kSrmOp:
+      return "srm.op";
+    case EventType::kProfSample:
+      return "prof.sample";
     case EventType::kCount:
       break;
   }

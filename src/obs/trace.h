@@ -47,6 +47,16 @@ enum class EventType : uint8_t {
   kQuotaDegrade,  // arg32 = kernel slot driven over quota
   // Simulated hardware. arg16 = asid, arg32 = vaddr.
   kTlbMiss,
+  // Causal spans. arg32 = span id (top byte: originating machine's node id,
+  // low 24 bits: that machine's deterministic allocation counter).
+  kSpanBegin,   // a new span was allocated; arg16 = kind (fault type, op, ...)
+  kIpcSend,     // packet left a device tx slot; arg16 = tx slot index
+  kIpcRecv,     // packet landed in a device rx slot; arg16 = rx slot index
+  kBulkSend,    // bulk payload entered the wire; arg16 = size in KiB (capped)
+  kBulkRecv,    // bulk payload claimed by PollBulk; arg16 = size in KiB
+  kSrmOp,       // system-resource-manager operation; arg16 = SrmOpCode
+  // Sampling profiler. arg16 = owning kernel slot, arg32 = guest PC.
+  kProfSample,
   kCount,
 };
 

@@ -13,7 +13,11 @@ uint32_t Cluster::AddMachine(Machine* machine) {
   // run rebuild it.
   StopWorkers();
   machines_.push_back(machine);
-  return static_cast<uint32_t>(machines_.size() - 1);
+  uint32_t index = static_cast<uint32_t>(machines_.size() - 1);
+  // Stamp the node id used in causal span ids; index order is already part
+  // of the determinism contract, so span sequences match serial/parallel.
+  machine->set_node_id(static_cast<uint8_t>(index));
+  return index;
 }
 
 void Cluster::Link(FiberChannelDevice& a, FiberChannelDevice& b) {

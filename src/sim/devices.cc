@@ -28,6 +28,15 @@ PacketDevice::PacketDevice(PhysicalMemory& memory, SignalSink* sink, PhysAddr ba
       tx_slots_(tx_slots),
       rx_slots_(rx_slots) {}
 
+uint32_t PacketDevice::AllocSpan() {
+  return machine_ != nullptr ? machine_->AllocSpanId() : 0;
+}
+
+obs::TraceRing* PacketDevice::TraceRing() const {
+  // Device events are not CPU-bound; they land on CPU 0's ring.
+  return machine_ != nullptr ? machine_->trace_ring(0) : nullptr;
+}
+
 Cycles PacketDevice::NextEventAt() const {
   return inbound_.empty() ? kNoEvent : inbound_.front().due;
 }
@@ -44,6 +53,7 @@ void PacketDevice::Run(Cycles now) {
     // reused round-robin; an unconsumed packet is simply overwritten, which
     // models a NIC ring overrun (counted as received -- flow control is the
     // client protocol's job, as on the real device).
+    uint32_t slot_index = next_rx_;
     PhysAddr slot = rx_slot(next_rx_);
     next_rx_ = (next_rx_ + 1) % rx_slots_;
     uint32_t len = static_cast<uint32_t>(in.payload.size());
@@ -52,6 +62,7 @@ void PacketDevice::Run(Cycles now) {
       memory_.Write(slot + 4, in.payload.data(), len);
     }
     ++received_;
+    CK_TRACE(TraceRing(), obs::EventType::kIpcRecv, in.due, slot_index, in.span);
     sink_->SignalPhysical(slot, in.due);
   }
 }
@@ -72,12 +83,17 @@ void PacketDevice::OnDoorbell(PhysAddr addr, Cycles when) {
     memory_.Read(slot + 4, payload.data(), len);
   }
   ++sent_;
-  Transmit(std::move(payload), when);
+  // Every send gets a causal span id; the receiver's kIpcRecv carries the
+  // same id, linking the two machines' traces into one flow.
+  uint32_t span = AllocSpan();
+  CK_TRACE(TraceRing(), obs::EventType::kIpcSend, when,
+           static_cast<uint16_t>((slot - base_) / kPageSize), span);
+  Transmit(std::move(payload), when, span);
 }
 
-void PacketDevice::EnqueueInbound(std::vector<uint8_t> payload, Cycles when) {
+void PacketDevice::EnqueueInbound(std::vector<uint8_t> payload, Cycles when, uint32_t span) {
   // Keep the queue ordered by due time (senders' clocks can be skewed).
-  Inbound in{std::move(payload), when};
+  Inbound in{std::move(payload), when, span};
   auto it = inbound_.end();
   while (it != inbound_.begin() && (it - 1)->due > in.due) {
     --it;
@@ -87,35 +103,42 @@ void PacketDevice::EnqueueInbound(std::vector<uint8_t> payload, Cycles when) {
 
 // --- FiberChannelDevice ---
 
-void FiberChannelDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
+void FiberChannelDevice::Transmit(std::vector<uint8_t> payload, Cycles when, uint32_t span) {
   if (peer_ == nullptr) {
     return;
   }
   Cycles due = when + wire_latency_;
   if (deferred_) {
-    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/false});
+    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/false, span});
     return;
   }
-  peer_->EnqueueInbound(std::move(payload), due);
+  peer_->EnqueueInbound(std::move(payload), due, span);
 }
 
-void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when) {
+void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when, uint32_t span) {
   if (peer_ == nullptr) {
     return;
   }
+  if (span == 0) {
+    span = AllocSpan();
+  }
   Cycles due = when + wire_latency_ + BulkWireCycles(payload.size());
   ++bulk_sent_;
+  size_t kib = payload.size() / 1024;
+  CK_TRACE(TraceRing(), obs::EventType::kBulkSend, when,
+           static_cast<uint16_t>(kib < 0xffff ? kib : 0xffff), span);
   if (deferred_) {
-    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/true});
+    outbox_.push_back(Outbound{std::move(payload), due, /*bulk=*/true, span});
     return;
   }
-  peer_->EnqueueBulkInbound(std::move(payload), due);
+  peer_->EnqueueBulkInbound(std::move(payload), due, span);
 }
 
-void FiberChannelDevice::EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due) {
+void FiberChannelDevice::EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due,
+                                            uint32_t span) {
   // Keep the bulk queue ordered by due time (clock skew between the
   // connected machines).
-  BulkInbound in{std::move(payload), due};
+  BulkInbound in{std::move(payload), due, span};
   auto it = bulk_inbound_.end();
   while (it != bulk_inbound_.begin() && (it - 1)->due > in.due) {
     --it;
@@ -127,20 +150,27 @@ size_t FiberChannelDevice::FlushOutbox() {
   size_t flushed = outbox_.size();
   for (Outbound& out : outbox_) {
     if (out.bulk) {
-      peer_->EnqueueBulkInbound(std::move(out.payload), out.due);
+      peer_->EnqueueBulkInbound(std::move(out.payload), out.due, out.span);
     } else {
-      peer_->EnqueueInbound(std::move(out.payload), out.due);
+      peer_->EnqueueInbound(std::move(out.payload), out.due, out.span);
     }
   }
   outbox_.clear();
   return flushed;
 }
 
-bool FiberChannelDevice::PollBulk(std::vector<uint8_t>* out, Cycles now) {
+bool FiberChannelDevice::PollBulk(std::vector<uint8_t>* out, Cycles now, uint32_t* span) {
   if (bulk_inbound_.empty() || bulk_inbound_.front().due > now) {
     return false;
   }
-  *out = std::move(bulk_inbound_.front().payload);
+  BulkInbound& front = bulk_inbound_.front();
+  *out = std::move(front.payload);
+  if (span != nullptr) {
+    *span = front.span;
+  }
+  size_t kib = out->size() / 1024;
+  CK_TRACE(TraceRing(), obs::EventType::kBulkRecv, front.due,
+           static_cast<uint16_t>(kib < 0xffff ? kib : 0xffff), front.span);
   bulk_inbound_.pop_front();
   ++bulk_received_;
   bulk_bytes_received_ += out->size();
@@ -149,13 +179,14 @@ bool FiberChannelDevice::PollBulk(std::vector<uint8_t>* out, Cycles now) {
 
 // --- EthernetDevice / EthernetHub ---
 
-void EthernetDevice::Transmit(std::vector<uint8_t> payload, Cycles when) {
+void EthernetDevice::Transmit(std::vector<uint8_t> payload, Cycles when, uint32_t span) {
   if (hub_ != nullptr) {
-    hub_->Route(std::move(payload), when + wire_latency_, station_);
+    hub_->Route(std::move(payload), when + wire_latency_, station_, span);
   }
 }
 
-void EthernetHub::Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station) {
+void EthernetHub::Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station,
+                        uint32_t span) {
   if (payload.empty()) {
     return;
   }
@@ -165,7 +196,7 @@ void EthernetHub::Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_
       continue;
     }
     if (dest == 0xff || device->station() == dest) {
-      device->EnqueueInbound(payload, when);
+      device->EnqueueInbound(payload, when, span);
     }
   }
 }

@@ -69,6 +69,12 @@ class PacketDevice : public Device {
   PacketDevice(PhysicalMemory& memory, SignalSink* sink, PhysAddr base, uint32_t tx_slots,
                uint32_t rx_slots, Cycles wire_latency);
 
+  // Keeps the machine pointer for causal tracing: sends allocate span ids
+  // from the machine's deterministic counter and deliveries land kIpcRecv
+  // events on the machine's trace ring. Unattached devices (unit tests)
+  // simply emit span id 0 and no events.
+  void OnAttached(Machine& machine) override { machine_ = &machine; }
+
   PhysAddr region_base() const override { return base_; }
   uint32_t region_size() const override { return (tx_slots_ + rx_slots_) * kPageSize; }
 
@@ -91,22 +97,33 @@ class PacketDevice : public Device {
   uint64_t packets_dropped() const { return dropped_; }
 
   // Inject a packet for local delivery at `when` (called by the peer device
-  // or the hub).
-  void EnqueueInbound(std::vector<uint8_t> payload, Cycles when);
+  // or the hub). `span` is the sender-allocated causal span id (0 = none);
+  // it travels out-of-band beside the payload -- a trace header that costs
+  // no simulated wire bytes, so enabling tracing cannot shift packet timing.
+  void EnqueueInbound(std::vector<uint8_t> payload, Cycles when, uint32_t span = 0);
 
  protected:
   // Transmit a packet read out of a tx slot; implemented by the subclass
-  // (point-to-point forward, or hub routing).
-  virtual void Transmit(std::vector<uint8_t> payload, Cycles when) = 0;
+  // (point-to-point forward, or hub routing). `span` is the causal span id
+  // OnDoorbell allocated for this send (0 when no machine is attached).
+  virtual void Transmit(std::vector<uint8_t> payload, Cycles when, uint32_t span) = 0;
+
+  // Allocate a span id from the attached machine (0 if unattached).
+  uint32_t AllocSpan();
+  // The attached machine's trace ring for device events (CPU 0's ring), or
+  // nullptr when unattached / tracing disabled.
+  obs::TraceRing* TraceRing() const;
 
   PhysicalMemory& memory_;
   SignalSink* sink_;
   Cycles wire_latency_;
+  Machine* machine_ = nullptr;
 
  private:
   struct Inbound {
     std::vector<uint8_t> payload;
     Cycles due;
+    uint32_t span = 0;
   };
 
   PhysAddr base_;
@@ -147,18 +164,20 @@ class FiberChannelDevice : public PacketDevice {
   size_t FlushOutbox();
 
   // Insert a bulk payload into this device's inbound bulk queue, ordered by
-  // due time (senders' clocks can be skewed).
-  void EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due);
+  // due time (senders' clocks can be skewed). `span` as in EnqueueInbound.
+  void EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due, uint32_t span = 0);
 
   // ---- bulk streaming (checkpoint migration) ----
   // Ship an arbitrary-size payload to the peer, bypassing the page-sized
   // packet slots: models the driver's scatter-gather streaming mode for
   // whole-image transfers. The blob becomes available to the peer's
   // PollBulk once the wire latency plus serialization time (the 266 Mb/s
-  // link moves ~4/3 bytes per 25 MHz cycle) has elapsed.
-  void SendBulk(std::vector<uint8_t> payload, Cycles when);
-  // Claim the oldest delivered bulk payload, if one is due by `now`.
-  bool PollBulk(std::vector<uint8_t>* out, Cycles now);
+  // link moves ~4/3 bytes per 25 MHz cycle) has elapsed. `span` carries an
+  // existing causal span id (an SRM migration span); 0 allocates a fresh one.
+  void SendBulk(std::vector<uint8_t> payload, Cycles when, uint32_t span = 0);
+  // Claim the oldest delivered bulk payload, if one is due by `now`. `span`
+  // (if non-null) receives the sender's causal span id.
+  bool PollBulk(std::vector<uint8_t>* out, Cycles now, uint32_t* span = nullptr);
 
   // Cycles a payload of `bytes` occupies the wire (excludes base latency).
   static Cycles BulkWireCycles(size_t bytes) {
@@ -170,17 +189,19 @@ class FiberChannelDevice : public PacketDevice {
   uint64_t bulk_bytes_received() const { return bulk_bytes_received_; }
 
  protected:
-  void Transmit(std::vector<uint8_t> payload, Cycles when) override;
+  void Transmit(std::vector<uint8_t> payload, Cycles when, uint32_t span) override;
 
  private:
   struct BulkInbound {
     std::vector<uint8_t> payload;
     Cycles due;
+    uint32_t span = 0;
   };
   struct Outbound {
     std::vector<uint8_t> payload;
     Cycles due;
     bool bulk;
+    uint32_t span = 0;
   };
 
   FiberChannelDevice* peer_ = nullptr;
@@ -205,7 +226,7 @@ class EthernetDevice : public PacketDevice {
   uint8_t station() const { return station_; }
 
  protected:
-  void Transmit(std::vector<uint8_t> payload, Cycles when) override;
+  void Transmit(std::vector<uint8_t> payload, Cycles when, uint32_t span) override;
 
  private:
   friend class EthernetHub;
@@ -220,7 +241,8 @@ class EthernetHub {
     stations_.push_back(device);
   }
 
-  void Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station);
+  void Route(std::vector<uint8_t> payload, Cycles when, uint8_t from_station,
+             uint32_t span = 0);
 
  private:
   std::vector<EthernetDevice*> stations_;

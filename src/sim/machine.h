@@ -44,10 +44,16 @@ class SignalSink {
   virtual void SignalPhysical(PhysAddr addr, Cycles when) = 0;
 };
 
+class Machine;
+
 // A device mapped into physical memory and driven by the machine clock.
 class Device {
  public:
   virtual ~Device() = default;
+
+  // Called by Machine::AttachDevice. Devices that emit trace events or
+  // allocate causal span ids keep the pointer; the default ignores it.
+  virtual void OnAttached(Machine& /*machine*/) {}
 
   // Physical range of the device's transmission (doorbell) region; a signal
   // delivered inside it is routed to OnDoorbell.
@@ -84,7 +90,10 @@ class Machine {
 
   // Devices are owned by the caller (examples own them; tests stack-allocate)
   // and must outlive the machine's run loop.
-  void AttachDevice(Device* device) { devices_.push_back(device); }
+  void AttachDevice(Device* device) {
+    devices_.push_back(device);
+    device->OnAttached(*this);
+  }
 
   // Route a signal on a device doorbell page. Returns true if a device
   // claimed the address.
@@ -108,6 +117,25 @@ class Machine {
   void Halt() { halted_ = true; }
   bool halted() const { return halted_; }
 
+  // ---- causal span ids ----
+  // Deterministic 32-bit span identifiers for causal tracing: the top byte is
+  // this machine's node id (assigned by Cluster::AddMachine in cluster runs,
+  // 0 otherwise), the low 24 bits a per-machine counter. Allocation order is
+  // part of machine-local state, so serial and parallel cluster executions
+  // allocate identical id sequences (the differential suite memcmp-checks
+  // this). Id 0 is reserved for "no span".
+  void set_node_id(uint8_t id) { node_id_ = id; }
+  uint8_t node_id() const { return node_id_; }
+  uint32_t AllocSpanId() {
+    ++spans_allocated_;
+    span_counter_ = (span_counter_ + 1) & 0x00ffffffu;
+    if (span_counter_ == 0) {
+      span_counter_ = 1;  // skip the reserved "no span" encoding on wrap
+    }
+    return (static_cast<uint32_t>(node_id_) << 24) | span_counter_;
+  }
+  uint64_t spans_allocated() const { return spans_allocated_; }
+
   // ---- tracing ----
   // Allocate one trace ring per CPU and start recording. Idempotent; until
   // called, trace_ring() returns nullptr and CK_TRACE emission is one null
@@ -125,6 +153,9 @@ class Machine {
   std::vector<Device*> devices_;
   MachineClient* client_ = nullptr;
   bool halted_ = false;
+  uint8_t node_id_ = 0;
+  uint32_t span_counter_ = 0;
+  uint64_t spans_allocated_ = 0;
   std::unique_ptr<obs::Tracer> tracer_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/srm/srm.h"
 
 #include "src/base/log.h"
+#include "src/obs/trace.h"
 
 namespace cksrm {
 
@@ -11,6 +12,14 @@ using ckbase::CkStatus;
 using ckbase::Result;
 
 Srm::Srm(ck::CacheKernel& ck) : ckapp::AppKernelBase("srm", /*backing_pages=*/512), ck_(ck) {}
+
+uint32_t Srm::EmitOp(SrmOpCode op) {
+  cksim::Machine& m = ck_.machine();
+  uint32_t span = m.AllocSpanId();
+  // SRM work runs on CPU 0; its trace events land there too.
+  CK_TRACE(m.trace_ring(0), obs::EventType::kSrmOp, m.Now(), static_cast<uint16_t>(op), span);
+  return span;
+}
 
 void Srm::Boot() {
   KernelId id = ck_.BootFirstKernel(this, /*cookie=*/0);
@@ -83,6 +92,7 @@ Result<uint32_t> Srm::ReserveGroups(uint32_t count) {
 }
 
 Result<KernelId> Srm::Launch(ckapp::AppKernelBase& app, const LaunchParams& params) {
+  EmitOp(SrmOpCode::kLaunch);
   CkApi api = Api();
   auto reg = std::make_unique<Registered>();
   reg->app = &app;
@@ -196,6 +206,7 @@ CkStatus Srm::GrantSharedGroups(ckapp::AppKernelBase& app, uint32_t first_group,
 }
 
 CkStatus Srm::SwapOut(ckapp::AppKernelBase& app) {
+  EmitOp(SrmOpCode::kSwapOut);
   Registered* reg = FindRegistration(app);
   if (reg == nullptr) {
     return CkStatus::kNotFound;
@@ -210,6 +221,7 @@ CkStatus Srm::SwapOut(ckapp::AppKernelBase& app) {
 }
 
 CkStatus Srm::SwapIn(ckapp::AppKernelBase& app) {
+  EmitOp(SrmOpCode::kSwapIn);
   Registered* reg = FindRegistration(app);
   if (reg == nullptr) {
     return CkStatus::kNotFound;
@@ -307,6 +319,7 @@ CkStatus Srm::CaptureQuiesced(Registered& reg, ckapp::AppKernelBase& app,
 }
 
 CkStatus Srm::Checkpoint(ckapp::AppKernelBase& app, ckckpt::CkptImage* image) {
+  EmitOp(SrmOpCode::kCheckpoint);
   Registered* reg = FindRegistration(app);
   if (reg == nullptr) {
     return CkStatus::kNotFound;
@@ -321,9 +334,11 @@ CkStatus Srm::Checkpoint(ckapp::AppKernelBase& app, ckckpt::CkptImage* image) {
 
 CkStatus Srm::Restore(ckapp::AppKernelBase& app, const ckckpt::CkptImage& image,
                       const ckckpt::RestoreOptions& options, std::string* error) {
+  EmitOp(SrmOpCode::kRestore);
   const ckckpt::CkptRecord* lp = image.Find(ckckpt::RecordType::kLaunchParams);
   if (lp == nullptr) {
     *error = "image has no launch-params record";
+    NotifyEvent("restore-preflight: " + *error);
     return CkStatus::kInvalidArgument;
   }
   ckckpt::Reader r(lp->payload);
@@ -339,12 +354,14 @@ CkStatus Srm::Restore(ckapp::AppKernelBase& app, const ckckpt::CkptImage& image,
   params.locked_kernel_object = r.Bool();
   if (!r.Done()) {
     *error = "malformed launch-params record";
+    NotifyEvent("restore-preflight: " + *error);
     return CkStatus::kInvalidArgument;
   }
 
   Result<KernelId> launched = Launch(app, params);
   if (!launched.ok()) {
     *error = "relaunch failed";
+    NotifyEvent("restore-preflight: " + *error);
     return launched.status();
   }
   // Each remap target names a fixed region on this machine (device registers,
@@ -388,7 +405,10 @@ CkStatus Srm::Migrate(ckapp::AppKernelBase& app, cksim::FiberChannelDevice& fc) 
   }
   std::vector<uint8_t> bytes = image.Serialize();
   CKLOG(kInfo) << "srm: migrating '" << app.name() << "' (" << bytes.size() << " bytes)";
-  fc.SendBulk(std::move(bytes), ck_.machine().Now());
+  // The migration span rides the bulk transfer out of band, so the target's
+  // bulk.recv (and the Chrome flow arrow) is causally bound to this operation.
+  uint32_t span = EmitOp(SrmOpCode::kMigrate);
+  fc.SendBulk(std::move(bytes), ck_.machine().Now(), span);
   // The source stays swapped out; the kernel's next instruction executes on
   // the target machine.
   return CkStatus::kOk;
@@ -397,11 +417,19 @@ CkStatus Srm::Migrate(ckapp::AppKernelBase& app, cksim::FiberChannelDevice& fc) 
 CkStatus Srm::AcceptMigration(cksim::FiberChannelDevice& fc, ckapp::AppKernelBase& app,
                               const ckckpt::RestoreOptions& options, std::string* error) {
   std::vector<uint8_t> bytes;
-  if (!fc.PollBulk(&bytes, ck_.machine().Now())) {
+  uint32_t inbound_span = 0;
+  if (!fc.PollBulk(&bytes, ck_.machine().Now(), &inbound_span)) {
     return CkStatus::kRetry;  // still on the wire
   }
+  // Emitted only once the image has landed (polling while in flight is not an
+  // operation). PollBulk traced bulk.recv under the sender's migration span;
+  // this op span marks where the target picks the kernel up.
+  EmitOp(SrmOpCode::kAcceptMigration);
+  CKLOG(kInfo) << "srm: accepting migrated image (" << bytes.size() << " bytes, span "
+               << inbound_span << ")";
   ckckpt::CkptImage image;
   if (!ckckpt::CkptImage::Parse(bytes, &image, error)) {
+    NotifyEvent("restore-preflight: " + *error);
     return CkStatus::kInvalidArgument;
   }
   return Restore(app, image, options, error);
@@ -409,6 +437,7 @@ CkStatus Srm::AcceptMigration(cksim::FiberChannelDevice& fc, ckapp::AppKernelBas
 
 CkStatus Srm::CheckpointToStore(ckapp::AppKernelBase& app, cksim::StableStore& store,
                                 const std::string& key) {
+  EmitOp(SrmOpCode::kCheckpointToStore);
   ckckpt::CkptImage image;
   CkStatus status = Checkpoint(app, &image);
   if (status != CkStatus::kOk) {
@@ -422,16 +451,22 @@ CkStatus Srm::CheckpointToStore(ckapp::AppKernelBase& app, cksim::StableStore& s
 CkStatus Srm::RestoreFromStore(ckapp::AppKernelBase& app, const cksim::StableStore& store,
                                const std::string& key, const ckckpt::RestoreOptions& options,
                                std::string* error) {
+  EmitOp(SrmOpCode::kRestoreFromStore);
+  // Crash failover: the machine that ran this kernel is gone; snapshot the
+  // survivor's state before we rebuild on it.
+  NotifyEvent("failover");
   std::vector<uint8_t> bytes;
   cksim::Cycles cost = 0;
   if (!store.Get(key, &bytes, &cost)) {
     *error = "no checkpoint in stable store under key '" + key + "'";
+    NotifyEvent("restore-preflight: " + *error);
     return CkStatus::kNotFound;
   }
   CkApi api = Api();
   api.Charge(cost);
   ckckpt::CkptImage image;
   if (!ckckpt::CkptImage::Parse(bytes, &image, error)) {
+    NotifyEvent("restore-preflight: " + *error);
     return CkStatus::kInvalidArgument;
   }
   return Restore(app, image, options, error);

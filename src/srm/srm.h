@@ -16,6 +16,7 @@
 #define SRC_SRM_SRM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,45 @@
 #include "src/sim/devices.h"
 
 namespace cksrm {
+
+// SRM lifecycle operations, traced as obs::EventType::kSrmOp spans (arg16 is
+// this code, arg32 the span id). Stable wire values: the trace exporter and
+// the flight recorder both name events by these.
+enum class SrmOpCode : uint16_t {
+  kLaunch = 0,
+  kSwapOut = 1,
+  kSwapIn = 2,
+  kCheckpoint = 3,
+  kRestore = 4,
+  kMigrate = 5,
+  kAcceptMigration = 6,
+  kCheckpointToStore = 7,
+  kRestoreFromStore = 8,
+};
+
+inline const char* SrmOpName(SrmOpCode op) {
+  switch (op) {
+    case SrmOpCode::kLaunch:
+      return "launch";
+    case SrmOpCode::kSwapOut:
+      return "swap-out";
+    case SrmOpCode::kSwapIn:
+      return "swap-in";
+    case SrmOpCode::kCheckpoint:
+      return "checkpoint";
+    case SrmOpCode::kRestore:
+      return "restore";
+    case SrmOpCode::kMigrate:
+      return "migrate";
+    case SrmOpCode::kAcceptMigration:
+      return "accept-migration";
+    case SrmOpCode::kCheckpointToStore:
+      return "checkpoint-to-store";
+    case SrmOpCode::kRestoreFromStore:
+      return "restore-from-store";
+  }
+  return "?";
+}
 
 // Resource grant for one application kernel.
 struct LaunchParams {
@@ -126,6 +166,15 @@ class Srm : public ckapp::AppKernelBase {
   bool IsIoDisconnected(const ckapp::AppKernelBase& app) const;
   void ResetIoWindow();
 
+  // ---- observability ----
+  // Called on events worth a flight record: "restore-preflight: <error>" when
+  // a restore fails before (or while) rebuilding state, "failover" when a
+  // kernel is restarted from the stable store. ObsSession wires this to the
+  // flight recorder.
+  void set_event_hook(std::function<void(const std::string&)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
  private:
   struct Registered {
     ckapp::AppKernelBase* app = nullptr;
@@ -146,10 +195,20 @@ class Srm : public ckapp::AppKernelBase {
   // kernel is left swapped out; callers SwapIn (Checkpoint) or not (Migrate).
   ckbase::CkStatus CaptureQuiesced(Registered& reg, ckapp::AppKernelBase& app,
                                    ckckpt::CkptImage* image);
+  // Allocate a span (deterministic, machine-local) and trace the operation.
+  // Span allocation is unconditional so enabling tracing never perturbs the
+  // machine's deterministic state. Returns the span id for propagation.
+  uint32_t EmitOp(SrmOpCode op);
+  void NotifyEvent(const std::string& what) {
+    if (event_hook_) {
+      event_hook_(what);
+    }
+  }
 
   ck::CacheKernel& ck_;
   std::vector<std::unique_ptr<Registered>> registry_;
   std::vector<int32_t> group_owner_;  // -1 free, -2 reserved/SRM, else registry index
+  std::function<void(const std::string&)> event_hook_;
 };
 
 }  // namespace cksrm

@@ -221,6 +221,22 @@ struct Observables {
   Cycles clock_a = 0;
   Cycles clock_b = 0;
   uint64_t windows = 0;
+
+  // Observability state: per-tenant cost accounts (POD, memcmp-compared),
+  // deterministic span allocation counts, trace-event volume and the
+  // flattened profiler histograms must all match bit-exactly too --
+  // enabling tracing/attribution/profiling must not perturb the simulation,
+  // and the observability data itself must be deterministic.
+  std::vector<ck::CostAccount> tenants_a;
+  std::vector<ck::CostAccount> tenants_b;
+  uint64_t spans_a = 0;
+  uint64_t spans_b = 0;
+  uint64_t trace_pushed_a = 0;
+  uint64_t trace_pushed_b = 0;
+  uint64_t prof_samples_a = 0;
+  uint64_t prof_samples_b = 0;
+  std::vector<std::map<uint32_t, uint64_t>> profile_a;
+  std::vector<std::map<uint32_t, uint64_t>> profile_b;
 };
 
 // The multi_mpm scenario, driven entirely through the Cluster so the serial
@@ -235,6 +251,14 @@ Observables RunScenario(bool parallel, Cycles window) {
   cluster.AddMachine(&b.machine);
   cluster.set_parallel(parallel);
   cluster.set_window(window);
+
+  // Full observability on: per-CPU tracing and the sampling profiler run
+  // during the differential, so the serial/parallel comparison also proves
+  // they do not perturb (and are themselves) deterministic.
+  a.machine.EnableTracing(/*capacity_per_cpu=*/4096);
+  b.machine.EnableTracing(/*capacity_per_cpu=*/4096);
+  a.ck.set_profile_period(5000);
+  b.ck.set_profile_period(5000);
 
   uint32_t group_a = a.srm.ReserveGroups(1).value();
   uint32_t group_b = b.srm.ReserveGroups(1).value();
@@ -373,6 +397,16 @@ Observables RunScenario(bool parallel, Cycles window) {
   obs.clock_a = a.machine.Now();
   obs.clock_b = b.machine.Now();
   obs.windows = cluster.windows_run();
+  obs.tenants_a = a.ck.tenant_accounts();
+  obs.tenants_b = b.ck.tenant_accounts();
+  obs.spans_a = a.machine.spans_allocated();
+  obs.spans_b = b.machine.spans_allocated();
+  obs.trace_pushed_a = a.machine.tracer()->total_pushed();
+  obs.trace_pushed_b = b.machine.tracer()->total_pushed();
+  obs.prof_samples_a = a.ck.profile_samples_total();
+  obs.prof_samples_b = b.ck.profile_samples_total();
+  obs.profile_a = a.ck.profile_pcs();
+  obs.profile_b = b.ck.profile_pcs();
   return obs;
 }
 
@@ -401,6 +435,15 @@ void ExpectScenarioSucceeded(const Observables& obs) {
   EXPECT_EQ(obs.consoles[0], "tik.tik.tik.tik.");
   EXPECT_EQ(obs.exit_codes[0], 7);
   EXPECT_EQ(obs.exit_codes[1], 10);       // child exit 9 + 1
+  // The observability machinery was really on: spans allocated on both
+  // machines (faults, IPC, SRM ops), trace events recorded, guest PCs
+  // sampled wherever guest code ran.
+  EXPECT_GT(obs.spans_a, 0u);
+  EXPECT_GT(obs.spans_b, 0u);
+  EXPECT_GT(obs.trace_pushed_a, 0u);
+  EXPECT_GT(obs.trace_pushed_b, 0u);
+  EXPECT_GT(obs.prof_samples_a, 0u);
+  EXPECT_GT(obs.prof_samples_b, 0u);
 }
 
 void ExpectIdentical(const Observables& serial, const Observables& par) {
@@ -421,6 +464,22 @@ void ExpectIdentical(const Observables& serial, const Observables& par) {
       << "CkStats diverged on machine A";
   EXPECT_EQ(0, std::memcmp(&serial.stats_b, &par.stats_b, sizeof(ck::CkStats)))
       << "CkStats diverged on machine B";
+  auto expect_tenants_equal = [](const std::vector<ck::CostAccount>& s,
+                                 const std::vector<ck::CostAccount>& p, const char* which) {
+    ASSERT_EQ(s.size(), p.size());
+    EXPECT_EQ(0, std::memcmp(s.data(), p.data(), s.size() * sizeof(ck::CostAccount)))
+        << "tenant cost accounts diverged on machine " << which;
+  };
+  expect_tenants_equal(serial.tenants_a, par.tenants_a, "A");
+  expect_tenants_equal(serial.tenants_b, par.tenants_b, "B");
+  EXPECT_EQ(serial.spans_a, par.spans_a) << "span allocation diverged on machine A";
+  EXPECT_EQ(serial.spans_b, par.spans_b) << "span allocation diverged on machine B";
+  EXPECT_EQ(serial.trace_pushed_a, par.trace_pushed_a) << "trace volume diverged on machine A";
+  EXPECT_EQ(serial.trace_pushed_b, par.trace_pushed_b) << "trace volume diverged on machine B";
+  EXPECT_EQ(serial.prof_samples_a, par.prof_samples_a);
+  EXPECT_EQ(serial.prof_samples_b, par.prof_samples_b);
+  EXPECT_EQ(serial.profile_a, par.profile_a) << "profiler histograms diverged on machine A";
+  EXPECT_EQ(serial.profile_b, par.profile_b) << "profiler histograms diverged on machine B";
 }
 
 class ClusterDifferentialTest : public ::testing::TestWithParam<Cycles> {};

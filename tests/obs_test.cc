@@ -5,6 +5,8 @@
 // -DCK_TRACE_ENABLED=0 and linked into this binary.
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "src/ck/cache_kernel.h"
 #include "src/isa/assembler.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json_lint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -25,6 +28,9 @@
 // Returns the number of times CK_TRACE evaluated its argument expressions
 // there; must be zero.
 int DisabledTraceEvaluations();
+// Also from obs_trace_disabled.cc: ring wraparound with the macro compiled
+// out. Returns 0 on success, a step number on the first failed check.
+int DisabledTraceWraparound();
 
 namespace {
 
@@ -105,6 +111,23 @@ TEST(TraceMacro, NullRingIsSafe) {
 
 TEST(TraceMacro, CompiledOutEvaluatesNothing) { EXPECT_EQ(DisabledTraceEvaluations(), 0); }
 
+TEST(TraceMacro, WraparoundWithMacroEnabled) {
+  // Same wraparound shape as WraparoundDropsOldest, but driven through the
+  // CK_TRACE macro (the production path) rather than TraceRing::Push.
+  obs::TraceRing ring(4, 0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    CK_TRACE(&ring, obs::EventType::kTlbMiss, i, 0, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.at(i).when, 6 + i);
+  }
+}
+
+TEST(TraceMacro, WraparoundWithMacroCompiledOut) { EXPECT_EQ(DisabledTraceWraparound(), 0); }
+
 TEST(EventTypeNames, AllNamed) {
   std::set<std::string> names;
   for (uint32_t t = 0; t < static_cast<uint32_t>(obs::EventType::kCount); ++t) {
@@ -174,6 +197,63 @@ TEST(Stats, MergeEmptySides) {
   EXPECT_DOUBLE_EQ(c.Max(), 5.0);
 }
 
+TEST(Stats, MergeBothEmpty) {
+  ckbase::Stats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 0.0);
+  EXPECT_EQ(a.reservoir_size(), 0u);
+}
+
+TEST(Stats, MergeOneSidedIntoOverflowed) {
+  // One side far past the reservoir cap, the other tiny: exact moments still
+  // combine exactly, the reservoir stays bounded, and the tiny side's
+  // extremes survive the merge.
+  ckbase::Stats big, tiny, combined;
+  for (int i = 0; i < 50000; ++i) {
+    big.Add(1000.0 + (i % 100));
+    combined.Add(1000.0 + (i % 100));
+  }
+  ASSERT_GT(50000u, ckbase::Stats::kReservoirCap);
+  tiny.Add(-5.0);
+  tiny.Add(99999.0);
+  combined.Add(-5.0);
+  combined.Add(99999.0);
+  big.Merge(tiny);
+  EXPECT_EQ(big.count(), combined.count());
+  EXPECT_DOUBLE_EQ(big.Sum(), combined.Sum());
+  EXPECT_DOUBLE_EQ(big.Min(), -5.0);
+  EXPECT_DOUBLE_EQ(big.Max(), 99999.0);
+  EXPECT_NEAR(big.StdDev(), combined.StdDev(), 1e-6);
+  EXPECT_LE(big.reservoir_size(), ckbase::Stats::kReservoirCap);
+}
+
+TEST(Stats, MergeBothOverflowed) {
+  // Both reservoirs decimated before the merge: counts and moments stay
+  // exact, the merged reservoir stays bounded, and percentiles still land in
+  // the right region (the two inputs cover disjoint ranges, so the median of
+  // the equal-count union sits at the boundary).
+  ckbase::Stats low, high;
+  for (int i = 0; i < 100000; ++i) {
+    low.Add(i % 1000);              // 0..999
+    high.Add(10000 + (i % 1000));   // 10000..10999
+  }
+  EXPECT_LE(low.reservoir_size(), ckbase::Stats::kReservoirCap);
+  EXPECT_LE(high.reservoir_size(), ckbase::Stats::kReservoirCap);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 200000u);
+  EXPECT_DOUBLE_EQ(low.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(low.Max(), 10999.0);
+  EXPECT_LE(low.reservoir_size(), ckbase::Stats::kReservoirCap);
+  EXPECT_GT(low.Percentile(25), -1.0);
+  EXPECT_LT(low.Percentile(25), 1100.0);
+  EXPECT_GT(low.Percentile(75), 9900.0);
+  EXPECT_LT(low.Percentile(75), 11000.0);
+}
+
 // --- Registry ---
 
 TEST(Registry, DumpJsonIsValid) {
@@ -195,6 +275,130 @@ TEST(Registry, DumpJsonIsValid) {
   EXPECT_NE(registry.DumpJson().find("\"test.hits\":43"), std::string::npos);
   EXPECT_EQ(registry.counter_count(), 2u);
   EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+TEST(Registry, WriteTextPrometheusExposition) {
+  obs::Registry registry;
+  registry.AddCounter("ck.tenant.3.loads", [] { return uint64_t{17}; });
+  ckbase::Stats lat;
+  lat.Add(2.0);
+  lat.Add(4.0);
+  registry.AddHistogram("ck.fault_us.total", [&] { return lat; });
+
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  ASSERT_NE(mem, nullptr);
+  registry.WriteText(mem);
+  std::fclose(mem);
+  std::string text(buf, len);
+  std::free(buf);
+
+  // Dots fold to underscores; counters get a TYPE comment and a value line.
+  EXPECT_NE(text.find("# TYPE ck_tenant_3_loads counter\nck_tenant_3_loads 17\n"),
+            std::string::npos)
+      << text;
+  // Histograms export as summaries with _count/_sum and quantile lines.
+  EXPECT_NE(text.find("# TYPE ck_fault_us_total summary"), std::string::npos) << text;
+  EXPECT_NE(text.find("ck_fault_us_total_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("ck_fault_us_total_sum 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("ck_fault_us_total{quantile=\"0.5\"}"), std::string::npos) << text;
+  // No un-folded name leaks into the exposition.
+  EXPECT_EQ(text.find("ck.tenant"), std::string::npos) << text;
+}
+
+// --- flight recorder ---
+
+TEST(FlightRecorder, RoundTripsAllSections) {
+  obs::Tracer tracer(/*cpu_count=*/2, /*capacity_per_cpu=*/8);
+  for (uint64_t i = 0; i < 12; ++i) {  // overflow cpu 0's ring: last 8 survive
+    tracer.ring(0).Push(obs::EventType::kObjectLoad, 100 + i, static_cast<uint16_t>(i),
+                        static_cast<uint32_t>(i));
+  }
+  tracer.ring(1).Push(obs::EventType::kSrmOp, 500, 3, 42);
+  std::vector<uint8_t> stats_blob = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> bytes = obs::EncodeFlightRecord(
+      "fatal-fault", /*when=*/123456, &tracer, /*last_n_per_cpu=*/256, "ck_loads 9\n",
+      stats_blob);
+
+  obs::FlightRecordData record;
+  std::string error;
+  ASSERT_TRUE(obs::DecodeFlightRecord(bytes, &record, &error)) << error;
+  EXPECT_EQ(record.reason, "fatal-fault");
+  EXPECT_EQ(record.when, 123456u);
+  EXPECT_EQ(record.metrics_text, "ck_loads 9\n");
+  EXPECT_EQ(record.stats_blob, stats_blob);
+  ASSERT_EQ(record.events.size(), 9u);  // 8 retained on cpu 0 + 1 on cpu 1
+  // Ring order per CPU, newest-8 window on the overflowed ring.
+  EXPECT_EQ(record.events.front().when, 104u);
+  EXPECT_EQ(record.events.back().when, 500u);
+  EXPECT_EQ(record.events.back().arg32, 42u);
+  EXPECT_EQ(record.events.back().cpu, 1u);
+}
+
+TEST(FlightRecorder, LastNWindowAndNullTracer) {
+  obs::Tracer tracer(1, 64);
+  for (uint64_t i = 0; i < 20; ++i) {
+    tracer.ring(0).Push(obs::EventType::kTlbMiss, i, 0, 0);
+  }
+  obs::FlightRecordData record;
+  std::string error;
+  std::vector<uint8_t> bytes =
+      obs::EncodeFlightRecord("r", 1, &tracer, /*last_n_per_cpu=*/4, "", {});
+  ASSERT_TRUE(obs::DecodeFlightRecord(bytes, &record, &error)) << error;
+  ASSERT_EQ(record.events.size(), 4u);
+  EXPECT_EQ(record.events.front().when, 16u);  // newest 4 of 20
+  // Untraced machine: no trace section at all, still a valid record.
+  bytes = obs::EncodeFlightRecord("r", 1, nullptr, 256, "", {});
+  ASSERT_TRUE(obs::DecodeFlightRecord(bytes, &record, &error)) << error;
+  EXPECT_TRUE(record.events.empty());
+}
+
+TEST(FlightRecorder, CorruptionFailsCrc) {
+  obs::Tracer tracer(1, 8);
+  tracer.ring(0).Push(obs::EventType::kObjectLoad, 1, 2, 3);
+  std::vector<uint8_t> bytes =
+      obs::EncodeFlightRecord("reason", 7, &tracer, 256, "metrics\n", {9, 9});
+  obs::FlightRecordData record;
+  std::string error;
+  ASSERT_TRUE(obs::DecodeFlightRecord(bytes, &record, &error)) << error;
+  // Flip one payload byte somewhere past the magic/version: decode must fail
+  // loudly, whichever section the byte lands in.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x40;
+  EXPECT_FALSE(obs::DecodeFlightRecord(corrupt, &record, &error));
+  EXPECT_FALSE(error.empty());
+  // Truncation fails too (never reads past the end).
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + bytes.size() - 3);
+  EXPECT_FALSE(obs::DecodeFlightRecord(truncated, &record, &error));
+}
+
+// --- merged cluster export with causal flow events ---
+
+TEST(ChromeTrace, MergedMachinesEmitFlowPairs) {
+  // Hand-built two-machine trace: machine 0 sends (ipc + bulk), machine 1
+  // receives, bound by span ids. The exporter must emit one process per
+  // machine and a flow start/finish pair per span.
+  obs::Tracer m0(1, 16), m1(1, 16);
+  m0.ring(0).Push(obs::EventType::kIpcSend, 1000, /*slot=*/2, /*span=*/0x01000007);
+  m1.ring(0).Push(obs::EventType::kIpcRecv, 3500, /*slot=*/0, /*span=*/0x01000007);
+  m0.ring(0).Push(obs::EventType::kBulkSend, 5000, /*kib=*/12, /*span=*/0x01000008);
+  m1.ring(0).Push(obs::EventType::kBulkRecv, 9000, /*kib=*/12, /*span=*/0x01000008);
+  std::vector<obs::MachineTrace> machines;
+  machines.push_back(obs::MachineTrace{&m0, 0, "machine 0"});
+  machines.push_back(obs::MachineTrace{&m1, 1, "machine 1"});
+  std::string json =
+      obs::ChromeTraceJson(machines, 25.0, "\"ckProfile\":{\"period\":0,\"machines\":[]}");
+  std::string error;
+  ASSERT_TRUE(obs::JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"machine 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"machine 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ckProfile\""), std::string::npos);
+  // Flow pairs: a start and a finish per span, finish flagged "bp":"e".
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":16777223"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":16777223"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":16777224"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":16777224"), std::string::npos) << json;
 }
 
 // --- integration: a faulting world, end to end ---

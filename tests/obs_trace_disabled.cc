@@ -8,6 +8,32 @@
 #error "this translation unit must be built with -DCK_TRACE_ENABLED=0"
 #endif
 
+// Wraparound with the macro compiled out: the ring driven directly still
+// wraps correctly (capacity 4, 10 pushes -> 4 retained, 6 dropped, newest
+// kept), while the same 10 events issued through CK_TRACE leave no mark.
+// Returns 0 on success, a nonzero step number on the first failed check.
+int DisabledTraceWraparound() {
+  obs::TraceRing ring(4, 0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    CK_TRACE(&ring, obs::EventType::kTlbMiss, i, 0, static_cast<uint32_t>(i));
+  }
+  if (ring.size() != 0 || ring.pushed() != 0 || ring.dropped() != 0) {
+    return 1;
+  }
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Push(obs::EventType::kTlbMiss, i, 0, static_cast<uint32_t>(i));
+  }
+  if (ring.size() != 4 || ring.pushed() != 10 || ring.dropped() != 6) {
+    return 2;
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    if (ring.at(i).when != 6 + i || ring.at(i).arg32 != 6 + i) {
+      return 3;
+    }
+  }
+  return 0;
+}
+
 int DisabledTraceEvaluations() {
   int evaluations = 0;
   obs::TraceRing ring(4, 0);

@@ -27,7 +27,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <vector>
 
+#include "src/base/rng.h"
 #include "src/ck/cache_kernel.h"
 #include "src/sim/machine.h"
 
@@ -148,6 +150,180 @@ void BM_WorkingSet(benchmark::State& state, ck::ReplacementPolicy policy) {
                                : static_cast<double>(totals.scan_steps) /
                                      static_cast<double>(totals.reclamations);
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial traces: access patterns chosen to defeat (or flatter) a
+// referenced-bit policy, replayed against the same fixed-capacity mapping
+// cache. Where BM_WorkingSet demonstrates the capacity cliff, these pin down
+// the policies' known failure modes:
+//
+//   seq_scan       one pass over 4096 distinct pages, never revisited. Pure
+//                  pollution: every access misses under EVERY policy, so the
+//                  interesting number is scan_per_reclaim (eviction overhead
+//                  with nothing worth keeping).
+//   loop_over_cap  cyclic loop over capacity + 8 pages. The classic LRU/clock
+//                  adversary: the page about to be reused is always the one
+//                  the recency heuristic just evicted, so clock degrades to
+//                  ~100% miss exactly like FIFO.
+//   zipf           Zipf(s=1.0) popularity over 256 pages. Skew is where
+//                  referenced bits earn their keep: clock keeps the popular
+//                  head resident while FIFO churns it with the tail.
+// ---------------------------------------------------------------------------
+
+enum class TraceKind { kSeqScan, kLoopOverCapacity, kZipf };
+
+const char* TraceName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSeqScan:
+      return "seq_scan";
+    case TraceKind::kLoopOverCapacity:
+      return "loop_over_cap";
+    case TraceKind::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+// Build the page-index sequence for one trace (deterministic: fixed seed).
+std::vector<uint32_t> BuildTrace(TraceKind kind, uint32_t* distinct_pages) {
+  std::vector<uint32_t> trace;
+  switch (kind) {
+    case TraceKind::kSeqScan: {
+      *distinct_pages = 4096;
+      trace.reserve(*distinct_pages);
+      for (uint32_t i = 0; i < *distinct_pages; ++i) {
+        trace.push_back(i);
+      }
+      break;
+    }
+    case TraceKind::kLoopOverCapacity: {
+      *distinct_pages = kMappingSlots + 8;
+      trace.reserve(static_cast<size_t>(*distinct_pages) * 96);
+      for (uint32_t pass = 0; pass < 96; ++pass) {
+        for (uint32_t i = 0; i < *distinct_pages; ++i) {
+          trace.push_back(i);
+        }
+      }
+      break;
+    }
+    case TraceKind::kZipf: {
+      *distinct_pages = 256;
+      // Inverse-CDF sampling of Zipf(s=1.0): weight of page r is 1/(r+1).
+      std::vector<double> cdf(*distinct_pages);
+      double sum = 0.0;
+      for (uint32_t r = 0; r < *distinct_pages; ++r) {
+        sum += 1.0 / static_cast<double>(r + 1);
+        cdf[r] = sum;
+      }
+      ckbase::Rng rng(0xC0FFEE);
+      trace.reserve(8192);
+      for (uint32_t i = 0; i < 8192; ++i) {
+        double u = rng.NextDouble() * sum;
+        uint32_t lo = 0, hi = *distinct_pages - 1;
+        while (lo < hi) {
+          uint32_t mid = (lo + hi) / 2;
+          if (cdf[mid] < u) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        trace.push_back(lo);
+      }
+      break;
+    }
+  }
+  return trace;
+}
+
+// Replay one trace under `policy`. Every access is counted (there is no
+// hot/cold split); the TLB is flushed every kMappingSlots accesses so the
+// clock hand keeps seeing fresh referenced bits, as in BM_WorkingSet.
+Totals RunAdversarial(ck::ReplacementPolicy policy, TraceKind kind) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 32u << 20;
+  cksim::Machine machine(mc);
+  ck::CacheKernelConfig config;
+  config.mapping_slots = kMappingSlots;
+  config.replacement[static_cast<uint32_t>(ck::ObjectType::kMapping)] = policy;
+  CacheKernel ck(machine, config);
+  SinkKernel sink;
+  ck::KernelId kid = ck.BootFirstKernel(&sink, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  ck::SpaceId space = api.LoadSpace(0, false).value();
+  ck::ThreadSpec tspec;
+  tspec.space = space;
+  tspec.start_blocked = true;
+  ck::ThreadId thread = api.LoadThread(tspec).value();
+  uint16_t asid = static_cast<uint16_t>(space.id.slot);
+
+  uint32_t distinct_pages = 0;
+  std::vector<uint32_t> trace = BuildTrace(kind, &distinct_pages);
+
+  Totals totals;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i % kMappingSlots == 0) {
+      machine.cpu(0).mmu().tlb().FlushAsid(asid);
+    }
+    uint32_t vpage = kVbase + trace[i];
+    ++totals.accesses;
+    ++totals.hot_accesses;  // every access counts toward miss_pct
+    cksim::VirtAddr vaddr = vpage * cksim::kPageSize;
+    if (!api.QueryMapping(space, vaddr).ok()) {
+      ++totals.hot_misses;
+      MappingSpec spec;
+      spec.space = space;
+      spec.vaddr = vaddr;
+      spec.paddr = (kFrameBase + (vpage - kVbase) % 1024) * cksim::kPageSize;
+      if (api.LoadMapping(spec) != CkStatus::kOk) {
+        continue;
+      }
+    }
+    ck.GuestLoad(kid, machine.cpu(0), thread, vaddr);
+  }
+
+  uint32_t t = static_cast<uint32_t>(ck::ObjectType::kMapping);
+  totals.writebacks = ck.stats().writebacks[t];
+  totals.reclamations = ck.stats().reclamations[t];
+  totals.scan_steps = ck.stats().reclaim_scan_steps[t];
+  return totals;
+}
+
+void BM_AdversarialTrace(benchmark::State& state, ck::ReplacementPolicy policy, TraceKind kind) {
+  Totals totals;
+  for (auto _ : state) {
+    totals = RunAdversarial(policy, kind);
+  }
+  state.SetLabel(TraceName(kind));
+  state.counters["capacity"] = static_cast<double>(kMappingSlots);
+  state.counters["miss_pct"] =
+      100.0 * static_cast<double>(totals.hot_misses) / static_cast<double>(totals.hot_accesses);
+  state.counters["writebacks_per_1k"] =
+      1000.0 * static_cast<double>(totals.writebacks) / static_cast<double>(totals.accesses);
+  state.counters["scan_per_reclaim"] =
+      totals.reclamations == 0 ? 0.0
+                               : static_cast<double>(totals.scan_steps) /
+                                     static_cast<double>(totals.reclamations);
+}
+
+#define CK_ADVERSARIAL(policy_name, policy)                                            \
+  BENCHMARK_CAPTURE(BM_AdversarialTrace, policy_name##_seq_scan, policy,               \
+                    TraceKind::kSeqScan)                                               \
+      ->Iterations(1)                                                                  \
+      ->Unit(benchmark::kMillisecond);                                                 \
+  BENCHMARK_CAPTURE(BM_AdversarialTrace, policy_name##_loop_over_cap, policy,          \
+                    TraceKind::kLoopOverCapacity)                                      \
+      ->Iterations(1)                                                                  \
+      ->Unit(benchmark::kMillisecond);                                                 \
+  BENCHMARK_CAPTURE(BM_AdversarialTrace, policy_name##_zipf, policy, TraceKind::kZipf) \
+      ->Iterations(1)                                                                  \
+      ->Unit(benchmark::kMillisecond)
+
+CK_ADVERSARIAL(clock, ck::ReplacementPolicy::kClock);
+CK_ADVERSARIAL(fifo, ck::ReplacementPolicy::kFifo);
+CK_ADVERSARIAL(second_chance, ck::ReplacementPolicy::kSecondChance);
+
+#undef CK_ADVERSARIAL
 
 // Working sets: comfortably under capacity (48 < 64: no reclamation at all),
 // just over (96), and 3x over (192). The hot set is 16 pages throughout.

@@ -73,7 +73,11 @@ want() {
 }
 
 TARGETS=("${@:-all}")
-want host_mips && record BENCH_host_mips.json microbench_host
+# host_mips includes the guest-throughput benches (BM_GuestMips: slow
+# reference / fast path / superblock traces, and BM_GuestMipsParallel: the
+# batched intra-MPM configurations); min_time is raised so the recorded
+# MIPS figures are steady-state, not warm-up.
+want host_mips && record BENCH_host_mips.json microbench_host --benchmark_min_time=2.0
 want cluster_scaling && record BENCH_cluster_scaling.json cluster_scaling
 want cache_replacement && record BENCH_cache_replacement.json cache_replacement
 echo "== done"

@@ -10,9 +10,12 @@ context (host, build type, load) differed.
 
 Subcommands:
   check  <file> [--require-release] [--require-counter NAME]...
+         [--require-benchmark NAME]...
       Validate one google-benchmark JSON output (or every run of a recorded
-      wrapper file). --require-release fails unless the run was built for
-      release: either the benchmark library itself reports
+      wrapper file). --require-benchmark fails unless a benchmark whose name
+      starts with NAME is present (google-benchmark suffixes names with
+      /iterations:N etc., so prefix match). --require-release fails unless
+      the run was built for release: either the benchmark library itself reports
       context.library_build_type == "release", or the benchmark binary was
       compiled with NDEBUG and says so via the custom context key
       binary_build_type (all measured code lives in the binary; see
@@ -40,7 +43,8 @@ def is_release(run):
     return ctx.get("binary_build_type") == "release"
 
 
-def validate_run(run, require_release, require_counters, label):
+def validate_run(run, require_release, require_counters, label,
+                 require_benchmarks=()):
     errors = []
     ctx = run.get("context")
     if not isinstance(ctx, dict):
@@ -60,6 +64,9 @@ def validate_run(run, require_release, require_counters, label):
         present = [b for b in benches if counter in b]
         if not present:
             errors.append(f"{label}: no benchmark carries required counter '{counter}'")
+    for name in require_benchmarks:
+        if not any(b.get("name", "").startswith(name) for b in benches):
+            errors.append(f"{label}: required benchmark '{name}' not present")
     if require_release and not is_release(run):
         errors.append(
             f"{label}: context is not a release build "
@@ -82,7 +89,7 @@ def cmd_check(args):
     errors = []
     for i, run in enumerate(runs):
         errors += validate_run(run, args.require_release, args.require_counter,
-                               f"{args.file} run[{i}]")
+                               f"{args.file} run[{i}]", args.require_benchmark)
     for e in errors:
         print(f"FAIL: {e}", file=sys.stderr)
     if not errors:
@@ -130,6 +137,7 @@ def main():
     p_check.add_argument("file")
     p_check.add_argument("--require-release", action="store_true")
     p_check.add_argument("--require-counter", action="append", default=[])
+    p_check.add_argument("--require-benchmark", action="append", default=[])
     p_check.set_defaults(func=cmd_check)
 
     p_append = sub.add_parser("append")

@@ -27,6 +27,9 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
                    config.page_table_arena_bytes),
       remote_frames_(machine.memory().page_count()) {
   knobs_.fastpath = config.fastpath;
+  knobs_.trace_exec = config.trace_exec;
+  knobs_.cpus_parallel = config.cpus_parallel;
+  knobs_.cpu_host_threads = config.cpu_host_threads;
   knobs_.profile_period = config.profile_period;
   for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
     knobs_.replacement[t] = config.replacement[t];
@@ -43,15 +46,26 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
   for (auto& queues : ready_) {
     queues = std::vector<ReadyQueue>(config.priority_levels);
   }
+  ready_mask_.assign(machine.cpu_count(), 0);
   pending_signals_.resize(machine.cpu_count());
   quota_window_start_.assign(machine.cpu_count(), 0);
   signal_reg_head_.assign(config.thread_slots, kNilSignalChain);
   micro_tlbs_.resize(machine.cpu_count());
   exec_cache_ = std::make_unique<ckisa::ExecCache>(machine.memory());
+  trace_caches_.resize(machine.cpu_count());
+  for (uint32_t c = 0; c < machine.cpu_count(); ++c) {
+    trace_caches_[c] = std::make_unique<ckisa::TraceCache>();
+  }
   machine.AttachKernel(this);
 }
 
-CacheKernel::~CacheKernel() = default;
+CacheKernel::~CacheKernel() { StopCpuWorkers(); }
+
+void CacheKernel::set_cpu_host_threads(uint32_t threads) {
+  // Quiesce the pool; the next parallel batch respawns it at the new size.
+  StopCpuWorkers();
+  knobs_.cpu_host_threads = threads;
+}
 
 KernelId CacheKernel::BootFirstKernel(AppKernel* handlers, uint64_t cookie) {
   KernelObject* k = kernels_.Allocate();
@@ -278,6 +292,8 @@ Result<SpaceId> CacheKernel::LoadSpace(KernelId caller, cksim::Cpu& cpu, uint64_
   space->cookie = cookie;
   space->mapping_count = 0;
   space->locked = locked;
+  space->shared_frame_refs = 0;
+  space->message_maps = 0;
   owner->space_count++;
   // Descriptor init plus zeroing the 512-byte root table.
   cpu.Advance(cost.descriptor_init + cost.table_alloc +
@@ -630,6 +646,7 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
     uint32_t pv = pmap_.Insert(frame, (spec.vaddr & ~0xfffu) | flags, spaces_.SlotOf(space),
                                RecordType::kPhysToVirt);
     cpu.Advance(cost.hash_op);
+    NoteSharedFrameInsert(pv);
 
     if (signal_thread != nullptr) {
       uint32_t gen24 = threads_.IdOf(signal_thread).generation & 0xffffffu;
@@ -1076,6 +1093,7 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause
     }
   }
 
+  NoteSharedFrameRemove(pv_index);
   pmap_.Remove(pv_index);
   cpu.Advance(cost.hash_op);
   space->mapping_count--;
@@ -1113,6 +1131,70 @@ void CacheKernel::UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause
              static_cast<uint32_t>(ObjectType::kMapping), record.vaddr);
     CkApi api(*this, IdOfKernel(owner), cpu);
     owner->handlers->OnMappingWriteback(record, api);
+  }
+}
+
+// shared_frame_refs transitions when the frame's phys-to-virt mapping count
+// crosses 2: at 1 -> 2 the pre-existing mapping's space starts counting the
+// frame too (it just lost exclusivity); at 2 -> 1 the survivor stops. Above
+// 2 only the inserted/removed mapping's own space adjusts. Duplicate
+// mappings within one space count conservatively -- the space merely loses
+// batch eligibility it could in principle keep.
+
+void CacheKernel::NoteSharedFrameInsert(uint32_t pv_index) {
+  const MemMapEntry& rec = pmap_.record(pv_index);
+  AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
+  if (rec.pv_message()) {
+    space->message_maps++;
+  }
+  uint32_t count = 0;
+  uint32_t other = kNilRecord;
+  for (uint32_t cur = pmap_.FindFirst(rec.pv_frame()); cur != kNilRecord;
+       cur = pmap_.NextWithKey(cur)) {
+    if (pmap_.record(cur).type() != RecordType::kPhysToVirt) {
+      continue;
+    }
+    ++count;
+    if (cur != pv_index) {
+      other = cur;
+    }
+  }
+  if (count == 2) {
+    space->shared_frame_refs++;
+    spaces_.SlotAt(pmap_.record(other).pv_space_slot())->shared_frame_refs++;
+  } else if (count > 2) {
+    space->shared_frame_refs++;
+  }
+}
+
+void CacheKernel::NoteSharedFrameRemove(uint32_t pv_index) {
+  const MemMapEntry& rec = pmap_.record(pv_index);
+  AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
+  if (rec.pv_message() && space->message_maps > 0) {
+    space->message_maps--;
+  }
+  uint32_t count = 0;
+  uint32_t other = kNilRecord;
+  for (uint32_t cur = pmap_.FindFirst(rec.pv_frame()); cur != kNilRecord;
+       cur = pmap_.NextWithKey(cur)) {
+    if (pmap_.record(cur).type() != RecordType::kPhysToVirt) {
+      continue;
+    }
+    ++count;
+    if (cur != pv_index) {
+      other = cur;
+    }
+  }
+  if (count == 2) {
+    if (space->shared_frame_refs > 0) {
+      space->shared_frame_refs--;
+    }
+    AddressSpaceObject* peer = spaces_.SlotAt(pmap_.record(other).pv_space_slot());
+    if (peer->shared_frame_refs > 0) {
+      peer->shared_frame_refs--;
+    }
+  } else if (count > 2 && space->shared_frame_refs > 0) {
+    space->shared_frame_refs--;
   }
 }
 
@@ -1595,6 +1677,11 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
   registry.AddCounter("ck.signals.queued", [s] { return s->signals_queued; });
   registry.AddCounter("ck.signals.dropped", [s] { return s->signals_dropped; });
   registry.AddCounter("ck.consistency_faults", [s] { return s->consistency_faults; });
+  registry.AddCounter("ck.exec.trace_hits", [s] { return s->exec_trace_hits; });
+  registry.AddCounter("ck.exec.trace_misses", [s] { return s->exec_trace_misses; });
+  registry.AddCounter("ck.exec.trace_invalidations",
+                      [s] { return s->exec_trace_invalidations; });
+  registry.AddCounter("ck.exec.trace_builds", [s] { return s->exec_trace_builds; });
   registry.AddCounter("ck.sched.context_switches", [s] { return s->context_switches; });
   registry.AddCounter("ck.sched.preemptions", [s] { return s->preemptions; });
   registry.AddCounter("ck.sched.idle_turns", [s] { return s->idle_turns; });
@@ -1646,6 +1733,14 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
                         [tenants, slot] { return (*tenants)[slot].faults_forwarded; });
     registry.AddCounter(prefix + "prof_samples",
                         [tenants, slot] { return (*tenants)[slot].prof_samples; });
+    registry.AddCounter(prefix + "trace_hits",
+                        [tenants, slot] { return (*tenants)[slot].exec_trace_hits; });
+    registry.AddCounter(prefix + "trace_misses",
+                        [tenants, slot] { return (*tenants)[slot].exec_trace_misses; });
+    registry.AddCounter(prefix + "trace_invalidations",
+                        [tenants, slot] { return (*tenants)[slot].exec_trace_invalidations; });
+    registry.AddCounter(prefix + "trace_builds",
+                        [tenants, slot] { return (*tenants)[slot].exec_trace_builds; });
   }
 }
 

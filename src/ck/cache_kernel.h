@@ -22,12 +22,16 @@
 #define SRC_CK_CACHE_KERNEL_H_
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/bitmap.h"
@@ -85,6 +89,13 @@ struct CkStats {
   uint64_t idle_turns = 0;
   uint64_t quota_degradations = 0;
   uint64_t stale_id_errors = 0;
+  // Superblock trace cache (src/isa/fastpath.h), summed over all CPUs.
+  // Appended at the end: the flight recorder frames CkStats as a counted
+  // u64 array, which tolerates growth only at the tail.
+  uint64_t exec_trace_hits = 0;
+  uint64_t exec_trace_misses = 0;
+  uint64_t exec_trace_invalidations = 0;
+  uint64_t exec_trace_builds = 0;
 };
 
 // Per-app-kernel cost attribution, indexed by kernel slot. Every increment
@@ -109,6 +120,12 @@ struct CostAccount {
   uint64_t guest_cycles = 0;       // cycles charged to this kernel's threads
   uint64_t faults_forwarded = 0;
   uint64_t prof_samples = 0;       // profiler PC samples harvested
+  // Trace-cache work done while this kernel's threads ran (mirrors the
+  // CkStats exec_trace_* totals, like guest_instructions).
+  uint64_t exec_trace_hits = 0;
+  uint64_t exec_trace_misses = 0;
+  uint64_t exec_trace_invalidations = 0;
+  uint64_t exec_trace_builds = 0;
 };
 
 // Timestamps of the Figure 2 steps for one forwarded fault. The most recent
@@ -178,6 +195,17 @@ enum class UnloadCause : uint8_t {
 // the immutable boot configuration. Initialized from the config at boot.
 struct RuntimeKnobs {
   bool fastpath = true;
+  // Superblock trace execution on the fast path (no effect with fastpath
+  // off). Simulated results are identical either way.
+  bool trace_exec = true;
+  // Intra-MPM batch dispatch: service all minimum-clock CPUs' turns as one
+  // batch with barrier-deferred cross-CPU delivery (see BatchTurn). Changes
+  // the (deterministic) interleaving relative to one-turn-at-a-time
+  // dispatch; bit-identical between host-serial and host-parallel phase 2.
+  bool cpus_parallel = false;
+  // Host worker threads executing the batch's guest quanta; 0 or 1 runs
+  // them inline on the dispatching thread (the serial reference).
+  uint32_t cpu_host_threads = 0;
   // Profiler sampling period in cycles; 0 disables sampling. Samples are
   // taken only at fast-path flush points (see ckisa::PcSampler).
   cksim::Cycles profile_period = 0;
@@ -308,6 +336,12 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // Toggle the guest-execution fast path at runtime (tests/benches). Safe at
   // any point: the flag is consulted once per dispatched guest quantum.
   void set_fastpath(bool enabled) { knobs_.fastpath = enabled; }
+  // Toggle superblock trace execution (fast-path-only; see RuntimeKnobs).
+  void set_trace_exec(bool enabled) { knobs_.trace_exec = enabled; }
+  // Toggle the intra-MPM batch dispatch protocol and set the host worker
+  // thread count for its execution phase. Both consulted once per turn.
+  void set_cpus_parallel(bool enabled) { knobs_.cpus_parallel = enabled; }
+  void set_cpu_host_threads(uint32_t threads);
   // Set the profiler sampling period (cycles between guest-PC samples);
   // 0 disables. Takes effect at the next dispatched guest quantum.
   void set_profile_period(cksim::Cycles period);
@@ -424,6 +458,12 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void UnloadPvRecord(uint32_t pv_index, cksim::Cpu& cpu, UnloadCause cause,
                       bool consistency_cascade = true);
 
+  // -- frame-sharing accounting (AddressSpaceObject::shared_frame_refs /
+  // message_maps, the O(1) intra-MPM batch eligibility check). Called with
+  // the pv record inserted / still present. --
+  void NoteSharedFrameInsert(uint32_t pv_index);
+  void NoteSharedFrameRemove(uint32_t pv_index);
+
   // -- page table maintenance --
   // Returns the leaf PTE address for vaddr, allocating tables if `create`.
   cksim::PhysAddr LeafPteAddr(AddressSpaceObject* space, cksim::VirtAddr vaddr, bool create,
@@ -436,6 +476,23 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void Dequeue(ThreadObject* thread);
   void RunGuest(ThreadObject* thread, cksim::Cpu& cpu);
   void RunNative(ThreadObject* thread, cksim::Cpu& cpu);
+  // -- intra-MPM batch dispatch (ck_sched.cc) --
+  // One CPU's prepared guest quantum: everything the execution phase needs,
+  // plus the staged counters the commit phase folds. Defined in ck_sched.cc
+  // (it references GuestBusImpl state).
+  struct GuestRunJob;
+  enum class TurnPrep : uint8_t { kIdle, kGuestJob, kInline };
+  void SerialTurn(cksim::Cpu& cpu);
+  void BatchTurn(cksim::Cpu& first);
+  TurnPrep PrepareTurn(cksim::Cpu& cpu, GuestRunJob* job);
+  bool GuestJobStillValid(const GuestRunJob& job);
+  void RunBatchJob(GuestRunJob& job);
+  void CommitGuestRun(GuestRunJob& job);
+  void FinishTurn(cksim::Cpu& cpu);
+  void RunJobsOnWorkers(GuestRunJob* jobs, const bool* valid, uint32_t count);
+  void StartCpuWorkers(uint32_t count);
+  void StopCpuWorkers();
+  void CpuWorkerMain();
   void ChargeThread(ThreadObject* thread, cksim::Cpu& cpu, cksim::Cycles cycles);
   void RollQuotaWindow(cksim::Cpu& cpu);
   void PreemptCurrent(cksim::Cpu& cpu);
@@ -489,6 +546,11 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // Per-CPU, per-priority ready queues.
   using ReadyQueue = ckbase::IntrusiveList<ThreadObject, &ThreadObject::ready_node>;
   std::vector<std::vector<ReadyQueue>> ready_;  // [cpu][priority]
+  // Bit p set iff ready_[cpu][p] is non-empty (maintained by Enqueue/Dequeue,
+  // the only two mutation points). Lets the per-turn priority-preemption check
+  // and PickNext's scan test one word instead of walking every queue head.
+  // Caps priority_levels at 64.
+  std::vector<uint64_t> ready_mask_;  // [cpu]
 
   std::vector<std::deque<PendingSignal>> pending_signals_;  // [cpu]
   std::vector<cksim::Cycles> quota_window_start_;           // [cpu]
@@ -509,6 +571,24 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // per machine (keyed by physical frame, like the memory it shadows).
   std::vector<ckisa::MicroTlb> micro_tlbs_;
   std::unique_ptr<ckisa::ExecCache> exec_cache_;
+  // Per-CPU superblock trace caches (per-CPU so the batch execution phase
+  // shares no trace state across host threads).
+  std::vector<std::unique_ptr<ckisa::TraceCache>> trace_caches_;
+
+  // -- intra-MPM worker pool (generation-counted barrier, same shape as
+  // cksim::Cluster's). Jobs are published under batch_mu_; pickup races on
+  // batch_next_; each worker writes only the jobs it claimed. --
+  std::vector<std::thread> cpu_workers_;
+  std::mutex batch_mu_;
+  std::condition_variable batch_start_cv_;
+  std::condition_variable batch_done_cv_;
+  uint64_t batch_generation_ = 0;
+  uint32_t batch_unfinished_ = 0;
+  bool batch_shutdown_ = false;
+  GuestRunJob* batch_jobs_ = nullptr;
+  const bool* batch_valid_ = nullptr;
+  uint32_t batch_job_count_ = 0;
+  std::atomic<uint32_t> batch_next_{0};
 
   // -- cost attribution / profiler --
   CostAccount& Tenant(uint32_t slot) { return tenant_[slot]; }

@@ -43,7 +43,9 @@ struct CacheKernelConfig {
   uint32_t mapping_slots = 65536;
 
   // Scheduling.
-  uint32_t priority_levels = 32;        // 0 = lowest, 31 = highest
+  uint32_t priority_levels = 32;        // 0 = lowest, 31 = highest; max 64
+                                        // (the scheduler's ready bitmask is
+                                        // one bit per level in a uint64_t)
   cksim::Cycles time_slice = 25000;     // 1 ms at 25 MHz
   uint32_t dispatch_budget = 64;        // guest instructions per CPU turn
   cksim::Cycles quota_window = 2500000; // 100 ms accounting window (section 4.3)
@@ -62,6 +64,20 @@ struct CacheKernelConfig {
   // escape hatch exists for differential testing and debugging
   // (--fastpath=off on any bench/example).
   bool fastpath = true;
+
+  // Superblock trace execution (src/isa/fastpath.h TraceCache): chain decoded
+  // instructions across basic-block boundaries and replay them with batched
+  // cycle accounting. Requires fastpath; simulated results are identical
+  // either way (--trace-exec=off for differential runs).
+  bool trace_exec = true;
+
+  // Intra-MPM batch dispatch: collect one guest quantum per runnable CPU and
+  // execute the batch on host worker threads under the conservative-window
+  // eligibility rules (no shared frames, no signal-on-write message pages).
+  // Results are bit-identical with any cpu_host_threads value, including 0
+  // (inline execution of the same batch protocol); see docs/PERFORMANCE.md.
+  bool cpus_parallel = false;
+  uint32_t cpu_host_threads = 0;  // 0 = run batches inline on the main thread
 
   // Physical memory reserved for the Cache Kernel's page tables, carved from
   // the top of the machine's memory.

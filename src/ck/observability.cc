@@ -33,6 +33,8 @@ void PrintUsage(const char* prog, const std::vector<std::string>& passthrough) {
                "  --profile[=<cycles>]     sample guest PCs every <cycles> (default %llu)\n"
                "  --flight-recorder=<dir>  dump post-mortem records into <dir>\n"
                "  --fastpath=on|off        force the guest-execution fast path\n"
+               "  --trace-exec=on|off      force superblock trace execution\n"
+               "  --cpus-parallel[=on|off] batched intra-MPM dispatch on host threads\n"
                "  --policy=<name>          replacement policy: clock|fifo|second-chance\n",
                prog, static_cast<unsigned long long>(kDefaultProfilePeriod));
   if (!passthrough.empty()) {
@@ -85,6 +87,15 @@ ObsSession::ObsSession(int& argc, char** argv, std::initializer_list<const char*
       fastpath_override_ = 1;
     } else if (std::strcmp(arg, "--fastpath=off") == 0) {
       fastpath_override_ = 0;
+    } else if (std::strcmp(arg, "--trace-exec=on") == 0) {
+      trace_exec_override_ = 1;
+    } else if (std::strcmp(arg, "--trace-exec=off") == 0) {
+      trace_exec_override_ = 0;
+    } else if (std::strcmp(arg, "--cpus-parallel") == 0 ||
+               std::strcmp(arg, "--cpus-parallel=on") == 0) {
+      cpus_parallel_override_ = 1;
+    } else if (std::strcmp(arg, "--cpus-parallel=off") == 0) {
+      cpus_parallel_override_ = 0;
     } else if (std::strncmp(arg, "--policy=", 9) == 0) {
       const char* name = arg + 9;
       if (std::strcmp(name, "clock") == 0) {
@@ -155,6 +166,13 @@ void ObsSession::Attach(cksim::Machine& machine, CacheKernel* kernel) {
   }
   if (fastpath_override_ >= 0) {
     kernel->set_fastpath(fastpath_override_ == 1);
+  }
+  if (trace_exec_override_ >= 0) {
+    kernel->set_trace_exec(trace_exec_override_ == 1);
+  }
+  if (cpus_parallel_override_ >= 0) {
+    kernel->set_cpus_parallel(cpus_parallel_override_ == 1);
+    kernel->set_cpu_host_threads(cpus_parallel_override_ == 1 ? machine.cpu_count() : 0);
   }
   if (policy_override_ >= 0) {
     for (uint32_t type = 0; type < kObjectTypeCount; ++type) {

@@ -14,4 +14,123 @@ void ExecCache::Refill(DecodedPage& page, uint32_t frame, uint64_t generation) {
   page.generation = generation;
 }
 
+namespace {
+
+bool IsMemOp(Op op) { return op == Op::kLw || op == Op::kSw || op == Op::kLb || op == Op::kSb; }
+
+bool IsBranchOp(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge;
+}
+
+// Ops that write a destination register (the executor clears r0 after a step
+// only when the step can dirty it; see the kWritesR0 flag).
+bool WritesRd(Op op) {
+  if (IsBranchOp(op) || op == Op::kSw || op == Op::kSb || op == Op::kTrap || op == Op::kHalt ||
+      op == Op::kNop) {
+    return false;
+  }
+  return static_cast<uint8_t>(op) <= static_cast<uint8_t>(Op::kRem);
+}
+
+}  // namespace
+
+uint32_t BuildTrace(const FastPath& fp, uint16_t asid, uint32_t head_vpc, Trace& t) {
+  t.head_vpc = head_vpc;
+  t.asid = asid;
+  t.step_count = 0;
+  t.page_count = 0;
+  t.acc_prefix[0] = 0;
+  t.touch_prefix[0] = 0;
+  for (uint32_t p = 0; p < Trace::kMaxPages; ++p) {
+    t.last_fetch[0][p] = Trace::kNoFetch;
+  }
+
+  const uint32_t step_cost =
+      static_cast<uint32_t>(fp.cost_tlb_hit + fp.cost_mem_word + fp.cost_instruction);
+  const uint32_t data_cost = static_cast<uint32_t>(fp.cost_tlb_hit + fp.cost_mem_word);
+
+  uint32_t pc = head_vpc;
+  uint32_t count = 0;
+  while (count < Trace::kMaxSteps) {
+    if ((pc & 3u) != 0) {
+      break;
+    }
+    uint32_t vpage = pc >> cksim::kPageShift;
+    // Resolve the fetch page: reuse a recorded slot or validate a new one
+    // against the live TLB. Probe has no simulated side effects, so an
+    // abandoned build commits nothing.
+    uint32_t slot = Trace::kMaxPages;
+    for (uint32_t p = 0; p < t.page_count; ++p) {
+      if (t.pages[p].vpage == vpage) {
+        slot = p;
+        break;
+      }
+    }
+    if (slot == Trace::kMaxPages) {
+      if (t.page_count == Trace::kMaxPages) {
+        break;
+      }
+      int32_t idx = fp.tlb->Probe(asid, vpage);
+      if (idx < 0) {
+        break;
+      }
+      const cksim::TlbEntry& e = fp.tlb->EntryAt(static_cast<uint32_t>(idx));
+      if (e.pframe >= fp.frame_count || fp.remote_frame_bits[e.pframe] != 0) {
+        break;
+      }
+      slot = t.page_count++;
+      t.pages[slot].vpage = vpage;
+      t.pages[slot].pframe = e.pframe;
+      t.pages[slot].generation = fp.mem->frame_generation(e.pframe);
+    }
+
+    const DecodedPage* page = fp.exec_cache->Get(t.pages[slot].pframe);
+    Decoded d = page->insns[(pc & cksim::kPageOffsetMask) >> 2];
+
+    TraceStep& s = t.steps[count];
+    s.d = d;
+    s.vpc = pc;
+    s.page_slot = static_cast<uint8_t>(slot);
+    s.flags = 0;
+
+    uint32_t next = pc + 4;
+    bool terminal = false;
+    if (static_cast<uint8_t>(d.op) > static_cast<uint8_t>(Op::kRem)) {
+      terminal = true;  // undecodable: executor raises BadInstruction
+    } else if (d.op == Op::kTrap || d.op == Op::kHalt || d.op == Op::kJalr) {
+      terminal = true;  // executor computes the jalr target / trap resume pc
+    } else if (IsBranchOp(d.op)) {
+      // Static prediction: backward taken (loop closing, unrolls the loop
+      // into the trace), forward not-taken.
+      if (d.imm < 0) {
+        s.flags |= TraceStep::kPredictedTaken;
+        next = pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+      }
+    } else if (d.op == Op::kJal) {
+      next = pc + 4 + static_cast<uint32_t>(d.imm) * 4;
+    }
+    if (WritesRd(d.op) && d.rd == 0) {
+      s.flags |= TraceStep::kWritesR0;
+    }
+    s.next_vpc = next;
+
+    uint32_t data = IsMemOp(d.op) ? 1u : 0u;
+    t.acc_prefix[count + 1] = t.acc_prefix[count] + step_cost + data * data_cost;
+    t.touch_prefix[count + 1] = t.touch_prefix[count] + 1 + data;
+    for (uint32_t p = 0; p < Trace::kMaxPages; ++p) {
+      t.last_fetch[count + 1][p] = t.last_fetch[count][p];
+    }
+    t.last_fetch[count + 1][slot] = static_cast<uint8_t>(count);
+
+    ++count;
+    if (terminal) {
+      break;
+    }
+    pc = next;
+  }
+
+  t.step_count = static_cast<uint16_t>(count);
+  return count;
+}
+
 }  // namespace ckisa

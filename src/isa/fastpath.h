@@ -119,6 +119,123 @@ class ExecCache {
   std::vector<std::unique_ptr<DecodedPage>> pages_;
 };
 
+// ---------------------------------------------------------------------------
+// Superblock trace cache.
+//
+// A trace is a superblock: a straight-line sequence of decoded instructions
+// chained across basic-block boundaries following a build-time predicted path
+// (backward conditional branches predicted taken, forward predicted
+// not-taken, direct jumps followed). Loops unroll naturally into the trace
+// body up to kMaxSteps. Execution replays the steps with ZERO per-step
+// decode, micro-TLB probing or dispatch-table lookup; any deviation from the
+// predicted pure-fast path (guard mismatch, bus fallback, store into one of
+// the trace's own frames, message write) exits the trace after completing the
+// current step exactly as the single-step interpreter would have.
+//
+// Validity is keyed on ALL touched physical frames: per fetched page the
+// trace records (vpage, pframe, frame_generation); entry revalidates each
+// against the live TLB (side-effect-free Tlb::Probe) and
+// PhysicalMemory::frame_generation, so self-modifying code, page remaps and
+// frame reuse invalidate traces exactly as they invalidate decoded frames.
+//
+// Cycle-exactness: per-step cycle charges and TLB touch ordinals are
+// precomputed as prefix sums at build time and committed wholesale at trace
+// exit (or before any bus call), reproducing the exact accumulator and
+// Tlb lru/tick/hit state a step-by-step run would leave. See
+// docs/PERFORMANCE.md ("Superblock traces & intra-MPM parallelism").
+
+struct TraceStep {
+  Decoded d;
+  uint32_t vpc = 0;       // virtual pc of this step
+  uint32_t next_vpc = 0;  // build-time successor on the predicted path
+  uint8_t page_slot = 0;  // index into Trace::pages for the fetch
+  // Build-time classification flags.
+  static constexpr uint8_t kPredictedTaken = 1;  // branch: trace continues at target
+  static constexpr uint8_t kWritesR0 = 2;        // needs the post-op r0 clear
+  uint8_t flags = 0;
+};
+
+struct TracePage {
+  uint32_t vpage = 0;
+  uint32_t pframe = 0;
+  uint64_t generation = 0;
+};
+
+struct Trace {
+  static constexpr uint32_t kMaxSteps = 64;
+  static constexpr uint32_t kMaxPages = 4;
+  static constexpr uint8_t kNoFetch = 0xff;
+
+  uint32_t head_vpc = 0;
+  uint16_t asid = 0;
+  uint16_t step_count = 0;  // 0 = invalid slot
+  uint16_t page_count = 0;
+  TraceStep steps[kMaxSteps];
+  TracePage pages[kMaxPages];
+  // Prefix sums over fully-fast steps 0..i-1: batched cycle charges and TLB
+  // touch counts (one fetch touch per step, plus one data touch per memory
+  // step). The fetch touch of step i has ordinal touch_prefix[i] + 1, its
+  // data touch (if any) ordinal touch_prefix[i] + 2.
+  uint32_t acc_prefix[kMaxSteps + 1];
+  uint32_t touch_prefix[kMaxSteps + 1];
+  // last_fetch[i][p]: last step index < i that fetched from page slot p, or
+  // kNoFetch. Lets the exit commit reconstruct each page's final lru value.
+  uint8_t last_fetch[kMaxSteps + 1][kMaxPages];
+};
+
+// Per-CPU direct-mapped cache of built traces, keyed (asid, head pc).
+// Per-CPU so that intra-MPM parallel execution shares no trace state across
+// host threads; contents are a deterministic function of the owning CPU's
+// own execution history, which keeps hit/miss/build counts bit-identical
+// between serial and parallel runs.
+class TraceCache {
+ public:
+  static constexpr uint32_t kSlots = 2048;
+
+  Trace* Lookup(uint16_t asid, uint32_t vpc) {
+    Trace* t = slots_[SlotIndex(asid, vpc)].get();
+    if (t == nullptr || t->step_count == 0 || t->head_vpc != vpc || t->asid != asid) {
+      return nullptr;
+    }
+    return t;
+  }
+
+  // The (allocated) slot a trace for (asid, vpc) would occupy; collisions
+  // overwrite deterministically.
+  Trace& SlotFor(uint16_t asid, uint32_t vpc) {
+    std::unique_ptr<Trace>& slot = slots_[SlotIndex(asid, vpc)];
+    if (slot == nullptr) {
+      slot = std::make_unique<Trace>();
+    }
+    return *slot;
+  }
+
+ private:
+  static uint32_t SlotIndex(uint16_t asid, uint32_t vpc) {
+    return ((vpc >> 2) ^ (vpc >> 13) ^ asid) & (kSlots - 1);
+  }
+
+  std::vector<std::unique_ptr<Trace>> slots_{kSlots};
+};
+
+// Staged trace-cache statistics, accumulated per dispatch quantum and folded
+// into CkStats / the owning tenant's CostAccount at quantum commit (so the
+// intra-MPM parallel executor never touches shared counters mid-run).
+struct TraceStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t builds = 0;
+};
+
+struct FastPath;
+
+// Build a superblock starting at (asid, head_vpc) into `t`, following the
+// predicted path through TLB-resident, local, non-remote pages. Returns the
+// number of steps built (0 = nothing buildable: first page not resident).
+// Side-effect-free on simulated state (Tlb::Probe + ExecCache::Get only).
+uint32_t BuildTrace(const FastPath& fp, uint16_t asid, uint32_t head_vpc, Trace& t);
+
 // Periodic guest-PC sampler for the profiler. Samples are taken only at the
 // interpreter's run-loop exit points -- the places the fast path flushes its
 // batched cycle accumulator anyway -- so arming it costs one compare on that
@@ -163,6 +280,10 @@ struct FastPath {
   cksim::Cpu* cpu = nullptr;  // flush target for batched cycle charges
   // Optional profiler hook, consulted at run-loop exit points only.
   PcSampler* sampler = nullptr;
+  // Superblock trace execution (null = disabled): the owning CPU's trace
+  // cache and the quantum's staged counters. Always both set or both null.
+  TraceCache* tcache = nullptr;
+  TraceStats* trace_stats = nullptr;
   uint16_t asid = 0;
   // Cycle charges of a clean hit, accumulated locally and flushed to
   // Cpu::Advance at block boundaries (see interpreter.cc).

@@ -74,6 +74,20 @@ class Tlb {
     ++hits_;
   }
 
+  // Batched fast-hit bookkeeping for the superblock trace executor: a trace
+  // defers its TouchFastHit calls and commits them in one shot before any
+  // point that could observe TLB state (a virtual bus call, an eviction, the
+  // run-loop exit). The commit must reproduce EXACTLY the state a touch-by-
+  // touch run would leave: `touches` total tick/hit increments, and each
+  // touched entry's lru set to the tick value of its LAST touch (callers
+  // ensure per-entry writes land in ascending ordinal order; writes to
+  // different entries may land in any order).
+  void CommitFastHits(uint64_t touches) {
+    tick_ += touches;
+    hits_ += touches;
+  }
+  void SetLruAt(uint32_t index, uint64_t lru) { entries_[index].lru = lru; }
+
   // Test hook: place the LRU clock near a chosen value (e.g. just below
   // 2^32) to exercise wraparound behavior without 4B warm-up lookups.
   void SetTickForTesting(uint64_t tick) { tick_ = tick; }

@@ -564,4 +564,356 @@ TEST(FastPathDifferential, RemoteFrameConsistencyFault) {
   ExpectIdentical(RunRemoteFrame(true), RunRemoteFrame(false));
 }
 
+// ---------------------------------------------------------------------------
+// Superblock traces: self-modifying code INSIDE a cached superblock. The hot
+// call/return loop builds a trace through `sub`; the guest then rewrites the
+// addi inside it. The store bumps the frame generation, so the next trace
+// entry must see the mismatch, invalidate, rebuild, and execute the patched
+// instruction -- with bit-identical simulated history in all three modes.
+// ---------------------------------------------------------------------------
+
+struct TraceModeOptions {
+  bool fastpath = true;
+  bool trace_exec = true;
+};
+
+WorldOptions Options(const TraceModeOptions& mode) {
+  WorldOptions options;
+  options.ck.fastpath = mode.fastpath;
+  options.ck.trace_exec = mode.trace_exec;
+  return options;
+}
+
+Snapshot RunTraceSmc(const TraceModeOptions& mode, uint32_t* s1_out, uint32_t* s2_out) {
+  TestWorld world(Options(mode));
+  TrapAppKernel app;
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+
+  uint32_t space = app.CreateSpace(api);
+  // "addi s0, s0, 5", patched over the "addi s0, s0, 1" at `patchpt` once
+  // the first loop has run it hot enough to live in a cached superblock.
+  uint32_t patched = ckisa::Encode(ckisa::Op::kAddi, ckisa::kRegS0, ckisa::kRegS0, 5);
+  char source[1024];
+  std::snprintf(source, sizeof(source), R"(
+      li   t6, 200
+      addi t0, r0, 0
+    warm:
+      call sub
+      addi t0, t0, 1
+      bne  t0, t6, warm
+      mv   s1, s0
+      ; patch the increment inside the (by now cached) superblock
+      li   t1, 0x%08x
+      la   t2, patchpt
+      sw   t1, 0(t2)
+      addi t0, r0, 0
+    hot:
+      call sub
+      addi t0, t0, 1
+      bne  t0, t6, hot
+      mv   s2, s0
+      halt
+    sub:
+    patchpt:
+      addi s0, s0, 1
+      ret
+  )", patched);
+  ckisa::Program program = MustAssemble(source, 0x10000);
+  app.LoadProgramImage(space, program, /*writable=*/true);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  uint32_t thread = app.CreateGuestThread(api, params);
+  EXPECT_TRUE(world.RunUntil([&] { return app.thread(thread).finished; }, 1000000));
+
+  if (mode.fastpath && mode.trace_exec) {
+    EXPECT_GE(world.ck().stats().exec_trace_builds, 1u);
+    EXPECT_GE(world.ck().stats().exec_trace_hits, 1u);
+    EXPECT_GE(world.ck().stats().exec_trace_invalidations, 1u)
+        << "the patch store should have stale-ified a cached superblock";
+  } else {
+    EXPECT_EQ(world.ck().stats().exec_trace_builds, 0u);
+  }
+
+  if (s1_out != nullptr) {
+    *s1_out = app.thread(thread).saved.regs[ckisa::kRegS0 + 1];
+  }
+  if (s2_out != nullptr) {
+    *s2_out = app.thread(thread).saved.regs[ckisa::kRegS0 + 2];
+  }
+  Snapshot s;
+  CaptureMachineState(s, world);
+  CaptureRegs(s, app.thread(thread), "t0");
+  return s;
+}
+
+TEST(TraceExecDifferential, SelfModifyingCodeInsideSuperblock) {
+  uint32_t trace_s1 = 0, trace_s2 = 0, fast_s1 = 0, fast_s2 = 0, slow_s1 = 0, slow_s2 = 0;
+  Snapshot trace = RunTraceSmc({true, true}, &trace_s1, &trace_s2);
+  Snapshot fast = RunTraceSmc({true, false}, &fast_s1, &fast_s2);
+  Snapshot slow = RunTraceSmc({false, false}, &slow_s1, &slow_s2);
+  // Semantics: 200 increments of 1, then 200 of the patched 5.
+  EXPECT_EQ(trace_s1, 200u);
+  EXPECT_EQ(trace_s2, 1200u) << "trace executor ran stale decoded steps";
+  EXPECT_EQ(fast_s1, 200u);
+  EXPECT_EQ(fast_s2, 1200u);
+  EXPECT_EQ(slow_s1, 200u);
+  EXPECT_EQ(slow_s2, 1200u);
+  ExpectIdentical(trace, fast);
+  ExpectIdentical(trace, slow);
+}
+
+// ---------------------------------------------------------------------------
+// Superblock traces: a trace whose steps cross a page boundary, with the
+// second page unloaded mid-run. The next trace entry finds the page gone from
+// the TLB (a cold miss, not an invalidation), single-steps into the demand
+// refault, and the run must stay bit-identical across all modes.
+// ---------------------------------------------------------------------------
+
+Snapshot RunTraceCrossPageUnload(const TraceModeOptions& mode) {
+  TestWorld world(Options(mode));
+  TrapAppKernel app;
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+
+  uint32_t space = app.CreateSpace(api);
+  // The image base must stay page-aligned (LoadProgramImage packs whole
+  // pages), so nop padding pushes `loop` to 15 instructions short of the
+  // 0x11000 page boundary: the loop body (20 addi steps) runs straight
+  // across it and the built superblock records two code pages.
+  const uint32_t base = 0x10000;
+  const uint32_t kLoopTarget = 0x11000 - 15 * 4;
+  std::string source =
+      "      li   t6, 600\n"
+      "      addi t0, r0, 0\n";
+  uint32_t preamble_words = MustAssemble(source.c_str(), base).words.size();
+  for (uint32_t w = preamble_words; w < (kLoopTarget - base) / 4; ++w) {
+    source += "      nop\n";
+  }
+  source += R"(
+    loop:
+      addi t0, t0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      addi s0, s0, 1
+      bne  t0, t6, loop
+      halt
+  )";
+  ckisa::Program program = MustAssemble(source.c_str(), base);
+  EXPECT_GT(base + program.SizeBytes(), 0x11000u) << "loop does not cross the page boundary";
+  app.LoadProgramImage(space, program, /*writable=*/false);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = base;
+  uint32_t thread = app.CreateGuestThread(api, params);
+
+  // Once the loop is hot (any superblock spans both pages by construction),
+  // unload the second code page. Keyed on guest_instructions, which advances
+  // identically in every mode, so the unload lands at the same point in all
+  // runs.
+  bool unloaded = false;
+  EXPECT_TRUE(world.RunUntil(
+      [&] {
+        if (!unloaded && world.ck().stats().guest_instructions > 3000) {
+          EXPECT_EQ(api.UnloadMapping(app.space(space).ck_id, 0x11000), CkStatus::kOk);
+          unloaded = true;
+        }
+        return app.thread(thread).finished;
+      },
+      2000000));
+  EXPECT_TRUE(unloaded);
+
+  if (mode.fastpath && mode.trace_exec) {
+    EXPECT_GE(world.ck().stats().exec_trace_builds, 1u);
+    EXPECT_GE(world.ck().stats().exec_trace_hits, 1u);
+  }
+
+  Snapshot s;
+  CaptureMachineState(s, world);
+  CaptureRegs(s, app.thread(thread), "t0");
+  return s;
+}
+
+TEST(TraceExecDifferential, TraceCrossesPageBoundaryWithMidRunUnload) {
+  Snapshot trace = RunTraceCrossPageUnload({true, true});
+  Snapshot fast = RunTraceCrossPageUnload({true, false});
+  Snapshot slow = RunTraceCrossPageUnload({false, false});
+  ExpectIdentical(trace, fast);
+  ExpectIdentical(trace, slow);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler differential: with --profile armed, the guest-PC histogram must be
+// identical with and without trace execution -- samples latch at quantum-exit
+// flush points, and those see the same (clock, pc) pairs in both modes. (The
+// slow path takes no samples at all -- see observability.h -- so the
+// comparison is trace-on vs trace-off, both on the fast path.)
+// ---------------------------------------------------------------------------
+
+std::map<uint32_t, uint64_t> RunProfiledHistogram(bool trace_exec, uint64_t* total) {
+  WorldOptions options;
+  options.ck.trace_exec = trace_exec;
+  options.ck.profile_period = 3000;
+  TestWorld world(options);
+  TrapAppKernel app;
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+
+  uint32_t space = app.CreateSpace(api);
+  ckisa::Program program = MustAssemble(R"(
+      li   t3, 0x00600000
+      li   t6, 4000
+      addi t0, r0, 0
+    loop:
+      addi t0, t0, 1
+      add  t1, t1, t0
+      sw   t1, 0(t3)
+      lw   t2, 4(t3)
+      bne  t0, t6, loop
+      halt
+  )", 0x10000);
+  app.LoadProgramImage(space, program, /*writable=*/false);
+  app.DefineZeroRegion(space, 0x00600000, 1, /*writable=*/true);
+
+  ckapp::GuestThreadParams params;
+  params.space_index = space;
+  params.entry = 0x10000;
+  uint32_t thread = app.CreateGuestThread(api, params);
+  EXPECT_TRUE(world.RunUntil([&] { return app.thread(thread).finished; }, 2000000));
+
+  if (total != nullptr) {
+    *total = world.ck().profile_samples_total();
+  }
+  // Merge across kernel slots (only the app's slot has samples).
+  std::map<uint32_t, uint64_t> merged;
+  for (const auto& hist : world.ck().profile_pcs()) {
+    for (const auto& [pc, count] : hist) {
+      merged[pc] += count;
+    }
+  }
+  return merged;
+}
+
+TEST(TraceExecDifferential, ProfilerHistogramsMatch) {
+  uint64_t trace_total = 0, fast_total = 0;
+  std::map<uint32_t, uint64_t> trace = RunProfiledHistogram(true, &trace_total);
+  std::map<uint32_t, uint64_t> fast = RunProfiledHistogram(false, &fast_total);
+  EXPECT_GT(trace_total, 0u) << "profiler collected no samples";
+  EXPECT_EQ(trace_total, fast_total);
+  EXPECT_EQ(trace, fast) << "trace execution moved profiler sample points";
+}
+
+// ---------------------------------------------------------------------------
+// Intra-MPM parallel dispatch: the batch protocol on host worker threads must
+// be bit-identical to the same protocol run inline (cpu_host_threads=0), and
+// cycle-exactness must hold under batching for every execution mode.
+// ---------------------------------------------------------------------------
+
+Snapshot RunParallelWorkload(bool cpus_parallel, uint32_t host_threads, bool fastpath,
+                             bool trace_exec) {
+  WorldOptions options;
+  options.cpus = 4;
+  options.ck.fastpath = fastpath;
+  options.ck.trace_exec = trace_exec;
+  options.ck.cpus_parallel = cpus_parallel;
+  options.ck.cpu_host_threads = host_threads;
+  TestWorld world(options);
+  TrapAppKernel app;
+  world.Launch(app);
+  ck::CkApi api(world.ck(), app.self(), world.machine().cpu(0));
+
+  ckisa::Program program = MustAssemble(R"(
+      li   t3, 0x00400000
+      li   t6, 3000
+      addi t0, r0, 0
+    loop:
+      addi t0, t0, 1
+      add  t1, t1, t0
+      sw   t1, 0(t3)
+      lw   t2, 4(t3)
+      slt  t4, t2, t1
+      bne  t0, t6, loop
+      trap 16
+      mv   s0, a0
+      halt
+  )", 0x10000);
+
+  // One guest thread per CPU, each in its own space: every batch collects
+  // four independent quanta, the shape the worker pool parallelizes.
+  std::vector<uint32_t> threads;
+  for (uint32_t c = 0; c < 4; ++c) {
+    uint32_t space = app.CreateSpace(api);
+    app.LoadProgramImage(space, program, /*writable=*/false);
+    app.DefineZeroRegion(space, 0x00400000, 1, /*writable=*/true);
+    ckapp::GuestThreadParams params;
+    params.space_index = space;
+    params.entry = 0x10000;
+    params.cpu_hint = static_cast<uint8_t>(c);
+    threads.push_back(app.CreateGuestThread(api, params));
+  }
+
+  EXPECT_TRUE(world.RunUntil(
+      [&] {
+        for (uint32_t t : threads) {
+          if (!app.thread(t).finished) {
+            return false;
+          }
+        }
+        return true;
+      },
+      4000000));
+
+  Snapshot s;
+  CaptureMachineState(s, world);
+  for (size_t i = 0; i < threads.size(); ++i) {
+    CaptureRegs(s, app.thread(threads[i]), "t" + std::to_string(i));
+  }
+  return s;
+}
+
+TEST(IntraMpmParallelDifferential, WorkerThreadsMatchInlineBatch) {
+  // The determinism contract: batch dispatch on host worker threads is
+  // bit-identical to the same batch protocol run inline.
+  ExpectIdentical(RunParallelWorkload(true, 4, true, true),
+                  RunParallelWorkload(true, 0, true, true));
+}
+
+TEST(IntraMpmParallelDifferential, WorkerThreadsMatchInlineBatchTwoThreads) {
+  // An uneven worker count (2 threads, 4 jobs) exercises queue draining.
+  ExpectIdentical(RunParallelWorkload(true, 2, true, true),
+                  RunParallelWorkload(true, 0, true, true));
+}
+
+TEST(IntraMpmParallelDifferential, FastSlowDifferentialUnderBatching) {
+  // Cycle-exactness holds inside the batch protocol too: fast path (with
+  // traces) vs slow path, both batched on worker threads.
+  ExpectIdentical(RunParallelWorkload(true, 4, true, true),
+                  RunParallelWorkload(true, 4, false, false));
+}
+
+TEST(IntraMpmParallelDifferential, TraceOnOffUnderBatching) {
+  ExpectIdentical(RunParallelWorkload(true, 4, true, true),
+                  RunParallelWorkload(true, 4, true, false));
+}
+
 }  // namespace

@@ -143,6 +143,16 @@ TEST_F(TenantTest, AttributionConservesMachineTotals) {
   EXPECT_EQ(SumField(tenants, &ck::CostAccount::guest_instructions), stats.guest_instructions);
   EXPECT_EQ(SumField(tenants, &ck::CostAccount::faults_forwarded), stats.faults_forwarded);
 
+  // Superblock-trace work is attributed to the tenant that owns the space,
+  // and the per-tenant counters conserve the machine totals.
+  EXPECT_GT(stats.exec_trace_builds, 0u);
+  EXPECT_GT(stats.exec_trace_hits, 0u);
+  EXPECT_EQ(SumField(tenants, &ck::CostAccount::exec_trace_hits), stats.exec_trace_hits);
+  EXPECT_EQ(SumField(tenants, &ck::CostAccount::exec_trace_misses), stats.exec_trace_misses);
+  EXPECT_EQ(SumField(tenants, &ck::CostAccount::exec_trace_invalidations),
+            stats.exec_trace_invalidations);
+  EXPECT_EQ(SumField(tenants, &ck::CostAccount::exec_trace_builds), stats.exec_trace_builds);
+
   // Both tenants were actually charged (not everything on one slot).
   uint32_t active_slots = 0;
   for (const ck::CostAccount& account : tenants) {

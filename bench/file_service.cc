@@ -1,0 +1,191 @@
+// Distributed file-service performance (src/fs, docs/FILESERVICE.md).
+//
+// BM_FileServiceScan/N: one server, N clients scanning the same tree.
+//   cold_cycles_per_page   simulated cycles per page, demand paging over the
+//                          wire (wire latency 2500 each way + server time,
+//                          amortized by pipelined read-ahead)
+//   warm_cycles_per_page   the same scan out of the client cache
+//   warm_speedup           cold / warm (acceptance: >= 10x)
+//   warm_wire_msgs         packets+bulk that crossed any link during the
+//                          warm scan (acceptance: 0 -- hits cost no wire
+//                          traffic)
+//   Every measurement also replays the cold phase under the host-parallel
+//   cluster driver and fails if any final clock diverges from the serial
+//   reference.
+//
+// BM_FileServiceReadahead/0|1: read-ahead off vs on, one client.
+//   demand_stalls          polls that found the demand page still on the
+//                          wire (the stall read-ahead exists to hide)
+//   readahead_issued/useful
+//   cold_cycles_per_page
+//
+// Simulated-cycle counters are deterministic; host wall-clock (the benchmark
+// time) is secondary. scripts/bench.sh records this as
+// BENCH_file_service.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/ck/observability.h"
+#include "src/fs/fs_cluster.h"
+
+namespace {
+
+constexpr uint32_t kFiles = 4;
+constexpr uint32_t kFilePages = 8;
+
+ckfs::FsClusterConfig MakeConfig(uint32_t clients, bool readahead) {
+  ckfs::FsClusterConfig config;
+  config.clients = clients;
+  config.files = kFiles;
+  config.file_pages = kFilePages;
+  config.scan_rounds = 1;
+  config.cache.readahead = readahead;
+  return config;
+}
+
+struct ScanMetrics {
+  double cold_cycles_per_page = 0;
+  double warm_cycles_per_page = 0;
+  double warm_wire_msgs = 0;
+  double hits = 0;
+  double misses = 0;
+  double readahead_issued = 0;
+  double readahead_useful = 0;
+  double demand_stalls = 0;
+  std::vector<cksim::Cycles> cold_clocks;
+  bool ok = false;
+};
+
+// Cold scan then warm re-scan; per-page cycle costs averaged over clients.
+ScanMetrics RunScan(uint32_t clients, bool readahead, bool parallel) {
+  ScanMetrics m;
+  ckfs::FsClusterConfig config = MakeConfig(clients, readahead);
+  config.parallel = parallel;
+  ckfs::FsCluster world(config);
+  if (!world.Run()) {
+    return m;
+  }
+  const double pages = static_cast<double>(kFiles * kFilePages);
+  std::vector<cksim::Cycles> cold_now;
+  std::vector<uint64_t> cold_traffic;
+  for (uint32_t c = 0; c < clients; ++c) {
+    if (!world.workload(c).done() || world.workload(c).failed()) {
+      return m;
+    }
+    m.cold_cycles_per_page += static_cast<double>(world.client_machine(c).Now()) / pages;
+    cold_now.push_back(world.client_machine(c).Now());
+    cold_traffic.push_back(world.WireTraffic(c));
+    world.workload(c).Resume(1);
+  }
+  m.cold_clocks = world.FinalClocks();
+  if (!world.Run()) {
+    return m;
+  }
+  for (uint32_t c = 0; c < clients; ++c) {
+    if (!world.workload(c).done() || world.workload(c).failed()) {
+      return m;
+    }
+    m.warm_cycles_per_page +=
+        static_cast<double>(world.client_machine(c).Now() - cold_now[c]) / pages;
+    m.warm_wire_msgs += static_cast<double>(world.WireTraffic(c) - cold_traffic[c]);
+    const ckfs::FsClientStats& s = world.cache(c).stats();
+    m.hits += static_cast<double>(s.hits);
+    m.misses += static_cast<double>(s.misses);
+    m.readahead_issued += static_cast<double>(s.readahead_issued);
+    m.readahead_useful += static_cast<double>(s.readahead_useful);
+    m.demand_stalls += static_cast<double>(s.demand_stalls);
+  }
+  m.cold_cycles_per_page /= clients;
+  m.warm_cycles_per_page /= clients;
+  m.ok = true;
+  return m;
+}
+
+void BM_FileServiceScan(benchmark::State& state) {
+  uint32_t clients = static_cast<uint32_t>(state.range(0));
+  ScanMetrics m;
+  for (auto _ : state) {
+    m = RunScan(clients, /*readahead=*/true, /*parallel=*/false);
+    if (!m.ok) {
+      state.SkipWithError("file-service scan failed");
+      return;
+    }
+    if (m.warm_wire_msgs != 0) {
+      state.SkipWithError("warm scan touched the wire");
+      return;
+    }
+    if (m.warm_cycles_per_page * 10 > m.cold_cycles_per_page) {
+      state.SkipWithError("warm scan not >= 10x faster than cold");
+      return;
+    }
+    // Differential: the cold phase under the host-parallel driver must land
+    // on bit-identical machine clocks.
+    ScanMetrics par = RunScan(clients, /*readahead=*/true, /*parallel=*/true);
+    if (!par.ok || par.cold_clocks != m.cold_clocks) {
+      state.SkipWithError("parallel cluster driver diverged from serial reference");
+      return;
+    }
+  }
+  state.counters["clients"] = static_cast<double>(clients);
+  state.counters["cold_cycles_per_page"] = m.cold_cycles_per_page;
+  state.counters["warm_cycles_per_page"] = m.warm_cycles_per_page;
+  state.counters["warm_speedup"] =
+      m.warm_cycles_per_page > 0 ? m.cold_cycles_per_page / m.warm_cycles_per_page : 0;
+  state.counters["warm_wire_msgs"] = m.warm_wire_msgs;
+  state.counters["hits"] = m.hits;
+  state.counters["misses"] = m.misses;
+}
+BENCHMARK(BM_FileServiceScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_FileServiceReadahead(benchmark::State& state) {
+  bool readahead = state.range(0) != 0;
+  ScanMetrics m;
+  for (auto _ : state) {
+    m = RunScan(/*clients=*/1, readahead, /*parallel=*/false);
+    if (!m.ok) {
+      state.SkipWithError("file-service scan failed");
+      return;
+    }
+    if (readahead && m.readahead_useful == 0) {
+      state.SkipWithError("read-ahead enabled but never useful");
+      return;
+    }
+  }
+  state.counters["readahead"] = readahead ? 1 : 0;
+  state.counters["demand_stalls"] = m.demand_stalls;
+  state.counters["readahead_issued"] = m.readahead_issued;
+  state.counters["readahead_useful"] = m.readahead_useful;
+  state.counters["cold_cycles_per_page"] = m.cold_cycles_per_page;
+}
+BENCHMARK(BM_FileServiceReadahead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ck::ObsSession obs(argc, argv);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

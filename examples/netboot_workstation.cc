@@ -1,154 +1,167 @@
-// Diskless workstation example: PROM network boot + remote debugging
-// (section 4: the PROM monitor, network boot program, and the protocol
-// suite that made up 40% of the original Cache Kernel's code).
+// Diskless workstation cluster: N clients netboot from one file server
+// (section 4's Figure-4 configuration: diskless nodes paging their boot
+// image and file tree from a server node over the interconnect).
 //
-//   $ ./netboot_workstation
+//   $ ./netboot_workstation [--clients=N] [--rounds=N] [--serial]
 //
-// Node 1 is a boot server holding a program image. Node 2 is a diskless
-// workstation: its PROM client broadcasts a RARP-style "who serves me?",
-// discovers the server, pulls the image block-by-block over the TFTP-style
-// protocol, and executes it as a demand-paged guest. Afterwards the server
-// peeks and pokes the workstation's physical memory through the remote
-// debug port.
+// Machine 0 runs a FileServerKernel over an in-memory versioned file tree.
+// Machines 1..N each run an application kernel embedding a ClientFileCache
+// (src/fs, docs/FILESERVICE.md). Every client cold-boots by discovering the
+// tree with readdir and scanning every file page by page -- demand misses
+// plus pipelined read-ahead over the fiber-channel link -- then re-scans
+// warm (every page from the local cache, zero wire traffic), and finally
+// observes a server-side write: the version push invalidates the stale
+// pages everywhere and the next scan re-fetches them.
+//
+// The whole world runs under cksim::Cluster; by default the host-parallel
+// driver is used (pass --serial for the reference interleaving -- both
+// produce bit-identical results, see tests/fs_test.cc).
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
-#include "src/isa/assembler.h"
-#include "src/prom/netboot.h"
-#include "src/sim/machine.h"
-#include "src/srm/srm.h"
 #include "src/ck/observability.h"
-
-namespace {
-
-struct Node {
-  Node() : machine(cksim::MachineConfig()), ck(machine, ck::CacheKernelConfig()), srm(ck) {
-    srm.Boot();
-  }
-  cksim::Machine machine;
-  ck::CacheKernel ck;
-  cksrm::Srm srm;
-};
-
-}  // namespace
+#include "src/fs/fs_cluster.h"
 
 int main(int argc, char** argv) {
-  ck::ObsSession obs(argc, argv);
-  Node server_node, client_node;
-  obs.Attach(server_node.machine, &server_node.ck);
+  ck::ObsSession obs(argc, argv, {"--clients=", "--rounds=", "--serial"});
 
-  // One Ethernet station per node, hub-connected.
-  uint32_t server_group = server_node.srm.ReserveGroups(1).value();
-  uint32_t client_group = client_node.srm.ReserveGroups(1).value();
-  cksim::EthernetDevice server_eth(server_node.machine.memory(), &server_node.ck,
-                                   server_group * cksim::kPageGroupBytes, 4, 4, 1000, 1);
-  cksim::EthernetDevice client_eth(client_node.machine.memory(), &client_node.ck,
-                                   client_group * cksim::kPageGroupBytes, 4, 4, 1000, 2);
-  cksim::EthernetHub hub;
-  hub.Attach(&server_eth);
-  hub.Attach(&client_eth);
-  server_node.machine.AttachDevice(&server_eth);
-  client_node.machine.AttachDevice(&client_eth);
-
-  ckapp::AppKernelBase server_app("boot-server", 64), client_app("workstation", 256);
-  cksrm::LaunchParams params;
-  params.page_groups = 2;
-  server_node.srm.Launch(server_app, params);
-  client_node.srm.Launch(client_app, params);
-  server_node.srm.GrantSharedGroups(server_app, server_group, 1, ck::GroupAccess::kReadWrite);
-  client_node.srm.GrantSharedGroups(client_app, client_group, 1, ck::GroupAccess::kReadWrite);
-
-  ck::CkApi server_api(server_node.ck, server_app.self(), server_node.machine.cpu(0));
-  ck::CkApi client_api(client_node.ck, client_app.self(), client_node.machine.cpu(0));
-  uint32_t server_space = server_app.CreateSpace(server_api);
-  uint32_t client_space = client_app.CreateSpace(client_api);
-
-  // The boot image: computes fib(20) and halts.
-  ckisa::AssembleResult fib = ckisa::Assemble(R"(
-      addi t0, r0, 0      ; fib(0)
-      addi t1, r0, 1      ; fib(1)
-      addi t2, r0, 20
-    loop:
-      add  t3, t0, t1
-      mv   t0, t1
-      mv   t1, t3
-      addi t2, t2, -1
-      bne  t2, r0, loop
-      mv   s0, t0
-      halt
-  )", 0x10000);
-  if (!fib.ok) {
-    std::printf("asm: %s\n", fib.error.c_str());
-    return 1;
-  }
-
-  ckprom::BootServer server(
-      ckprom::Station(server_app, server_space, server_eth, 0x00800000, 0x00900000));
-  server.AddImage("fib20", ckprom::SerializeProgram(fib.program));
-  ckprom::PromClient prom(
-      ckprom::Station(client_app, client_space, client_eth, 0x00800000, 0x00900000));
-
-  uint32_t server_thread =
-      server_app.CreateNativeThread(server_api, server_space, &server, 20);
-  uint32_t client_thread = client_app.CreateNativeThread(client_api, client_space, &prom, 20);
-  ckprom::Station(server_app, server_space, server_eth, 0x00800000, 0x00900000)
-      .Attach(server_api, server_thread);
-  ckprom::Station(client_app, client_space, client_eth, 0x00800000, 0x00900000)
-      .Attach(client_api, client_thread);
-
-  auto run_both = [&](const std::function<bool()>& done, uint64_t max_turns = 3000000) {
-    for (uint64_t i = 0; i < max_turns && !done(); ++i) {
-      server_node.machine.Step();
-      client_node.machine.Step();
+  ckfs::FsClusterConfig config;
+  config.clients = 3;
+  config.files = 6;
+  config.file_pages = 8;
+  config.scan_rounds = 1;
+  config.parallel = true;
+  uint32_t rounds = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      config.clients = static_cast<uint32_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = static_cast<uint32_t>(std::atoi(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      config.parallel = false;
     }
-    return done();
-  };
+  }
+  config.scan_rounds = rounds;
 
-  std::printf("workstation: broadcasting RARP, requesting image 'fib20'...\n");
-  std::vector<uint8_t> image;
-  prom.Boot(client_api, "fib20",
-            [&](const std::vector<uint8_t>& bytes, ck::CkApi&) { image = bytes; });
-  if (!run_both([&] { return prom.boot_complete(); })) {
-    std::printf("netboot timed out\n");
+  ckfs::FsCluster world(config);
+  // Client 0 first: the metrics registry binds to the first attach, and the
+  // interesting counters (ck.fs.*) live client-side.
+  obs.Attach(world.client_machine(0), &world.client_ck(0));
+  obs.Attach(world.server_machine(), &world.server_ck());
+
+  std::printf("netboot: %u diskless clients booting from 1 file server (%s cluster driver)\n",
+              config.clients, config.parallel ? "parallel" : "serial");
+
+  // --- cold boot: every client pages the whole tree in over the wire ---
+  if (!world.Run()) {
+    std::printf("cold boot timed out\n");
     return 1;
   }
-  std::printf("netboot complete: server=station %u, image %zu bytes, %llu TFTP blocks\n",
-              prom.discovered_server(), image.size(),
-              static_cast<unsigned long long>(server.blocks_sent()));
+  bool ok = true;
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    const ckfs::FsClientStats& s = world.cache(c).stats();
+    ok = ok && world.workload(c).done() && !world.workload(c).failed();
+    std::printf(
+        "  client %u: %llu pages read, %llu demand misses, %llu read-ahead (%llu useful), "
+        "%llu wire msgs\n",
+        c, static_cast<unsigned long long>(world.workload(c).pages_read()),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.readahead_issued),
+        static_cast<unsigned long long>(s.readahead_useful),
+        static_cast<unsigned long long>(world.WireTraffic(c)));
+  }
+  if (!ok) {
+    std::printf("cold boot failed verification\n");
+    return 1;
+  }
 
-  // Execute the fetched image on the workstation.
-  ckisa::Program program;
-  ckprom::DeserializeProgram(image, &program);
-  client_app.LoadProgramImage(client_space, program, /*writable=*/false);
-  ckapp::GuestThreadParams guest_params;
-  guest_params.space_index = client_space;
-  guest_params.entry = program.base;
-  uint32_t guest = client_app.CreateGuestThread(client_api, guest_params);
-  run_both([&] { return client_app.thread(guest).finished; });
-  std::printf("netbooted program ran: fib(20) = %u (expected 6765)\n",
-              client_app.thread(guest).saved.regs[ckisa::kRegS0]);
+  // --- the tree as the clients see it ---
+  ckfs::ClientFileCache::DirListing listing;
+  ckfs::ClientFileCache::Status status = ckfs::ClientFileCache::Status::kPending;
+  world.RunUntil(
+      [&] {
+        ck::CkApi api = world.ClientApi(0);
+        status = world.cache(0).Readdir(api, &listing);
+        return status != ckfs::ClientFileCache::Status::kPending;
+      },
+      5000000);
+  std::printf("readdir: %zu files in the tree\n", listing.entries.size());
+  for (size_t i = 0; i < listing.names.size(); ++i) {
+    std::printf("  %-16s fileid=%u version=%u size=%u\n", listing.names[i].c_str(),
+                listing.entries[i].fileid, listing.entries[i].version,
+                listing.entries[i].size);
+  }
 
-  // Remote debugging: the server peeks a word of the workstation's memory.
-  ckprom::DebugPort port(
-      ckprom::Station(client_app, client_space, client_eth, 0x00a00000, 0x00900000),
-      client_node.machine.memory());
-  uint32_t port_thread = client_app.CreateNativeThread(client_api, client_space, &port, 21);
-  ckprom::Station(client_app, client_space, client_eth, 0x00a00000, 0x00900000)
-      .Attach(client_api, port_thread);
-  ckprom::PromClient debugger(
-      ckprom::Station(server_app, server_space, server_eth, 0x00b00000, 0x00900000));
-  uint32_t dbg_thread = server_app.CreateNativeThread(server_api, server_space, &debugger, 21);
-  ckprom::Station(server_app, server_space, server_eth, 0x00b00000, 0x00900000)
-      .Attach(server_api, dbg_thread);
+  // --- warm re-scan: all hits, not one packet on any link ---
+  std::vector<uint64_t> cold_traffic;
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    cold_traffic.push_back(world.WireTraffic(c));
+    world.workload(c).Resume(1);
+  }
+  if (!world.Run()) {
+    std::printf("warm scan timed out\n");
+    return 1;
+  }
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    uint64_t delta = world.WireTraffic(c) - cold_traffic[c];
+    ok = ok && !world.workload(c).failed() && delta == 0;
+    std::printf("  client %u warm: %llu cache hits, wire delta %llu\n", c,
+                static_cast<unsigned long long>(world.cache(c).stats().hits),
+                static_cast<unsigned long long>(delta));
+  }
+  if (!ok) {
+    std::printf("warm scan was not free\n");
+    return 1;
+  }
 
-  cksim::PhysAddr probe = client_app.frames().Allocate();
-  uint32_t marker = 0x0ddba115;
-  client_api.WritePhys(probe, &marker, 4);
-  uint32_t observed = 0;
-  debugger.Peek(server_api, /*server=*/2, probe, [&](uint32_t value) { observed = value; });
-  run_both([&] { return observed != 0; });
-  std::printf("remote debug: peeked %#x from the workstation's physical %#x\n", observed, probe);
-  std::printf("netboot workstation OK\n");
+  // --- a write moves file 1's version; the push invalidates every cache ---
+  uint32_t file_len = config.file_pages * cksim::kPageSize - cksim::kPageSize / 2;
+  {
+    ck::CkApi api = world.ServerApi();
+    uint32_t version = world.server().file_version(1) + 1;
+    std::vector<uint8_t> fresh = ckfs::FileBytes(1, version, file_len);
+    world.server().WriteLocal(1, 0, fresh.data(), file_len, &api);
+  }
+  bool invalidated = world.RunUntil(
+      [&] {
+        for (uint32_t c = 0; c < config.clients; ++c) {
+          if (world.cache(c).CachedVersion(1) != 2) {
+            return false;
+          }
+        }
+        return true;
+      },
+      5000000);
+  if (!invalidated) {
+    std::printf("invalidation push never arrived\n");
+    return 1;
+  }
+  std::printf("server write: file 1 -> version 2, all %u caches dropped their stale pages\n",
+              config.clients);
+
+  // --- re-scan: only the invalidated file goes back to the wire ---
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    world.workload(c).Resume(1);
+  }
+  if (!world.Run()) {
+    std::printf("re-scan timed out\n");
+    return 1;
+  }
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    ok = ok && world.workload(c).done() && !world.workload(c).failed();
+    std::printf("  client %u re-scan: %llu invalidations observed, %llu total misses\n", c,
+                static_cast<unsigned long long>(world.cache(c).stats().invalidations),
+                static_cast<unsigned long long>(world.cache(c).stats().misses));
+  }
+
+  const ckfs::FsServerStats& fs = world.server().fs_stats();
+  std::printf("server totals: %llu reads, %llu pages shipped, %llu invalidations pushed\n",
+              static_cast<unsigned long long>(fs.reads),
+              static_cast<unsigned long long>(fs.pages_shipped),
+              static_cast<unsigned long long>(fs.invalidations_sent));
+  std::printf("netboot workstation %s\n", ok ? "OK" : "FAILED");
   obs.Finish();
-  return observed == marker ? 0 : 1;
+  return ok ? 0 : 1;
 }

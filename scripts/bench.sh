@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Record the repo-root BENCH_*.json files from a Release build.
 #
-#   scripts/bench.sh [host_mips] [cluster_scaling] [cache_replacement]   # default: all
+#   scripts/bench.sh [host_mips] [cluster_scaling] [cache_replacement] [file_service]   # default: all
 #
 # Guarantees enforced here (scripts/bench_json.py does the checking):
 #   * Bench binaries are built with CMAKE_BUILD_TYPE=Release. If google-
@@ -80,4 +80,7 @@ TARGETS=("${@:-all}")
 want host_mips && record BENCH_host_mips.json microbench_host --benchmark_min_time=2.0
 want cluster_scaling && record BENCH_cluster_scaling.json cluster_scaling
 want cache_replacement && record BENCH_cache_replacement.json cache_replacement
+# file_service self-checks zero-wire warm hits, the >= 10x warm speedup and
+# the serial-vs-parallel differential on every measurement.
+want file_service && record BENCH_file_service.json file_service
 echo "== done"

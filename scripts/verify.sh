@@ -105,9 +105,9 @@ if $run_tsan; then
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target cluster_test sim_test cluster_scaling \
-      fastpath_test tenant_test
+      fastpath_test tenant_test fs_test
   TSAN_OPTIONS=halt_on_error=1 \
-      ctest --test-dir build-tsan -R 'cluster_test|sim_test|cluster_scaling' \
+      ctest --test-dir build-tsan -R 'cluster_test|sim_test|cluster_scaling|fs_test' \
       --output-on-failure
 
   echo "== TSan: intra-MPM worker pool (CK_CPUS_PARALLEL=1) =="

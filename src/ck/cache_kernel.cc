@@ -1697,6 +1697,26 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
                         [m, c] { return m->cpu(c).mmu().tlb().misses(); });
   }
 
+  // Machine-level file-service counters: sums of the per-tenant fs_* fields
+  // (the fs layer charges per kernel via ChargeFs, so the machine totals are
+  // derived, and slot-sum conservation holds by construction).
+  const std::vector<CostAccount>* fs_tenants = &tenant_;
+  auto fs_total = [fs_tenants](uint64_t CostAccount::*field) {
+    uint64_t total = 0;
+    for (const CostAccount& a : *fs_tenants) {
+      total += a.*field;
+    }
+    return total;
+  };
+  registry.AddCounter("ck.fs.hits", [fs_total] { return fs_total(&CostAccount::fs_hits); });
+  registry.AddCounter("ck.fs.misses", [fs_total] { return fs_total(&CostAccount::fs_misses); });
+  registry.AddCounter("ck.fs.readahead_issued",
+                      [fs_total] { return fs_total(&CostAccount::fs_readahead_issued); });
+  registry.AddCounter("ck.fs.readahead_useful",
+                      [fs_total] { return fs_total(&CostAccount::fs_readahead_useful); });
+  registry.AddCounter("ck.fs.invalidations",
+                      [fs_total] { return fs_total(&CostAccount::fs_invalidations); });
+
   const FaultStepStats* f = &fault_step_stats_;
   registry.AddHistogram("ck.fault_us.transfer", [f] { return f->transfer; });
   registry.AddHistogram("ck.fault_us.handle_load", [f] { return f->handle_load; });
@@ -1741,6 +1761,16 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
                         [tenants, slot] { return (*tenants)[slot].exec_trace_invalidations; });
     registry.AddCounter(prefix + "trace_builds",
                         [tenants, slot] { return (*tenants)[slot].exec_trace_builds; });
+    registry.AddCounter(prefix + "fs_hits",
+                        [tenants, slot] { return (*tenants)[slot].fs_hits; });
+    registry.AddCounter(prefix + "fs_misses",
+                        [tenants, slot] { return (*tenants)[slot].fs_misses; });
+    registry.AddCounter(prefix + "fs_readahead_issued",
+                        [tenants, slot] { return (*tenants)[slot].fs_readahead_issued; });
+    registry.AddCounter(prefix + "fs_readahead_useful",
+                        [tenants, slot] { return (*tenants)[slot].fs_readahead_useful; });
+    registry.AddCounter(prefix + "fs_invalidations",
+                        [tenants, slot] { return (*tenants)[slot].fs_invalidations; });
   }
 }
 
@@ -1748,6 +1778,31 @@ void CacheKernel::set_profile_period(cksim::Cycles period) {
   knobs_.profile_period = period;
   for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
     samplers_[c].Arm(machine_.cpu(c).clock(), period);
+  }
+}
+
+void CacheKernel::ChargeFs(KernelId kernel, FsCounter counter, uint64_t count) {
+  uint32_t slot = kernel.id.slot;
+  if (slot >= tenant_.size()) {
+    return;
+  }
+  CostAccount& account = Tenant(slot);
+  switch (counter) {
+    case FsCounter::kHit:
+      account.fs_hits += count;
+      break;
+    case FsCounter::kMiss:
+      account.fs_misses += count;
+      break;
+    case FsCounter::kReadaheadIssued:
+      account.fs_readahead_issued += count;
+      break;
+    case FsCounter::kReadaheadUseful:
+      account.fs_readahead_useful += count;
+      break;
+    case FsCounter::kInvalidation:
+      account.fs_invalidations += count;
+      break;
   }
 }
 

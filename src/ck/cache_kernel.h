@@ -126,6 +126,23 @@ struct CostAccount {
   uint64_t exec_trace_misses = 0;
   uint64_t exec_trace_invalidations = 0;
   uint64_t exec_trace_builds = 0;
+  // File-service client cache work done by this kernel's threads (src/fs),
+  // recorded through ChargeFs. Machine-level ck.fs.* metrics are the sums of
+  // these fields across slots, so conservation holds by construction.
+  uint64_t fs_hits = 0;
+  uint64_t fs_misses = 0;
+  uint64_t fs_readahead_issued = 0;
+  uint64_t fs_readahead_useful = 0;
+  uint64_t fs_invalidations = 0;
+};
+
+// Which CostAccount fs_* counter a ChargeFs call lands in.
+enum class FsCounter : uint8_t {
+  kHit,
+  kMiss,
+  kReadaheadIssued,
+  kReadaheadUseful,
+  kInvalidation,
 };
 
 // Timestamps of the Figure 2 steps for one forwarded fault. The most recent
@@ -347,6 +364,12 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void set_profile_period(cksim::Cycles period);
   // Per-kernel-slot cost attribution (always on; see CostAccount).
   const std::vector<CostAccount>& tenant_accounts() const { return tenant_; }
+  // Attribute file-service client cache work (hits/misses/read-ahead/
+  // invalidations) to `kernel`'s cost account. The fs layer lives in
+  // application kernels (src/fs); this is its one hook into the always-on
+  // attribution machinery, mirrored by the ck.fs.* and ck.tenant.<slot>.fs_*
+  // metrics. Out-of-range slots are ignored.
+  void ChargeFs(KernelId kernel, FsCounter counter, uint64_t count = 1);
   // Profiler PC histograms: profile_pcs()[slot] maps guest PC -> sample
   // count for the kernel that held `slot` when the samples were taken.
   const std::vector<std::map<uint32_t, uint64_t>>& profile_pcs() const { return profile_pcs_; }

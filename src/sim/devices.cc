@@ -122,7 +122,13 @@ void FiberChannelDevice::SendBulk(std::vector<uint8_t> payload, Cycles when, uin
   if (span == 0) {
     span = AllocSpan();
   }
-  Cycles due = when + wire_latency_ + BulkWireCycles(payload.size());
+  // FIFO serialization: this transfer starts once the wire has finished
+  // shipping every earlier bulk payload, so a short page sent after a long
+  // one cannot overtake it. A lone transfer (wire idle) keeps the classic
+  // when + latency + serialization timing.
+  Cycles start = when > bulk_wire_busy_until_ ? when : bulk_wire_busy_until_;
+  bulk_wire_busy_until_ = start + BulkWireCycles(payload.size());
+  Cycles due = bulk_wire_busy_until_ + wire_latency_;
   ++bulk_sent_;
   size_t kib = payload.size() / 1024;
   CK_TRACE(TraceRing(), obs::EventType::kBulkSend, when,

@@ -167,13 +167,18 @@ class FiberChannelDevice : public PacketDevice {
   // due time (senders' clocks can be skewed). `span` as in EnqueueInbound.
   void EnqueueBulkInbound(std::vector<uint8_t> payload, Cycles due, uint32_t span = 0);
 
-  // ---- bulk streaming (checkpoint migration) ----
+  // ---- bulk streaming (checkpoint migration, file service) ----
   // Ship an arbitrary-size payload to the peer, bypassing the page-sized
   // packet slots: models the driver's scatter-gather streaming mode for
   // whole-image transfers. The blob becomes available to the peer's
   // PollBulk once the wire latency plus serialization time (the 266 Mb/s
-  // link moves ~4/3 bytes per 25 MHz cycle) has elapsed. `span` carries an
-  // existing causal span id (an SRM migration span); 0 allocates a fresh one.
+  // link moves ~4/3 bytes per 25 MHz cycle) has elapsed. Transfers
+  // serialize on the link FIFO: a bulk send issued while an earlier one is
+  // still on the wire starts serializing only when the wire frees up, so
+  // deliveries always arrive in send order -- a short payload can never
+  // overtake a long one sent before it (zero-length payloads are legal and
+  // occupy the wire for zero cycles). `span` carries an existing causal
+  // span id (an SRM migration span); 0 allocates a fresh one.
   void SendBulk(std::vector<uint8_t> payload, Cycles when, uint32_t span = 0);
   // Claim the oldest delivered bulk payload, if one is due by `now`. `span`
   // (if non-null) receives the sender's causal span id.
@@ -207,6 +212,11 @@ class FiberChannelDevice : public PacketDevice {
   FiberChannelDevice* peer_ = nullptr;
   std::deque<BulkInbound> bulk_inbound_;
   std::deque<Outbound> outbox_;
+  // Send-side link FIFO: simulated time until which the outbound wire is
+  // occupied serializing earlier bulk payloads. Updated at SendBulk time
+  // (sender-local, single-threaded within a window), so deferred and
+  // immediate delivery compute identical due times.
+  Cycles bulk_wire_busy_until_ = 0;
   bool deferred_ = false;
   uint64_t bulk_sent_ = 0;
   uint64_t bulk_received_ = 0;

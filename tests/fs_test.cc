@@ -1,0 +1,337 @@
+// Distributed cached file service (src/fs, docs/FILESERVICE.md):
+// hit/miss/bitmap accounting, version invalidation, read-ahead safety, LRU
+// eviction under frame pressure, and the serial-vs-parallel cluster
+// differential for the netboot file workload.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fs/fs_cluster.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+using ckfs::ClientFileCache;
+using ckfs::FileByte;
+using ckfs::FsCluster;
+using ckfs::FsClusterConfig;
+
+// ---- cold scan, warm scan, accounting ----
+
+TEST(FsTest, ColdScanFillsCacheAndAccounts) {
+  FsClusterConfig config;
+  config.clients = 1;
+  config.files = 3;
+  config.file_pages = 6;
+  ASSERT_TRUE(FsCluster(config).Run());  // smoke: world construction is sane
+
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run());
+  ckfs::FileScanWorkload& scan = world.workload(0);
+  EXPECT_TRUE(scan.done());
+  EXPECT_FALSE(scan.failed()) << "content verification failed";
+  EXPECT_EQ(scan.pages_read(), 3u * 6u);
+
+  const ckfs::FsClientStats& stats = world.cache(0).stats();
+  // Every page entered the cache exactly once: demand misses plus useful
+  // read-ahead covers the whole tree.
+  EXPECT_EQ(stats.misses + stats.readahead_useful, 3u * 6u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.readahead_issued, 0u) << "sequential scan never armed read-ahead";
+  EXPECT_LE(stats.readahead_useful, stats.readahead_issued);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.stale_bulk_dropped, 0u);
+
+  // Bitmaps: every file fully resident.
+  for (uint32_t i = 0; i < config.files; ++i) {
+    EXPECT_EQ(world.cache(0).CachedPages(i + 1), config.file_pages);
+    EXPECT_EQ(world.cache(0).CachedVersion(i + 1), 1u);
+  }
+  // The server shipped exactly the installed pages.
+  EXPECT_EQ(world.server().fs_stats().pages_shipped, 3u * 6u + stats.stale_bulk_dropped);
+}
+
+TEST(FsTest, WarmScanIsZeroWireTraffic) {
+  FsClusterConfig config;
+  config.clients = 1;
+  config.files = 3;
+  config.file_pages = 6;
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run());
+  ASSERT_FALSE(world.workload(0).failed());
+
+  uint64_t cold_traffic = world.WireTraffic(0);
+  uint64_t cold_hits = world.cache(0).stats().hits;
+  ASSERT_GT(cold_traffic, 0u);
+
+  // Re-scan the same tree: every open and every read must be served from
+  // the cache without a single packet or bulk payload crossing the link.
+  world.workload(0).Resume(1);
+  ASSERT_TRUE(world.Run());
+  EXPECT_FALSE(world.workload(0).failed());
+  EXPECT_EQ(world.WireTraffic(0), cold_traffic) << "warm scan touched the wire";
+  EXPECT_EQ(world.cache(0).stats().hits, cold_hits + 3u * 6u);
+  EXPECT_EQ(world.cache(0).stats().misses + world.cache(0).stats().readahead_useful, 3u * 6u);
+}
+
+TEST(FsTest, FsCountersReachTenantAccountsAndMetrics) {
+  FsClusterConfig config;
+  config.clients = 1;
+  config.files = 2;
+  config.file_pages = 4;
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run());
+  world.workload(0).Resume(1);  // some hits
+  ASSERT_TRUE(world.Run());
+
+  const ckfs::FsClientStats& stats = world.cache(0).stats();
+  // Per-tenant CostAccount attribution: the client kernel's slot carries
+  // exactly what the cache recorded.
+  uint32_t slot = 0;
+  bool found = false;
+  const auto& tenants = world.client_ck(0).tenant_accounts();
+  for (uint32_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].fs_hits == stats.hits && tenants[i].fs_misses == stats.misses &&
+        stats.hits > 0) {
+      slot = i;
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no tenant slot carries the cache's fs counters";
+  if (found) {
+    EXPECT_EQ(tenants[slot].fs_readahead_issued, stats.readahead_issued);
+    EXPECT_EQ(tenants[slot].fs_readahead_useful, stats.readahead_useful);
+    EXPECT_EQ(tenants[slot].fs_invalidations, stats.invalidations);
+  }
+
+  // Machine-level ck.fs.* metrics are registered and sum the tenants.
+  obs::Registry registry;
+  world.client_ck(0).RegisterMetrics(registry);
+  std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("ck.fs.hits"), std::string::npos);
+  EXPECT_NE(json.find("ck.fs.readahead_issued"), std::string::npos);
+  EXPECT_NE(json.find("ck.fs.invalidations"), std::string::npos);
+}
+
+// ---- versioning ----
+
+TEST(FsTest, InvalidationDropsStalePagesOnAllClients) {
+  FsClusterConfig config;
+  config.clients = 2;
+  config.files = 2;
+  config.file_pages = 4;
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run());
+  for (uint32_t c = 0; c < 2; ++c) {
+    ASSERT_EQ(world.cache(c).CachedPages(1), 4u);
+    ASSERT_EQ(world.cache(c).CachedVersion(1), 1u);
+  }
+
+  // Server-side write to file 1 at a barrier; invalidations push to both
+  // registered clients.
+  ck::CkApi api = world.ServerApi();
+  uint8_t patch[16] = {0};
+  ASSERT_TRUE(world.server().WriteLocal(1, 100, patch, sizeof(patch), &api));
+  ASSERT_EQ(world.server().file_version(1), 2u);
+
+  // Run until both clients have processed the push.
+  bool arrived = world.RunUntil(
+      [&] {
+        return world.cache(0).CachedVersion(1) == 2 && world.cache(1).CachedVersion(1) == 2;
+      },
+      2000000);
+  ASSERT_TRUE(arrived) << "invalidation push never reached the clients";
+  for (uint32_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(world.cache(c).CachedPages(1), 0u) << "stale bitmap survived on client " << c;
+    EXPECT_GE(world.cache(c).stats().invalidations, 1u);
+    // The untouched file keeps its pages.
+    EXPECT_EQ(world.cache(c).CachedPages(2), 4u);
+  }
+
+  // Re-scan: both clients re-fetch file 1 under version 2 and verify its new
+  // contents (the workload checks bytes against FileByte under the cached
+  // version -- here the server regenerated nothing, so just require success
+  // on the unmodified file and fresh fetches on the modified one).
+  uint64_t misses_before = world.cache(0).stats().misses;
+  world.workload(0).Resume(1);
+  world.workload(1).Resume(1);
+  ASSERT_TRUE(world.Run());
+  EXPECT_GT(world.cache(0).stats().misses, misses_before) << "stale file not re-fetched";
+}
+
+TEST(FsTest, ReadaheadNeverReturnsWrongVersionData) {
+  // Writes land while scans are in flight: version checks at the ack and at
+  // bulk install must discard every stale payload, and the workload's
+  // byte-for-byte verification (against the version the cache holds at read
+  // time) proves no wrong-version page is ever returned.
+  FsClusterConfig config;
+  config.clients = 2;
+  config.files = 2;
+  config.file_pages = 8;
+  config.scan_rounds = 4;
+  FsCluster world(config);
+
+  // Rewrite file 1 wholesale (so its bytes match FileByte under the new
+  // version) a few times, spaced so pushes land mid-scan.
+  uint32_t writes_done = 0;
+  uint32_t file_len = config.file_pages * cksim::kPageSize - cksim::kPageSize / 2;
+  bool ok = world.RunUntil(
+      [&] {
+        if (writes_done < 4 &&
+            world.cluster().Now() > (writes_done + 1) * 60000) {
+          ck::CkApi api = world.ServerApi();
+          uint32_t version = world.server().file_version(1) + 1;
+          std::vector<uint8_t> fresh = ckfs::FileBytes(1, version, file_len);
+          world.server().WriteLocal(1, 0, fresh.data(), file_len, &api);
+          ++writes_done;
+        }
+        return world.AllDone();
+      },
+      40000000);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(writes_done, 4u);
+  for (uint32_t c = 0; c < 2; ++c) {
+    EXPECT_FALSE(world.workload(c).failed())
+        << "client " << c << " observed wrong-version data";
+    EXPECT_TRUE(world.workload(c).done());
+  }
+  // The cached copies converge to the final version.
+  EXPECT_EQ(world.server().file_version(1), 5u);
+}
+
+// ---- replacement ----
+
+TEST(FsTest, LruEvictionUnderFramePoolPressure) {
+  FsClusterConfig config;
+  config.clients = 1;
+  config.files = 16;
+  config.file_pages = 16;
+  config.scan_rounds = 2;
+  config.client_page_groups = 1;  // 128 frames < 16 files * 16 pages
+  config.cache.entries = 32;
+  config.cache.max_file_pages = 16;
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run(400000000));
+  ckfs::FileScanWorkload& scan = world.workload(0);
+  EXPECT_TRUE(scan.done());
+  EXPECT_FALSE(scan.failed());
+
+  const ckfs::FsClientStats& stats = world.cache(0).stats();
+  EXPECT_GT(stats.evictions, 0u) << "working set exceeds the pool but nothing was evicted";
+  EXPECT_LE(world.cache(0).frames_held(), 128u);
+  // Round 2 re-misses the evicted files: more misses than one full sweep.
+  EXPECT_GT(stats.misses + stats.readahead_issued, 16u * 16u);
+}
+
+// ---- protocol odds and ends ----
+
+TEST(FsTest, ReaddirListsTheTree) {
+  FsClusterConfig config;
+  config.clients = 1;
+  config.files = 5;
+  config.file_pages = 2;
+  FsCluster world(config);
+  ASSERT_TRUE(world.Run());
+
+  ClientFileCache::DirListing listing;
+  // Drive the poll-style call from a barrier predicate.
+  ClientFileCache::Status status = ClientFileCache::Status::kPending;
+  bool ok = world.RunUntil(
+      [&] {
+        ck::CkApi barrier_api = world.ClientApi(0);
+        status = world.cache(0).Readdir(barrier_api, &listing);
+        return status != ClientFileCache::Status::kPending;
+      },
+      2000000);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(status, ClientFileCache::Status::kHit);
+  ASSERT_EQ(listing.entries.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(listing.entries[i].fileid, i + 1);
+    EXPECT_EQ(listing.entries[i].version, 1u);
+    EXPECT_EQ(listing.names[i], ckfs::FileName(i));
+  }
+}
+
+// ---- determinism ----
+
+struct DifferentialSnapshot {
+  std::vector<cksim::Cycles> clocks;
+  std::vector<uint64_t> checksums;
+  std::vector<ckfs::FsClientStats> stats;
+  std::vector<uint64_t> traffic;
+  ckfs::FsServerStats server;
+
+  bool operator==(const DifferentialSnapshot& o) const {
+    if (clocks != o.clocks || checksums != o.checksums || traffic != o.traffic) {
+      return false;
+    }
+    for (size_t i = 0; i < stats.size(); ++i) {
+      const ckfs::FsClientStats& a = stats[i];
+      const ckfs::FsClientStats& b = o.stats[i];
+      if (a.hits != b.hits || a.misses != b.misses ||
+          a.readahead_issued != b.readahead_issued ||
+          a.readahead_useful != b.readahead_useful || a.invalidations != b.invalidations ||
+          a.evictions != b.evictions || a.stale_bulk_dropped != b.stale_bulk_dropped ||
+          a.opens != b.opens) {
+        return false;
+      }
+    }
+    return server.reads == o.server.reads && server.pages_shipped == o.server.pages_shipped &&
+           server.writes == o.server.writes &&
+           server.invalidations_sent == o.server.invalidations_sent;
+  }
+};
+
+DifferentialSnapshot RunNetbootWorkload(bool parallel) {
+  FsClusterConfig config;
+  config.clients = 3;
+  config.files = 4;
+  config.file_pages = 6;
+  config.scan_rounds = 3;
+  config.parallel = parallel;
+  FsCluster world(config);
+
+  // Deterministic mid-run writes, injected at barriers by simulated time.
+  uint32_t writes_done = 0;
+  uint32_t file_len = config.file_pages * cksim::kPageSize - cksim::kPageSize / 2;
+  world.RunUntil(
+      [&] {
+        if (writes_done < 2 && world.cluster().Now() > (writes_done + 1) * 400000) {
+          ck::CkApi api = world.ServerApi();
+          uint32_t version = world.server().file_version(2) + 1;
+          std::vector<uint8_t> fresh = ckfs::FileBytes(2, version, file_len);
+          world.server().WriteLocal(2, 0, fresh.data(), file_len, &api);
+          ++writes_done;
+        }
+        return world.AllDone();
+      },
+      40000000);
+
+  DifferentialSnapshot snap;
+  snap.clocks = world.FinalClocks();
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    EXPECT_TRUE(world.workload(c).done());
+    EXPECT_FALSE(world.workload(c).failed());
+    snap.checksums.push_back(world.workload(c).checksum());
+    snap.stats.push_back(world.cache(c).stats());
+    snap.traffic.push_back(world.WireTraffic(c));
+  }
+  snap.server = world.server().fs_stats();
+  return snap;
+}
+
+TEST(FsTest, NetbootWorkloadSerialParallelBitExact) {
+  DifferentialSnapshot serial = RunNetbootWorkload(/*parallel=*/false);
+  DifferentialSnapshot parallel = RunNetbootWorkload(/*parallel=*/true);
+  EXPECT_TRUE(serial == parallel)
+      << "parallel cluster execution diverged from the serial reference";
+  // And the workload did real distributed work.
+  EXPECT_GT(serial.server.pages_shipped, 0u);
+  EXPECT_GT(serial.stats[0].hits, 0u);
+}
+
+}  // namespace

@@ -336,6 +336,121 @@ TEST(DeviceTest, FiberChannelDeliversToPeer) {
   EXPECT_EQ(fcb.packets_received(), 1u);
 }
 
+TEST(DeviceTest, FiberChannelBulkZeroLengthAndTiming) {
+  MachineConfig config;
+  Machine a(config), b(config);
+  RecordingSink sink_a, sink_b;
+  FiberChannelDevice fca(a.memory(), &sink_a, 0x20000, 2, 2, 2500);
+  FiberChannelDevice fcb(b.memory(), &sink_b, 0x20000, 2, 2, 2500);
+  FiberChannelDevice::Connect(fca, fcb);
+
+  // A zero-length payload is legal: it occupies the wire for zero cycles and
+  // arrives after exactly the base latency.
+  fca.SendBulk({}, 100);
+  std::vector<uint8_t> out{0xee};  // poison: PollBulk must replace it
+  EXPECT_FALSE(fcb.PollBulk(&out, 2599));
+  ASSERT_TRUE(fcb.PollBulk(&out, 2600));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fca.bulk_sent(), 1u);
+  EXPECT_EQ(fcb.bulk_received(), 1u);
+  EXPECT_EQ(fcb.bulk_bytes_received(), 0u);
+}
+
+TEST(DeviceTest, FiberChannelBulkFifoNoOvertake) {
+  MachineConfig config;
+  Machine a(config), b(config);
+  RecordingSink sink_a, sink_b;
+  FiberChannelDevice fca(a.memory(), &sink_a, 0x20000, 2, 2, 2500);
+  FiberChannelDevice fcb(b.memory(), &sink_b, 0x20000, 2, 2, 2500);
+  FiberChannelDevice::Connect(fca, fcb);
+
+  // A big payload followed immediately by a tiny one: the tiny one must not
+  // overtake on the wire -- it starts serializing only when the link frees.
+  fca.SendBulk(std::vector<uint8_t>(8192, 0xaa), 100);
+  fca.SendBulk(std::vector<uint8_t>(4, 0xbb), 101);
+
+  // Big: starts at 100, serializes 8192*3/4 = 6144 cycles, due 100+6144+2500.
+  const Cycles big_due = 100 + FiberChannelDevice::BulkWireCycles(8192) + 2500;
+  // Small: the wire is busy until 6244, so due = 6244 + 3 + 2500.
+  const Cycles small_due = 100 + FiberChannelDevice::BulkWireCycles(8192) +
+                           FiberChannelDevice::BulkWireCycles(4) + 2500;
+  ASSERT_LT(big_due, small_due);
+
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(fcb.PollBulk(&out, big_due - 1));
+  ASSERT_TRUE(fcb.PollBulk(&out, big_due));
+  EXPECT_EQ(out.size(), 8192u) << "small payload overtook the big one";
+  EXPECT_FALSE(fcb.PollBulk(&out, small_due - 1));
+  ASSERT_TRUE(fcb.PollBulk(&out, small_due));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// One window's worth of interleaved regular packets and bulk payloads must be
+// observed identically by the peer whether the link delivers immediately
+// (Connect) or stages in the deferred outbox and flushes at a barrier
+// (cluster mode): same signal times, same bulk arrival times, same order.
+TEST(DeviceTest, FiberChannelDeferredBulkMatchesImmediate) {
+  struct Observed {
+    std::vector<Cycles> signal_times;
+    std::vector<std::pair<Cycles, size_t>> bulks;  // (arrival, size)
+    bool operator==(const Observed& o) const {
+      return signal_times == o.signal_times && bulks == o.bulks;
+    }
+  };
+  auto run = [](bool deferred) {
+    MachineConfig config;
+    Machine a(config), b(config);
+    CountingClient ca, cb;
+    a.AttachKernel(&ca);
+    b.AttachKernel(&cb);
+    RecordingSink sink_a, sink_b;
+    FiberChannelDevice fca(a.memory(), &sink_a, 0x20000, 2, 2, 2500);
+    FiberChannelDevice fcb(b.memory(), &sink_b, 0x20000, 2, 2, 2500);
+    FiberChannelDevice::Connect(fca, fcb);
+    a.AttachDevice(&fca);
+    b.AttachDevice(&fcb);
+    fca.set_deferred_delivery(deferred);
+    fcb.set_deferred_delivery(deferred);
+
+    // The interleaving under test: packet, big bulk, packet, empty bulk,
+    // small bulk -- all sent within one window.
+    a.memory().WriteWord(fca.tx_slot(0), 4);
+    a.memory().WriteWord(fca.tx_slot(0) + 4, 0x11111111);
+    fca.OnDoorbell(fca.tx_slot(0), 100);
+    fca.SendBulk(std::vector<uint8_t>(6000, 0xaa), 110);
+    a.memory().WriteWord(fca.tx_slot(1), 4);
+    a.memory().WriteWord(fca.tx_slot(1) + 4, 0x22222222);
+    fca.OnDoorbell(fca.tx_slot(1), 120);
+    fca.SendBulk({}, 130);
+    fca.SendBulk(std::vector<uint8_t>(8, 0xbb), 140);
+
+    if (deferred) {
+      fca.FlushOutbox();  // the barrier
+      fcb.FlushOutbox();
+    }
+
+    Observed observed;
+    std::vector<uint8_t> blob;
+    for (Cycles now = 0; now <= 30000; now += 10) {
+      b.RunUntil(now);
+      while (fcb.PollBulk(&blob, now)) {
+        observed.bulks.emplace_back(now, blob.size());
+      }
+    }
+    observed.signal_times = sink_b.times;
+    return observed;
+  };
+
+  Observed immediate = run(false);
+  Observed deferred = run(true);
+  EXPECT_TRUE(immediate == deferred);
+  ASSERT_EQ(immediate.bulks.size(), 3u);
+  EXPECT_EQ(immediate.bulks[0].second, 6000u);
+  EXPECT_EQ(immediate.bulks[1].second, 0u);
+  EXPECT_EQ(immediate.bulks[2].second, 8u);
+  ASSERT_EQ(immediate.signal_times.size(), 2u);
+}
+
 TEST(DeviceTest, EthernetHubRoutesByStation) {
   MachineConfig config;
   Machine m(config);

@@ -1,0 +1,397 @@
+// Tiered physical memory: DRAM:slow split sweep (docs/TIERING.md).
+//
+// Three legs, all simulated-cycle deterministic:
+//
+// BM_TieredPaging/<dram_pct>: a Zipf(s=1.0) paging workload over 256 mapped
+//   pages, replayed twice at the same DRAM budget -- once with demotion
+//   (cold DRAM frames retarget to the slow tier, mappings stay loaded) and
+//   once with full eviction (the pre-tiering reclaim: unload + write back
+//   every mapping of the victim frame). The mapping cache is sized over the
+//   footprint so ONLY the tier layer applies pressure.
+//     demote_cycles_per_access / evict_cycles_per_access
+//     demote_advantage        evict / demote cycles (acceptance: >= 1.0)
+//     demote_writebacks / evict_writebacks (acceptance: demote <= evict)
+//     demotions, promotions, evictions
+//
+// BM_TieredDb/<dram_pct>: the database kernel (src/db) scanning and point-
+//   reading a 96-page table under the same demote-vs-evict comparison. Here
+//   eviction rips pages out of the DB's buffer behind its back (writeback +
+//   re-fault + page-in) while demotion keeps them resident at slow-fill
+//   cost, so the buffer hit rate itself becomes tier-sensitive.
+//     demote_us / evict_us, demote_advantage (acceptance: >= 1.0)
+//     demote_hit_pct / evict_hit_pct (acceptance: demote >= evict)
+//
+// BM_TieredFsDeterminism: the 2-client file-service cluster with tiering on
+//   every client kernel, run serial then host-parallel. Acceptance: final
+//   clocks and per-client tier ledgers bit-exact (tier transitions happen
+//   only at deterministic serial points), and tier_events > 0 (the run
+//   actually exercised the tier machinery).
+//
+// Any failed acceptance gate marks the run skipped AND makes the binary
+// exit nonzero, so the memory_tiers_run ctest fixture and scripts/bench.sh
+// both fail loudly. Recorded as BENCH_memory_tiers.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/ck/cache_kernel.h"
+#include "src/db/db_kernel.h"
+#include "src/fs/fs_cluster.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using ck::CacheKernel;
+using ck::CkApi;
+using ck::MappingSpec;
+using ckbase::CkStatus;
+
+// Exit status for main(): google-benchmark's SkipWithError does not force a
+// nonzero exit on its own, and the ctest fixture keys off the exit code.
+bool g_gate_failed = false;
+
+void Gate(benchmark::State& state, bool ok, const char* message) {
+  if (!ok) {
+    g_gate_failed = true;
+    state.SkipWithError(message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 1: Zipf paging against a fixed DRAM budget.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kPagingFootprint = 256;  // distinct pages (= frames)
+constexpr uint32_t kPagingAccesses = 8192;
+constexpr uint32_t kPagingVbase = 0x400;
+constexpr uint32_t kPagingFrameBase = 0x100000 / cksim::kPageSize;
+// Referenced-bit harvest + maintenance cadence: flush the TLB and step the
+// machine (TierMaintenance runs at the head of turn preparation) every round.
+constexpr uint32_t kPagingRound = 64;
+
+// The tier layer reclaims through the mapping writeback path in evict mode;
+// this bench never faults, so the handlers are sinks.
+class SinkKernel : public ck::AppKernel {
+ public:
+  ck::HandlerAction HandleFault(const ck::FaultForward&, CkApi&) override {
+    return ck::HandlerAction::kTerminate;
+  }
+  ck::TrapAction HandleTrap(const ck::TrapForward&, CkApi&) override { return {}; }
+  void OnMappingWriteback(const ck::MappingWriteback&, CkApi&) override {}
+  void OnThreadWriteback(const ck::ThreadWriteback&, CkApi&) override {}
+  void OnSpaceWriteback(const ck::SpaceWriteback&, CkApi&) override {}
+};
+
+// Inverse-CDF Zipf(s=1.0) trace, fixed seed: identical for both modes.
+std::vector<uint32_t> BuildZipfTrace() {
+  std::vector<double> cdf(kPagingFootprint);
+  double sum = 0.0;
+  for (uint32_t r = 0; r < kPagingFootprint; ++r) {
+    sum += 1.0 / static_cast<double>(r + 1);
+    cdf[r] = sum;
+  }
+  ckbase::Rng rng(0x7145);
+  std::vector<uint32_t> trace;
+  trace.reserve(kPagingAccesses);
+  for (uint32_t i = 0; i < kPagingAccesses; ++i) {
+    double u = rng.NextDouble() * sum;
+    uint32_t lo = 0, hi = kPagingFootprint - 1;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    trace.push_back(lo);
+  }
+  return trace;
+}
+
+struct PagingTotals {
+  uint64_t accesses = 0;
+  uint64_t reloads = 0;  // mapping gone (evicted) at access time
+  cksim::Cycles cycles = 0;
+  uint64_t writebacks = 0;
+  uint64_t demotions = 0;
+  uint64_t promotions = 0;
+  uint64_t evictions = 0;
+  uint64_t scan_steps = 0;
+};
+
+PagingTotals RunPaging(uint32_t dram_frames, bool demote) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 8u << 20;
+  // One CPU: Machine::Step drives the lowest-clock CPU, and the trace charges
+  // cpu 0 directly -- idle sibling CPUs would capture every maintenance turn
+  // at a clock the promotion period never reaches.
+  mc.cpu_count = 1;
+  cksim::Machine machine(mc);
+  ck::CacheKernelConfig config;
+  // The mapping cache must never reclaim: tier pressure is the only
+  // replacement at work, so the demote-vs-evict delta is pure.
+  config.mapping_slots = 2 * kPagingFootprint;
+  config.tier_dram_frames = dram_frames;
+  config.tier_demote = demote;
+  CacheKernel ck(machine, config);
+  SinkKernel sink;
+  ck::KernelId kid = ck.BootFirstKernel(&sink, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+  ck::SpaceId space = api.LoadSpace(0, false).value();
+  ck::ThreadSpec tspec;
+  tspec.space = space;
+  tspec.start_blocked = true;
+  ck::ThreadId thread = api.LoadThread(tspec).value();
+  uint16_t asid = static_cast<uint16_t>(space.id.slot);
+
+  std::vector<uint32_t> trace = BuildZipfTrace();
+  PagingTotals totals;
+  cksim::Cycles start = machine.cpu(0).clock();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i % kPagingRound == 0) {
+      // Harvest referenced bits (next accesses re-walk the table) and let
+      // the promotion scan run.
+      machine.cpu(0).mmu().tlb().FlushAsid(asid);
+      machine.Step();
+    }
+    uint32_t vpage = kPagingVbase + trace[i];
+    cksim::VirtAddr vaddr = vpage * cksim::kPageSize;
+    ++totals.accesses;
+    if (!api.QueryMapping(space, vaddr).ok()) {
+      // Full eviction unloaded this mapping; pay the reload.
+      ++totals.reloads;
+      MappingSpec spec;
+      spec.space = space;
+      spec.vaddr = vaddr;
+      spec.paddr = (kPagingFrameBase + (vpage - kPagingVbase)) * cksim::kPageSize;
+      if (api.LoadMapping(spec) != CkStatus::kOk) {
+        continue;
+      }
+    }
+    ck.GuestLoad(kid, machine.cpu(0), thread, vaddr);
+  }
+  totals.cycles = machine.cpu(0).clock() - start;
+  totals.writebacks = ck.stats().writebacks[static_cast<uint32_t>(ck::ObjectType::kMapping)];
+  totals.demotions = ck.stats().tier_demotions;
+  totals.promotions = ck.stats().tier_promotions;
+  totals.evictions = ck.stats().tier_evictions;
+  totals.scan_steps = ck.stats().tier_scan_steps;
+  return totals;
+}
+
+void BM_TieredPaging(benchmark::State& state) {
+  uint32_t pct = static_cast<uint32_t>(state.range(0));
+  uint32_t dram_frames = kPagingFootprint * pct / 100;
+  PagingTotals d, e;
+  for (auto _ : state) {
+    d = RunPaging(dram_frames, /*demote=*/true);
+    e = RunPaging(dram_frames, /*demote=*/false);
+  }
+  double accesses = static_cast<double>(d.accesses);
+  double d_cpa = static_cast<double>(d.cycles) / accesses;
+  double e_cpa = static_cast<double>(e.cycles) / accesses;
+  state.counters["dram_frames"] = static_cast<double>(dram_frames);
+  state.counters["footprint"] = static_cast<double>(kPagingFootprint);
+  state.counters["demote_cycles_per_access"] = d_cpa;
+  state.counters["evict_cycles_per_access"] = e_cpa;
+  state.counters["demote_advantage"] = e_cpa / d_cpa;
+  state.counters["demote_writebacks"] = static_cast<double>(d.writebacks);
+  state.counters["evict_writebacks"] = static_cast<double>(e.writebacks);
+  state.counters["demotions"] = static_cast<double>(d.demotions);
+  state.counters["promotions"] = static_cast<double>(d.promotions);
+  state.counters["evictions"] = static_cast<double>(e.evictions);
+  if (pct < 100) {
+    // Under pressure the whole point of the tier is that demoting a cold
+    // frame (and paying slow fills on its stragglers) undercuts unloading
+    // and writing back every mapping of the victim.
+    Gate(state, d.demotions > 0, "no demotions at a pressured DRAM budget");
+    Gate(state, e.evictions > 0, "no evictions at a pressured DRAM budget");
+    Gate(state, d.promotions > 0, "promotion loop never fired");
+    Gate(state, d_cpa <= e_cpa, "demotion did not beat eviction on cycles/access");
+    Gate(state, d.writebacks <= e.writebacks, "demotion wrote back more than eviction");
+  } else {
+    // At or over the footprint there is no pressure and the modes agree.
+    Gate(state, d.demotions == 0 && e.evictions == 0,
+         "tier reclaim ran without DRAM pressure");
+  }
+}
+BENCHMARK(BM_TieredPaging)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Leg 2: database buffer under tier pressure.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kDbTablePages = 96;
+
+struct DbTotals {
+  cksim::Cycles cycles = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t demotions = 0;
+  uint64_t promotions = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+DbTotals RunDb(uint32_t dram_frames, bool demote) {
+  ck::CacheKernelConfig ck_config;
+  ck_config.tier_dram_frames = dram_frames;
+  ck_config.tier_demote = demote;
+  ckbench::World world(ck_config);
+  ckdb::DbConfig config;
+  config.table_pages = kDbTablePages;
+  // Pool >= table: the DB's own ChooseVictim never fires, so all buffer
+  // pressure comes from the tier layer underneath it.
+  config.buffer_pages = kDbTablePages;
+  config.policy = ckdb::Replacement::kLru;
+  ckdb::DbKernel db(world.ck(), config);
+  world.Launch(db, /*page_groups=*/1);
+  ck::CkApi api = world.ApiFor(db);
+  db.Setup(api);
+
+  db.RunScan();  // cold: populate the buffer
+  uint64_t hits0 = db.query_stats().buffer_hits;
+  uint64_t miss0 = db.query_stats().buffer_misses;
+  cksim::Cycles start = world.machine().Now();
+  db.RunScan();
+  db.RunScan();
+  db.RunPointLookups(512);
+  DbTotals totals;
+  totals.cycles = world.machine().Now() - start;
+  totals.hits = db.query_stats().buffer_hits - hits0;
+  totals.misses = db.query_stats().buffer_misses - miss0;
+  const ck::CkStats& stats = world.ck().stats();
+  totals.demotions = stats.tier_demotions;
+  totals.promotions = stats.tier_promotions;
+  totals.evictions = stats.tier_evictions;
+  totals.writebacks = stats.writebacks[static_cast<uint32_t>(ck::ObjectType::kMapping)];
+  return totals;
+}
+
+void BM_TieredDb(benchmark::State& state) {
+  uint32_t pct = static_cast<uint32_t>(state.range(0));
+  uint32_t dram_frames = kDbTablePages * pct / 100;
+  DbTotals d, e;
+  for (auto _ : state) {
+    d = RunDb(dram_frames, /*demote=*/true);
+    e = RunDb(dram_frames, /*demote=*/false);
+  }
+  auto hit_pct = [](const DbTotals& t) {
+    return 100.0 * static_cast<double>(t.hits) / static_cast<double>(t.hits + t.misses);
+  };
+  double d_us = ckbench::ToUs(d.cycles);
+  double e_us = ckbench::ToUs(e.cycles);
+  state.counters["dram_frames"] = static_cast<double>(dram_frames);
+  state.counters["table_pages"] = static_cast<double>(kDbTablePages);
+  state.counters["demote_us"] = d_us;
+  state.counters["evict_us"] = e_us;
+  state.counters["demote_advantage"] = e_us / d_us;
+  state.counters["demote_hit_pct"] = hit_pct(d);
+  state.counters["evict_hit_pct"] = hit_pct(e);
+  state.counters["demotions"] = static_cast<double>(d.demotions);
+  state.counters["promotions"] = static_cast<double>(d.promotions);
+  state.counters["evictions"] = static_cast<double>(e.evictions);
+  state.counters["demote_writebacks"] = static_cast<double>(d.writebacks);
+  state.counters["evict_writebacks"] = static_cast<double>(e.writebacks);
+  if (pct < 100) {
+    Gate(state, d.demotions > 0, "no demotions at a pressured DRAM budget");
+    Gate(state, d_us <= e_us, "demotion did not beat eviction on query cycles");
+    Gate(state, d.writebacks <= e.writebacks, "demotion wrote back more than eviction");
+    Gate(state, hit_pct(d) >= hit_pct(e), "demotion lost buffer hits to eviction");
+  }
+}
+BENCHMARK(BM_TieredDb)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Leg 3: serial vs host-parallel cluster determinism with tiering on.
+// ---------------------------------------------------------------------------
+
+struct ClusterRun {
+  std::vector<cksim::Cycles> clocks;
+  std::vector<uint64_t> tier_events;
+  bool ok = false;
+};
+
+ClusterRun RunTieredCluster(bool parallel) {
+  ClusterRun run;
+  ckfs::FsClusterConfig config;
+  config.clients = 2;
+  config.files = 4;
+  config.file_pages = 8;
+  config.scan_rounds = 2;
+  config.parallel = parallel;
+  config.tier_dram_frames = 24;  // below each client's working set
+  ckfs::FsCluster world(config);
+  if (!world.Run()) {
+    return run;
+  }
+  for (uint32_t c = 0; c < config.clients; ++c) {
+    if (!world.workload(c).done() || world.workload(c).failed()) {
+      return run;
+    }
+    const ck::CkStats& stats = world.client_ck(c).stats();
+    run.tier_events.push_back(stats.tier_demotions + stats.tier_promotions +
+                              stats.tier_evictions + stats.tier_admissions);
+  }
+  run.clocks = world.FinalClocks();
+  run.ok = true;
+  return run;
+}
+
+void BM_TieredFsDeterminism(benchmark::State& state) {
+  ClusterRun serial, par;
+  for (auto _ : state) {
+    serial = RunTieredCluster(/*parallel=*/false);
+    par = RunTieredCluster(/*parallel=*/true);
+  }
+  Gate(state, serial.ok && par.ok, "tiered file-service cluster run failed");
+  if (!serial.ok || !par.ok) {
+    return;
+  }
+  Gate(state, serial.clocks == par.clocks,
+       "tiering broke serial-vs-parallel clock determinism");
+  Gate(state, serial.tier_events == par.tier_events,
+       "tiering broke serial-vs-parallel tier-ledger determinism");
+  uint64_t events = 0;
+  for (uint64_t e : serial.tier_events) {
+    events += e;
+  }
+  Gate(state, events > 0, "tiered cluster run produced no tier events");
+  state.counters["clients"] = 2.0;
+  state.counters["tier_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_TieredFsDeterminism)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return g_gate_failed ? 1 : 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Record the repo-root BENCH_*.json files from a Release build.
 #
-#   scripts/bench.sh [host_mips] [cluster_scaling] [cache_replacement] [file_service]   # default: all
+#   scripts/bench.sh [host_mips] [cluster_scaling] [cache_replacement] [file_service] [memory_tiers]   # default: all
 #
 # Guarantees enforced here (scripts/bench_json.py does the checking):
 #   * Bench binaries are built with CMAKE_BUILD_TYPE=Release. If google-
@@ -83,4 +83,8 @@ want cache_replacement && record BENCH_cache_replacement.json cache_replacement
 # file_service self-checks zero-wire warm hits, the >= 10x warm speedup and
 # the serial-vs-parallel differential on every measurement.
 want file_service && record BENCH_file_service.json file_service
+# memory_tiers sweeps the DRAM:slow split over the paging and DB workloads
+# and self-checks the demotion-beats-eviction gates plus the tiered
+# serial-vs-parallel cluster differential (docs/TIERING.md).
+want memory_tiers && record BENCH_memory_tiers.json memory_tiers
 echo "== done"

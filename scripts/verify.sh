@@ -105,9 +105,14 @@ if $run_tsan; then
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target cluster_test sim_test cluster_scaling \
-      fastpath_test tenant_test fs_test
+      fastpath_test tenant_test fs_test property_test memory_tiers
+  # property_test carries the tiered conservation storms, fs_test the tiered
+  # netboot serial-vs-parallel differential, and the memory_tiers fixture the
+  # tiered cluster-determinism gate (docs/TIERING.md) -- all must be clean
+  # under TSan with tiering enabled.
   TSAN_OPTIONS=halt_on_error=1 \
-      ctest --test-dir build-tsan -R 'cluster_test|sim_test|cluster_scaling|fs_test' \
+      ctest --test-dir build-tsan \
+      -R 'cluster_test|sim_test|cluster_scaling|fs_test|property_test|memory_tiers' \
       --output-on-failure
 
   echo "== TSan: intra-MPM worker pool (CK_CPUS_PARALLEL=1) =="

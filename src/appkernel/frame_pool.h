@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/types.h"
@@ -20,6 +22,13 @@ namespace ckapp {
 
 class FramePool {
  public:
+  // Observer for allocation/release, bound by the SRM at Launch so the Cache
+  // Kernel's tiered-memory layer (docs/TIERING.md) can track pool-held frames
+  // -- file-cache pages and paging backing frames then participate in
+  // demotion instead of pinning DRAM. Unbound (the default) costs one
+  // null test per event.
+  using TierHook = std::function<void(cksim::PhysAddr frame, bool allocated)>;
+  void BindTierHook(TierHook hook) { tier_hook_ = std::move(hook); }
   // Add every frame of a granted page group.
   void AddPageGroup(uint32_t group_index) {
     cksim::PhysAddr base = group_index * cksim::kPageGroupBytes;
@@ -41,10 +50,18 @@ class FramePool {
     }
     cksim::PhysAddr frame = free_.front();
     free_.pop_front();
+    if (tier_hook_) {
+      tier_hook_(frame, /*allocated=*/true);
+    }
     return frame;
   }
 
-  void Release(cksim::PhysAddr frame) { free_.push_back(frame); }
+  void Release(cksim::PhysAddr frame) {
+    free_.push_back(frame);
+    if (tier_hook_) {
+      tier_hook_(frame, /*allocated=*/false);
+    }
+  }
 
   uint32_t free_count() const { return static_cast<uint32_t>(free_.size()); }
   uint32_t total_count() const { return total_; }
@@ -52,6 +69,7 @@ class FramePool {
  private:
   std::deque<cksim::PhysAddr> free_;
   uint32_t total_ = 0;
+  TierHook tier_hook_;
 };
 
 }  // namespace ckapp

@@ -25,6 +25,7 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
       table_arena_(machine.memory(),
                    machine.memory().size() - config.page_table_arena_bytes,
                    config.page_table_arena_bytes),
+      frame_tiers_(machine.memory().page_count()),
       remote_frames_(machine.memory().page_count()) {
   knobs_.fastpath = config.fastpath;
   knobs_.trace_exec = config.trace_exec;
@@ -34,6 +35,11 @@ CacheKernel::CacheKernel(cksim::Machine& machine, const CacheKernelConfig& confi
   for (uint32_t t = 0; t < kObjectTypeCount; ++t) {
     knobs_.replacement[t] = config.replacement[t];
   }
+  knobs_.tier_dram_frames = config.tier_dram_frames;
+  knobs_.tier_demote = config.tier_demote;
+  knobs_.tier_promote_period = config.tier_promote_period;
+  knobs_.tier_scan_frames = config.tier_scan_frames;
+  tier_ref_.assign(machine.memory().page_count(), 0);
   tenant_.resize(config.kernel_slots);
   profile_pcs_.resize(config.kernel_slots);
   samplers_.resize(machine.cpu_count());
@@ -676,6 +682,7 @@ CkStatus CacheKernel::LoadMapping(KernelId caller, cksim::Cpu& cpu, const Mappin
     Tenant(space->kernel_slot).loads[static_cast<uint32_t>(ObjectType::kMapping)]++;
     CK_TRACE(Ring(cpu), obs::EventType::kObjectLoad, cpu.clock(),
              static_cast<uint32_t>(ObjectType::kMapping), spec.vaddr);
+    TierAdmitFrame(frame, &cpu, space->kernel_slot);
     return CkStatus::kOk;
   }();
   cpu.Advance(cost.trap_exit);
@@ -1018,6 +1025,372 @@ bool CacheKernel::ReclaimVictim(ObjectType type, cksim::Cpu& cpu, uint32_t reque
   // victims examined, so it bills the loading kernel.
   Tenant(requester_slot).reclaim_scan_steps[t] += steps;
   return evicted;
+}
+
+// ---------------------------------------------------------------------------
+// Tiered physical memory (docs/TIERING.md)
+//
+// DRAM is a cache over the slow tier the same way the descriptor pools are
+// caches over application-kernel state: admission on load, the same pluggable
+// victim scan under pressure, and a cheaper writeback -- demotion keeps a
+// cold frame's mappings loaded at slow-tier fill cost where full eviction
+// pays the dependency-ordered unload cascade. Every transition runs at a
+// deterministic serial point (kernel calls, the turn-preparation maintenance
+// scan); the batch execution phase only reads tier state, so the plain
+// per-frame tier bytes never race.
+// ---------------------------------------------------------------------------
+
+void CacheKernel::SetFrameTierInternal(uint32_t frame, cksim::MemTier to, TierChange why,
+                                       uint32_t tenant_slot) {
+  cksim::PhysicalMemory& mem = machine_.memory();
+  cksim::MemTier from = mem.tier_of(frame);
+  if (from == to) {
+    return;
+  }
+  mem.SetFrameTier(frame, to);
+  if (to == cksim::MemTier::kNone) {
+    frame_tiers_.OnRelease(frame);
+  } else if (from == cksim::MemTier::kNone) {
+    frame_tiers_.OnLoad(frame);
+  } else {
+    frame_tiers_.Touch(frame);  // migration counts as a fresh use either way
+  }
+  tier_ref_[frame] = 0;  // referenced evidence does not survive a transition
+  bool valid_slot = tenant_slot < tenant_.size();
+  switch (why) {
+    case TierChange::kAdmit:
+      stats_.tier_admissions++;
+      if (valid_slot) {
+        Tenant(tenant_slot).tier_admissions++;
+      }
+      break;
+    case TierChange::kDemote:
+      stats_.tier_demotions++;
+      if (valid_slot) {
+        Tenant(tenant_slot).tier_demotions++;
+      }
+      break;
+    case TierChange::kPromote:
+      stats_.tier_promotions++;
+      if (valid_slot) {
+        Tenant(tenant_slot).tier_promotions++;
+      }
+      break;
+    case TierChange::kEvict:
+      stats_.tier_evictions++;
+      if (valid_slot) {
+        Tenant(tenant_slot).tier_evictions++;
+      }
+      break;
+    case TierChange::kRelease:
+      if (from == cksim::MemTier::kDram) {
+        stats_.tier_release_dram++;
+      } else {
+        stats_.tier_release_slow++;
+      }
+      break;
+  }
+}
+
+void CacheKernel::TierAdmitFrame(uint32_t frame, cksim::Cpu* cpu, uint32_t requester_slot) {
+  if (!TierEnabled() || frame >= machine_.memory().page_count()) {
+    return;
+  }
+  cksim::PhysicalMemory& mem = machine_.memory();
+  if (mem.tier_of(frame) != cksim::MemTier::kNone) {
+    frame_tiers_.Touch(frame);  // already tracked: recency refresh only
+    return;
+  }
+  // Make room first. Pool-hook admissions arrive without a CPU to charge the
+  // reclaim work to; they admit over budget and the next maintenance scan
+  // trims DRAM back down.
+  if (cpu != nullptr) {
+    while (mem.tier_count(cksim::MemTier::kDram) >= knobs_.tier_dram_frames) {
+      if (!TierReclaimOne(*cpu, requester_slot, frame)) {
+        break;  // every candidate pinned: admit over budget
+      }
+    }
+  }
+  SetFrameTierInternal(frame, cksim::MemTier::kDram, TierChange::kAdmit, requester_slot);
+  if (cpu != nullptr) {
+    CK_TRACE(Ring(*cpu), obs::EventType::kTierAdmit, cpu->clock(), requester_slot, frame);
+  }
+}
+
+// The demotion victim scan: the same generic Reclaim engine as the four
+// descriptor caches, run over physical frames under the mapping cache's
+// replacement policy. Occupied slots are DRAM-resident frames.
+struct CacheKernel::FrameTierOps {
+  static constexpr int kPasses = 1;
+  static constexpr bool kScanOccupiedSteps = true;  // budget counts DRAM visits
+  CacheKernel& ck;
+  cksim::Cpu& cpu;
+  uint32_t requester_slot;
+  uint32_t exclude;
+  bool HasPvMapping(uint32_t frame) const {
+    for (uint32_t cur = ck.pmap_.FindFirst(frame); cur != kNilRecord;
+         cur = ck.pmap_.NextWithKey(cur)) {
+      if (ck.pmap_.record(cur).type() == RecordType::kPhysToVirt) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Occupied(uint32_t frame) const {
+    if (ck.machine_.memory().tier_of(frame) != cksim::MemTier::kDram || frame == exclude) {
+      return false;
+    }
+    // Full-evict mode reclaims through the mapping writeback path, so only
+    // frames with at least one virtual mapping are candidates: mapping-less
+    // pool pages (file-cache data) pin DRAM under that mode -- exactly the
+    // contrast bench/memory_tiers.cc measures against demotion.
+    return ck.knobs_.tier_demote || HasPvMapping(frame);
+  }
+  bool Eligible(uint32_t, int) const { return true; }
+  bool Pinned(uint32_t frame) { return ck.TierFramePinned(frame); }
+  bool TestAndClearReferenced(uint32_t frame) {
+    return ck.TierTestAndClearReferenced(frame, cpu);
+  }
+  void Evict(uint32_t frame) {
+    uint32_t owner = ck.TierOwnerSlot(frame, requester_slot);
+    if (ck.knobs_.tier_demote) {
+      // Demote: the mappings stay loaded; accesses re-fill their TLB entries
+      // and pay the slow tier's fill latency until promotion brings the frame
+      // back.
+      ck.TierFlushFrame(frame, cpu);
+      cpu.Advance(ck.machine_.cost().tier_demote);
+      ck.SetFrameTierInternal(frame, cksim::MemTier::kSlow, TierChange::kDemote, owner);
+      CK_TRACE(ck.Ring(cpu), obs::EventType::kTierDemote, cpu.clock(), owner, frame);
+    } else {
+      // Full evict: unload (and write back) every virtual mapping of the
+      // frame, then drop it from tier tracking -- the pre-tiering reclaim
+      // behavior the bench compares demotion against.
+      for (;;) {
+        uint32_t pv = kNilRecord;
+        for (uint32_t cur = ck.pmap_.FindFirst(frame); cur != kNilRecord;
+             cur = ck.pmap_.NextWithKey(cur)) {
+          if (ck.pmap_.record(cur).type() == RecordType::kPhysToVirt) {
+            pv = cur;
+            break;
+          }
+        }
+        if (pv == kNilRecord) {
+          break;
+        }
+        ck.UnloadPvRecord(pv, cpu, UnloadCause::kReclaim);
+      }
+      ck.SetFrameTierInternal(frame, cksim::MemTier::kNone, TierChange::kEvict, owner);
+      CK_TRACE(ck.Ring(cpu), obs::EventType::kTierEvict, cpu.clock(), owner, frame);
+    }
+  }
+};
+
+bool CacheKernel::TierReclaimOne(cksim::Cpu& cpu, uint32_t requester_slot, uint32_t exclude) {
+  FrameTierOps ops{*this, cpu, requester_slot, exclude};
+  uint64_t steps = 0;
+  ReplacementPolicy policy = knobs_.replacement[static_cast<uint32_t>(ObjectType::kMapping)];
+  bool evicted = frame_tiers_.Reclaim(policy, ops, steps);
+  stats_.tier_scan_steps += steps;
+  return evicted;
+}
+
+void CacheKernel::TierMaintenance(cksim::Cpu& cpu) {
+  if (!TierEnabled() || knobs_.tier_promote_period == 0 || cpu.clock() < tier_next_scan_) {
+    return;
+  }
+  tier_next_scan_ = cpu.clock() + knobs_.tier_promote_period;
+  cksim::PhysicalMemory& mem = machine_.memory();
+  uint32_t fallback_slot = first_kernel_.id.slot;
+  // Trim DRAM back to budget: pool-hook admissions overshoot (no CPU to
+  // charge reclaim work to at allocation time) and settle here.
+  while (mem.tier_count(cksim::MemTier::kDram) > knobs_.tier_dram_frames) {
+    if (!TierReclaimOne(cpu, fallback_slot, kNoFrame)) {
+      break;
+    }
+  }
+  // Hot-page promotion: a bounded round-robin sweep over slow-tier frames,
+  // harvesting referenced evidence; hot frames migrate back to DRAM. Every
+  // promotion opens a causal span so the migration's downstream cost (the
+  // demotions it forces, the TLB refills) is attributable.
+  uint32_t page_count = mem.page_count();
+  uint32_t budget = knobs_.tier_scan_frames;
+  uint32_t hand = tier_promote_hand_;
+  for (uint32_t i = 0; i < page_count && budget > 0; ++i) {
+    uint32_t frame = hand;
+    hand = (hand + 1) % page_count;
+    if (mem.tier_of(frame) != cksim::MemTier::kSlow) {
+      continue;
+    }
+    --budget;
+    stats_.tier_scan_steps++;
+    if (!TierTestAndClearReferenced(frame, cpu)) {
+      continue;
+    }
+    while (mem.tier_count(cksim::MemTier::kDram) >= knobs_.tier_dram_frames) {
+      if (!TierReclaimOne(cpu, fallback_slot, frame)) {
+        break;
+      }
+    }
+    uint32_t owner = TierOwnerSlot(frame, fallback_slot);
+    uint32_t span = machine_.AllocSpanId();
+    CK_TRACE(Ring(cpu), obs::EventType::kSpanBegin, cpu.clock(),
+             static_cast<uint16_t>(obs::EventType::kTierPromote), span);
+    TierFlushFrame(frame, cpu);
+    cpu.Advance(machine_.cost().tier_promote);
+    SetFrameTierInternal(frame, cksim::MemTier::kDram, TierChange::kPromote, owner);
+    CK_TRACE(Ring(cpu), obs::EventType::kTierPromote, cpu.clock(), owner, frame);
+  }
+  tier_promote_hand_ = hand;
+}
+
+bool CacheKernel::TierTestAndClearReferenced(uint32_t frame, cksim::Cpu& cpu) {
+  bool hot = tier_ref_[frame] != 0;
+  tier_ref_[frame] = 0;
+  // OR over the hardware referenced bits of every virtual mapping; all are
+  // consumed so the next scan sees only fresh use. The walks and clearing
+  // writes are charged like any other table access.
+  for (uint32_t cur = pmap_.FindFirst(frame); cur != kNilRecord; cur = pmap_.NextWithKey(cur)) {
+    const MemMapEntry& rec = pmap_.record(cur);
+    if (rec.type() != RecordType::kPhysToVirt || rec.pv_frame() != frame) {
+      continue;
+    }
+    AddressSpaceObject* space = spaces_.SlotAt(rec.pv_space_slot());
+    PhysAddr leaf = LeafPteAddr(space, rec.pv_vaddr(), /*create=*/false, cpu);
+    if (leaf == 0) {
+      continue;
+    }
+    uint32_t pte = machine_.memory().ReadWord(leaf);
+    if ((pte & cksim::kPteReferenced) != 0) {
+      machine_.memory().WriteWord(leaf, pte & ~cksim::kPteReferenced);
+      cpu.Advance(machine_.cost().pte_write);
+      hot = true;
+    }
+  }
+  return hot;
+}
+
+bool CacheKernel::TierFramePinned(uint32_t frame) {
+  for (uint32_t cur = pmap_.FindFirst(frame); cur != kNilRecord; cur = pmap_.NextWithKey(cur)) {
+    const MemMapEntry& rec = pmap_.record(cur);
+    if (rec.type() != RecordType::kPhysToVirt || rec.pv_frame() != frame) {
+      continue;
+    }
+    if (MappingEffectivelyLocked(cur)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheKernel::TierFlushFrame(uint32_t frame, cksim::Cpu& cpu) {
+  // A migration retargets the frame's physical medium: every TLB entry
+  // naming it is flushed so the next access re-fills and pays the new tier's
+  // fill cost (the micro-TLBs hold hints into the real TLBs, so they
+  // revalidate automatically).
+  for (uint32_t cur = pmap_.FindFirst(frame); cur != kNilRecord; cur = pmap_.NextWithKey(cur)) {
+    const MemMapEntry& rec = pmap_.record(cur);
+    if (rec.type() != RecordType::kPhysToVirt || rec.pv_frame() != frame) {
+      continue;
+    }
+    FlushTlbPageAllCpus(static_cast<uint16_t>(rec.pv_space_slot()),
+                        rec.pv_vaddr() >> cksim::kPageShift, cpu);
+  }
+  FlushReverseTlbFrameAllCpus(frame);
+}
+
+uint32_t CacheKernel::TierOwnerSlot(uint32_t frame, uint32_t fallback) {
+  for (uint32_t cur = pmap_.FindFirst(frame); cur != kNilRecord; cur = pmap_.NextWithKey(cur)) {
+    const MemMapEntry& rec = pmap_.record(cur);
+    if (rec.type() != RecordType::kPhysToVirt || rec.pv_frame() != frame) {
+      continue;
+    }
+    uint32_t space_slot = rec.pv_space_slot();
+    if (space_slot < spaces_.capacity() && spaces_.IsAllocated(space_slot)) {
+      return spaces_.SlotAt(space_slot)->kernel_slot;
+    }
+  }
+  return fallback;
+}
+
+cksim::Cycles CacheKernel::TierSlowTouchCycles(PhysAddr addr, uint32_t len) const {
+  if (!TierEnabled() || len == 0) {
+    return 0;
+  }
+  const cksim::PhysicalMemory& mem = machine_.memory();
+  Cycles extra = 0;
+  uint32_t last = cksim::PageFrame(addr + len - 1);
+  for (uint32_t f = cksim::PageFrame(addr); f <= last; ++f) {
+    if (mem.tier_of(f) == cksim::MemTier::kSlow) {
+      extra += machine_.cost().tier_slow_fill;
+    }
+  }
+  return extra;
+}
+
+void CacheKernel::TierTouch(PhysAddr addr) {
+  uint32_t frame = cksim::PageFrame(addr);
+  if (!TierEnabled() || frame >= machine_.memory().page_count()) {
+    return;
+  }
+  tier_ref_[frame] = 1;
+  if (machine_.memory().tier_of(frame) != cksim::MemTier::kNone) {
+    frame_tiers_.Touch(frame);
+  }
+}
+
+void CacheKernel::TierFramePoolEvent(KernelId owner, PhysAddr frame_addr, bool allocated) {
+  uint32_t frame = cksim::PageFrame(frame_addr);
+  if (frame >= machine_.memory().page_count()) {
+    return;
+  }
+  if (allocated) {
+    TierAdmitFrame(frame, /*cpu=*/nullptr, owner.id.slot);
+  } else if (machine_.memory().tier_of(frame) != cksim::MemTier::kNone) {
+    SetFrameTierInternal(frame, cksim::MemTier::kNone, TierChange::kRelease, owner.id.slot);
+  }
+}
+
+uint8_t CacheKernel::FrameTierOf(PhysAddr addr) const {
+  uint32_t frame = cksim::PageFrame(addr);
+  if (frame >= machine_.memory().page_count()) {
+    return static_cast<uint8_t>(cksim::MemTier::kNone);
+  }
+  return static_cast<uint8_t>(machine_.memory().tier_of(frame));
+}
+
+void CacheKernel::RestoreFrameTier(PhysAddr addr, uint8_t tier) {
+  uint32_t frame = cksim::PageFrame(addr);
+  if (frame >= machine_.memory().page_count() ||
+      tier >= static_cast<uint8_t>(cksim::kMemTierCount)) {
+    return;
+  }
+  cksim::MemTier target = static_cast<cksim::MemTier>(tier);
+  cksim::MemTier cur = machine_.memory().tier_of(frame);
+  if (cur == target) {
+    return;
+  }
+  // Reinstate the placement through the normal transitions (no charges, no
+  // budget enforcement -- this replays state, it does not simulate work), so
+  // the CkStats conservation identities keep holding after a round trip.
+  uint32_t slot = first_kernel_.id.slot;
+  switch (target) {
+    case cksim::MemTier::kNone:
+      SetFrameTierInternal(frame, cksim::MemTier::kNone, TierChange::kRelease, slot);
+      break;
+    case cksim::MemTier::kDram:
+      if (cur == cksim::MemTier::kNone) {
+        SetFrameTierInternal(frame, cksim::MemTier::kDram, TierChange::kAdmit, slot);
+      } else {
+        SetFrameTierInternal(frame, cksim::MemTier::kDram, TierChange::kPromote, slot);
+      }
+      break;
+    case cksim::MemTier::kSlow:
+      if (cur == cksim::MemTier::kNone) {
+        SetFrameTierInternal(frame, cksim::MemTier::kDram, TierChange::kAdmit, slot);
+      }
+      SetFrameTierInternal(frame, cksim::MemTier::kSlow, TierChange::kDemote, slot);
+      break;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1432,6 +1805,8 @@ CkStatus CacheKernel::CopyPage(KernelId caller, cksim::Cpu& cpu, PhysAddr dst, P
   machine_.memory().Read(src, buf.data(), cksim::kPageSize);
   machine_.memory().Write(dst, buf.data(), cksim::kPageSize);
   cpu.Advance(cost.cache_line_fill * (cksim::kPageSize / 32));  // line-at-a-time copy
+  cpu.Advance(TierSlowTouchCycles(src, cksim::kPageSize) +
+              TierSlowTouchCycles(dst, cksim::kPageSize));
   cpu.Advance(cost.trap_exit);
   return CkStatus::kOk;
 }
@@ -1449,6 +1824,7 @@ CkStatus CacheKernel::ZeroPage(KernelId caller, cksim::Cpu& cpu, PhysAddr dst) {
   }
   machine_.memory().Zero(dst, cksim::kPageSize);
   cpu.Advance(cost.mem_word * (cksim::kPageSize / 8));  // burst zeroing
+  cpu.Advance(TierSlowTouchCycles(dst, cksim::kPageSize));
   cpu.Advance(cost.trap_exit);
   return CkStatus::kOk;
 }
@@ -1464,7 +1840,7 @@ CkStatus CacheKernel::WritePhys(KernelId caller, cksim::Cpu& cpu, PhysAddr addr,
     return CkStatus::kDenied;
   }
   machine_.memory().Write(addr, data, len);
-  cpu.Advance(cost.mem_word * ((len + 3) / 4));
+  cpu.Advance(cost.mem_word * ((len + 3) / 4) + TierSlowTouchCycles(addr, len));
   return CkStatus::kOk;
 }
 
@@ -1479,7 +1855,7 @@ CkStatus CacheKernel::ReadPhys(KernelId caller, cksim::Cpu& cpu, PhysAddr addr, 
     return CkStatus::kDenied;
   }
   machine_.memory().Read(addr, out, len);
-  cpu.Advance(cost.mem_word * ((len + 3) / 4));
+  cpu.Advance(cost.mem_word * ((len + 3) / 4) + TierSlowTouchCycles(addr, len));
   return CkStatus::kOk;
 }
 
@@ -1687,6 +2063,18 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
   registry.AddCounter("ck.sched.idle_turns", [s] { return s->idle_turns; });
   registry.AddCounter("ck.sched.quota_degradations", [s] { return s->quota_degradations; });
   registry.AddCounter("ck.stale_id_errors", [s] { return s->stale_id_errors; });
+  registry.AddCounter("ck.tier.admissions", [s] { return s->tier_admissions; });
+  registry.AddCounter("ck.tier.demotions", [s] { return s->tier_demotions; });
+  registry.AddCounter("ck.tier.promotions", [s] { return s->tier_promotions; });
+  registry.AddCounter("ck.tier.evictions", [s] { return s->tier_evictions; });
+  registry.AddCounter("ck.tier.release_dram", [s] { return s->tier_release_dram; });
+  registry.AddCounter("ck.tier.release_slow", [s] { return s->tier_release_slow; });
+  registry.AddCounter("ck.tier.scan_steps", [s] { return s->tier_scan_steps; });
+  const cksim::PhysicalMemory* pm = &machine_.memory();
+  registry.AddCounter("ck.tier.dram_count",
+                      [pm] { return pm->tier_count(cksim::MemTier::kDram); });
+  registry.AddCounter("ck.tier.slow_count",
+                      [pm] { return pm->tier_count(cksim::MemTier::kSlow); });
 
   cksim::Machine* m = &machine_;
   for (uint32_t c = 0; c < machine_.cpu_count(); ++c) {
@@ -1771,6 +2159,14 @@ void CacheKernel::RegisterMetrics(obs::Registry& registry) {
                         [tenants, slot] { return (*tenants)[slot].fs_readahead_useful; });
     registry.AddCounter(prefix + "fs_invalidations",
                         [tenants, slot] { return (*tenants)[slot].fs_invalidations; });
+    registry.AddCounter(prefix + "tier_admissions",
+                        [tenants, slot] { return (*tenants)[slot].tier_admissions; });
+    registry.AddCounter(prefix + "tier_demotions",
+                        [tenants, slot] { return (*tenants)[slot].tier_demotions; });
+    registry.AddCounter(prefix + "tier_promotions",
+                        [tenants, slot] { return (*tenants)[slot].tier_promotions; });
+    registry.AddCounter(prefix + "tier_evictions",
+                        [tenants, slot] { return (*tenants)[slot].tier_evictions; });
   }
 }
 

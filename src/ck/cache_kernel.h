@@ -96,6 +96,19 @@ struct CkStats {
   uint64_t exec_trace_misses = 0;
   uint64_t exec_trace_invalidations = 0;
   uint64_t exec_trace_builds = 0;
+  // Tiered physical memory (docs/TIERING.md). Every tier transition goes
+  // through one mutation point, so two flow-conservation identities hold at
+  // any point (tests/property_test.cc asserts them after tiering storms):
+  //   tier_admissions + tier_promotions ==
+  //       tier_demotions + tier_evictions + tier_release_dram + dram_count
+  //   tier_demotions == tier_promotions + tier_release_slow + slow_count
+  uint64_t tier_admissions = 0;    // untracked -> DRAM
+  uint64_t tier_demotions = 0;     // DRAM -> slow
+  uint64_t tier_promotions = 0;    // slow -> DRAM (hot-page promotion)
+  uint64_t tier_evictions = 0;     // DRAM -> untracked via full evict mode
+  uint64_t tier_release_dram = 0;  // DRAM -> untracked via frame-pool release
+  uint64_t tier_release_slow = 0;  // slow -> untracked via frame-pool release
+  uint64_t tier_scan_steps = 0;    // frames examined by demotion + promotion scans
 };
 
 // Per-app-kernel cost attribution, indexed by kernel slot. Every increment
@@ -134,6 +147,14 @@ struct CostAccount {
   uint64_t fs_readahead_issued = 0;
   uint64_t fs_readahead_useful = 0;
   uint64_t fs_invalidations = 0;
+  // Tiered-memory work attributed to this kernel: admissions/demotions/
+  // evictions charge the frame's owning tenant when one exists (the kernel of
+  // the first virtual mapping) and otherwise the kernel whose load forced the
+  // transition; promotions always charge the owner.
+  uint64_t tier_admissions = 0;
+  uint64_t tier_demotions = 0;
+  uint64_t tier_promotions = 0;
+  uint64_t tier_evictions = 0;
 };
 
 // Which CostAccount fs_* counter a ChargeFs call lands in.
@@ -229,6 +250,25 @@ struct RuntimeKnobs {
   ReplacementPolicy replacement[kObjectTypeCount] = {
       ReplacementPolicy::kClock, ReplacementPolicy::kClock, ReplacementPolicy::kClock,
       ReplacementPolicy::kClock};
+  // Tiered physical memory (docs/TIERING.md; boot defaults in
+  // CacheKernelConfig). tier_dram_frames == 0 disables tiering.
+  uint32_t tier_dram_frames = 0;
+  bool tier_demote = true;  // demote cold frames to the slow tier vs full evict
+  cksim::Cycles tier_promote_period = 0;
+  uint32_t tier_scan_frames = 64;
+};
+
+// Capacity-only backing store for the frame-tier ObjectCache: the cache
+// tracks per-frame recency state (load stamps, soft referenced bits, clock
+// hand) over physical page frames; the frames themselves live in
+// cksim::PhysicalMemory.
+class FrameTierStore {
+ public:
+  explicit FrameTierStore(uint32_t capacity) : capacity_(capacity) {}
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t capacity_;
 };
 
 class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
@@ -386,6 +426,29 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   void set_replacement_policy(ObjectType type, ReplacementPolicy policy) {
     knobs_.replacement[static_cast<uint32_t>(type)] = policy;
   }
+  // ---- tiered physical memory (docs/TIERING.md) ----
+  // Set the DRAM budget (frames; 0 disables tiering) and the pressure mode
+  // (demote-to-slow vs full evict). Safe at any point: consulted at the next
+  // admission / maintenance scan. Frames touched before enabling stay
+  // untracked (DRAM-like) until their next mapping load or pool allocation.
+  void set_tiers(uint32_t dram_frames, bool demote) {
+    knobs_.tier_dram_frames = dram_frames;
+    knobs_.tier_demote = demote;
+  }
+  void set_tier_promote_period(cksim::Cycles period) { knobs_.tier_promote_period = period; }
+  // Recency touch for a frame an application kernel holds outside any
+  // mapping (file-cache pages, src/fs): gives it the same second chance a
+  // hardware referenced bit gives a mapped frame.
+  void TierTouch(cksim::PhysAddr addr);
+  // Frame-pool allocation/release hook (src/appkernel/frame_pool.h, bound by
+  // the SRM at Launch): tracks pool-held frames in the DRAM tier so they
+  // participate in demotion instead of pinning DRAM.
+  void TierFramePoolEvent(KernelId owner, cksim::PhysAddr frame, bool allocated);
+  // Checkpoint/restore (src/ckpt): read / reinstate one frame's tier
+  // placement. Restore routes through the normal transition accounting, so
+  // the tier conservation identities keep holding.
+  uint8_t FrameTierOf(cksim::PhysAddr addr) const;
+  void RestoreFrameTier(cksim::PhysAddr addr, uint8_t tier);
 
   uint32_t loaded_count(ObjectType type) const;
   uint32_t capacity(ObjectType type) const;
@@ -549,6 +612,46 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   // the bitmap; frames beyond local memory fall back to its sparse side).
   bool FrameIsRemote(uint32_t pframe) const { return remote_frames_.Test(pframe); }
 
+  // -- tiered physical memory (docs/TIERING.md) --
+  bool TierEnabled() const { return knobs_.tier_dram_frames != 0; }
+  // Why a tier transition happened; picks the stat counters. Restore reuses
+  // kAdmit/kDemote so the conservation identities hold across round trips.
+  enum class TierChange : uint8_t { kAdmit, kDemote, kPromote, kEvict, kRelease };
+  // The single tier-transition point: maintains the PhysicalMemory tier
+  // attribute, the frame cache's load stamps and every CkStats/CostAccount
+  // tier counter. All callers run at deterministic serial points.
+  void SetFrameTierInternal(uint32_t frame, cksim::MemTier to, TierChange why,
+                            uint32_t tenant_slot);
+  // Admit an untracked frame to DRAM (or refresh a tracked frame's recency),
+  // demoting/evicting one cold victim first when at budget. cpu may be null
+  // (frame-pool hook); charges and traces are skipped then and the budget is
+  // enforced by the next maintenance scan instead.
+  void TierAdmitFrame(uint32_t frame, cksim::Cpu* cpu, uint32_t requester_slot);
+  // Demote (or fully evict, per knobs_.tier_demote) one cold DRAM frame.
+  // False when every candidate is pinned. `exclude` (kNoFrame when unused)
+  // protects the frame currently being admitted or promoted.
+  bool TierReclaimOne(cksim::Cpu& cpu, uint32_t requester_slot, uint32_t exclude);
+  // Serial maintenance pass (head of turn preparation, both dispatch modes):
+  // trim over-budget DRAM, then promote hot slow-tier frames by their
+  // harvested referenced bits.
+  void TierMaintenance(cksim::Cpu& cpu);
+  // Harvest (and clear) the referenced evidence for a frame: hardware leaf
+  // PTE bits over all of its virtual mappings, OR-ed with the soft TierTouch
+  // bit. PTE reads/clears are charged to `cpu`.
+  bool TierTestAndClearReferenced(uint32_t frame, cksim::Cpu& cpu);
+  // Any virtual mapping of the frame effectively locked (those pin DRAM)?
+  bool TierFramePinned(uint32_t frame);
+  // Flush every TLB / reverse-TLB entry naming the frame so post-transition
+  // accesses re-fill and pay the new tier's fill cost.
+  void TierFlushFrame(uint32_t frame, cksim::Cpu& cpu);
+  // Owning tenant: kernel slot of the first virtual mapping's space, or
+  // `fallback` for frames with no mappings (pool-held file-cache pages).
+  uint32_t TierOwnerSlot(uint32_t frame, uint32_t fallback);
+  // Extra cycles for bulk physical access overlapping slow-tier frames.
+  cksim::Cycles TierSlowTouchCycles(cksim::PhysAddr addr, uint32_t len) const;
+  struct FrameTierOps;
+  static constexpr uint32_t kNoFrame = 0xffffffffu;
+
   void FlushTlbPageAllCpus(uint16_t asid, uint32_t vpage, cksim::Cpu& cpu);
   void FlushReverseTlbFrameAllCpus(uint32_t pframe);
 
@@ -563,6 +666,14 @@ class CacheKernel : public cksim::MachineClient, public cksim::SignalSink {
   ObjectCache<ckbase::FixedPool<ThreadObject>> threads_;
   ObjectCache<PhysicalMemoryMap> pmap_;
   TableArena table_arena_;
+  // Frame-tier recency cache: load stamps / soft bits / clock hand over
+  // physical frames (one slot per frame; "loaded" == tier-tracked). The
+  // demotion victim scan runs the same pluggable Reclaim engine as the four
+  // descriptor caches, under the mapping type's replacement policy.
+  ObjectCache<FrameTierStore> frame_tiers_;
+  std::vector<uint8_t> tier_ref_;   // soft referenced bit per frame (TierTouch)
+  uint32_t tier_promote_hand_ = 0;  // round-robin start of the promotion scan
+  cksim::Cycles tier_next_scan_ = 0;
 
   KernelId first_kernel_;
 
@@ -691,6 +802,11 @@ class CkApi {
   CkStatus ReadPhys(cksim::PhysAddr addr, void* out, uint32_t len) {
     return ck_.ReadPhys(self_, cpu_, addr, out, len);
   }
+  // Tiered physical memory (docs/TIERING.md): recency touch for pool-held
+  // frames, and tier capture/reinstate for checkpoint/restore.
+  void TierTouch(cksim::PhysAddr addr) { ck_.TierTouch(addr); }
+  uint8_t FrameTier(cksim::PhysAddr addr) const { return ck_.FrameTierOf(addr); }
+  void SetFrameTier(cksim::PhysAddr addr, uint8_t tier) { ck_.RestoreFrameTier(addr, tier); }
   void ScheduleAt(cksim::Cycles at, std::function<void(CkApi&)> fn) {
     ck_.ScheduleAppEvent(at, self_, std::move(fn));
   }

@@ -397,6 +397,12 @@ void CacheKernel::FinishTurn(cksim::Cpu& cpu) {
 // shape on an acceleration knob would desynchronize the fast-vs-slow
 // differential suites.
 CacheKernel::TurnPrep CacheKernel::PrepareTurn(cksim::Cpu& cpu, GuestRunJob* job) {
+  // Tiered-memory maintenance (DRAM trim + hot-page promotion) runs at the
+  // head of turn preparation: serial in both dispatch modes (BatchTurn's
+  // phase 1 prepares CPUs one at a time in deterministic order), so every
+  // tier transition is a deterministic serial point.
+  TierMaintenance(cpu);
+
   // Application-kernel deferred events due on this CPU's clock.
   while (!app_events_.empty() && app_events_.front().at <= cpu.clock()) {
     AppEvent event = std::move(app_events_.front());

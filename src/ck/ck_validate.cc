@@ -244,6 +244,49 @@ std::vector<std::string> CacheKernel::ValidateInvariants() {
     }
   }
 
+  // --- tiered physical memory (docs/TIERING.md) ---
+  // A frame is in exactly one tier; scanning the per-frame bytes must agree
+  // with PhysicalMemory's per-tier counts, the counts must partition the
+  // frame pool, and the frame-tier cache's load stamps must mark exactly the
+  // tracked (DRAM or slow) frames.
+  {
+    uint32_t page_count = mem.page_count();
+    uint32_t scanned[cksim::kMemTierCount] = {0, 0, 0};
+    for (uint32_t f = 0; f < page_count; ++f) {
+      uint8_t tier = static_cast<uint8_t>(mem.tier_of(f));
+      if (tier >= cksim::kMemTierCount) {
+        fail("frame " + std::to_string(f) + " has out-of-range tier value");
+        continue;
+      }
+      scanned[tier]++;
+      bool tracked = tier != static_cast<uint8_t>(cksim::MemTier::kNone);
+      if (tracked != (frame_tiers_.load_seq(f) != 0)) {
+        fail("frame-tier cache load stamp disagrees with tier residency for frame " +
+             std::to_string(f));
+      }
+    }
+    const char* const kTierNames[cksim::kMemTierCount] = {"none", "dram", "slow"};
+    uint32_t counted_total = 0;
+    for (uint32_t t = 0; t < cksim::kMemTierCount; ++t) {
+      uint32_t counted = mem.tier_count(static_cast<cksim::MemTier>(t));
+      counted_total += counted;
+      if (scanned[t] != counted) {
+        std::ostringstream os;
+        os << "tier " << kTierNames[t] << " count " << counted << " disagrees with scan "
+           << scanned[t];
+        fail(os.str());
+      }
+    }
+    if (counted_total != page_count) {
+      fail("per-tier counts do not partition the frame pool");
+    }
+    if (TierEnabled() &&
+        frame_tiers_.loaded() != mem.tier_count(cksim::MemTier::kDram) +
+                                     mem.tier_count(cksim::MemTier::kSlow)) {
+      fail("frame-tier cache loaded() disagrees with DRAM + slow counts");
+    }
+  }
+
   return violations;
 }
 

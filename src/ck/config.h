@@ -98,6 +98,25 @@ struct CacheKernelConfig {
   // fastpath); this is only the boot default.
   ReplacementPolicy replacement[4] = {ReplacementPolicy::kClock, ReplacementPolicy::kClock,
                                       ReplacementPolicy::kClock, ReplacementPolicy::kClock};
+
+  // Tiered physical memory (docs/TIERING.md). tier_dram_frames bounds how
+  // many frames may be DRAM-resident at once; 0 (the default) disables
+  // tiering entirely -- every frame stays untracked and behaves like DRAM,
+  // which is the pre-tiering behavior bit for bit. All four are runtime-
+  // mutable through CacheKernel::set_tiers / set_tier_promote_period
+  // (RuntimeKnobs fields, like fastpath); these are only the boot defaults.
+  uint32_t tier_dram_frames = 0;
+  // Under DRAM pressure: demote the cold victim to the slow tier (true, the
+  // default -- keeps its mappings loaded at slow-tier access cost) or fully
+  // evict it (false -- unload + write back every mapping, the pre-tiering
+  // reclaim behavior, kept for the bench comparison).
+  bool tier_demote = true;
+  // Cadence of the hot-page promotion scan (harvests leaf-PTE referenced
+  // bits over slow-tier frames at the head of the serial turn-preparation
+  // phase); 0 disables promotion.
+  cksim::Cycles tier_promote_period = 250000;  // 10 ms at 25 MHz
+  // Slow-tier frames examined per promotion scan.
+  uint32_t tier_scan_frames = 64;
 };
 
 }  // namespace ck

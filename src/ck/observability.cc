@@ -35,7 +35,8 @@ void PrintUsage(const char* prog, const std::vector<std::string>& passthrough) {
                "  --fastpath=on|off        force the guest-execution fast path\n"
                "  --trace-exec=on|off      force superblock trace execution\n"
                "  --cpus-parallel[=on|off] batched intra-MPM dispatch on host threads\n"
-               "  --policy=<name>          replacement policy: clock|fifo|second-chance\n",
+               "  --policy=<name>          replacement policy: clock|fifo|second-chance\n"
+               "  --tiers=off|<frames>[,demote|,evict]  tiered memory DRAM budget\n",
                prog, static_cast<unsigned long long>(kDefaultProfilePeriod));
   if (!passthrough.empty()) {
     std::fprintf(stderr, "binary-specific flags:\n");
@@ -110,6 +111,33 @@ ObsSession::ObsSession(int& argc, char** argv, std::initializer_list<const char*
         PrintUsage(argv[0], pass);
         std::exit(2);
       }
+    } else if (std::strncmp(arg, "--tiers=", 8) == 0) {
+      const char* value = arg + 8;
+      if (std::strcmp(value, "off") == 0) {
+        tiers_frames_ = 0;
+      } else {
+        char* end = nullptr;
+        long long frames = std::strtoll(value, &end, 10);
+        bool ok = end != value && frames > 0;
+        if (ok && *end == ',') {
+          if (std::strcmp(end + 1, "demote") == 0) {
+            tiers_demote_ = true;
+          } else if (std::strcmp(end + 1, "evict") == 0) {
+            tiers_demote_ = false;
+          } else {
+            ok = false;
+          }
+        } else if (ok && *end != '\0') {
+          ok = false;
+        }
+        if (!ok) {
+          std::fprintf(stderr, "%s: bad --tiers=%s (off|<frames>[,demote|,evict])\n", argv[0],
+                       value);
+          PrintUsage(argv[0], pass);
+          std::exit(2);
+        }
+        tiers_frames_ = frames;
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       PrintUsage(argv[0], pass);
       std::exit(0);
@@ -179,6 +207,9 @@ void ObsSession::Attach(cksim::Machine& machine, CacheKernel* kernel) {
       kernel->set_replacement_policy(static_cast<ObjectType>(type),
                                      static_cast<ReplacementPolicy>(policy_override_));
     }
+  }
+  if (tiers_frames_ >= 0) {
+    kernel->set_tiers(static_cast<uint32_t>(tiers_frames_), tiers_demote_);
   }
 }
 

@@ -41,6 +41,11 @@
 //   --policy=<name>       descriptor-cache replacement policy for all four
 //                         object types: clock (default), fifo, second-chance
 //                         (see src/ck/object_cache.h)
+//   --tiers=off|<frames>[,demote|,evict]  tiered physical memory
+//                         (docs/TIERING.md): DRAM budget in frames with
+//                         demote-to-slow (default) or full-evict pressure
+//                         handling; `off` (the default) leaves every frame
+//                         untracked at DRAM cost
 //
 // Unknown `--` flags are rejected with a usage message and exit code 2 (a
 // typo like --polcy=fifo must not silently run the default policy). Binaries
@@ -135,6 +140,8 @@ class ObsSession {
   int trace_exec_override_ = -1;     // -1 = leave config alone, else 0/1
   int cpus_parallel_override_ = -1;  // -1 = leave config alone, else 0/1
   int policy_override_ = -1;    // -1 = leave config alone, else ReplacementPolicy
+  int64_t tiers_frames_ = -1;   // -1 = leave config alone, else DRAM frame budget
+  bool tiers_demote_ = true;    // pressure mode when tiers_frames_ >= 0
   std::vector<Attached> attached_;
   obs::Registry registry_;
 };

@@ -142,6 +142,10 @@ void AppKernelState::Capture(AppKernelBase& app, ck::CkApi& api, CkptImage* imag
       Writer w;
       w.U32(s);
       w.U32(vaddr);
+      // Tier placement (docs/TIERING.md) is observable state: it decides the
+      // frame's access cost and future victim choice, so it migrates with
+      // the contents.
+      w.U8(api.FrameTier(page.frame));
       w.Bytes(buf.data(), kPageSize);
       image->Append(RecordType::kPageContents, w.Take());
     }
@@ -161,6 +165,7 @@ void AppKernelState::Capture(AppKernelBase& app, ck::CkApi& api, CkptImage* imag
       api.ReadPhys(source, buf.data(), kPageSize);
       Writer w;
       w.U32(source);
+      w.U8(api.FrameTier(source));
       w.Bytes(buf.data(), kPageSize);
       image->Append(RecordType::kSharedFrame, w.Take());
     }
@@ -249,9 +254,17 @@ bool AppKernelState::Restore(AppKernelBase& app, ck::CkApi& api, const CkptImage
 
   std::vector<DecodedSpace> spaces;
   std::vector<ThreadRec> threads;
-  // (space, vaddr) -> contents of the captured owned frame.
-  std::map<std::pair<uint32_t, VirtAddr>, const uint8_t*> contents;
-  std::vector<std::pair<PhysAddr, const uint8_t*>> shared_frames;
+  // (space, vaddr) -> contents + captured tier of the captured owned frame.
+  struct CapturedFrame {
+    const uint8_t* data = nullptr;
+    uint8_t tier = 0;
+  };
+  std::map<std::pair<uint32_t, VirtAddr>, CapturedFrame> contents;
+  struct SharedFrame {
+    PhysAddr old_frame = 0;
+    CapturedFrame captured;
+  };
+  std::vector<SharedFrame> shared_frames;
   std::vector<std::pair<uint32_t, const uint8_t*>> backing_writes;
 
   for (const CkptRecord& rec : image.records()) {
@@ -302,18 +315,20 @@ bool AppKernelState::Restore(AppKernelBase& app, ck::CkApi& api, const CkptImage
       case RecordType::kPageContents: {
         uint32_t space = r.U32();
         VirtAddr vaddr = r.U32();
-        if (!r.ok() || r.remaining() != kPageSize) {
+        uint8_t tier = r.U8();
+        if (!r.ok() || r.remaining() != kPageSize || tier >= cksim::kMemTierCount) {
           return fail("bad page-contents record");
         }
-        contents[{space, vaddr}] = rec.payload.data() + 8;
+        contents[{space, vaddr}] = CapturedFrame{rec.payload.data() + 9, tier};
         break;
       }
       case RecordType::kSharedFrame: {
         PhysAddr old_frame = r.U32();
-        if (!r.ok() || r.remaining() != kPageSize) {
+        uint8_t tier = r.U8();
+        if (!r.ok() || r.remaining() != kPageSize || tier >= cksim::kMemTierCount) {
           return fail("bad shared-frame record");
         }
-        shared_frames.emplace_back(old_frame, rec.payload.data() + 4);
+        shared_frames.push_back(SharedFrame{old_frame, {rec.payload.data() + 5, tier}});
         break;
       }
       case RecordType::kBackingPage: {
@@ -394,17 +409,20 @@ bool AppKernelState::Restore(AppKernelBase& app, ck::CkApi& api, const CkptImage
         continue;
       }
       PhysAddr frame = app.frames_.Allocate();
-      api.WritePhys(frame, contents.at({s, dp.vaddr}), kPageSize);
+      const CapturedFrame& captured = contents.at({s, dp.vaddr});
+      api.WritePhys(frame, captured.data, kPageSize);
+      api.SetFrameTier(frame, captured.tier);
       new_frame_of[{s, dp.vaddr}] = frame;
       if (dp.page.frame != 0) {
         xlat[dp.page.frame] = frame;
       }
     }
   }
-  for (const auto& [old_frame, data] : shared_frames) {
+  for (const SharedFrame& shared : shared_frames) {
     PhysAddr frame = app.frames_.Allocate();
-    api.WritePhys(frame, data, kPageSize);
-    xlat[old_frame] = frame;
+    api.WritePhys(frame, shared.captured.data, kPageSize);
+    api.SetFrameTier(frame, shared.captured.tier);
+    xlat[shared.old_frame] = frame;
   }
 
   for (uint32_t s = 0; s < spaces.size(); ++s) {
@@ -430,7 +448,7 @@ bool AppKernelState::Restore(AppKernelBase& app, ck::CkApi& api, const CkptImage
           page.frame = translate(page.frame);
           auto it = contents.find({s, dp.vaddr});
           if (it != contents.end() && page.frame != 0) {
-            if (api.WritePhys(page.frame, it->second, kPageSize) != ckbase::CkStatus::kOk) {
+            if (api.WritePhys(page.frame, it->second.data, kPageSize) != ckbase::CkStatus::kOk) {
               *error = "no write access to restored fixed frame (missing remap or grant?)";
               return false;
             }
@@ -550,6 +568,11 @@ std::vector<std::pair<std::string, uint64_t>> AppKernelState::Digest(AppKernelBa
       if (page.where == PageRecord::Where::kResident && page.frame != 0) {
         api.ReadPhys(page.frame, buf.data(), kPageSize);
         add(pp + "contents_crc", Crc32(buf.data(), kPageSize));
+        if (page.frame_owned) {
+          // Tier placement is part of the observable state for frames the
+          // restore rebuilds (fixed frames keep the target's placement).
+          add(pp + "tier", api.FrameTier(page.frame));
+        }
       }
       if (page.backing_page != ckapp::kNoBackingPage &&
           page.backing_page < app.backing_.page_count()) {

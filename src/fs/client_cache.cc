@@ -454,6 +454,9 @@ ClientFileCache::Status ClientFileCache::Read(CkApi& api, uint32_t fileid, uint3
       want = kPageSize;
     }
     api.ReadPhys(entry->frames[page], out, kPageSize);
+    // Pool-held cache pages carry no PTE referenced bit; this soft touch is
+    // their equivalent recency evidence for tier promotion (docs/TIERING.md).
+    api.TierTouch(entry->frames[page]);
     api.Charge(kHitCopyCost);
     *len = want;
     if ((entry->demand_fill & bit) != 0) {

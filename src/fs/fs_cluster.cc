@@ -112,6 +112,11 @@ FsCluster::FsCluster(const FsClusterConfig& config) : config_(config) {
     clients_.push_back(std::make_unique<ClientNode>());
     ClientNode& client = *clients_.back();
     cluster_.AddMachine(&client.machine);
+    if (config_.tier_dram_frames != 0) {
+      // Before Launch, so every frame the client kernel ever touches is
+      // tier-tracked from its first allocation.
+      client.ck.set_tiers(config_.tier_dram_frames, config_.tier_demote);
+    }
 
     uint32_t server_group = server_node_->srm.ReserveGroups(1).value();
     uint32_t client_group = client.srm.ReserveGroups(1).value();

@@ -50,6 +50,14 @@ const char* EventTypeName(EventType type) {
       return "srm.op";
     case EventType::kProfSample:
       return "prof.sample";
+    case EventType::kTierAdmit:
+      return "tier.admit";
+    case EventType::kTierDemote:
+      return "tier.demote";
+    case EventType::kTierPromote:
+      return "tier.promote";
+    case EventType::kTierEvict:
+      return "tier.evict";
     case EventType::kCount:
       break;
   }

@@ -57,6 +57,12 @@ enum class EventType : uint8_t {
   kSrmOp,       // system-resource-manager operation; arg16 = SrmOpCode
   // Sampling profiler. arg16 = owning kernel slot, arg32 = guest PC.
   kProfSample,
+  // Tiered physical memory (docs/TIERING.md). arg16 = owning/requesting
+  // kernel slot, arg32 = physical frame number.
+  kTierAdmit,    // untracked frame admitted to the DRAM tier
+  kTierDemote,   // cold DRAM frame demoted to the slow tier
+  kTierPromote,  // hot slow-tier frame migrated back to DRAM
+  kTierEvict,    // DRAM frame fully evicted (mappings unloaded)
   kCount,
 };
 

@@ -65,6 +65,18 @@ struct CostModel {
   Cycles wire_latency = 2500;        // fiber channel one-way (~100 us)
   Cycles idle_tick = 100;            // clock advance for an idle CPU turn
 
+  // --- tiered physical memory (docs/TIERING.md) ---
+  // The slow tier models CXL/NVM-like capacity memory: same address space,
+  // several-times-DRAM access latency. The penalty surfaces where the
+  // hardware would feel it: demand fills (TLB fill of a slow frame, bulk
+  // page copies touching slow frames), not on every cached access -- once a
+  // translation and the lines are resident, the access path is unchanged,
+  // which keeps the fast guest path cycle-exact with the slow path.
+  Cycles tier_slow_fill = 600;   // demand fill from the slow tier (~24 us)
+  Cycles tier_demote = 400;      // retarget one frame DRAM -> slow (remap +
+                                 // migration issue; data moves off-critical-path)
+  Cycles tier_promote = 900;     // migrate one hot frame slow -> DRAM
+
   // Application-kernel (user mode) policy work, charged when an app kernel
   // handler runs on the faulting thread. These model user-mode instructions.
   Cycles app_handler_base = 200;   // entry/bookkeeping of a user-level handler

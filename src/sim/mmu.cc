@@ -63,6 +63,13 @@ Mmu::TranslateResult Mmu::Translate(PhysAddr root_paddr, uint16_t asid, VirtAddr
     pframe = PageFrame(PteAddress(leaf));
     tlb_.Insert(asid, vpage, pframe, static_cast<uint8_t>(flags));
     result.cycles += cost_.tlb_fill;
+    // Tiered memory: a demand fill from a slow-tier frame pays the slow
+    // medium's latency here, at TLB-fill time. The fast guest path never
+    // fills the TLB (its micro-TLB only caches entries this walk installed),
+    // so charging at fill time keeps fast and slow paths cycle-exact.
+    if (memory_.tier_of(pframe) == MemTier::kSlow) {
+      result.cycles += cost_.tier_slow_fill;
+    }
   }
 
   if (access == Access::kWrite) {

@@ -10,6 +10,8 @@ PhysicalMemory::PhysicalMemory(uint32_t size_bytes) {
   uint32_t rounded = ((size_bytes + kPageGroupBytes - 1) / kPageGroupBytes) * kPageGroupBytes;
   bytes_.assign(rounded, 0);
   frame_gen_.assign(rounded / kPageSize, 0);
+  frame_tier_.assign(rounded / kPageSize, static_cast<uint8_t>(MemTier::kNone));
+  tier_count_[static_cast<uint8_t>(MemTier::kNone)] = rounded / kPageSize;
 }
 
 void PhysicalMemory::Check(PhysAddr addr, uint32_t len) const {

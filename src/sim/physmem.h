@@ -18,6 +18,19 @@
 
 namespace cksim {
 
+// Physical-memory tier of a page frame (docs/TIERING.md). The frame's
+// physical address never changes with its tier -- a tier is a residency
+// attribute (which medium backs the frame), not a location. kNone means the
+// frame is not tracked by the tiering machinery (tiering disabled, or the
+// frame was released back untracked); untracked frames behave like DRAM.
+// StableStore remains the conceptual coldest tier below kSlow.
+enum class MemTier : uint8_t {
+  kNone = 0,
+  kDram = 1,
+  kSlow = 2,  // CXL/NVM-like: cheap capacity, expensive fills
+};
+inline constexpr uint32_t kMemTierCount = 3;
+
 class PhysicalMemory {
  public:
   // size must be page-group aligned so that the protection arithmetic of
@@ -74,6 +87,20 @@ class PhysicalMemory {
     g.store(g.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
 
+  // Per-frame memory tier. Ground truth lives here (the hardware knows which
+  // medium backs a frame); policy -- budgets, demotion, promotion -- lives in
+  // the Cache Kernel. Tier writes happen only at deterministic serial points
+  // (CK calls, turn preparation, restore); reads may come from worker threads
+  // during batched guest execution, which is race-free because no writer runs
+  // concurrently with the workers.
+  MemTier tier_of(uint32_t frame) const { return static_cast<MemTier>(frame_tier_[frame]); }
+  void SetFrameTier(uint32_t frame, MemTier tier) {
+    --tier_count_[frame_tier_[frame]];
+    frame_tier_[frame] = static_cast<uint8_t>(tier);
+    ++tier_count_[frame_tier_[frame]];
+  }
+  uint32_t tier_count(MemTier tier) const { return tier_count_[static_cast<uint8_t>(tier)]; }
+
  private:
   void Check(PhysAddr addr, uint32_t len) const;
   void BumpFrameGenerationRange(PhysAddr addr, uint32_t len) {
@@ -88,6 +115,8 @@ class PhysicalMemory {
 
   std::vector<uint8_t> bytes_;
   std::vector<uint64_t> frame_gen_;
+  std::vector<uint8_t> frame_tier_;        // MemTier per frame
+  uint32_t tier_count_[kMemTierCount] = {};  // frames per tier; kNone counted too
 };
 
 }  // namespace cksim

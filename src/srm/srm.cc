@@ -106,6 +106,7 @@ Result<KernelId> Srm::Launch(ckapp::AppKernelBase& app, const LaunchParams& para
   reg->id = loaded.value();
   reg->loaded = true;
   app.Attach(reg->id);
+  BindTierHook(app, reg->id);
 
   registry_.push_back(std::move(reg));
   Registered& r = *registry_.back();
@@ -125,6 +126,13 @@ Result<KernelId> Srm::Launch(ckapp::AppKernelBase& app, const LaunchParams& para
   }
   CKLOG(kInfo) << "srm: launched kernel '" << app.name() << "'";
   return r.id;
+}
+
+void Srm::BindTierHook(ckapp::AppKernelBase& app, ck::KernelId id) {
+  ck::CacheKernel* ck = &ck_;
+  app.frames().BindTierHook([ck, id](cksim::PhysAddr frame, bool allocated) {
+    ck->TierFramePoolEvent(id, frame, allocated);
+  });
 }
 
 CkStatus Srm::ApplyGrants(Registered& reg) {
@@ -243,6 +251,7 @@ CkStatus Srm::SwapIn(ckapp::AppKernelBase& app) {
   reg->id = loaded.value();
   reg->loaded = true;
   app.Attach(reg->id);
+  BindTierHook(app, reg->id);
   CkStatus status = ApplyGrants(*reg);
   if (status != CkStatus::kOk) {
     return status;

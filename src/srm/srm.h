@@ -188,6 +188,11 @@ class Srm : public ckapp::AppKernelBase {
     bool io_disconnected = false;
   };
 
+  // Wire the kernel's FramePool into the tiered-memory layer (docs/TIERING.md)
+  // so pool-held frames (file cache, paging backing store) are DRAM-tracked
+  // and demotable. Rebound on every Attach -- SwapIn issues a fresh KernelId.
+  void BindTierHook(ckapp::AppKernelBase& app, ck::KernelId id);
+
   Registered* FindRegistration(const ckapp::AppKernelBase& app);
   const Registered* FindRegistration(const ckapp::AppKernelBase& app) const;
   ckbase::CkStatus ApplyGrants(Registered& reg);

@@ -304,6 +304,87 @@ TEST(CkptRoundTrip, RichKernelBitExactAcrossMachines) {
 }
 
 // ---------------------------------------------------------------------------
+// Tiered physical memory: placement is observable state and must survive
+// both restore paths (docs/TIERING.md, docs/CHECKPOINT.md).
+// ---------------------------------------------------------------------------
+
+TEST(CkptRoundTrip, TierPlacementSurvivesRestoreAndMigrate) {
+  cktest::WorldOptions tiered;
+  tiered.ck.tier_dram_frames = 12;  // below the app's resident set
+  TestWorld a(tiered);
+
+  ckapp::AppKernelBase app_a("tiered", 64);
+  a.Launch(app_a, /*page_groups=*/2);
+  ck::CkApi api_a(a.ck(), app_a.self(), a.machine().cpu(0));
+
+  // Touch well past the DRAM budget so the maintenance scan demotes the
+  // overshoot; the resident set then straddles both tiers.
+  uint32_t sp = app_a.CreateSpace(api_a);
+  app_a.DefineZeroRegion(sp, 0x40000000, 32, /*writable=*/true);
+  for (uint32_t p = 0; p < 32; ++p) {
+    uint32_t value = 0x7e500000u + p;
+    ASSERT_TRUE(app_a.WriteGuest(api_a, sp, 0x40000000 + p * cksim::kPageSize, &value, 4));
+  }
+  a.RunUntil([] { return false; }, 30000);
+  ASSERT_GT(a.machine().memory().tier_count(cksim::MemTier::kSlow), 0u)
+      << "DRAM squeeze demoted nothing; the round trip would not cover slow frames";
+
+  // Leg 1: checkpoint, ship the serialized bytes, restore on a tiered peer.
+  CkptImage image;
+  ASSERT_EQ(a.srm().Checkpoint(app_a, &image), CkStatus::kOk);
+  ck::CkApi srm_api_a = a.Api();
+  Digest digest_a = AppKernelState::Digest(app_a, srm_api_a);
+  uint64_t slow_pages_in_digest = 0;
+  for (const auto& [key, value] : digest_a) {
+    if (key.size() > 5 && key.compare(key.size() - 5, 5, ".tier") == 0 &&
+        value == static_cast<uint64_t>(cksim::MemTier::kSlow)) {
+      ++slow_pages_in_digest;
+    }
+  }
+  EXPECT_GT(slow_pages_in_digest, 0u);
+
+  std::vector<uint8_t> bytes = image.Serialize();
+  CkptImage shipped;
+  std::string error;
+  ASSERT_TRUE(CkptImage::Parse(bytes, &shipped, &error)) << error;
+
+  TestWorld b(tiered);
+  ckapp::AppKernelBase app_b("tiered", 64);
+  ASSERT_EQ(b.srm().Restore(app_b, shipped, RestoreOptions{}, &error), CkStatus::kOk) << error;
+  ck::CkApi srm_api_b = b.Api();
+  Digest digest_b = AppKernelState::Digest(app_b, srm_api_b);
+  ExpectDigestsEqual(digest_a, digest_b);
+  EXPECT_TRUE(b.ck().ValidateInvariants().empty());
+
+  // Leg 2: live migration over the fiber channel moves the same placement.
+  TestWorld c(tiered);
+  uint32_t group_a = a.srm().ReserveGroups(1).value();
+  uint32_t group_c = c.srm().ReserveGroups(1).value();
+  cksim::FiberChannelDevice fc_a(a.machine().memory(), &a.ck(),
+                                 group_a * cksim::kPageGroupBytes, 4, 4, 2500);
+  cksim::FiberChannelDevice fc_c(c.machine().memory(), &c.ck(),
+                                 group_c * cksim::kPageGroupBytes, 4, 4, 2500);
+  cksim::FiberChannelDevice::Connect(fc_a, fc_c);
+  a.machine().AttachDevice(&fc_a);
+  c.machine().AttachDevice(&fc_c);
+
+  ASSERT_EQ(a.srm().Migrate(app_a, fc_a), CkStatus::kOk);
+  Digest digest_at_migrate = AppKernelState::Digest(app_a, srm_api_a);
+
+  ckapp::AppKernelBase app_c("tiered", 64);
+  CkStatus accepted = CkStatus::kRetry;
+  for (uint64_t i = 0; i < 200000 && accepted == CkStatus::kRetry; ++i) {
+    c.machine().Step();
+    accepted = c.srm().AcceptMigration(fc_c, app_c, RestoreOptions{}, &error);
+  }
+  ASSERT_EQ(accepted, CkStatus::kOk) << error;
+  ck::CkApi srm_api_c = c.Api();
+  Digest digest_c = AppKernelState::Digest(app_c, srm_api_c);
+  ExpectDigestsEqual(digest_at_migrate, digest_c);
+  EXPECT_TRUE(c.ck().ValidateInvariants().empty());
+}
+
+// ---------------------------------------------------------------------------
 // Corruption and mismatch: a bad image never loads a partial kernel.
 // ---------------------------------------------------------------------------
 

@@ -263,10 +263,12 @@ struct DifferentialSnapshot {
   std::vector<uint64_t> checksums;
   std::vector<ckfs::FsClientStats> stats;
   std::vector<uint64_t> traffic;
+  std::vector<uint64_t> tier_events;  // demotions+promotions+evictions per client
   ckfs::FsServerStats server;
 
   bool operator==(const DifferentialSnapshot& o) const {
-    if (clocks != o.clocks || checksums != o.checksums || traffic != o.traffic) {
+    if (clocks != o.clocks || checksums != o.checksums || traffic != o.traffic ||
+        tier_events != o.tier_events) {
       return false;
     }
     for (size_t i = 0; i < stats.size(); ++i) {
@@ -286,13 +288,14 @@ struct DifferentialSnapshot {
   }
 };
 
-DifferentialSnapshot RunNetbootWorkload(bool parallel) {
+DifferentialSnapshot RunNetbootWorkload(bool parallel, uint32_t tier_dram_frames = 0) {
   FsClusterConfig config;
   config.clients = 3;
   config.files = 4;
   config.file_pages = 6;
   config.scan_rounds = 3;
   config.parallel = parallel;
+  config.tier_dram_frames = tier_dram_frames;
   FsCluster world(config);
 
   // Deterministic mid-run writes, injected at barriers by simulated time.
@@ -319,6 +322,9 @@ DifferentialSnapshot RunNetbootWorkload(bool parallel) {
     snap.checksums.push_back(world.workload(c).checksum());
     snap.stats.push_back(world.cache(c).stats());
     snap.traffic.push_back(world.WireTraffic(c));
+    const ck::CkStats& ck_stats = world.client_ck(c).stats();
+    snap.tier_events.push_back(ck_stats.tier_demotions + ck_stats.tier_promotions +
+                               ck_stats.tier_evictions);
   }
   snap.server = world.server().fs_stats();
   return snap;
@@ -332,6 +338,26 @@ TEST(FsTest, NetbootWorkloadSerialParallelBitExact) {
   // And the workload did real distributed work.
   EXPECT_GT(serial.server.pages_shipped, 0u);
   EXPECT_GT(serial.stats[0].hits, 0u);
+}
+
+// Same differential with tiered physical memory squeezing the client
+// kernels: file-cache pages (tier-tagged through the SRM's frame-pool hook)
+// must demote/promote identically under the serial and host-parallel
+// drivers -- tier transitions happen only at deterministic serial points.
+TEST(FsTest, TieredNetbootSerialParallelBitExact) {
+  constexpr uint32_t kDramFrames = 24;  // below the clients' working set
+  DifferentialSnapshot serial = RunNetbootWorkload(/*parallel=*/false, kDramFrames);
+  DifferentialSnapshot parallel = RunNetbootWorkload(/*parallel=*/true, kDramFrames);
+  EXPECT_TRUE(serial == parallel)
+      << "tiered parallel cluster execution diverged from the serial reference";
+  uint64_t total_tier_events = 0;
+  for (uint64_t events : serial.tier_events) {
+    total_tier_events += events;
+  }
+  EXPECT_GT(total_tier_events, 0u) << "DRAM squeeze produced no tier traffic";
+  for (uint32_t c = 0; c < serial.checksums.size(); ++c) {
+    EXPECT_TRUE(serial.checksums[c] != 0u);
+  }
 }
 
 }  // namespace

@@ -222,6 +222,125 @@ INSTANTIATE_TEST_SUITE_P(
                                          ck::ReplacementPolicy::kFifo,
                                          ck::ReplacementPolicy::kSecondChance)));
 
+// Same churn with tiered physical memory squeezing the machine: every frame
+// transition must keep the tier ledger identities (docs/TIERING.md) and the
+// per-tier frame counts that ValidateInvariants cross-checks.
+class TieredStormTest : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(TieredStormTest, TierLedgerBalancesUnderRandomChurn) {
+  cksim::MachineConfig mc;
+  mc.memory_bytes = 8u << 20;
+  cksim::Machine machine(mc);
+  CacheKernelConfig config;
+  config.space_slots = 8;
+  config.thread_slots = 16;
+  config.mapping_slots = 96;
+  // A DRAM budget far below the mapping working set so admissions displace
+  // resident frames constantly, in both pressure modes.
+  config.tier_dram_frames = 24;
+  config.tier_demote = std::get<1>(GetParam());
+  CacheKernel ck(machine, config);
+  ModelKernel model;
+  KernelId kid = ck.BootFirstKernel(&model, 0);
+  CkApi api(ck, kid, machine.cpu(0));
+
+  ckbase::Rng rng(std::get<0>(GetParam()));
+  std::vector<SpaceId> spaces;
+  struct LiveMapping {
+    SpaceId space;
+    cksim::VirtAddr vaddr;
+  };
+  std::vector<LiveMapping> mappings;
+
+  auto check_ledger = [&](int op) {
+    const ck::CkStats& s = ck.stats();
+    const cksim::PhysicalMemory& mem = machine.memory();
+    uint64_t dram = mem.tier_count(cksim::MemTier::kDram);
+    uint64_t slow = mem.tier_count(cksim::MemTier::kSlow);
+    // Every frame that ever entered DRAM is still there or left through
+    // exactly one exit; every slow-tier entry is a demotion.
+    EXPECT_EQ(s.tier_admissions + s.tier_promotions,
+              s.tier_demotions + s.tier_evictions + s.tier_release_dram + dram)
+        << "DRAM ledger out of balance at op " << op;
+    EXPECT_EQ(s.tier_demotions, s.tier_promotions + s.tier_release_slow + slow)
+        << "slow-tier ledger out of balance at op " << op;
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    switch (rng.Below(8)) {
+      case 0: {  // load space
+        ckbase::Result<SpaceId> s = api.LoadSpace(op, false);
+        if (s.ok()) {
+          spaces.push_back(s.value());
+        }
+        break;
+      }
+      case 1: {  // unload random space (cascades its mappings)
+        if (!spaces.empty()) {
+          size_t i = rng.Below(spaces.size());
+          api.UnloadSpace(spaces[i]);
+          spaces.erase(spaces.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 2:
+      case 3:
+      case 4:
+      case 5: {  // load mapping: the tier admission path
+        if (!spaces.empty()) {
+          MappingSpec spec;
+          spec.space = spaces[rng.Below(spaces.size())];
+          spec.vaddr = static_cast<uint32_t>(rng.Below(512)) * cksim::kPageSize;
+          spec.paddr = 0x100000 + static_cast<uint32_t>(rng.Below(128)) * cksim::kPageSize;
+          spec.flags.writable = rng.Chance(1, 2);
+          spec.locked = rng.Chance(1, 16);
+          if (api.LoadMapping(spec) == CkStatus::kOk) {
+            mappings.push_back(LiveMapping{spec.space, spec.vaddr});
+          }
+        }
+        break;
+      }
+      case 6: {  // unload random mapping
+        if (!mappings.empty()) {
+          size_t i = rng.Below(mappings.size());
+          api.UnloadMapping(mappings[i].space, mappings[i].vaddr);
+          mappings.erase(mappings.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 7: {  // lock/unlock a random mapping (pins its frame in DRAM)
+        if (!mappings.empty()) {
+          size_t i = rng.Below(mappings.size());
+          api.LockMapping(mappings[i].space, mappings[i].vaddr, rng.Chance(1, 2));
+        }
+        break;
+      }
+    }
+
+    if (op % 50 == 0) {
+      check_ledger(op);
+      std::vector<std::string> violations = ck.ValidateInvariants();
+      ASSERT_TRUE(violations.empty())
+          << "op " << op << ": " << violations.size() << " violations, first: " << violations[0];
+    }
+  }
+
+  check_ledger(3000);
+  std::vector<std::string> violations = ck.ValidateInvariants();
+  EXPECT_TRUE(violations.empty()) << violations.size() << " violations, first: " << violations[0];
+  // The squeeze must have actually displaced DRAM residents, in the mode
+  // configured: demotions under demote pressure, full evictions otherwise.
+  if (std::get<1>(GetParam())) {
+    EXPECT_GT(ck.stats().tier_demotions, 0u);
+  } else {
+    EXPECT_GT(ck.stats().tier_evictions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndModes, TieredStormTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u),
+                                            ::testing::Bool()));
+
 class CapacitySweepTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(CapacitySweepTest, LoadNeverHardFailsWhileUnlockedObjectsExist) {
